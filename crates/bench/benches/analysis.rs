@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks of the schedulability machinery: these are
+//! the kernels the Monte-Carlo sweeps call millions of times, so their
+//! throughput bounds every experiment's wall-clock time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ringrt_breakdown::SaturationSearch;
+use ringrt_core::pdp::{PdpAnalyzer, PdpVariant};
+use ringrt_core::ttp::TtpAnalyzer;
+use ringrt_core::SchedulabilityTest;
+use ringrt_model::{FrameFormat, MessageSet, RingConfig};
+use ringrt_units::Bandwidth;
+use ringrt_workload::MessageSetGenerator;
+
+fn sample_set(stations: usize, seed: u64) -> MessageSet {
+    MessageSetGenerator::paper_population(stations)
+        .generate(&mut StdRng::seed_from_u64(seed))
+        // Half the initial utilization: a typically-schedulable load.
+        .with_scaled_lengths(0.4)
+}
+
+fn bench_pdp_test(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pdp_is_schedulable");
+    group.sample_size(30);
+    for &n in &[10usize, 50, 100] {
+        let set = sample_set(n, 7);
+        let ring = RingConfig::ieee_802_5(n, Bandwidth::from_mbps(4.0));
+        let analyzer = PdpAnalyzer::new(ring, FrameFormat::paper_default(), PdpVariant::Modified);
+        group.bench_with_input(BenchmarkId::new("rta", n), &set, |b, set| {
+            b.iter(|| black_box(analyzer.is_schedulable(black_box(set))))
+        });
+        group.bench_with_input(BenchmarkId::new("scheduling_points", n), &set, |b, set| {
+            b.iter(|| black_box(analyzer.is_schedulable_by_points(black_box(set))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ttp_test(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ttp_is_schedulable");
+    group.sample_size(50);
+    for &n in &[10usize, 100] {
+        let set = sample_set(n, 8);
+        let ring = RingConfig::fddi(n, Bandwidth::from_mbps(100.0));
+        let analyzer = TtpAnalyzer::with_defaults(ring);
+        group.bench_with_input(BenchmarkId::new("theorem_5_1", n), &set, |b, set| {
+            b.iter(|| black_box(analyzer.is_schedulable(black_box(set))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_saturation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("saturation_search");
+    group.sample_size(10);
+    let n = 50;
+    let set = sample_set(n, 9);
+    let search = SaturationSearch::with_tolerance(1e-3);
+
+    let bw = Bandwidth::from_mbps(100.0);
+    let fddi = TtpAnalyzer::with_defaults(RingConfig::fddi(n, bw));
+    group.bench_function("ttp_100mbps_n50", |b| {
+        b.iter(|| black_box(search.saturate(&fddi, black_box(&set), bw)))
+    });
+
+    let bw = Bandwidth::from_mbps(4.0);
+    let pdp = PdpAnalyzer::new(
+        RingConfig::ieee_802_5(n, bw),
+        FrameFormat::paper_default(),
+        PdpVariant::Modified,
+    );
+    group.bench_function("pdp_4mbps_n50", |b| {
+        b.iter(|| black_box(search.saturate(&pdp, black_box(&set), bw)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pdp_test, bench_ttp_test, bench_saturation);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benchmarks of the frame-level simulators: events per second
+//! of simulated ring time, for both MACs, quiet and loaded.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ringrt_core::pdp::PdpVariant;
+use ringrt_model::{FrameFormat, MessageSet, RingConfig};
+use ringrt_sim::{PdpSimulator, SimConfig, TtpSimulator};
+use ringrt_units::{Bandwidth, Seconds};
+use ringrt_workload::MessageSetGenerator;
+
+fn sample_set(stations: usize) -> MessageSet {
+    MessageSetGenerator::paper_population(stations)
+        .generate(&mut StdRng::seed_from_u64(3))
+        .with_scaled_lengths(0.3)
+}
+
+fn bench_ttp_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ttp_simulator_100ms");
+    group.sample_size(10);
+    let n = 20;
+    let set = sample_set(n);
+    let ring = RingConfig::fddi(n, Bandwidth::from_mbps(100.0));
+    for (label, load) in [("quiet", 0.0), ("async_30pct", 0.3)] {
+        let config = SimConfig::new(ring, Seconds::from_millis(100.0)).with_async_load(load);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let sim = TtpSimulator::from_analysis(black_box(&set), config)
+                    .expect("feasible allocation");
+                black_box(sim.run().completed())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pdp_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pdp_simulator_100ms");
+    group.sample_size(10);
+    let n = 20;
+    let set = sample_set(n);
+    let ring = RingConfig::ieee_802_5(n, Bandwidth::from_mbps(4.0));
+    let config = SimConfig::new(ring, Seconds::from_millis(100.0));
+    for variant in [PdpVariant::Standard, PdpVariant::Modified] {
+        group.bench_function(variant.label(), |b| {
+            b.iter(|| {
+                let sim = PdpSimulator::new(
+                    black_box(&set),
+                    config,
+                    FrameFormat::paper_default(),
+                    variant,
+                );
+                black_box(sim.run().completed())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ttp_sim, bench_pdp_sim);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! ALLOC — the paper's §5.2 claim that the *local* synchronous bandwidth
+//! allocation scheme performs close to the optimal scheme on average while
+//! needing only local information.
+//!
+//! Compares the implemented allocation schemes' average breakdown
+//! utilization at several bandwidths over identical message-set samples.
+
+use ringrt_bench::{banner, ExpOptions};
+use ringrt_breakdown::sweep::alloc_scheme_sweep;
+use ringrt_breakdown::table::{cell, Table};
+
+fn main() {
+    let opts = ExpOptions::from_env();
+    banner(
+        "ALLOC",
+        "FDDI ABU by synchronous-bandwidth allocation scheme",
+        &opts,
+    );
+
+    let cfg = opts.sweep_config();
+    let mut table = Table::new(&["bandwidth_mbps", "scheme", "abu", "ci95", "infeasible"]);
+    for mbps in [10.0, 100.0, 1000.0] {
+        let rows = alloc_scheme_sweep(mbps, &cfg);
+        for r in &rows {
+            table.push_row(&[
+                cell(mbps, 1),
+                r.scheme.label().into(),
+                cell(r.estimate.mean, 4),
+                cell(r.estimate.ci95, 4),
+                r.estimate.infeasible_sets.to_string(),
+            ]);
+        }
+        let best = rows
+            .iter()
+            .max_by(|a, b| a.estimate.mean.total_cmp(&b.estimate.mean))
+            .expect("non-empty");
+        println!(
+            "# {mbps} Mbps: best scheme = {} (ABU {:.3})",
+            best.scheme, best.estimate.mean
+        );
+    }
+    println!();
+    print!("{}", table.to_csv());
+    println!();
+    println!("# paper: the local scheme is competitive with the optimal scheme on average,");
+    println!("# particularly when TTRT is chosen by the √(Θ'·P_min) rule.");
+}

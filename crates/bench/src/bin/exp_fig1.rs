@@ -1,0 +1,77 @@
+//! FIG1 — the paper's Figure 1: average breakdown utilization vs. ring
+//! bandwidth (1–1000 Mbps) for IEEE 802.5, modified IEEE 802.5, and FDDI.
+//!
+//! Also prints the derived headline observations (CLAIM-XOVER and
+//! CLAIM-MODIFIED): the bandwidth ranges where each protocol dominates,
+//! the crossover point, and the non-monotonicity of the 802.5 curves.
+
+use ringrt_bench::{banner, ExpOptions};
+use ringrt_breakdown::sweep::{default_bandwidths_mbps, figure1};
+use ringrt_breakdown::table::{cell, Table};
+
+fn main() {
+    let opts = ExpOptions::from_env();
+    banner(
+        "FIG1",
+        "average breakdown utilization vs bandwidth (paper Figure 1)",
+        &opts,
+    );
+
+    let bandwidths = default_bandwidths_mbps();
+    let rows = figure1(&bandwidths, &opts.sweep_config());
+
+    let mut table = Table::new(&[
+        "bandwidth_mbps",
+        "ieee_802_5",
+        "ci95",
+        "modified_802_5",
+        "ci95",
+        "fddi",
+        "ci95",
+    ]);
+    for r in &rows {
+        table.push_row(&[
+            cell(r.mbps, 3),
+            cell(r.ieee_802_5.mean, 4),
+            cell(r.ieee_802_5.ci95, 4),
+            cell(r.modified_802_5.mean, 4),
+            cell(r.modified_802_5.ci95, 4),
+            cell(r.fddi.mean, 4),
+            cell(r.fddi.ci95, 4),
+        ]);
+    }
+    print!("{}", table.to_csv());
+    println!();
+
+    // Headline observations.
+    let best_pdp = rows
+        .iter()
+        .max_by(|a, b| a.modified_802_5.mean.total_cmp(&b.modified_802_5.mean))
+        .expect("non-empty sweep");
+    println!(
+        "# modified 802.5 peaks at {:.3} Mbps with ABU {:.3} (non-monotone: falls to {:.3} at {} Mbps)",
+        best_pdp.mbps,
+        best_pdp.modified_802_5.mean,
+        rows.last().unwrap().modified_802_5.mean,
+        rows.last().unwrap().mbps,
+    );
+    match rows
+        .windows(2)
+        .find(|w| w[0].modified_802_5.mean >= w[0].fddi.mean && w[1].modified_802_5.mean < w[1].fddi.mean)
+    {
+        Some(w) => println!(
+            "# FDDI overtakes modified 802.5 between {:.3} and {:.3} Mbps (paper: around 10 Mbps)",
+            w[0].mbps, w[1].mbps
+        ),
+        None => println!("# no crossover found in the swept range"),
+    }
+    let dominance_violations = rows
+        .iter()
+        .filter(|r| r.modified_802_5.mean + 1e-9 < r.ieee_802_5.mean)
+        .count();
+    println!(
+        "# modified ≥ standard 802.5 at {}/{} points (paper: modified dominates everywhere)",
+        rows.len() - dominance_violations,
+        rows.len()
+    );
+}

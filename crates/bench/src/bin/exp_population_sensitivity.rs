@@ -1,0 +1,112 @@
+//! POP — robustness of the Figure-1 conclusions to the Monte-Carlo
+//! population (our extension). The paper describes its population loosely
+//! (uniform periods, mean 100 ms, ratio 10) and reports that "results
+//! obtained for other values of these parameters were similar"; this
+//! experiment substantiates that by re-running the protocol comparison at
+//! a low and a high bandwidth across period/length populations:
+//!
+//! * period distributions: the paper's uniform band, a log-uniform band,
+//!   harmonic periods, and a bimodal control+bulk mixture;
+//! * length shapes: utilization-proportional, uniform bits, equal bits.
+//!
+//! The claim under test: *modified 802.5 leads at 2 Mbps, FDDI leads at
+//! 200 Mbps, in every population.*
+
+use ringrt_bench::{banner, ExpOptions};
+use ringrt_breakdown::table::{cell, Table};
+use ringrt_breakdown::{BreakdownEstimator, SaturationSearch};
+use ringrt_core::pdp::{PdpAnalyzer, PdpVariant};
+use ringrt_core::ttp::TtpAnalyzer;
+use ringrt_model::{FrameFormat, RingConfig};
+use ringrt_units::{Bandwidth, Seconds};
+use ringrt_workload::{LengthShape, MessageSetGenerator, PeriodDistribution};
+
+fn populations() -> Vec<(&'static str, PeriodDistribution, LengthShape)> {
+    let uniform = PeriodDistribution::paper_default();
+    let log_uniform = PeriodDistribution::LogUniform {
+        min: Seconds::from_millis(200.0 / 11.0),
+        max: Seconds::from_millis(2000.0 / 11.0),
+    };
+    let harmonic = PeriodDistribution::Harmonic {
+        base: Seconds::from_millis(20.0),
+        octaves: 4,
+    };
+    let bimodal = PeriodDistribution::Bimodal {
+        fast_fraction: 0.6,
+        fast: (Seconds::from_millis(15.0), Seconds::from_millis(40.0)),
+        slow: (Seconds::from_millis(150.0), Seconds::from_millis(400.0)),
+    };
+    vec![
+        ("paper_uniform/util", uniform.clone(), LengthShape::UniformUtilization),
+        ("paper_uniform/bits", uniform.clone(), LengthShape::UniformBits),
+        ("paper_uniform/equal", uniform, LengthShape::EqualBits),
+        ("log_uniform/util", log_uniform, LengthShape::UniformUtilization),
+        ("harmonic/util", harmonic, LengthShape::UniformUtilization),
+        ("bimodal/util", bimodal, LengthShape::UniformUtilization),
+    ]
+}
+
+fn main() {
+    let opts = ExpOptions::from_env();
+    banner(
+        "POP",
+        "protocol ordering across Monte-Carlo populations",
+        &opts,
+    );
+
+    // Moderate station count keeps the 2 Mbps points meaningful (see the
+    // FIG1 n=100 1 Mbps discussion in EXPERIMENTS.md).
+    let stations = opts.stations.min(40);
+    let frame = FrameFormat::paper_default();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut table = Table::new(&[
+        "population",
+        "bandwidth_mbps",
+        "modified_802_5",
+        "fddi",
+        "leader",
+    ]);
+    let mut violations = 0u32;
+    for (name, periods, lengths) in populations() {
+        let generator = MessageSetGenerator::paper_population(stations)
+            .with_periods(periods)
+            .with_lengths(lengths);
+        let estimator = BreakdownEstimator::new(generator, opts.samples)
+            .with_search(SaturationSearch::with_tolerance(if opts.quick {
+                3e-3
+            } else {
+                1e-3
+            }));
+        for (mbps, expect_pdp) in [(2.0, true), (200.0, false)] {
+            let bw = Bandwidth::from_mbps(mbps);
+            let pdp = PdpAnalyzer::new(
+                RingConfig::ieee_802_5(stations, bw),
+                frame,
+                PdpVariant::Modified,
+            );
+            let ttp = TtpAnalyzer::with_defaults(RingConfig::fddi(stations, bw));
+            let e_pdp = estimator.estimate_parallel(&pdp, bw, opts.seed, threads);
+            let e_ttp = estimator.estimate_parallel(&ttp, bw, opts.seed, threads);
+            let pdp_leads = e_pdp.mean > e_ttp.mean;
+            if pdp_leads != expect_pdp {
+                violations += 1;
+            }
+            table.push_row(&[
+                name.into(),
+                cell(mbps, 0),
+                cell(e_pdp.mean, 4),
+                cell(e_ttp.mean, 4),
+                if pdp_leads { "802.5".into() } else { "fddi".into() },
+            ]);
+        }
+    }
+    print!("{}", table.to_csv());
+    println!();
+    println!(
+        "# ordering violations vs the paper's claim: {violations} (0 expected: PDP at 2 Mbps, FDDI at 200 Mbps)"
+    );
+    if violations > 0 {
+        std::process::exit(1);
+    }
+}

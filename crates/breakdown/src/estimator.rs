@@ -1,0 +1,325 @@
+//! The Monte-Carlo average-breakdown-utilization estimator.
+
+use core::fmt;
+
+use rand::Rng;
+
+use ringrt_core::SchedulabilityTest;
+use ringrt_units::Bandwidth;
+use ringrt_workload::MessageSetGenerator;
+
+use crate::{SampleStats, SaturationSearch};
+
+/// Estimates a protocol's average breakdown utilization over a message-set
+/// population (paper §6.1).
+///
+/// Each sample draws a random set, scales it to its saturation boundary,
+/// and records the boundary utilization; the estimate is the sample mean
+/// with a 95 % confidence interval.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use ringrt_breakdown::BreakdownEstimator;
+/// use ringrt_core::pdp::{PdpAnalyzer, PdpVariant};
+/// use ringrt_model::{FrameFormat, RingConfig};
+/// use ringrt_units::Bandwidth;
+/// use ringrt_workload::MessageSetGenerator;
+///
+/// let ring = RingConfig::ieee_802_5(10, Bandwidth::from_mbps(4.0));
+/// let analyzer = PdpAnalyzer::new(ring, FrameFormat::paper_default(), PdpVariant::Modified);
+/// let est = BreakdownEstimator::new(MessageSetGenerator::paper_population(10), 15)
+///     .estimate(&analyzer, ring.bandwidth(), &mut rand::rngs::StdRng::seed_from_u64(1));
+/// assert!(est.mean > 0.0 && est.mean < 1.0);
+/// assert_eq!(est.stats.count(), 15);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakdownEstimator {
+    generator: MessageSetGenerator,
+    samples: usize,
+    search: SaturationSearch,
+}
+
+impl BreakdownEstimator {
+    /// Creates an estimator taking `samples` Monte-Carlo samples from
+    /// `generator` with the default saturation-search tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero.
+    #[must_use]
+    pub fn new(generator: MessageSetGenerator, samples: usize) -> Self {
+        assert!(samples > 0, "need at least one Monte-Carlo sample");
+        BreakdownEstimator {
+            generator,
+            samples,
+            search: SaturationSearch::default(),
+        }
+    }
+
+    /// Returns a copy with a custom saturation search.
+    #[must_use]
+    pub fn with_search(mut self, search: SaturationSearch) -> Self {
+        self.search = search;
+        self
+    }
+
+    /// The number of Monte-Carlo samples per estimate.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// The underlying population generator.
+    #[must_use]
+    pub fn generator(&self) -> &MessageSetGenerator {
+        &self.generator
+    }
+
+    /// Runs the estimation for one protocol configuration.
+    ///
+    /// `bandwidth` is used to express sampled boundary utilizations (it
+    /// should match the analyzer's ring bandwidth). Sets for which no
+    /// positive load is schedulable contribute a **zero** utilization
+    /// sample — the protocol genuinely cannot guarantee that population
+    /// member — and are additionally counted in
+    /// [`BreakdownEstimate::infeasible_sets`].
+    pub fn estimate<T, R>(&self, test: &T, bandwidth: Bandwidth, rng: &mut R) -> BreakdownEstimate
+    where
+        T: SchedulabilityTest + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let mut stats = SampleStats::new();
+        let mut infeasible = 0usize;
+        for _ in 0..self.samples {
+            let set = self.generator.generate(rng);
+            match self.search.saturate(test, &set, bandwidth) {
+                Some(sat) => stats.push(sat.utilization),
+                None => {
+                    infeasible += 1;
+                    stats.push(0.0);
+                }
+            }
+        }
+        BreakdownEstimate {
+            protocol: test.protocol_name(),
+            mean: stats.mean(),
+            ci95: stats.ci95_half_width(),
+            infeasible_sets: infeasible,
+            stats,
+        }
+    }
+
+    /// Like [`BreakdownEstimator::estimate`], but scatters the samples over
+    /// `threads` worker threads.
+    ///
+    /// Deterministic regardless of thread count or interleaving: sample `k`
+    /// always uses its own RNG stream derived from `seed` and `k`, and the
+    /// partial statistics are merged in sample order. The result therefore
+    /// differs from the sequential [`BreakdownEstimator::estimate`] (which
+    /// draws all samples from one RNG stream) but is reproducible from
+    /// `seed` alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn estimate_parallel<T>(
+        &self,
+        test: &T,
+        bandwidth: Bandwidth,
+        seed: u64,
+        threads: usize,
+    ) -> BreakdownEstimate
+    where
+        T: SchedulabilityTest + Sync + ?Sized,
+    {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        assert!(threads > 0, "need at least one worker thread");
+        let threads = threads.min(self.samples);
+
+        let sample_seed =
+            |k: usize| seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let run_sample = |k: usize| -> (f64, bool) {
+            let mut rng = StdRng::seed_from_u64(sample_seed(k));
+            let set = self.generator.generate(&mut rng);
+            match self.search.saturate(test, &set, bandwidth) {
+                Some(sat) => (sat.utilization, false),
+                None => (0.0, true),
+            }
+        };
+
+        // Static block partition: worker w takes samples [lo, hi).
+        let mut results: Vec<Vec<(f64, bool)>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let per = self.samples.div_ceil(threads);
+            for w in 0..threads {
+                let lo = w * per;
+                let hi = ((w + 1) * per).min(self.samples);
+                let run = &run_sample;
+                handles.push(scope.spawn(move || (lo..hi).map(run).collect::<Vec<_>>()));
+            }
+            for h in handles {
+                results.push(h.join().expect("estimator worker panicked"));
+            }
+        });
+
+        let mut stats = SampleStats::new();
+        let mut infeasible = 0usize;
+        for (u, inf) in results.into_iter().flatten() {
+            stats.push(u);
+            if inf {
+                infeasible += 1;
+            }
+        }
+        BreakdownEstimate {
+            protocol: test.protocol_name(),
+            mean: stats.mean(),
+            ci95: stats.ci95_half_width(),
+            infeasible_sets: infeasible,
+            stats,
+        }
+    }
+}
+
+/// The result of one average-breakdown-utilization estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakdownEstimate {
+    /// Name of the protocol configuration that was estimated.
+    pub protocol: &'static str,
+    /// Estimated average breakdown utilization.
+    pub mean: f64,
+    /// Half-width of the 95 % confidence interval.
+    pub ci95: f64,
+    /// Number of sampled sets for which no positive load was schedulable
+    /// (each contributed a zero sample).
+    pub infeasible_sets: usize,
+    /// Full sample statistics (count, variance, extremes).
+    pub stats: SampleStats,
+}
+
+impl fmt::Display for BreakdownEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: ABU = {:.4} ± {:.4} ({} samples",
+            self.protocol,
+            self.mean,
+            self.ci95,
+            self.stats.count()
+        )?;
+        if self.infeasible_sets > 0 {
+            write!(f, ", {} infeasible", self.infeasible_sets)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ringrt_core::pdp::{PdpAnalyzer, PdpVariant};
+    use ringrt_core::ttp::{TtpAnalyzer, TtrtPolicy};
+    use ringrt_model::{FrameFormat, RingConfig};
+    use ringrt_units::Seconds;
+
+    fn quick_estimator(n: usize) -> BreakdownEstimator {
+        BreakdownEstimator::new(MessageSetGenerator::paper_population(n), 8)
+            .with_search(SaturationSearch::with_tolerance(1e-3))
+    }
+
+    #[test]
+    fn ttp_estimate_in_sane_band_at_100mbps() {
+        let ring = RingConfig::fddi(20, Bandwidth::from_mbps(100.0));
+        let a = TtpAnalyzer::with_defaults(ring);
+        let est = quick_estimator(20).estimate(&a, ring.bandwidth(), &mut StdRng::seed_from_u64(2));
+        assert!(est.mean > 0.4 && est.mean < 1.0, "ABU {est}");
+        assert_eq!(est.infeasible_sets, 0);
+        assert_eq!(est.protocol, "FDDI");
+    }
+
+    #[test]
+    fn pdp_estimate_in_sane_band_at_4mbps() {
+        let ring = RingConfig::ieee_802_5(20, Bandwidth::from_mbps(4.0));
+        let a = PdpAnalyzer::new(ring, FrameFormat::paper_default(), PdpVariant::Modified);
+        let est = quick_estimator(20).estimate(&a, ring.bandwidth(), &mut StdRng::seed_from_u64(3));
+        assert!(est.mean > 0.2 && est.mean < 1.0, "ABU {est}");
+    }
+
+    #[test]
+    fn reproducible_with_same_seed() {
+        let ring = RingConfig::fddi(10, Bandwidth::from_mbps(100.0));
+        let a = TtpAnalyzer::with_defaults(ring);
+        let e = quick_estimator(10);
+        let x = e.estimate(&a, ring.bandwidth(), &mut StdRng::seed_from_u64(7));
+        let y = e.estimate(&a, ring.bandwidth(), &mut StdRng::seed_from_u64(7));
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn infeasible_population_scores_zero() {
+        // A TTRT fixed way above P_min/2 makes every set infeasible.
+        let ring = RingConfig::fddi(10, Bandwidth::from_mbps(100.0));
+        let a = TtpAnalyzer::with_defaults(ring)
+            .with_ttrt_policy(TtrtPolicy::Fixed(Seconds::from_millis(500.0)));
+        let est = quick_estimator(10).estimate(&a, ring.bandwidth(), &mut StdRng::seed_from_u64(9));
+        assert_eq!(est.infeasible_sets, 8);
+        assert_eq!(est.mean, 0.0);
+        assert!(est.to_string().contains("infeasible"));
+    }
+
+    #[test]
+    fn parallel_matches_itself_across_thread_counts() {
+        let ring = RingConfig::fddi(10, Bandwidth::from_mbps(100.0));
+        let a = TtpAnalyzer::with_defaults(ring);
+        let e = BreakdownEstimator::new(MessageSetGenerator::paper_population(10), 9)
+            .with_search(SaturationSearch::with_tolerance(1e-3));
+        let one = e.estimate_parallel(&a, ring.bandwidth(), 42, 1);
+        let four = e.estimate_parallel(&a, ring.bandwidth(), 42, 4);
+        let many = e.estimate_parallel(&a, ring.bandwidth(), 42, 16);
+        assert_eq!(one.stats.count(), 9);
+        assert!((one.mean - four.mean).abs() < 1e-12);
+        assert!((one.mean - many.mean).abs() < 1e-12);
+        // A different seed gives a different (but valid) estimate.
+        let other = e.estimate_parallel(&a, ring.bandwidth(), 43, 4);
+        assert_ne!(one.mean, other.mean);
+    }
+
+    #[test]
+    fn parallel_agrees_with_sequential_statistically() {
+        let ring = RingConfig::fddi(10, Bandwidth::from_mbps(100.0));
+        let a = TtpAnalyzer::with_defaults(ring);
+        let e = BreakdownEstimator::new(MessageSetGenerator::paper_population(10), 16)
+            .with_search(SaturationSearch::with_tolerance(1e-3));
+        let seq = e.estimate(&a, ring.bandwidth(), &mut StdRng::seed_from_u64(7));
+        let par = e.estimate_parallel(&a, ring.bandwidth(), 7, 4);
+        // Different RNG streams, same population: means land close.
+        assert!((seq.mean - par.mean).abs() < 0.15, "{} vs {}", seq.mean, par.mean);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let ring = RingConfig::fddi(4, Bandwidth::from_mbps(100.0));
+        let a = TtpAnalyzer::with_defaults(ring);
+        let _ = quick_estimator(4).estimate_parallel(&a, ring.bandwidth(), 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_samples_rejected() {
+        let _ = BreakdownEstimator::new(MessageSetGenerator::paper_population(5), 0);
+    }
+
+    #[test]
+    fn accessors() {
+        let e = quick_estimator(5);
+        assert_eq!(e.samples(), 8);
+        assert_eq!(e.generator().stations(), 5);
+    }
+}

@@ -1,0 +1,49 @@
+//! Average-breakdown-utilization estimation (paper §6).
+//!
+//! The paper compares the two protocols by their **average breakdown
+//! utilization** (ABU): the expected utilization of message sets lying in
+//! the *saturated schedulable class* — sets that are schedulable but become
+//! unschedulable if any message grows. The estimate is Monte-Carlo:
+//!
+//! 1. draw a random message set from a population (`ringrt-workload`);
+//! 2. scale every message length by a common factor `α` and binary-search
+//!    the schedulability boundary `α*` ([`SaturationSearch`]) — the scaled
+//!    set sits in the saturated class;
+//! 3. record its utilization `U(α*·M)`; repeat and average
+//!    ([`BreakdownEstimator`]).
+//!
+//! The [`sweep`] module packages the parameter sweeps behind the paper's
+//! Figure 1 (ABU vs. bandwidth for the three protocols) and the supporting
+//! TTRT / frame-size experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use ringrt_breakdown::BreakdownEstimator;
+//! use ringrt_core::ttp::TtpAnalyzer;
+//! use ringrt_model::RingConfig;
+//! use ringrt_units::Bandwidth;
+//! use ringrt_workload::MessageSetGenerator;
+//!
+//! let ring = RingConfig::fddi(20, Bandwidth::from_mbps(100.0));
+//! let analyzer = TtpAnalyzer::with_defaults(ring);
+//! let estimator = BreakdownEstimator::new(MessageSetGenerator::paper_population(20), 20);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let estimate = estimator.estimate(&analyzer, ring.bandwidth(), &mut rng);
+//! assert!(estimate.mean > 0.3 && estimate.mean < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sweep;
+pub mod table;
+
+mod estimator;
+mod saturation;
+mod stats;
+
+pub use estimator::{BreakdownEstimate, BreakdownEstimator};
+pub use saturation::{SaturatedSet, SaturationSearch};
+pub use stats::SampleStats;

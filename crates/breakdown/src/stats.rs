@@ -1,0 +1,234 @@
+//! Streaming sample statistics (Welford's algorithm).
+
+use core::fmt;
+
+/// Running mean/variance accumulator for Monte-Carlo samples.
+///
+/// Uses Welford's numerically stable one-pass update.
+///
+/// # Examples
+///
+/// ```
+/// use ringrt_breakdown::SampleStats;
+///
+/// let mut stats = SampleStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     stats.push(x);
+/// }
+/// assert_eq!(stats.count(), 4);
+/// assert!((stats.mean() - 2.5).abs() < 1e-12);
+/// assert!((stats.variance() - 5.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SampleStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl SampleStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        SampleStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "samples must not be NaN");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples seen.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two samples).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the normal-approximation 95 % confidence interval of
+    /// the mean.
+    #[must_use]
+    pub fn ci95_half_width(&self) -> f64 {
+        1.959_963_985 * self.std_error()
+    }
+
+    /// Smallest sample (∞ for an empty accumulator).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample (−∞ for an empty accumulator).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &SampleStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for SampleStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n = {}, mean = {:.6} ± {:.6} (95 % CI), σ = {:.6}",
+            self.count,
+            self.mean,
+            self.ci95_half_width(),
+            self.std_dev()
+        )
+    }
+}
+
+impl Extend<f64> for SampleStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for SampleStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = SampleStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = SampleStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_error(), 0.0);
+    }
+
+    #[test]
+    fn known_moments() {
+        let s: SampleStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Population variance 4 → sample variance 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 3.0 + 5.0).collect();
+        let seq: SampleStats = xs.iter().copied().collect();
+        let mut a: SampleStats = xs[..37].iter().copied().collect();
+        let b: SampleStats = xs[37..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean() - seq.mean()).abs() < 1e-12);
+        assert!((a.variance() - seq.variance()).abs() < 1e-10);
+        assert_eq!(a.min(), seq.min());
+        assert_eq!(a.max(), seq.max());
+    }
+
+    #[test]
+    fn merge_with_empty_sides() {
+        let mut empty = SampleStats::new();
+        let full: SampleStats = [1.0, 2.0].into_iter().collect();
+        empty.merge(&full);
+        assert_eq!(empty.count(), 2);
+        let mut full2 = full;
+        full2.merge(&SampleStats::new());
+        assert_eq!(full2.count(), 2);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let small: SampleStats = (0..10).map(|i| i as f64 % 3.0).collect();
+        let large: SampleStats = (0..1000).map(|i| i as f64 % 3.0).collect();
+        assert!(large.ci95_half_width() < small.ci95_half_width());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        SampleStats::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn display() {
+        let s: SampleStats = [1.0, 2.0, 3.0].into_iter().collect();
+        let text = s.to_string();
+        assert!(text.contains("n = 3"));
+        assert!(text.contains("mean = 2.0"));
+    }
+}

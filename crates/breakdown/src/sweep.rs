@@ -1,0 +1,407 @@
+//! Parameter sweeps behind the paper's figure and in-text claims.
+//!
+//! Every row type here corresponds to one series point of a paper artifact;
+//! the `ringrt-bench` experiment binaries print these rows and
+//! `EXPERIMENTS.md` records them against the paper.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ringrt_core::pdp::{PdpAnalyzer, PdpVariant};
+use ringrt_core::ttp::{SbaScheme, TtpAnalyzer, TtrtPolicy};
+use ringrt_model::{FrameFormat, RingConfig};
+use ringrt_units::{Bandwidth, Bits, Seconds};
+use ringrt_workload::MessageSetGenerator;
+
+use crate::{BreakdownEstimate, BreakdownEstimator, SaturationSearch};
+
+/// Shared knobs for all sweeps.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Number of ring stations (= streams per set). Paper: 100.
+    pub stations: usize,
+    /// Monte-Carlo samples per point. Paper methodology; more = tighter CI.
+    pub samples: usize,
+    /// Base RNG seed; each point derives its own deterministic seed.
+    pub seed: u64,
+    /// Saturation-search tolerance.
+    pub tolerance: f64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            stations: 100,
+            samples: 100,
+            seed: 0x5EED_0001,
+            tolerance: 1e-3,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// A down-scaled configuration for quick runs and CI tests.
+    #[must_use]
+    pub fn quick() -> Self {
+        SweepConfig {
+            stations: 30,
+            samples: 20,
+            tolerance: 3e-3,
+            ..SweepConfig::default()
+        }
+    }
+
+    fn estimator(&self) -> BreakdownEstimator {
+        BreakdownEstimator::new(
+            MessageSetGenerator::paper_population(self.stations),
+            self.samples,
+        )
+        .with_search(SaturationSearch::with_tolerance(self.tolerance))
+    }
+
+    fn rng_for_point(&self, point: u64) -> StdRng {
+        // Derive one independent deterministic stream per sweep point so
+        // adding points does not perturb earlier ones.
+        StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ point)
+    }
+}
+
+/// The default Figure-1 bandwidth grid: log-spaced 1–1000 Mbps.
+#[must_use]
+pub fn default_bandwidths_mbps() -> Vec<f64> {
+    // Four points per decade over three decades, endpoints inclusive.
+    let mut v = Vec::new();
+    for decade in 0..3 {
+        for &m in &[1.0, 1.778, 3.162, 5.623] {
+            v.push(m * 10f64.powi(decade));
+        }
+    }
+    v.push(1000.0);
+    v
+}
+
+/// One point of the Figure-1 comparison: the three protocols' average
+/// breakdown utilization at a bandwidth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1Row {
+    /// Ring bandwidth in Mbps.
+    pub mbps: f64,
+    /// Standard IEEE 802.5 (token re-issued per frame).
+    pub ieee_802_5: BreakdownEstimate,
+    /// Modified IEEE 802.5 (token overhead once per message).
+    pub modified_802_5: BreakdownEstimate,
+    /// FDDI timed token with the local allocation scheme.
+    pub fddi: BreakdownEstimate,
+}
+
+/// Reproduces the paper's Figure 1: average breakdown utilization of the
+/// three protocols across a bandwidth sweep (paper §6.2 parameters).
+#[must_use]
+pub fn figure1(bandwidths_mbps: &[f64], config: &SweepConfig) -> Vec<Fig1Row> {
+    let estimator = config.estimator();
+    let frame = FrameFormat::paper_default();
+    bandwidths_mbps
+        .iter()
+        .enumerate()
+        .map(|(i, &mbps)| {
+            let bw = Bandwidth::from_mbps(mbps);
+            let ring_pdp = RingConfig::ieee_802_5(config.stations, bw);
+            let ring_ttp = RingConfig::fddi(config.stations, bw);
+
+            let std = PdpAnalyzer::new(ring_pdp, frame, PdpVariant::Standard);
+            let modified = PdpAnalyzer::new(ring_pdp, frame, PdpVariant::Modified);
+            let fddi = TtpAnalyzer::with_defaults(ring_ttp);
+
+            // Identical sample streams per protocol at each point: the three
+            // estimates see the same message sets, sharpening the contrast.
+            let p = i as u64;
+            Fig1Row {
+                mbps,
+                ieee_802_5: estimator.estimate(&std, bw, &mut config.rng_for_point(p)),
+                modified_802_5: estimator.estimate(&modified, bw, &mut config.rng_for_point(p)),
+                fddi: estimator.estimate(&fddi, bw, &mut config.rng_for_point(p)),
+            }
+        })
+        .collect()
+}
+
+/// One point of the TTRT-sensitivity sweep (paper §5.2's
+/// `TTRT ≈ √(Θ'·P)` claim).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TtrtRow {
+    /// The fixed TTRT under test.
+    pub ttrt: Seconds,
+    /// FDDI ABU at this TTRT.
+    pub estimate: BreakdownEstimate,
+}
+
+/// Sweeps fixed TTRT values for the FDDI local scheme at one bandwidth.
+///
+/// `ttrts` are tested verbatim; pair with
+/// [`suggested_ttrt_grid`] to bracket the heuristic.
+#[must_use]
+pub fn ttrt_sweep(mbps: f64, ttrts: &[Seconds], config: &SweepConfig) -> Vec<TtrtRow> {
+    let estimator = config.estimator();
+    let bw = Bandwidth::from_mbps(mbps);
+    let ring = RingConfig::fddi(config.stations, bw);
+    ttrts
+        .iter()
+        .enumerate()
+        .map(|(i, &ttrt)| {
+            let analyzer =
+                TtpAnalyzer::with_defaults(ring).with_ttrt_policy(TtrtPolicy::Fixed(ttrt));
+            TtrtRow {
+                ttrt,
+                estimate: estimator.estimate(&analyzer, bw, &mut config.rng_for_point(i as u64)),
+            }
+        })
+        .collect()
+}
+
+/// A log-spaced TTRT grid from `min` to `max` inclusive.
+#[must_use]
+pub fn suggested_ttrt_grid(min: Seconds, max: Seconds, points: usize) -> Vec<Seconds> {
+    assert!(points >= 2, "need at least two grid points");
+    assert!(min > Seconds::ZERO && max > min, "need 0 < min < max");
+    let (lo, hi) = (min.as_secs_f64().ln(), max.as_secs_f64().ln());
+    (0..points)
+        .map(|i| {
+            let f = i as f64 / (points - 1) as f64;
+            Seconds::new((lo + f * (hi - lo)).exp())
+        })
+        .collect()
+}
+
+/// One point of the PDP frame-size trade-off sweep (paper §4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameSizeRow {
+    /// Frame payload size in bits.
+    pub payload_bits: u64,
+    /// Standard-variant ABU with this frame size.
+    pub ieee_802_5: BreakdownEstimate,
+    /// Modified-variant ABU with this frame size.
+    pub modified_802_5: BreakdownEstimate,
+}
+
+/// Sweeps the PDP frame payload size at one bandwidth, exposing the paper's
+/// granularity-vs-overhead trade-off.
+#[must_use]
+pub fn frame_size_sweep(mbps: f64, payloads_bits: &[u64], config: &SweepConfig) -> Vec<FrameSizeRow> {
+    let estimator = config.estimator();
+    let bw = Bandwidth::from_mbps(mbps);
+    let ring = RingConfig::ieee_802_5(config.stations, bw);
+    payloads_bits
+        .iter()
+        .enumerate()
+        .map(|(i, &bits)| {
+            let frame =
+                FrameFormat::with_payload(Bits::new(bits)).expect("non-zero payload sizes");
+            let std = PdpAnalyzer::new(ring, frame, PdpVariant::Standard);
+            let modified = PdpAnalyzer::new(ring, frame, PdpVariant::Modified);
+            FrameSizeRow {
+                payload_bits: bits,
+                ieee_802_5: estimator.estimate(&std, bw, &mut config.rng_for_point(i as u64)),
+                modified_802_5: estimator.estimate(
+                    &modified,
+                    bw,
+                    &mut config.rng_for_point(i as u64),
+                ),
+            }
+        })
+        .collect()
+}
+
+/// One row of the allocation-scheme comparison (paper §5.2's claim that the
+/// local scheme is close to optimal on average).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocSchemeRow {
+    /// The allocation scheme under test.
+    pub scheme: SbaScheme,
+    /// FDDI ABU with this scheme.
+    pub estimate: BreakdownEstimate,
+}
+
+/// Compares all implemented synchronous-bandwidth allocation schemes at one
+/// bandwidth.
+#[must_use]
+pub fn alloc_scheme_sweep(mbps: f64, config: &SweepConfig) -> Vec<AllocSchemeRow> {
+    let estimator = config.estimator();
+    let bw = Bandwidth::from_mbps(mbps);
+    let ring = RingConfig::fddi(config.stations, bw);
+    SbaScheme::all()
+        .into_iter()
+        .map(|scheme| {
+            let analyzer = TtpAnalyzer::with_defaults(ring).with_scheme(scheme);
+            AllocSchemeRow {
+                scheme,
+                // Same seed across schemes: identical populations.
+                estimate: estimator.estimate(&analyzer, bw, &mut config.rng_for_point(0)),
+            }
+        })
+        .collect()
+}
+
+/// Estimates the ideal rate-monotonic average breakdown utilization (the
+/// paper's §2 anchor: ≈ 88 % per Lehoczky–Sha–Ding).
+///
+/// Uses the Lehoczky–Sha–Ding population — task costs drawn uniformly
+/// (independently of their periods) and a wide period range (max/min 100)
+/// — rather than the paper's §6 ring population, because the 88 % figure
+/// belongs to that CPU-scheduling study.
+#[must_use]
+pub fn ideal_rm_abu(config: &SweepConfig) -> BreakdownEstimate {
+    let estimator = BreakdownEstimator::new(
+        MessageSetGenerator::paper_population(config.stations)
+            .with_lengths(ringrt_workload::LengthShape::UniformBits)
+            .with_periods(ringrt_workload::PeriodDistribution::Uniform {
+                mean: Seconds::from_millis(100.0),
+                max_min_ratio: 100.0,
+            }),
+        config.samples,
+    )
+    .with_search(SaturationSearch::with_tolerance(config.tolerance));
+    let bw = Bandwidth::from_mbps(100.0);
+    let ideal = ringrt_core::rm::IdealRmAnalyzer::new(bw);
+    estimator.estimate(&ideal, bw, &mut config.rng_for_point(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SweepConfig {
+        SweepConfig {
+            stations: 10,
+            samples: 6,
+            seed: 1,
+            tolerance: 3e-3,
+        }
+    }
+
+    #[test]
+    fn default_grid_spans_three_decades() {
+        let g = default_bandwidths_mbps();
+        assert_eq!(g.first().copied(), Some(1.0));
+        assert_eq!(g.last().copied(), Some(1000.0));
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+        assert!(g.len() >= 12);
+    }
+
+    #[test]
+    fn figure1_row_shape_low_vs_high_bandwidth() {
+        // The crossover bandwidth scales with the station count (Θ and the
+        // per-rotation F_ovhd bill grow with n); 40 stations keeps this test
+        // fast while preserving the paper's qualitative shape.
+        let cfg = SweepConfig {
+            stations: 40,
+            samples: 6,
+            seed: 1,
+            tolerance: 3e-3,
+        };
+        let rows = figure1(&[2.0, 200.0], &cfg);
+        assert_eq!(rows.len(), 2);
+        let low = &rows[0];
+        let high = &rows[1];
+        // Paper's headline: PDP ahead at low bandwidth, FDDI ahead at high.
+        assert!(
+            low.modified_802_5.mean > low.fddi.mean,
+            "at 2 Mbps modified 802.5 ({:.3}) should beat FDDI ({:.3})",
+            low.modified_802_5.mean,
+            low.fddi.mean
+        );
+        assert!(
+            high.fddi.mean > high.ieee_802_5.mean,
+            "at 200 Mbps FDDI ({:.3}) should beat 802.5 ({:.3})",
+            high.fddi.mean,
+            high.ieee_802_5.mean
+        );
+        // Modified variant never loses to the standard.
+        for row in &rows {
+            assert!(row.modified_802_5.mean >= row.ieee_802_5.mean - 0.02);
+        }
+    }
+
+    #[test]
+    fn ttrt_sweep_peaks_inside_range() {
+        let cfg = tiny();
+        let grid = suggested_ttrt_grid(
+            Seconds::from_micros(400.0),
+            Seconds::from_millis(9.0),
+            5,
+        );
+        let rows = ttrt_sweep(100.0, &grid, &cfg);
+        assert_eq!(rows.len(), 5);
+        // ABU must not be maximal at the extremes only: interior max.
+        let best = rows
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.estimate.mean.total_cmp(&b.1.estimate.mean))
+            .unwrap()
+            .0;
+        assert!(best != 0, "peak at the smallest TTRT is suspicious");
+    }
+
+    #[test]
+    fn frame_sweep_runs() {
+        let cfg = tiny();
+        let rows = frame_size_sweep(4.0, &[128, 512, 4096], &cfg);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.ieee_802_5.mean >= 0.0 && r.ieee_802_5.mean <= 1.0);
+            assert!(r.modified_802_5.mean >= r.ieee_802_5.mean - 0.05);
+        }
+    }
+
+    #[test]
+    fn alloc_sweep_local_is_competitive() {
+        let cfg = tiny();
+        let rows = alloc_scheme_sweep(100.0, &cfg);
+        assert_eq!(rows.len(), SbaScheme::all().len());
+        let local = rows
+            .iter()
+            .find(|r| r.scheme == SbaScheme::Local)
+            .unwrap()
+            .estimate
+            .mean;
+        for r in &rows {
+            assert!(
+                local >= r.estimate.mean - 0.05,
+                "{} ({:.3}) clearly beats local ({:.3})",
+                r.scheme,
+                r.estimate.mean,
+                local
+            );
+        }
+    }
+
+    #[test]
+    fn ideal_rm_near_88_percent() {
+        let cfg = SweepConfig {
+            stations: 30,
+            samples: 30,
+            seed: 5,
+            tolerance: 1e-3,
+        };
+        let est = ideal_rm_abu(&cfg);
+        assert!(
+            est.mean > 0.85 && est.mean < 0.95,
+            "ideal RM ABU {:.3} out of band",
+            est.mean
+        );
+    }
+
+    #[test]
+    fn grid_helpers_validate() {
+        let g = suggested_ttrt_grid(Seconds::from_millis(1.0), Seconds::from_millis(10.0), 4);
+        assert_eq!(g.len(), 4);
+        assert!((g[0].as_millis() - 1.0).abs() < 1e-9);
+        assert!((g[3].as_millis() - 10.0).abs() < 1e-9);
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn grid_needs_two_points() {
+        let _ = suggested_ttrt_grid(Seconds::from_millis(1.0), Seconds::from_millis(2.0), 1);
+    }
+}

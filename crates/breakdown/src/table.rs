@@ -1,0 +1,165 @@
+//! Plain-text emitters for experiment results (CSV and aligned markdown).
+//!
+//! The experiment binaries in `ringrt-bench` print their series through
+//! these helpers so EXPERIMENTS.md and any plotting pipeline consume a
+//! stable format without pulling in a serialization dependency.
+
+use std::fmt::Write as _;
+
+/// A simple column-oriented table.
+///
+/// # Examples
+///
+/// ```
+/// use ringrt_breakdown::table::Table;
+///
+/// let mut t = Table::new(&["bandwidth_mbps", "abu"]);
+/// t.push_row(&["1".into(), "0.42".into()]);
+/// t.push_row(&["10".into(), "0.55".into()]);
+/// let csv = t.to_csv();
+/// assert!(csv.starts_with("bandwidth_mbps,abu\n"));
+/// assert!(t.to_markdown().contains("| bandwidth_mbps |"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    #[must_use]
+    pub fn new(headers: &[&str]) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Table {
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header count.
+    pub fn push_row(&mut self, row: &[String]) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} does not match {} columns",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row.to_vec());
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as CSV (no quoting — emitters only produce plain numbers and
+    /// identifiers).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Renders as an aligned GitHub-flavoured markdown table.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(line, " {cell:<w$} |");
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats a float with fixed precision for table cells.
+#[must_use]
+pub fn cell(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let mut t = Table::new(&["a", "b"]);
+        assert!(t.is_empty());
+        t.push_row(&["1".into(), "2".into()]);
+        t.push_row(&["3".into(), "4".into()]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn markdown_is_aligned() {
+        let mut t = Table::new(&["name", "x"]);
+        t.push_row(&["short".into(), "1".into()]);
+        t.push_row(&["a-much-longer-name".into(), "2".into()]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines have equal width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(lines[1].starts_with("|-"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.push_row(&["only-one".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_headers_panics() {
+        let _ = Table::new(&[]);
+    }
+
+    #[test]
+    fn cell_formats() {
+        assert_eq!(cell(0.123456, 3), "0.123");
+        assert_eq!(cell(10.0, 1), "10.0");
+    }
+}

@@ -1,0 +1,386 @@
+//! Argument parsing (hand-rolled; the surface is small enough that a CLI
+//! framework dependency is not warranted).
+
+use core::fmt;
+
+/// Which protocol a command targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtocolChoice {
+    /// Standard IEEE 802.5.
+    Ieee8025,
+    /// Modified IEEE 802.5 (the paper's more efficient variant).
+    #[default]
+    Modified,
+    /// FDDI timed token with the local allocation scheme.
+    Fddi,
+}
+
+impl ProtocolChoice {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "802.5" | "8025" | "ieee802.5" | "standard" => Ok(ProtocolChoice::Ieee8025),
+            "modified" | "mod" => Ok(ProtocolChoice::Modified),
+            "fddi" | "ttp" | "timed-token" => Ok(ProtocolChoice::Fddi),
+            other => Err(format!(
+                "unknown protocol `{other}` (expected 802.5, modified, or fddi)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for ProtocolChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolChoice::Ieee8025 => f.write_str("IEEE 802.5"),
+            ProtocolChoice::Modified => f.write_str("Modified IEEE 802.5"),
+            ProtocolChoice::Fddi => f.write_str("FDDI"),
+        }
+    }
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The subcommand to execute.
+    pub command: Command,
+}
+
+/// The `ringrt` subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Analyze a message set under one protocol.
+    Check {
+        /// Path of the message-set file.
+        file: String,
+        /// Ring bandwidth in Mbps.
+        mbps: f64,
+        /// Protocol to test.
+        protocol: ProtocolChoice,
+        /// Ring stations (defaults to the stream count).
+        stations: Option<usize>,
+    },
+    /// Simulate a message set under one protocol.
+    Simulate {
+        /// Path of the message-set file.
+        file: String,
+        /// Ring bandwidth in Mbps.
+        mbps: f64,
+        /// Protocol to simulate.
+        protocol: ProtocolChoice,
+        /// Ring stations (defaults to the stream count).
+        stations: Option<usize>,
+        /// Simulated seconds.
+        seconds: f64,
+        /// Offered asynchronous load fraction.
+        async_load: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Monte-Carlo average-breakdown-utilization estimate for the paper's
+    /// random population at one bandwidth, all three protocols.
+    Abu {
+        /// Ring bandwidth in Mbps.
+        mbps: f64,
+        /// Ring stations / streams per set.
+        stations: usize,
+        /// Monte-Carlo samples.
+        samples: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Report all three protocols' headroom for a set across bandwidths.
+    Sweep {
+        /// Path of the message-set file.
+        file: String,
+        /// Bandwidth list in Mbps.
+        mbps: Vec<f64>,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+ringrt — real-time token ring schedulability toolkit (Kamat & Zhao, ICDCS 1993)
+
+USAGE:
+  ringrt check    <set-file> --mbps <N> [--protocol 802.5|modified|fddi] [--stations N]
+  ringrt simulate <set-file> --mbps <N> [--protocol 802.5|modified|fddi] [--stations N]
+                  [--seconds S] [--async-load X] [--seed N]
+  ringrt sweep    <set-file> --mbps <N>[,<N>...]
+  ringrt abu      --mbps <N> [--stations N] [--samples N] [--seed N]
+  ringrt help
+
+SET FILE: one `period_ms, payload_bits` pair per line; `#` comments allowed.
+
+EXIT CODES: 0 schedulable/success · 1 unschedulable/misses · 2 usage error";
+
+impl Cli {
+    /// Parses the given arguments (excluding the program name).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message describing the first problem found.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
+        let mut it = args.into_iter().peekable();
+        let sub = it.next().ok_or_else(|| USAGE.to_owned())?;
+        match sub.as_str() {
+            "help" | "--help" | "-h" => Ok(Cli { command: Command::Help }),
+            "check" => {
+                let (file, flags) = split_flags(&mut it)?;
+                let mbps = required_f64(&flags, "--mbps")?;
+                Ok(Cli {
+                    command: Command::Check {
+                        file,
+                        mbps,
+                        protocol: optional_protocol(&flags)?,
+                        stations: optional_usize(&flags, "--stations")?,
+                    },
+                })
+            }
+            "simulate" => {
+                let (file, flags) = split_flags(&mut it)?;
+                let mbps = required_f64(&flags, "--mbps")?;
+                Ok(Cli {
+                    command: Command::Simulate {
+                        file,
+                        mbps,
+                        protocol: optional_protocol(&flags)?,
+                        stations: optional_usize(&flags, "--stations")?,
+                        seconds: optional_f64(&flags, "--seconds")?.unwrap_or(1.0),
+                        async_load: optional_f64(&flags, "--async-load")?.unwrap_or(0.0),
+                        seed: optional_u64(&flags, "--seed")?.unwrap_or(1),
+                    },
+                })
+            }
+            "abu" => {
+                // No positional file: flags only.
+                let mut flags: Flags = Vec::new();
+                while let Some(flag) = it.next() {
+                    if !flag.starts_with("--") {
+                        return Err(format!("unexpected positional argument `{flag}`"));
+                    }
+                    let value = it
+                        .next()
+                        .ok_or_else(|| format!("flag {flag} needs a value"))?;
+                    flags.push((flag, value));
+                }
+                let mbps = required_f64(&flags, "--mbps")?;
+                Ok(Cli {
+                    command: Command::Abu {
+                        mbps,
+                        stations: optional_usize(&flags, "--stations")?.unwrap_or(100),
+                        samples: optional_usize(&flags, "--samples")?.unwrap_or(50),
+                        seed: optional_u64(&flags, "--seed")?.unwrap_or(1),
+                    },
+                })
+            }
+            "sweep" => {
+                let (file, flags) = split_flags(&mut it)?;
+                let raw = flag_value(&flags, "--mbps")
+                    .ok_or_else(|| "sweep requires --mbps <N>[,<N>...]".to_owned())?;
+                let mbps: Result<Vec<f64>, _> = raw.split(',').map(str::parse::<f64>).collect();
+                let mbps = mbps.map_err(|_| format!("cannot parse bandwidth list `{raw}`"))?;
+                if mbps.is_empty() || mbps.iter().any(|&m| !(m.is_finite() && m > 0.0)) {
+                    return Err("bandwidths must be positive numbers".into());
+                }
+                Ok(Cli {
+                    command: Command::Sweep { file, mbps },
+                })
+            }
+            other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+        }
+    }
+}
+
+type Flags = Vec<(String, String)>;
+
+/// Splits `<file> (--flag value)*` into the positional file and flag pairs.
+fn split_flags<I: Iterator<Item = String>>(it: &mut I) -> Result<(String, Flags), String> {
+    let file = it
+        .next()
+        .filter(|f| !f.starts_with("--"))
+        .ok_or_else(|| "expected a message-set file path".to_owned())?;
+    let mut flags = Vec::new();
+    while let Some(flag) = it.next() {
+        if !flag.starts_with("--") {
+            return Err(format!("unexpected positional argument `{flag}`"));
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        flags.push((flag, value));
+    }
+    Ok((file, flags))
+}
+
+fn flag_value<'a>(flags: &'a Flags, name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .rev()
+        .find(|(f, _)| f == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn required_f64(flags: &Flags, name: &str) -> Result<f64, String> {
+    optional_f64(flags, name)?.ok_or_else(|| format!("{name} is required"))
+}
+
+fn optional_f64(flags: &Flags, name: &str) -> Result<Option<f64>, String> {
+    flag_value(flags, name)
+        .map(|v| {
+            v.parse::<f64>()
+                .map_err(|_| format!("invalid value `{v}` for {name}"))
+        })
+        .transpose()
+}
+
+fn optional_u64(flags: &Flags, name: &str) -> Result<Option<u64>, String> {
+    flag_value(flags, name)
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| format!("invalid value `{v}` for {name}"))
+        })
+        .transpose()
+}
+
+fn optional_usize(flags: &Flags, name: &str) -> Result<Option<usize>, String> {
+    flag_value(flags, name)
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| format!("invalid value `{v}` for {name}"))
+        })
+        .transpose()
+}
+
+fn optional_protocol(flags: &Flags) -> Result<ProtocolChoice, String> {
+    flag_value(flags, "--protocol")
+        .map(ProtocolChoice::parse)
+        .transpose()
+        .map(Option::unwrap_or_default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        Cli::parse(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn check_command() {
+        let cli = parse(&["check", "set.txt", "--mbps", "16", "--protocol", "fddi"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Check {
+                file: "set.txt".into(),
+                mbps: 16.0,
+                protocol: ProtocolChoice::Fddi,
+                stations: None,
+            }
+        );
+    }
+
+    #[test]
+    fn simulate_defaults() {
+        let cli = parse(&["simulate", "set.txt", "--mbps", "4"]).unwrap();
+        match cli.command {
+            Command::Simulate {
+                protocol,
+                seconds,
+                async_load,
+                seed,
+                stations,
+                ..
+            } => {
+                assert_eq!(protocol, ProtocolChoice::Modified);
+                assert_eq!(seconds, 1.0);
+                assert_eq!(async_load, 0.0);
+                assert_eq!(seed, 1);
+                assert_eq!(stations, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_list() {
+        let cli = parse(&["sweep", "set.txt", "--mbps", "1,10,100"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Sweep {
+                file: "set.txt".into(),
+                mbps: vec![1.0, 10.0, 100.0],
+            }
+        );
+    }
+
+    #[test]
+    fn protocol_aliases() {
+        for (alias, want) in [
+            ("802.5", ProtocolChoice::Ieee8025),
+            ("standard", ProtocolChoice::Ieee8025),
+            ("mod", ProtocolChoice::Modified),
+            ("TTP", ProtocolChoice::Fddi),
+        ] {
+            let cli = parse(&["check", "f", "--mbps", "1", "--protocol", alias]).unwrap();
+            match cli.command {
+                Command::Check { protocol, .. } => assert_eq!(protocol, want, "{alias}"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["frobnicate"]).is_err());
+        assert!(parse(&["check"]).is_err());
+        assert!(parse(&["check", "f"]).unwrap_err().contains("--mbps"));
+        assert!(parse(&["check", "f", "--mbps", "NaNx"]).is_err());
+        assert!(parse(&["check", "f", "--mbps", "1", "--protocol", "atm"]).is_err());
+        assert!(parse(&["sweep", "f", "--mbps", "1,-2"]).is_err());
+        assert!(parse(&["check", "f", "--mbps"]).unwrap_err().contains("needs a value"));
+        assert!(parse(&["check", "f", "--mbps", "1", "stray"]).is_err());
+    }
+
+    #[test]
+    fn abu_command() {
+        let cli = parse(&["abu", "--mbps", "100", "--stations", "20", "--samples", "10"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Abu {
+                mbps: 100.0,
+                stations: 20,
+                samples: 10,
+                seed: 1,
+            }
+        );
+        assert!(parse(&["abu"]).unwrap_err().contains("--mbps"));
+        assert!(parse(&["abu", "positional"]).is_err());
+    }
+
+    #[test]
+    fn help() {
+        assert_eq!(parse(&["help"]).unwrap().command, Command::Help);
+        assert_eq!(parse(&["--help"]).unwrap().command, Command::Help);
+        assert!(USAGE.contains("ringrt check"));
+    }
+
+    #[test]
+    fn last_flag_wins() {
+        let cli = parse(&["check", "f", "--mbps", "1", "--mbps", "2"]).unwrap();
+        match cli.command {
+            Command::Check { mbps, .. } => assert_eq!(mbps, 2.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ProtocolChoice::Fddi.to_string(), "FDDI");
+        assert_eq!(ProtocolChoice::Ieee8025.to_string(), "IEEE 802.5");
+        assert_eq!(ProtocolChoice::default(), ProtocolChoice::Modified);
+    }
+}

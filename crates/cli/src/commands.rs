@@ -1,0 +1,422 @@
+//! Command execution.
+
+use std::io::Write;
+
+use ringrt_breakdown::SaturationSearch;
+use ringrt_core::pdp::{PdpAnalyzer, PdpVariant};
+use ringrt_core::ttp::TtpAnalyzer;
+use ringrt_core::SchedulabilityTest;
+use ringrt_model::{FrameFormat, MessageSet, RingConfig};
+use ringrt_sim::{PdpSimulator, Phasing, SimConfig, TtpSimulator};
+use ringrt_units::{Bandwidth, Seconds};
+
+use crate::args::USAGE;
+use crate::{Cli, Command, ExitCode, ProtocolChoice};
+
+/// Executes a parsed command line, writing human-readable output to `out`.
+///
+/// Returns the process exit code. I/O errors on `out` are ignored (the
+/// caller is a CLI writing to stdout).
+pub fn run<W: Write>(cli: &Cli, out: &mut W) -> ExitCode {
+    match &cli.command {
+        Command::Help => {
+            let _ = writeln!(out, "{USAGE}");
+            ExitCode::Success
+        }
+        Command::Check {
+            file,
+            mbps,
+            protocol,
+            stations,
+        } => with_set(file, out, |set, out| {
+            check(set, *mbps, *protocol, *stations, out)
+        }),
+        Command::Simulate {
+            file,
+            mbps,
+            protocol,
+            stations,
+            seconds,
+            async_load,
+            seed,
+        } => with_set(file, out, |set, out| {
+            simulate(set, *mbps, *protocol, *stations, *seconds, *async_load, *seed, out)
+        }),
+        Command::Sweep { file, mbps } => {
+            with_set(file, out, |set, out| sweep(set, mbps, out))
+        }
+        Command::Abu {
+            mbps,
+            stations,
+            samples,
+            seed,
+        } => abu(*mbps, *stations, *samples, *seed, out),
+    }
+}
+
+fn abu<W: Write>(mbps: f64, stations: usize, samples: usize, seed: u64, out: &mut W) -> ExitCode {
+    use ringrt_breakdown::BreakdownEstimator;
+    use ringrt_workload::MessageSetGenerator;
+
+    if stations == 0 || samples == 0 {
+        let _ = writeln!(out, "error: --stations and --samples must be at least 1");
+        return ExitCode::UsageError;
+    }
+    let bw = Bandwidth::from_mbps(mbps);
+    let estimator = BreakdownEstimator::new(
+        MessageSetGenerator::paper_population(stations),
+        samples,
+    );
+    let frame = FrameFormat::paper_default();
+    let _ = writeln!(
+        out,
+        "average breakdown utilization at {bw}, {stations} stations, {samples} samples:"
+    );
+    let candidates: Vec<(&str, Box<dyn SchedulabilityTest + Sync>)> = vec![
+        (
+            "802.5",
+            Box::new(PdpAnalyzer::new(
+                RingConfig::ieee_802_5(stations, bw),
+                frame,
+                PdpVariant::Standard,
+            )),
+        ),
+        (
+            "modified",
+            Box::new(PdpAnalyzer::new(
+                RingConfig::ieee_802_5(stations, bw),
+                frame,
+                PdpVariant::Modified,
+            )),
+        ),
+        (
+            "fddi",
+            Box::new(TtpAnalyzer::with_defaults(RingConfig::fddi(stations, bw))),
+        ),
+    ];
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    for (name, analyzer) in candidates {
+        let est = estimator.estimate_parallel(&*analyzer, bw, seed, threads);
+        let _ = writeln!(out, "  {name:<9} {:.4} ± {:.4}", est.mean, est.ci95);
+    }
+    ExitCode::Success
+}
+
+fn with_set<W: Write>(
+    file: &str,
+    out: &mut W,
+    body: impl FnOnce(&MessageSet, &mut W) -> ExitCode,
+) -> ExitCode {
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            let _ = writeln!(out, "error: cannot read `{file}`: {e}");
+            return ExitCode::UsageError;
+        }
+    };
+    match crate::parse_message_set(&text) {
+        Ok(set) => body(&set, out),
+        Err(e) => {
+            let _ = writeln!(out, "error: `{file}`: {e}");
+            ExitCode::UsageError
+        }
+    }
+}
+
+fn ring_for(
+    choice: ProtocolChoice,
+    stations: usize,
+    bw: Bandwidth,
+) -> RingConfig {
+    match choice {
+        ProtocolChoice::Ieee8025 | ProtocolChoice::Modified => {
+            RingConfig::ieee_802_5(stations, bw)
+        }
+        ProtocolChoice::Fddi => RingConfig::fddi(stations, bw),
+    }
+}
+
+fn check<W: Write>(
+    set: &MessageSet,
+    mbps: f64,
+    protocol: ProtocolChoice,
+    stations: Option<usize>,
+    out: &mut W,
+) -> ExitCode {
+    let bw = Bandwidth::from_mbps(mbps);
+    let stations = stations.unwrap_or(set.len()).max(set.len());
+    let ring = ring_for(protocol, stations, bw);
+    let _ = writeln!(
+        out,
+        "{} streams, U = {:.4} at {bw}, ring of {stations} stations",
+        set.len(),
+        set.utilization(bw)
+    );
+    let schedulable = match protocol {
+        ProtocolChoice::Ieee8025 | ProtocolChoice::Modified => {
+            let variant = if protocol == ProtocolChoice::Ieee8025 {
+                PdpVariant::Standard
+            } else {
+                PdpVariant::Modified
+            };
+            let report = PdpAnalyzer::new(ring, FrameFormat::paper_default(), variant).analyze(set);
+            let _ = write!(out, "{report}");
+            report.schedulable
+        }
+        ProtocolChoice::Fddi => {
+            let report = TtpAnalyzer::with_defaults(ring).analyze(set);
+            let _ = write!(out, "{report}");
+            report.schedulable
+        }
+    };
+    if schedulable {
+        ExitCode::Success
+    } else {
+        ExitCode::Unschedulable
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simulate<W: Write>(
+    set: &MessageSet,
+    mbps: f64,
+    protocol: ProtocolChoice,
+    stations: Option<usize>,
+    seconds: f64,
+    async_load: f64,
+    seed: u64,
+    out: &mut W,
+) -> ExitCode {
+    if !(seconds.is_finite() && seconds > 0.0) {
+        let _ = writeln!(out, "error: --seconds must be positive");
+        return ExitCode::UsageError;
+    }
+    if !(0.0..1.0).contains(&async_load) {
+        let _ = writeln!(out, "error: --async-load must be in [0, 1)");
+        return ExitCode::UsageError;
+    }
+    let bw = Bandwidth::from_mbps(mbps);
+    let stations = stations.unwrap_or(set.len()).max(set.len());
+    let ring = ring_for(protocol, stations, bw);
+    let config = SimConfig::new(ring, Seconds::new(seconds))
+        .with_phasing(Phasing::Synchronized)
+        .with_async_load(async_load)
+        .with_seed(seed);
+    let report = match protocol {
+        ProtocolChoice::Ieee8025 | ProtocolChoice::Modified => {
+            let variant = if protocol == ProtocolChoice::Ieee8025 {
+                PdpVariant::Standard
+            } else {
+                PdpVariant::Modified
+            };
+            PdpSimulator::new(set, config, FrameFormat::paper_default(), variant).run()
+        }
+        ProtocolChoice::Fddi => match TtpSimulator::from_analysis(set, config) {
+            Ok(sim) => sim.run(),
+            Err(e) => {
+                let _ = writeln!(
+                    out,
+                    "FDDI cannot even allocate synchronous bandwidth for this set: {e}"
+                );
+                return ExitCode::Unschedulable;
+            }
+        },
+    };
+    let _ = write!(out, "{report}");
+    if report.all_deadlines_met() {
+        ExitCode::Success
+    } else {
+        ExitCode::Unschedulable
+    }
+}
+
+fn sweep<W: Write>(set: &MessageSet, mbps_list: &[f64], out: &mut W) -> ExitCode {
+    let search = SaturationSearch::default();
+    let _ = writeln!(
+        out,
+        "headroom = largest factor the workload can grow before the criterion breaks"
+    );
+    let _ = writeln!(out, "mbps,protocol,schedulable,headroom,breakdown_util");
+    for &mbps in mbps_list {
+        let bw = Bandwidth::from_mbps(mbps);
+        let n = set.len();
+        let frame = FrameFormat::paper_default();
+        let candidates: Vec<(&str, Box<dyn SchedulabilityTest>)> = vec![
+            (
+                "802.5",
+                Box::new(PdpAnalyzer::new(
+                    RingConfig::ieee_802_5(n, bw),
+                    frame,
+                    PdpVariant::Standard,
+                )),
+            ),
+            (
+                "modified",
+                Box::new(PdpAnalyzer::new(
+                    RingConfig::ieee_802_5(n, bw),
+                    frame,
+                    PdpVariant::Modified,
+                )),
+            ),
+            (
+                "fddi",
+                Box::new(TtpAnalyzer::with_defaults(RingConfig::fddi(n, bw))),
+            ),
+        ];
+        for (name, analyzer) in candidates {
+            let verdict = analyzer.is_schedulable(set);
+            match search.saturate(analyzer.as_ref(), set, bw) {
+                Some(sat) => {
+                    let _ = writeln!(
+                        out,
+                        "{mbps},{name},{verdict},{:.3},{:.4}",
+                        sat.scale, sat.utilization
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "{mbps},{name},{verdict},-,-");
+                }
+            }
+        }
+    }
+    ExitCode::Success
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_set(contents: &str) -> (tempdir::TempDirGuard, String) {
+        tempdir::write_temp("ringrt-cli-test", contents)
+    }
+
+    /// Minimal temp-file helper (std-only).
+    mod tempdir {
+        use std::path::PathBuf;
+
+        pub struct TempDirGuard(PathBuf);
+        impl Drop for TempDirGuard {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.0);
+            }
+        }
+
+        pub fn write_temp(prefix: &str, contents: &str) -> (TempDirGuard, String) {
+            let unique = format!(
+                "{prefix}-{}-{:p}.txt",
+                std::process::id(),
+                &contents as *const _
+            );
+            let path = std::env::temp_dir().join(unique);
+            std::fs::write(&path, contents).expect("write temp set file");
+            let s = path.to_string_lossy().into_owned();
+            (TempDirGuard(path), s)
+        }
+    }
+
+    fn run_cli(args: &[&str]) -> (ExitCode, String) {
+        let cli = Cli::parse(args.iter().map(|s| (*s).to_owned())).expect("parse");
+        let mut out = Vec::new();
+        let code = run(&cli, &mut out);
+        (code, String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn check_schedulable_set() {
+        let (_g, path) = write_set("20, 20000\n50, 60000\n");
+        let (code, out) = run_cli(&["check", &path, "--mbps", "16"]);
+        assert_eq!(code, ExitCode::Success);
+        assert!(out.contains("PASS"), "{out}");
+    }
+
+    #[test]
+    fn check_unschedulable_set() {
+        let (_g, path) = write_set("10, 60000\n10, 60000\n"); // 120 % at 1 Mbps
+        let (code, out) = run_cli(&["check", &path, "--mbps", "1"]);
+        assert_eq!(code, ExitCode::Unschedulable);
+        assert!(out.contains("FAIL"), "{out}");
+    }
+
+    #[test]
+    fn check_fddi_protocol() {
+        let (_g, path) = write_set("20, 200000\n50, 500000\n");
+        let (code, out) = run_cli(&["check", &path, "--mbps", "100", "--protocol", "fddi"]);
+        assert_eq!(code, ExitCode::Success);
+        assert!(out.contains("TTRT"), "{out}");
+    }
+
+    #[test]
+    fn simulate_reports_misses() {
+        let (_g, path) = write_set("10, 30000\n10, 30000\n"); // hopeless at 1 Mbps
+        let (code, out) = run_cli(&[
+            "simulate", &path, "--mbps", "1", "--protocol", "802.5", "--seconds", "0.3",
+        ]);
+        assert_eq!(code, ExitCode::Unschedulable);
+        assert!(out.contains("deadline misses"), "{out}");
+    }
+
+    #[test]
+    fn simulate_clean_run() {
+        let (_g, path) = write_set("20, 4000\n40, 8000\n");
+        let (code, out) = run_cli(&["simulate", &path, "--mbps", "4", "--seconds", "0.5"]);
+        assert_eq!(code, ExitCode::Success);
+        assert!(out.contains("0 deadline misses"), "{out}");
+    }
+
+    #[test]
+    fn sweep_outputs_csv() {
+        let (_g, path) = write_set("20, 20000\n100, 100000\n");
+        let (code, out) = run_cli(&["sweep", &path, "--mbps", "4,100"]);
+        assert_eq!(code, ExitCode::Success);
+        assert!(out.contains("4,802.5,"), "{out}");
+        assert!(out.contains("100,fddi,"), "{out}");
+    }
+
+    #[test]
+    fn missing_file_is_usage_error() {
+        let (code, out) = run_cli(&["check", "/nonexistent/set.txt", "--mbps", "4"]);
+        assert_eq!(code, ExitCode::UsageError);
+        assert!(out.contains("cannot read"), "{out}");
+    }
+
+    #[test]
+    fn bad_set_file_is_usage_error() {
+        let (_g, path) = write_set("not a set\n");
+        let (code, out) = run_cli(&["check", &path, "--mbps", "4"]);
+        assert_eq!(code, ExitCode::UsageError);
+        assert!(out.contains("line 1"), "{out}");
+    }
+
+    #[test]
+    fn simulate_validates_flags() {
+        let (_g, path) = write_set("20, 4000\n");
+        let (code, _) = run_cli(&["simulate", &path, "--mbps", "4", "--seconds", "-1"]);
+        assert_eq!(code, ExitCode::UsageError);
+        let (code, _) = run_cli(&["simulate", &path, "--mbps", "4", "--async-load", "1.5"]);
+        assert_eq!(code, ExitCode::UsageError);
+    }
+
+    #[test]
+    fn abu_estimates_three_protocols() {
+        let cli = Cli::parse(
+            ["abu", "--mbps", "100", "--stations", "8", "--samples", "4"]
+                .iter()
+                .map(|s| (*s).to_owned()),
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        let code = run(&cli, &mut out);
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(code, ExitCode::Success);
+        assert!(text.contains("802.5"), "{text}");
+        assert!(text.contains("fddi"), "{text}");
+        assert!(text.contains("±"), "{text}");
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (code, out) = run_cli(&["help"]);
+        assert_eq!(code, ExitCode::Success);
+        assert!(out.contains("USAGE"));
+    }
+}

@@ -1,0 +1,17 @@
+//! The `ringrt` command-line entry point; all logic lives in the library
+//! half of this crate.
+
+fn main() {
+    let code = match ringrt_cli::Cli::parse(std::env::args().skip(1)) {
+        Ok(cli) => {
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            ringrt_cli::run(&cli, &mut out)
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ringrt_cli::ExitCode::UsageError
+        }
+    };
+    std::process::exit(code.code());
+}

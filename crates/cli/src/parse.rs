@@ -1,0 +1,184 @@
+//! Message-set file parsing.
+
+use core::fmt;
+
+use ringrt_model::{MessageSet, ModelError, SyncStream};
+use ringrt_units::{Bits, Seconds};
+
+/// Errors reading a message-set file.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParseSetError {
+    /// A line did not match `period_ms, payload_bits`.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The file contained no streams.
+    Empty,
+    /// The parsed values violated the model's invariants.
+    Invalid(ModelError),
+}
+
+impl fmt::Display for ParseSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseSetError::BadLine { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+            ParseSetError::Empty => write!(f, "no streams found in the input"),
+            ParseSetError::Invalid(e) => write!(f, "invalid message set: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseSetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseSetError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a message set from the text format described in the
+/// [crate docs](crate): one `period_ms, payload_bits` pair per line,
+/// `#` comments and blank lines ignored. Commas are optional.
+///
+/// # Errors
+///
+/// [`ParseSetError`] with the offending line number, or
+/// [`ParseSetError::Empty`] for an effectively empty file.
+///
+/// # Examples
+///
+/// ```
+/// use ringrt_cli::parse_message_set;
+///
+/// let set = parse_message_set("# demo\n20, 20000\n50 60000\n").unwrap();
+/// assert_eq!(set.len(), 2);
+/// ```
+pub fn parse_message_set(text: &str) -> Result<MessageSet, ParseSetError> {
+    let mut streams = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line
+            .split(|c: char| c == ',' || c.is_whitespace())
+            .filter(|f| !f.is_empty())
+            .collect();
+        if fields.len() != 2 {
+            return Err(ParseSetError::BadLine {
+                line: line_no,
+                reason: format!(
+                    "expected `period_ms, payload_bits`, found {} field(s)",
+                    fields.len()
+                ),
+            });
+        }
+        let period_ms: f64 = fields[0].parse().map_err(|_| ParseSetError::BadLine {
+            line: line_no,
+            reason: format!("cannot parse period `{}` as a number", fields[0]),
+        })?;
+        let bits: u64 = fields[1].parse().map_err(|_| ParseSetError::BadLine {
+            line: line_no,
+            reason: format!("cannot parse payload `{}` as an integer bit count", fields[1]),
+        })?;
+        if !(period_ms.is_finite() && period_ms > 0.0) {
+            return Err(ParseSetError::BadLine {
+                line: line_no,
+                reason: format!("period must be positive, got {period_ms} ms"),
+            });
+        }
+        if bits == 0 {
+            return Err(ParseSetError::BadLine {
+                line: line_no,
+                reason: "payload must be at least one bit".into(),
+            });
+        }
+        streams.push(SyncStream::new(
+            Seconds::from_millis(period_ms),
+            Bits::new(bits),
+        ));
+    }
+    if streams.is_empty() {
+        return Err(ParseSetError::Empty);
+    }
+    MessageSet::new(streams).map_err(ParseSetError::Invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_commas_and_whitespace() {
+        let set = parse_message_set("20, 1000\n50\t2000\n100    3000\n").unwrap();
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.as_slice()[0].period(), Seconds::from_millis(20.0));
+        assert_eq!(set.as_slice()[2].length_bits(), Bits::new(3000));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\n  # indented comment\n10, 500  # trailing\n";
+        let set = parse_message_set(text).unwrap();
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.as_slice()[0].length_bits(), Bits::new(500));
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = parse_message_set("10, 500\nbogus line\n").unwrap_err();
+        match err {
+            ParseSetError::BadLine { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(matches!(
+            parse_message_set("abc, 100\n"),
+            Err(ParseSetError::BadLine { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_message_set("10, 1.5\n"),
+            Err(ParseSetError::BadLine { .. })
+        ));
+        assert!(matches!(
+            parse_message_set("-5, 100\n"),
+            Err(ParseSetError::BadLine { .. })
+        ));
+        assert!(matches!(
+            parse_message_set("10, 0\n"),
+            Err(ParseSetError::BadLine { .. })
+        ));
+        assert!(matches!(
+            parse_message_set("10, 100, 7\n"),
+            Err(ParseSetError::BadLine { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(parse_message_set(""), Err(ParseSetError::Empty));
+        assert_eq!(parse_message_set("# only comments\n"), Err(ParseSetError::Empty));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = parse_message_set("x\n").unwrap_err();
+        assert!(e.to_string().starts_with("line 1"));
+        assert!(ParseSetError::Empty.to_string().contains("no streams"));
+    }
+}

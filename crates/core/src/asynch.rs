@@ -1,0 +1,217 @@
+//! Service bounds for **asynchronous** (non-real-time) traffic.
+//!
+//! The paper's model treats asynchronous messages as best-effort (§3.2) and
+//! its criteria only defend the synchronous deadlines *against* them. The
+//! complementary question — how much service does asynchronous traffic
+//! still get once the synchronous set is admitted? — was studied in the
+//! companion literature the paper cites ([11, 27] for the priority token,
+//! [8, 19] for the timed token). This module provides the classic bounds:
+//!
+//! * **PDP** — an asynchronous frame is a lowest-priority "task": its
+//!   worst-case response time is the fixed point of
+//!   `R = B + C'_async + Σ_j C'_j·⌈R/P_j⌉` over all synchronous streams
+//!   ([`pdp_async_response_bound`]); it exists iff the augmented
+//!   synchronous utilization is below 1.
+//! * **TTP** — per token rotation, asynchronous traffic receives at most
+//!   the slack `TTRT − Θ' − Σ h_i` ([`ttp_async_capacity`]), and a station
+//!   with queued asynchronous frames waits at most `2·TTRT` for a usable
+//!   token ([`ttp_async_access_delay_bound`], Sevcik–Johnson).
+
+use ringrt_model::{MessageSet, StreamId};
+use ringrt_units::{Bits, Seconds};
+
+use crate::pdp::{augmented_length, PdpAnalyzer};
+use crate::ttp::TtpAnalyzer;
+
+/// Worst-case response time of a single asynchronous frame of
+/// `frame_bits` (payload + overhead) under the priority-driven protocol,
+/// measured from the instant it reaches the head of its station's queue.
+///
+/// The bound models the tagged frame contending against **synchronous**
+/// traffic only (plus one blocking frame). Other asynchronous senders are
+/// its priority peers: each concurrent asynchronous frame can add up to
+/// one effective frame time on top of this bound, so under shared
+/// asynchronous load treat it as a per-frame floor, not a ceiling (the
+/// `exp_async_service` experiment quantifies the gap — a fraction of a
+/// percent at 3 % offered load).
+///
+/// Returns `None` when the synchronous load leaves no guaranteed residual
+/// bandwidth (augmented utilization ≥ 1), in which case asynchronous
+/// starvation is possible.
+///
+/// # Examples
+///
+/// ```
+/// use ringrt_core::asynch::pdp_async_response_bound;
+/// use ringrt_core::pdp::{PdpAnalyzer, PdpVariant};
+/// use ringrt_model::{FrameFormat, MessageSet, RingConfig, SyncStream};
+/// use ringrt_units::{Bandwidth, Bits, Seconds};
+///
+/// let ring = RingConfig::ieee_802_5(2, Bandwidth::from_mbps(4.0));
+/// let a = PdpAnalyzer::new(ring, FrameFormat::paper_default(), PdpVariant::Standard);
+/// let set = MessageSet::new(vec![
+///     SyncStream::new(Seconds::from_millis(20.0), Bits::new(8_000)),
+/// ])?;
+/// let bound = pdp_async_response_bound(&a, &set, Bits::new(624)).unwrap();
+/// assert!(bound > Seconds::ZERO && bound < Seconds::from_millis(20.0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn pdp_async_response_bound(
+    analyzer: &PdpAnalyzer,
+    set: &MessageSet,
+    frame_bits: Bits,
+) -> Option<Seconds> {
+    let ring = analyzer.ring();
+    let bw = ring.bandwidth();
+    let theta = ring.token_circulation_time();
+    // One asynchronous frame behaves like one last-priority frame: it pays
+    // the header-return stall and one token circulation, like any frame.
+    let c_async = bw.transmission_time(frame_bits).max(theta) + theta / 2.0;
+
+    // Augmented synchronous interference.
+    let order = set.rm_order();
+    let sync: Vec<(Seconds, Seconds)> = order
+        .iter()
+        .map(|&i| {
+            let s = set.stream(StreamId(i));
+            (
+                augmented_length(s, ring, analyzer.frame(), analyzer.variant()),
+                s.period(),
+            )
+        })
+        .collect();
+    let u: f64 = sync.iter().map(|&(c, p)| c / p).sum();
+    if u >= 1.0 {
+        return None;
+    }
+
+    // Fixed-point iteration; convergence guaranteed by u < 1. From
+    // R = c + B + Σ C'_j·⌈R/P_j⌉ ≤ c + B + Σ C'_j + u·R, the fixed point
+    // is bounded by (c + B + Σ C'_j)/(1 − u); exceeding twice that bound
+    // signals numeric trouble rather than a real schedule.
+    let blocking = analyzer.blocking();
+    let total_c: Seconds = sync.iter().map(|&(c, _)| c).sum();
+    let cap =
+        Seconds::new((blocking + c_async + total_c).as_secs_f64() / (1.0 - u)) * 2.0;
+    let mut r = c_async + blocking;
+    for _ in 0..10_000 {
+        let mut next = c_async + blocking;
+        for &(c, p) in &sync {
+            next += c * (r / p).ceil();
+        }
+        if next <= r + Seconds::new(1e-12 * r.as_secs_f64().max(1e-30)) {
+            return Some(next);
+        }
+        if next > cap {
+            return None; // numeric safety net; should be unreachable
+        }
+        r = next;
+    }
+    None
+}
+
+/// The fraction of ring bandwidth guaranteed to remain for asynchronous
+/// traffic per token rotation under the timed token protocol:
+/// `(TTRT − Θ' − Σ h_i) / TTRT`, clamped at 0.
+///
+/// This is the slack the FDDI THT rules hand to asynchronous frames when
+/// the token runs on schedule; the paper's §6 explanation of the FDDI
+/// curve's good high-bandwidth behaviour rests on this slack staying
+/// positive.
+#[must_use]
+pub fn ttp_async_capacity(analyzer: &TtpAnalyzer, set: &MessageSet) -> f64 {
+    let report = analyzer.analyze(set);
+    let slack = report.capacity - report.total_allocated;
+    (slack / report.ttrt).max(0.0)
+}
+
+/// Worst-case wait for a usable token at an asynchronous sender:
+/// `2·TTRT` (Sevcik–Johnson inter-visit bound). Independent of the load,
+/// provided the protocol constraint holds.
+#[must_use]
+pub fn ttp_async_access_delay_bound(analyzer: &TtpAnalyzer, set: &MessageSet) -> Seconds {
+    analyzer.ttrt_for(set) * 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pdp::PdpVariant;
+    use crate::ttp::TtpAnalyzer;
+    use ringrt_model::{FrameFormat, RingConfig, SyncStream};
+    use ringrt_units::Bandwidth;
+
+    fn set(streams: &[(f64, u64)]) -> MessageSet {
+        MessageSet::new(
+            streams
+                .iter()
+                .map(|&(p, c)| SyncStream::new(Seconds::from_millis(p), Bits::new(c)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn pdp(mbps: f64) -> PdpAnalyzer {
+        PdpAnalyzer::new(
+            RingConfig::ieee_802_5(4, Bandwidth::from_mbps(mbps)),
+            FrameFormat::paper_default(),
+            PdpVariant::Standard,
+        )
+    }
+
+    #[test]
+    fn async_bound_grows_with_sync_load() {
+        let a = pdp(4.0);
+        let light = set(&[(50.0, 10_000)]);
+        let heavy = set(&[(50.0, 10_000), (20.0, 20_000), (30.0, 20_000)]);
+        let rb_light = pdp_async_response_bound(&a, &light, Bits::new(624)).unwrap();
+        let rb_heavy = pdp_async_response_bound(&a, &heavy, Bits::new(624)).unwrap();
+        assert!(rb_heavy > rb_light, "{rb_heavy} vs {rb_light}");
+    }
+
+    #[test]
+    fn async_bound_none_when_sync_saturates() {
+        let a = pdp(1.0);
+        // ~200 % augmented utilization at 1 Mbps.
+        let heavy = set(&[(10.0, 12_000), (10.0, 12_000)]);
+        assert!(pdp_async_response_bound(&a, &heavy, Bits::new(624)).is_none());
+    }
+
+    #[test]
+    fn async_bound_exceeds_blocking_floor() {
+        let a = pdp(16.0);
+        let s = set(&[(100.0, 1_000)]);
+        let bound = pdp_async_response_bound(&a, &s, Bits::new(624)).unwrap();
+        // At least the frame's own effective time; no free lunch.
+        assert!(bound >= a.blocking());
+    }
+
+    #[test]
+    fn ttp_capacity_between_zero_and_one() {
+        let a = TtpAnalyzer::with_defaults(RingConfig::fddi(4, Bandwidth::from_mbps(100.0)));
+        let light = set(&[(20.0, 50_000), (40.0, 50_000)]);
+        let cap = ttp_async_capacity(&a, &light);
+        assert!(cap > 0.3 && cap < 1.0, "capacity {cap}");
+        // Heavier synchronous load shrinks the slack.
+        let heavy = set(&[(20.0, 1_000_000), (40.0, 1_000_000)]);
+        let cap_heavy = ttp_async_capacity(&a, &heavy);
+        assert!(cap_heavy < cap);
+    }
+
+    #[test]
+    fn ttp_capacity_clamps_at_zero_when_overcommitted() {
+        let a = TtpAnalyzer::with_defaults(RingConfig::fddi(2, Bandwidth::from_mbps(100.0)));
+        let heavy = set(&[(20.0, 3_000_000), (40.0, 6_000_000)]);
+        assert_eq!(ttp_async_capacity(&a, &heavy), 0.0);
+    }
+
+    #[test]
+    fn ttp_access_delay_is_twice_ttrt() {
+        let a = TtpAnalyzer::with_defaults(RingConfig::fddi(4, Bandwidth::from_mbps(100.0)));
+        let s = set(&[(20.0, 50_000)]);
+        let bound = ttp_async_access_delay_bound(&a, &s);
+        let ttrt = a.ttrt_for(&s);
+        assert!((bound.as_secs_f64() - 2.0 * ttrt.as_secs_f64()).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,505 @@
+//! Rate-monotonic schedulability machinery.
+//!
+//! The priority-driven protocol approximates preemptive rate-monotonic
+//! scheduling; its Theorem 4.1 criterion is the Lehoczky–Sha–Ding exact
+//! characterization applied to overhead-augmented message costs plus a
+//! blocking term. This module implements that machinery generically over
+//! `(cost, period)` pairs so it can be unit-tested against the classic CPU
+//! scheduling results (e.g. the Liu–Layland bound and the ≈88 % average
+//! breakdown utilization of ideal RM) independently of any ring overheads.
+//!
+//! Two equivalent exact tests are provided:
+//!
+//! * [`is_schedulable_points`] — the literal scheduling-point form of the
+//!   paper's eq. (4): task `i` is schedulable iff there exists a scheduling
+//!   point `t = l·P_k` (`k ≤ i`, `1 ≤ l ≤ ⌊P_i/P_k⌋`) with
+//!   `Σ_{j≤i} C_j·⌈t/P_j⌉ + B ≤ t`;
+//! * [`response_time`] — the response-time fixed-point iteration
+//!   `R ← C_i + B + Σ_{j<i} C_j·⌈R/P_j⌉`, which converges to the same
+//!   verdict for deadline = period and is much faster in practice.
+//!
+//! Both assume tasks are indexed in priority order (ascending period).
+
+use ringrt_units::Seconds;
+
+/// Relative tolerance used when taking ceilings/floors of period ratios, so
+/// that exact harmonic relationships survive floating-point noise.
+const RATIO_EPS: f64 = 1e-9;
+
+/// `⌈t / p⌉` with tolerance for near-integer ratios.
+#[must_use]
+fn ceil_ratio(t: Seconds, p: Seconds) -> f64 {
+    let r = t / p;
+    let nearest = r.round();
+    if (r - nearest).abs() <= RATIO_EPS * nearest.abs().max(1.0) {
+        nearest
+    } else {
+        r.ceil()
+    }
+}
+
+/// `⌊t / p⌋` with tolerance for near-integer ratios.
+#[must_use]
+fn floor_ratio(t: Seconds, p: Seconds) -> f64 {
+    let r = t / p;
+    let nearest = r.round();
+    if (r - nearest).abs() <= RATIO_EPS * nearest.abs().max(1.0) {
+        nearest
+    } else {
+        r.floor()
+    }
+}
+
+/// One task (or message stream) as seen by the fixed-priority tests:
+/// an effective cost, a period, and a relative deadline (= the period in
+/// the paper's model; possibly earlier in the constrained-deadline
+/// extension).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmTask {
+    /// Worst-case effective execution/transmission cost, `C'_i`.
+    pub cost: Seconds,
+    /// Period, `P_i`.
+    pub period: Seconds,
+    /// Relative deadline, `D_i ≤ P_i`.
+    pub deadline: Seconds,
+}
+
+impl RmTask {
+    /// Convenience constructor for the paper's implicit-deadline model
+    /// (`D = P`).
+    #[must_use]
+    pub fn new(cost: Seconds, period: Seconds) -> Self {
+        RmTask {
+            cost,
+            period,
+            deadline: period,
+        }
+    }
+
+    /// Constructor with an explicit constrained deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < deadline ≤ period`.
+    #[must_use]
+    pub fn with_deadline(cost: Seconds, period: Seconds, deadline: Seconds) -> Self {
+        assert!(
+            deadline > Seconds::ZERO && deadline <= period,
+            "constrained deadlines require 0 < D ≤ P"
+        );
+        RmTask {
+            cost,
+            period,
+            deadline,
+        }
+    }
+
+    /// The task's utilization `C/P`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.cost / self.period
+    }
+}
+
+/// Asserts (in debug builds) that tasks are sorted by ascending deadline
+/// (deadline-monotonic order, which is ascending-period order for
+/// implicit-deadline sets).
+fn debug_assert_priority_order(tasks: &[RmTask]) {
+    debug_assert!(
+        tasks.windows(2).all(|w| w[0].deadline <= w[1].deadline),
+        "tasks must be in deadline-monotonic (ascending deadline) order"
+    );
+}
+
+/// The Liu–Layland utilization bound `n(2^{1/n} − 1)`.
+///
+/// Any task set with total utilization below this bound is schedulable by
+/// RM; above it, schedulability must be decided by an exact test.
+///
+/// # Examples
+///
+/// ```
+/// use ringrt_core::rm::liu_layland_bound;
+/// assert_eq!(liu_layland_bound(1), 1.0);
+/// assert!((liu_layland_bound(2) - 0.8284).abs() < 1e-4);
+/// assert!((liu_layland_bound(1000) - core::f64::consts::LN_2).abs() < 1e-3);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[must_use]
+pub fn liu_layland_bound(n: usize) -> f64 {
+    assert!(n > 0, "the bound is defined for at least one task");
+    let nf = n as f64;
+    nf * (2f64.powf(1.0 / nf) - 1.0)
+}
+
+/// Worst-case response time of task `index` (0-based, priority order) under
+/// preemptive RM with a blocking term, or `None` if the fixed point exceeds
+/// the deadline (task unschedulable).
+///
+/// Solves `R = C_i + B + Σ_{j<i} C_j·⌈R/P_j⌉` by fixed-point iteration
+/// starting from `C_i + B`.
+///
+/// # Panics
+///
+/// Panics if `index` is out of range, and in debug builds if the tasks are
+/// not sorted by ascending period.
+#[must_use]
+pub fn response_time(tasks: &[RmTask], index: usize, blocking: Seconds) -> Option<Seconds> {
+    debug_assert_priority_order(tasks);
+    let task = &tasks[index];
+    let deadline = task.deadline;
+    let tol = Seconds::new(RATIO_EPS * deadline.as_secs_f64().max(1e-30));
+    let mut r = task.cost + blocking;
+    // Each iteration increases R until the fixed point; bail out as soon as
+    // the deadline is exceeded. A generous iteration cap guards against
+    // pathological float non-convergence.
+    for _ in 0..10_000 {
+        if r > deadline + tol {
+            return None;
+        }
+        let mut next = task.cost + blocking;
+        for hp in &tasks[..index] {
+            next += hp.cost * ceil_ratio(r, hp.period);
+        }
+        if next <= r + tol {
+            return if next <= deadline + tol { Some(next) } else { None };
+        }
+        r = next;
+    }
+    // Did not converge within the cap — treat as unschedulable.
+    None
+}
+
+/// Verdict of the exact scheduling-point test (paper eq. 4) for task
+/// `index`: is there a scheduling point `t ≤ P_i` where the cumulative
+/// demand `Σ_{j≤i} C_j⌈t/P_j⌉ + B` fits within `t`?
+///
+/// # Panics
+///
+/// Panics if `index` is out of range, and in debug builds if the tasks are
+/// not sorted by ascending period.
+#[must_use]
+pub fn schedulable_at_points(tasks: &[RmTask], index: usize, blocking: Seconds) -> bool {
+    debug_assert_priority_order(tasks);
+    let d_i = tasks[index].deadline;
+    let demand_fits = |t: Seconds| {
+        let mut demand = blocking;
+        for task in &tasks[..=index] {
+            demand += task.cost * ceil_ratio(t, task.period);
+        }
+        demand <= t + Seconds::new(RATIO_EPS * t.as_secs_f64().max(1e-30))
+    };
+    // R_i = {(k, l) : 1 ≤ k ≤ i, 1 ≤ l ≤ ⌊D_i/P_k⌋}; points t = l·P_k,
+    // plus the deadline itself (needed when D_i < P_i and no period
+    // multiple lands on it).
+    if demand_fits(d_i) {
+        return true;
+    }
+    for task in &tasks[..=index] {
+        let p_k = task.period;
+        let l_max = floor_ratio(d_i, p_k) as u64;
+        for l in 1..=l_max {
+            let t = (p_k * l as f64).min(d_i);
+            if demand_fits(t) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Exact RM schedulability of the whole set via the scheduling-point test.
+///
+/// `tasks` must be sorted by ascending period (rate-monotonic priority
+/// order); `blocking` is added to every task's demand, as in the paper's
+/// Theorem 4.1 where `B = 2·max(F, Θ)` bounds priority inversion.
+#[must_use]
+pub fn is_schedulable_points(tasks: &[RmTask], blocking: Seconds) -> bool {
+    (0..tasks.len()).all(|i| schedulable_at_points(tasks, i, blocking))
+}
+
+/// Exact RM schedulability of the whole set via response-time analysis.
+///
+/// Equivalent verdict to [`is_schedulable_points`] (both are exact for
+/// deadline = period), typically an order of magnitude faster. This is the
+/// workhorse used by the Monte-Carlo breakdown search.
+#[must_use]
+pub fn is_schedulable_rta(tasks: &[RmTask], blocking: Seconds) -> bool {
+    debug_assert_priority_order(tasks);
+    // Quick necessary condition: utilization (ignoring blocking) must not
+    // exceed 1, otherwise RTA may take many iterations to diverge.
+    let u: f64 = tasks.iter().map(RmTask::utilization).sum();
+    if u > 1.0 + RATIO_EPS {
+        return false;
+    }
+    (0..tasks.len()).all(|i| response_time(tasks, i, blocking).is_some())
+}
+
+/// Per-task response times (`None` marks an unschedulable task), for
+/// diagnostic reports.
+#[must_use]
+pub fn response_times(tasks: &[RmTask], blocking: Seconds) -> Vec<Option<Seconds>> {
+    (0..tasks.len())
+        .map(|i| response_time(tasks, i, blocking))
+        .collect()
+}
+
+/// Idealized rate-monotonic "protocol": no frame overheads, no blocking, no
+/// token — messages behave like preemptive CPU tasks with cost
+/// `C_i = C_i^b / BW`.
+///
+/// This is the Lehoczky–Sha–Ding baseline the paper cites (§2): its average
+/// breakdown utilization is ≈ 88 % for uniformly drawn task sets. It exists
+/// to anchor the Monte-Carlo pipeline against a published number.
+///
+/// # Examples
+///
+/// ```
+/// use ringrt_core::rm::IdealRmAnalyzer;
+/// use ringrt_core::SchedulabilityTest;
+/// use ringrt_model::{MessageSet, SyncStream};
+/// use ringrt_units::{Bandwidth, Bits, Seconds};
+///
+/// let ideal = IdealRmAnalyzer::new(Bandwidth::from_mbps(100.0));
+/// let set = MessageSet::new(vec![
+///     SyncStream::new(Seconds::from_millis(10.0), Bits::new(500_000)),
+///     SyncStream::new(Seconds::from_millis(20.0), Bits::new(1_000_000)),
+/// ])?;
+/// // Harmonic set at exactly U = 1.0 is schedulable in the ideal model.
+/// assert!(ideal.is_schedulable(&set));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdealRmAnalyzer {
+    bandwidth: ringrt_units::Bandwidth,
+}
+
+impl IdealRmAnalyzer {
+    /// Creates the ideal analyzer; `bandwidth` converts message bits into
+    /// transmission times.
+    #[must_use]
+    pub fn new(bandwidth: ringrt_units::Bandwidth) -> Self {
+        IdealRmAnalyzer { bandwidth }
+    }
+
+    /// The bandwidth used for bit→time conversion.
+    #[must_use]
+    pub fn bandwidth(&self) -> ringrt_units::Bandwidth {
+        self.bandwidth
+    }
+}
+
+impl crate::SchedulabilityTest for IdealRmAnalyzer {
+    fn is_schedulable(&self, set: &ringrt_model::MessageSet) -> bool {
+        let order = set.rm_order();
+        let tasks: Vec<RmTask> = order
+            .iter()
+            .map(|&i| {
+                let s = set.stream(ringrt_model::StreamId(i));
+                RmTask::new(s.transmission_time(self.bandwidth), s.period())
+            })
+            .collect();
+        is_schedulable_rta(&tasks, Seconds::ZERO)
+    }
+
+    fn protocol_name(&self) -> &'static str {
+        "ideal RM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(cost_ms: f64, period_ms: f64) -> RmTask {
+        RmTask::new(Seconds::from_millis(cost_ms), Seconds::from_millis(period_ms))
+    }
+
+    const NO_BLOCKING: Seconds = Seconds::ZERO;
+
+    #[test]
+    fn liu_layland_values() {
+        assert!((liu_layland_bound(1) - 1.0).abs() < 1e-12);
+        assert!((liu_layland_bound(2) - 0.828_427).abs() < 1e-6);
+        assert!((liu_layland_bound(3) - 0.779_763).abs() < 1e-6);
+        // Monotone decreasing towards ln 2.
+        for n in 1..50 {
+            assert!(liu_layland_bound(n) > liu_layland_bound(n + 1));
+            assert!(liu_layland_bound(n + 1) > core::f64::consts::LN_2);
+        }
+    }
+
+    #[test]
+    fn classic_liu_layland_example_schedulable() {
+        // C = (20, 40, 100), P = (100, 150, 350): U ≈ 0.753, schedulable.
+        let tasks = [t(20.0, 100.0), t(40.0, 150.0), t(100.0, 350.0)];
+        assert!(is_schedulable_points(&tasks, NO_BLOCKING));
+        assert!(is_schedulable_rta(&tasks, NO_BLOCKING));
+        // Known response times: R1 = 20, R2 = 60, and for task 3 the fixed
+        // point of 100 + 20⌈R/100⌉ + 40⌈R/150⌉ is R3 = 240.
+        let r = response_times(&tasks, NO_BLOCKING);
+        assert!((r[0].unwrap().as_millis() - 20.0).abs() < 1e-6);
+        assert!((r[1].unwrap().as_millis() - 60.0).abs() < 1e-6);
+        assert!((r[2].unwrap().as_millis() - 240.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn full_utilization_harmonic_set_schedulable() {
+        // Harmonic periods reach U = 1.0 under RM.
+        let tasks = [t(10.0, 20.0), t(10.0, 40.0), t(20.0, 80.0)];
+        let u: f64 = tasks.iter().map(RmTask::utilization).sum();
+        assert!((u - 1.0).abs() < 1e-12);
+        assert!(is_schedulable_points(&tasks, NO_BLOCKING));
+        assert!(is_schedulable_rta(&tasks, NO_BLOCKING));
+    }
+
+    #[test]
+    fn over_utilization_unschedulable() {
+        let tasks = [t(15.0, 20.0), t(20.0, 40.0)];
+        assert!(!is_schedulable_points(&tasks, NO_BLOCKING));
+        assert!(!is_schedulable_rta(&tasks, NO_BLOCKING));
+    }
+
+    #[test]
+    fn boundary_two_task_breakdown() {
+        // For P = (1, 2^(1/1)) the two-task LL boundary: C1/P1 = C2/P2 =
+        // 2(√2 − 1) ≈ 0.4142 is exactly schedulable.
+        let u = 2.0 * (2f64.sqrt() - 1.0) / 2.0;
+        let p1 = 1.0;
+        let p2 = 2f64.sqrt();
+        let tasks = [
+            RmTask::new(Seconds::new(u * p1), Seconds::new(p1)),
+            RmTask::new(Seconds::new(u * p2), Seconds::new(p2)),
+        ];
+        assert!(is_schedulable_rta(&tasks, NO_BLOCKING));
+        // The tiniest inflation breaks it.
+        let inflated = [
+            RmTask::new(tasks[0].cost * 1.001, tasks[0].period),
+            RmTask::new(tasks[1].cost * 1.001, tasks[1].period),
+        ];
+        assert!(!is_schedulable_rta(&inflated, NO_BLOCKING));
+        assert!(!is_schedulable_points(&inflated, NO_BLOCKING));
+    }
+
+    #[test]
+    fn blocking_reduces_schedulability() {
+        let tasks = [t(8.0, 20.0), t(12.0, 40.0)];
+        assert!(is_schedulable_rta(&tasks, NO_BLOCKING));
+        // Blocking of 12 ms pushes the first task past its deadline
+        // (8 + 12 = 20 = D is fine, but interference on task 2 breaks it).
+        assert!(is_schedulable_rta(&tasks, Seconds::from_millis(12.0)));
+        assert!(!is_schedulable_rta(&tasks, Seconds::from_millis(12.1)));
+        // The point test agrees on both sides of the edge.
+        assert!(is_schedulable_points(&tasks, Seconds::from_millis(12.0)));
+        assert!(!is_schedulable_points(&tasks, Seconds::from_millis(12.1)));
+    }
+
+    #[test]
+    fn rta_matches_point_test_on_grid() {
+        // Sweep a small deterministic family and insist the two exact tests
+        // always agree.
+        let mut disagreements = 0;
+        for c1 in 1..=10 {
+            for c2 in 1..=10 {
+                for c3 in 1..=10 {
+                    let tasks = [
+                        t(c1 as f64, 14.0),
+                        t(c2 as f64 * 2.0, 33.0),
+                        t(c3 as f64 * 3.0, 101.0),
+                    ];
+                    let a = is_schedulable_points(&tasks, Seconds::from_millis(1.5));
+                    let b = is_schedulable_rta(&tasks, Seconds::from_millis(1.5));
+                    if a != b {
+                        disagreements += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(disagreements, 0);
+    }
+
+    #[test]
+    fn single_task_edge() {
+        let task = [t(10.0, 10.0)];
+        assert!(is_schedulable_rta(&task, NO_BLOCKING));
+        assert!(is_schedulable_points(&task, NO_BLOCKING));
+        assert!(!is_schedulable_rta(&task, Seconds::from_millis(0.1)));
+    }
+
+    #[test]
+    fn response_time_includes_blocking() {
+        let tasks = [t(5.0, 100.0)];
+        let r = response_time(&tasks, 0, Seconds::from_millis(7.0)).unwrap();
+        assert!((r.as_millis() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ceil_ratio_handles_exact_multiples() {
+        // 0.3 / 0.1 is 2.9999999999999996 in f64; must ceil to 3, not 4... and
+        // the tolerance must not round 3.4 down.
+        assert_eq!(ceil_ratio(Seconds::new(0.3), Seconds::new(0.1)), 3.0);
+        assert_eq!(ceil_ratio(Seconds::new(0.34), Seconds::new(0.1)), 4.0);
+        assert_eq!(floor_ratio(Seconds::new(0.3), Seconds::new(0.1)), 3.0);
+        assert_eq!(floor_ratio(Seconds::new(0.29), Seconds::new(0.1)), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn liu_layland_zero_panics() {
+        let _ = liu_layland_bound(0);
+    }
+
+    #[test]
+    fn constrained_deadline_tightens_the_test() {
+        // C = 5, P = 20: trivially fine with D = P, infeasible with D = 4.
+        let relaxed = [t(5.0, 20.0)];
+        assert!(is_schedulable_rta(&relaxed, NO_BLOCKING));
+        let tight = [RmTask::with_deadline(
+            Seconds::from_millis(5.0),
+            Seconds::from_millis(20.0),
+            Seconds::from_millis(4.0),
+        )];
+        assert!(!is_schedulable_rta(&tight, NO_BLOCKING));
+        assert!(!is_schedulable_points(&tight, NO_BLOCKING));
+        // Exactly D = C passes.
+        let exact = [RmTask::with_deadline(
+            Seconds::from_millis(5.0),
+            Seconds::from_millis(20.0),
+            Seconds::from_millis(5.0),
+        )];
+        assert!(is_schedulable_rta(&exact, NO_BLOCKING));
+        assert!(is_schedulable_points(&exact, NO_BLOCKING));
+    }
+
+    #[test]
+    fn deadline_monotonic_two_task_example() {
+        // Task A: C=2, P=10, D=4 (higher priority under DM).
+        // Task B: C=3, P=6 (D=6).
+        let a = RmTask::with_deadline(
+            Seconds::from_millis(2.0),
+            Seconds::from_millis(10.0),
+            Seconds::from_millis(4.0),
+        );
+        let b = t(3.0, 6.0);
+        let tasks = [a, b]; // DM order: D=4 before D=6
+        assert!(is_schedulable_points(&tasks, NO_BLOCKING));
+        assert!(is_schedulable_rta(&tasks, NO_BLOCKING));
+        // R_A = 2 ≤ 4; R_B = 3 + 2 = 5 ≤ 6.
+        let r = response_times(&tasks, NO_BLOCKING);
+        assert!((r[0].unwrap().as_millis() - 2.0).abs() < 1e-9);
+        assert!((r[1].unwrap().as_millis() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < D ≤ P")]
+    fn deadline_above_period_rejected() {
+        let _ = RmTask::with_deadline(
+            Seconds::from_millis(1.0),
+            Seconds::from_millis(10.0),
+            Seconds::from_millis(11.0),
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Synchronous bandwidth allocation schemes (paper §5.2 and its
+//! references to Agrawal/Chen/Zhao).
+//!
+//! A scheme maps each stream to a synchronous bandwidth `h_i` — the time
+//! its station may transmit synchronous frames per token visit. The paper
+//! adopts the **local** scheme (allocation from purely local information),
+//! shown by Agrawal–Chen–Zhao to guarantee 33 % utilization in the worst
+//! case and found to perform close to the optimal scheme on average; the
+//! other classic schemes are provided for the comparison experiment.
+
+use core::fmt;
+
+use ringrt_model::MessageSet;
+use ringrt_units::{Bandwidth, Seconds};
+
+use super::visit_count;
+
+/// A synchronous bandwidth allocation scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum SbaScheme {
+    /// The paper's scheme: `h_i = C_i/(q_i − 1) + F_ovhd` with
+    /// `q_i = ⌊P_i/TTRT⌋` — exactly the bandwidth needed to finish within
+    /// the guaranteed `q_i − 1` full visits per period.
+    Local,
+    /// One-shot scheme: `h_i = C_i + F_ovhd`, the whole message in a single
+    /// token visit.
+    FullLength,
+    /// `h_i = (C_i/P_i) · (TTRT − Θ')`: bandwidth proportional to
+    /// utilization.
+    Proportional,
+    /// `h_i = (U_i/U) · (TTRT − Θ')`: proportional, normalized so the
+    /// protocol constraint is exactly tight.
+    NormalizedProportional,
+    /// `h_i = (TTRT − Θ')/n`: uniform split of the usable rotation.
+    EqualPartition,
+}
+
+impl SbaScheme {
+    /// Short name for tables and reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SbaScheme::Local => "local",
+            SbaScheme::FullLength => "full-length",
+            SbaScheme::Proportional => "proportional",
+            SbaScheme::NormalizedProportional => "normalized-proportional",
+            SbaScheme::EqualPartition => "equal-partition",
+        }
+    }
+
+    /// All implemented schemes, for sweep experiments.
+    #[must_use]
+    pub fn all() -> [SbaScheme; 5] {
+        [
+            SbaScheme::Local,
+            SbaScheme::FullLength,
+            SbaScheme::Proportional,
+            SbaScheme::NormalizedProportional,
+            SbaScheme::EqualPartition,
+        ]
+    }
+
+    /// Computes the allocation `h_i` for every stream.
+    ///
+    /// `theta_prime` is the per-rotation overhead `Θ' = Θ + F_async` and
+    /// `frame_overhead_time` the time to transmit one frame's overhead
+    /// bits. Streams with `q_i < 2` receive `h_i = 0` under the local
+    /// scheme (no allocation can save them; the schedulability test reports
+    /// them unschedulable).
+    #[must_use]
+    pub fn allocate(
+        self,
+        set: &MessageSet,
+        ttrt: Seconds,
+        theta_prime: Seconds,
+        frame_overhead_time: Seconds,
+        bandwidth: Bandwidth,
+    ) -> Vec<Seconds> {
+        let usable = (ttrt - theta_prime).max(Seconds::ZERO);
+        match self {
+            SbaScheme::Local => set
+                .iter()
+                .map(|s| {
+                    let q = visit_count(s.relative_deadline(), ttrt);
+                    if q < 2 {
+                        Seconds::ZERO
+                    } else {
+                        s.transmission_time(bandwidth) / (q - 1) as f64 + frame_overhead_time
+                    }
+                })
+                .collect(),
+            SbaScheme::FullLength => set
+                .iter()
+                .map(|s| s.transmission_time(bandwidth) + frame_overhead_time)
+                .collect(),
+            SbaScheme::Proportional => set
+                .iter()
+                .map(|s| usable * s.utilization(bandwidth))
+                .collect(),
+            SbaScheme::NormalizedProportional => {
+                let total: f64 = set.utilization(bandwidth);
+                if total <= 0.0 {
+                    vec![Seconds::ZERO; set.len()]
+                } else {
+                    set.iter()
+                        .map(|s| usable * (s.utilization(bandwidth) / total))
+                        .collect()
+                }
+            }
+            SbaScheme::EqualPartition => {
+                let h = usable / set.len() as f64;
+                vec![h; set.len()]
+            }
+        }
+    }
+}
+
+impl fmt::Display for SbaScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringrt_model::SyncStream;
+    use ringrt_units::Bits;
+
+    fn example_set() -> MessageSet {
+        MessageSet::new(vec![
+            SyncStream::new(Seconds::from_millis(40.0), Bits::new(100_000)),
+            SyncStream::new(Seconds::from_millis(100.0), Bits::new(400_000)),
+        ])
+        .unwrap()
+    }
+
+    const BW: fn() -> Bandwidth = || Bandwidth::from_mbps(100.0);
+
+    #[test]
+    fn local_matches_equation_9() {
+        let set = example_set();
+        let ttrt = Seconds::from_millis(4.0);
+        let fo = Seconds::from_micros(1.12);
+        let h = SbaScheme::Local.allocate(&set, ttrt, Seconds::ZERO, fo, BW());
+        // Stream 0: C = 1 ms, q = 10 → h = 1/9 ms + F_ovhd.
+        let expect0 = Seconds::from_millis(1.0) / 9.0 + fo;
+        assert!((h[0].as_secs_f64() - expect0.as_secs_f64()).abs() < 1e-15);
+        // Stream 1: C = 4 ms, q = 25 → h = 4/24 ms + F_ovhd.
+        let expect1 = Seconds::from_millis(4.0) / 24.0 + fo;
+        assert!((h[1].as_secs_f64() - expect1.as_secs_f64()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn local_zeroes_streams_with_q_below_two() {
+        let set = example_set();
+        // TTRT of 25 ms → q_0 = 1.
+        let h = SbaScheme::Local.allocate(
+            &set,
+            Seconds::from_millis(25.0),
+            Seconds::ZERO,
+            Seconds::ZERO,
+            BW(),
+        );
+        assert_eq!(h[0], Seconds::ZERO);
+        assert!(h[1] > Seconds::ZERO);
+    }
+
+    #[test]
+    fn full_length_is_whole_message() {
+        let set = example_set();
+        let fo = Seconds::from_micros(1.12);
+        let h = SbaScheme::FullLength.allocate(&set, Seconds::from_millis(4.0), Seconds::ZERO, fo, BW());
+        assert!((h[0].as_millis() - (1.0 + 0.00112)).abs() < 1e-9);
+        assert!((h[1].as_millis() - (4.0 + 0.00112)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalized_proportional_is_tight() {
+        let set = example_set();
+        let ttrt = Seconds::from_millis(4.0);
+        let theta = Seconds::from_micros(126.0);
+        let h = SbaScheme::NormalizedProportional.allocate(&set, ttrt, theta, Seconds::ZERO, BW());
+        let total: Seconds = h.iter().copied().sum();
+        let usable = ttrt - theta;
+        assert!((total.as_secs_f64() - usable.as_secs_f64()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn equal_partition_splits_evenly() {
+        let set = example_set();
+        let ttrt = Seconds::from_millis(4.0);
+        let h = SbaScheme::EqualPartition.allocate(&set, ttrt, Seconds::ZERO, Seconds::ZERO, BW());
+        assert_eq!(h[0], h[1]);
+        assert!((h[0].as_millis() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportional_scales_with_utilization() {
+        let set = example_set();
+        let ttrt = Seconds::from_millis(4.0);
+        let h = SbaScheme::Proportional.allocate(&set, ttrt, Seconds::ZERO, Seconds::ZERO, BW());
+        // U_0 = 1/40, U_1 = 4/100 → h ∝ (0.025, 0.04).
+        assert!((h[1].as_secs_f64() / h[0].as_secs_f64() - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels_unique() {
+        let labels: Vec<_> = SbaScheme::all().iter().map(|s| s.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len());
+        assert_eq!(SbaScheme::Local.to_string(), "local");
+    }
+}

@@ -1,0 +1,237 @@
+//! Target Token Rotation Time selection (paper §5.2).
+
+use core::fmt;
+
+use ringrt_model::MessageSet;
+use ringrt_units::Seconds;
+
+use super::visit_count;
+
+/// How the ring chooses its Target Token Rotation Time.
+///
+/// Johnson's bound (time between consecutive token visits ≤ 2·TTRT) forces
+/// `TTRT ≤ D_min/2` for any deadline guarantee (with `D_i = P_i` in the
+/// paper's model); within that range the paper shows performance is quite
+/// sensitive to the choice and proposes the bidding rule
+/// `TTRT = min_i √(Θ'·P_i) = √(Θ'·P_min)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub enum TtrtPolicy {
+    /// The paper's heuristic: `√(Θ'·P_min)`, clamped to `P_min/2`.
+    #[default]
+    SqrtHeuristic,
+    /// The naive maximal choice `P_min/2` allowed by Johnson's bound.
+    HalfMinPeriod,
+    /// An externally fixed TTRT (e.g. a network-wide configuration value).
+    Fixed(Seconds),
+    /// Pick the best of `points` logarithmically spaced candidates in
+    /// `(Θ', P_min/2]` by maximizing the Theorem 5.1 slack for the set at
+    /// hand. Used by the TTRT-sensitivity experiments as an oracle.
+    GridSearch {
+        /// Number of candidate TTRT values to evaluate.
+        points: usize,
+    },
+}
+
+
+impl fmt::Display for TtrtPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TtrtPolicy::SqrtHeuristic => f.write_str("√(Θ'·P_min)"),
+            TtrtPolicy::HalfMinPeriod => f.write_str("P_min/2"),
+            TtrtPolicy::Fixed(t) => write!(f, "fixed {t}"),
+            TtrtPolicy::GridSearch { points } => write!(f, "grid search ({points} points)"),
+        }
+    }
+}
+
+impl TtrtPolicy {
+    /// Selects the TTRT for a message set given the per-rotation overhead
+    /// `Θ' = Θ + F_async`.
+    ///
+    /// The returned value is always strictly positive; feasibility (e.g.
+    /// `TTRT > Θ'`) is judged by the schedulability test, not here.
+    ///
+    /// For [`TtrtPolicy::GridSearch`] the candidate maximizing the
+    /// Theorem 5.1 slack
+    /// `TTRT − Θ' − Σ C_i/(q_i−1) − n·F_ovhd` is returned; candidates where
+    /// some `q_i < 2` are skipped (falling back to the √ heuristic if every
+    /// candidate is infeasible).
+    #[must_use]
+    pub fn select(
+        &self,
+        set: &MessageSet,
+        theta_prime: Seconds,
+        frame_overhead_time: Seconds,
+        bandwidth: ringrt_units::Bandwidth,
+    ) -> Seconds {
+        let p_min = set.min_deadline();
+        let half_p_min = p_min / 2.0;
+        match *self {
+            TtrtPolicy::SqrtHeuristic => {
+                let sqrt =
+                    Seconds::new(theta_prime.as_secs_f64() * p_min.as_secs_f64()).sqrt_value();
+                sqrt.min(half_p_min)
+            }
+            TtrtPolicy::HalfMinPeriod => half_p_min,
+            TtrtPolicy::Fixed(t) => t,
+            TtrtPolicy::GridSearch { points } => {
+                let points = points.max(2);
+                let lo = theta_prime.as_secs_f64().max(1e-12) * 1.001;
+                let hi = half_p_min.as_secs_f64();
+                if lo >= hi {
+                    // Degenerate range: overheads swamp the shortest period.
+                    return TtrtPolicy::SqrtHeuristic.select(
+                        set,
+                        theta_prime,
+                        frame_overhead_time,
+                        bandwidth,
+                    );
+                }
+                let mut best: Option<(f64, Seconds)> = None;
+                for j in 0..points {
+                    let frac = j as f64 / (points - 1) as f64;
+                    let t = Seconds::new(lo * (hi / lo).powf(frac));
+                    if let Some(slack) =
+                        theorem_5_1_slack(set, t, theta_prime, frame_overhead_time, bandwidth)
+                    {
+                        match best {
+                            Some((s, _)) if s >= slack => {}
+                            _ => best = Some((slack, t)),
+                        }
+                    }
+                }
+                best.map(|(_, t)| t).unwrap_or_else(|| {
+                    TtrtPolicy::SqrtHeuristic.select(
+                        set,
+                        theta_prime,
+                        frame_overhead_time,
+                        bandwidth,
+                    )
+                })
+            }
+        }
+    }
+}
+
+/// The slack of the Theorem 5.1 inequality for a candidate TTRT, or `None`
+/// if any stream has `q_i < 2` (no deadline guarantee possible at that
+/// TTRT).
+#[must_use]
+pub(crate) fn theorem_5_1_slack(
+    set: &MessageSet,
+    ttrt: Seconds,
+    theta_prime: Seconds,
+    frame_overhead_time: Seconds,
+    bandwidth: ringrt_units::Bandwidth,
+) -> Option<f64> {
+    let mut lhs = Seconds::ZERO;
+    for s in set {
+        // Visits guaranteed within the message's *deadline* window (= the
+        // period in the paper's model).
+        let q = visit_count(s.relative_deadline(), ttrt);
+        if q < 2 {
+            return None;
+        }
+        lhs += s.transmission_time(bandwidth) / (q - 1) as f64 + frame_overhead_time;
+    }
+    let rhs = ttrt - theta_prime;
+    Some((rhs - lhs).as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringrt_model::SyncStream;
+    use ringrt_units::{Bandwidth, Bits};
+
+    fn set(periods_ms: &[f64]) -> MessageSet {
+        MessageSet::new(
+            periods_ms
+                .iter()
+                .map(|&p| SyncStream::new(Seconds::from_millis(p), Bits::new(1_000)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    const BW: fn() -> Bandwidth = || Bandwidth::from_mbps(100.0);
+
+    #[test]
+    fn sqrt_heuristic_formula() {
+        let m = set(&[100.0, 200.0]);
+        let theta = Seconds::from_micros(126.0);
+        let t = TtrtPolicy::SqrtHeuristic.select(&m, theta, Seconds::ZERO, BW());
+        let expect = (126e-6_f64 * 0.1).sqrt();
+        assert!((t.as_secs_f64() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sqrt_heuristic_clamps_to_half_min_period() {
+        // Huge overhead: √(Θ'·P) > P/2 → clamp.
+        let m = set(&[10.0]);
+        let theta = Seconds::from_millis(9.0);
+        let t = TtrtPolicy::SqrtHeuristic.select(&m, theta, Seconds::ZERO, BW());
+        assert_eq!(t, Seconds::from_millis(5.0));
+    }
+
+    #[test]
+    fn half_min_period_and_fixed() {
+        let m = set(&[40.0, 80.0]);
+        assert_eq!(
+            TtrtPolicy::HalfMinPeriod.select(&m, Seconds::ZERO, Seconds::ZERO, BW()),
+            Seconds::from_millis(20.0)
+        );
+        let fixed = Seconds::from_millis(7.0);
+        assert_eq!(
+            TtrtPolicy::Fixed(fixed).select(&m, Seconds::ZERO, Seconds::ZERO, BW()),
+            fixed
+        );
+    }
+
+    #[test]
+    fn grid_search_beats_or_matches_heuristic() {
+        let m = MessageSet::new(vec![
+            SyncStream::new(Seconds::from_millis(20.0), Bits::new(100_000)),
+            SyncStream::new(Seconds::from_millis(45.0), Bits::new(200_000)),
+            SyncStream::new(Seconds::from_millis(170.0), Bits::new(800_000)),
+        ])
+        .unwrap();
+        let theta = Seconds::from_micros(126.0);
+        let fo = Seconds::from_micros(1.12);
+        let t_sqrt = TtrtPolicy::SqrtHeuristic.select(&m, theta, fo, BW());
+        let t_grid = TtrtPolicy::GridSearch { points: 200 }.select(&m, theta, fo, BW());
+        let s_sqrt = theorem_5_1_slack(&m, t_sqrt, theta, fo, BW());
+        let s_grid = theorem_5_1_slack(&m, t_grid, theta, fo, BW());
+        match (s_sqrt, s_grid) {
+            (Some(a), Some(b)) => assert!(b >= a - 1e-12, "grid {b} < sqrt {a}"),
+            (None, Some(_)) => {}
+            other => panic!("unexpected slacks: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slack_none_when_q_below_two() {
+        let m = set(&[10.0]);
+        // TTRT of 6 ms → q = 1 → no guarantee.
+        assert!(theorem_5_1_slack(
+            &m,
+            Seconds::from_millis(6.0),
+            Seconds::ZERO,
+            Seconds::ZERO,
+            BW()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TtrtPolicy::SqrtHeuristic.to_string(), "√(Θ'·P_min)");
+        assert_eq!(TtrtPolicy::HalfMinPeriod.to_string(), "P_min/2");
+        assert!(TtrtPolicy::Fixed(Seconds::from_millis(8.0))
+            .to_string()
+            .starts_with("fixed"));
+        assert!(TtrtPolicy::GridSearch { points: 10 }.to_string().contains("10"));
+        assert_eq!(TtrtPolicy::default(), TtrtPolicy::SqrtHeuristic);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property tests of the core analysis internals: overhead accounting,
+//! visit counts, blocking bounds, and the RM machinery.
+
+use proptest::prelude::*;
+
+use ringrt_core::pdp::{augmented_length, blocking_bound, PdpVariant};
+use ringrt_core::rm::{self, RmTask};
+use ringrt_core::ttp::{visit_count, SbaScheme, TtpAnalyzer, worst_case_available_time};
+use ringrt_model::{FrameFormat, MessageSet, RingConfig, SyncStream};
+use ringrt_units::{Bandwidth, Bits, Seconds};
+
+fn ring(mbps: f64) -> RingConfig {
+    RingConfig::ieee_802_5(16, Bandwidth::from_mbps(mbps))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The augmented length C' is monotone in the message size, for both
+    /// variants and across the F ≤ Θ / F > Θ regimes.
+    #[test]
+    fn augmented_length_monotone_in_size(
+        bits in 1u64..500_000,
+        extra in 1u64..100_000,
+        mbps in 1.0f64..1000.0,
+        modified in any::<bool>(),
+    ) {
+        let variant = if modified { PdpVariant::Modified } else { PdpVariant::Standard };
+        let ring = ring(mbps);
+        let frame = FrameFormat::paper_default();
+        let p = Seconds::from_millis(1_000.0);
+        let small = SyncStream::new(p, Bits::new(bits));
+        let large = SyncStream::new(p, Bits::new(bits + extra));
+        let c_small = augmented_length(&small, &ring, &frame, variant);
+        let c_large = augmented_length(&large, &ring, &frame, variant);
+        prop_assert!(c_large >= c_small, "{c_large} < {c_small}");
+    }
+
+    /// C' is always at least the raw transmission time, and the standard
+    /// variant never beats the modified variant.
+    #[test]
+    fn augmented_length_lower_bounds(
+        bits in 1u64..500_000,
+        mbps in 1.0f64..1000.0,
+    ) {
+        let ring = ring(mbps);
+        let frame = FrameFormat::paper_default();
+        let s = SyncStream::new(Seconds::from_millis(1_000.0), Bits::new(bits));
+        let raw = s.transmission_time(ring.bandwidth());
+        let std = augmented_length(&s, &ring, &frame, PdpVariant::Standard);
+        let modv = augmented_length(&s, &ring, &frame, PdpVariant::Modified);
+        prop_assert!(std >= raw);
+        prop_assert!(modv >= raw);
+        prop_assert!(modv <= std);
+    }
+
+    /// The blocking bound is exactly 2·max(F, Θ) and hence monotone in the
+    /// frame size.
+    #[test]
+    fn blocking_monotone_in_frame_size(
+        payload in 1u64..65_536,
+        extra in 1u64..65_536,
+        mbps in 1.0f64..1000.0,
+    ) {
+        let ring = ring(mbps);
+        let small = FrameFormat::with_payload(Bits::new(payload)).unwrap();
+        let large = FrameFormat::with_payload(Bits::new(payload + extra)).unwrap();
+        prop_assert!(blocking_bound(&ring, &large) >= blocking_bound(&ring, &small));
+        let f = small.frame_time(ring.bandwidth());
+        let theta = ring.token_circulation_time();
+        let expect = 2.0 * if f > theta { f } else { theta };
+        let got = blocking_bound(&ring, &small);
+        prop_assert!((got.as_secs_f64() - expect.as_secs_f64()).abs() < 1e-15);
+    }
+
+    /// visit_count is monotone in the window and antitone in the TTRT, and
+    /// q·TTRT never exceeds the window by more than one TTRT.
+    #[test]
+    fn visit_count_laws(window_ms in 0.1f64..1000.0, ttrt_ms in 0.05f64..100.0) {
+        let window = Seconds::from_millis(window_ms);
+        let ttrt = Seconds::from_millis(ttrt_ms);
+        let q = visit_count(window, ttrt);
+        // Defining inequality of the floor (with the implementation's
+        // 1e-9 relative snap tolerance at exact multiples).
+        let tol = 1.0 + 2e-9;
+        prop_assert!(q as f64 * ttrt_ms <= window_ms * tol);
+        prop_assert!((q + 1) as f64 * ttrt_ms >= window_ms / tol);
+        // Monotonicity.
+        prop_assert!(visit_count(window * 2.0, ttrt) >= q);
+        prop_assert!(visit_count(window, ttrt * 2.0) <= q);
+        // Available time is (q−1)·h.
+        let h = Seconds::from_micros(100.0);
+        let x = worst_case_available_time(q, h);
+        prop_assert!((x.as_secs_f64() - h.as_secs_f64() * q.saturating_sub(1) as f64).abs() < 1e-15);
+    }
+
+    /// The local allocation exactly satisfies its defining equation
+    /// h_i = C_i/(q_i−1) + F_ovhd whenever q_i ≥ 2.
+    #[test]
+    fn local_allocation_equation(
+        periods_ms in prop::collection::vec(20.0f64..500.0, 1..6),
+        bits in 1_000u64..1_000_000,
+    ) {
+        let bw = Bandwidth::from_mbps(100.0);
+        let set = MessageSet::new(
+            periods_ms
+                .iter()
+                .map(|&p| SyncStream::new(Seconds::from_millis(p), Bits::new(bits)))
+                .collect(),
+        )
+        .unwrap();
+        let ttrt = Seconds::from_millis(4.0);
+        let fo = Seconds::from_micros(1.12);
+        let h = SbaScheme::Local.allocate(&set, ttrt, Seconds::ZERO, fo, bw);
+        for (s, &hi) in set.iter().zip(&h) {
+            let q = visit_count(s.relative_deadline(), ttrt);
+            prop_assume!(q >= 2);
+            let expect = s.transmission_time(bw) / (q - 1) as f64 + fo;
+            prop_assert!((hi.as_secs_f64() - expect.as_secs_f64()).abs() < 1e-15);
+        }
+    }
+
+    /// RTA response times are monotone in blocking, and adding a
+    /// lower-priority task never changes higher-priority responses.
+    #[test]
+    fn rta_isolation_laws(
+        costs_ms in prop::collection::vec(0.5f64..5.0, 2..6),
+        blocking_ms in 0.0f64..3.0,
+    ) {
+        let n = costs_ms.len();
+        let tasks: Vec<RmTask> = costs_ms
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                RmTask::new(
+                    Seconds::from_millis(c),
+                    Seconds::from_millis(50.0 * (i + 1) as f64),
+                )
+            })
+            .collect();
+        let b0 = Seconds::ZERO;
+        let b1 = Seconds::from_millis(blocking_ms);
+        for i in 0..n {
+            match (rm::response_time(&tasks, i, b0), rm::response_time(&tasks, i, b1)) {
+                (Some(r0), Some(r1)) => prop_assert!(r1 >= r0),
+                (None, Some(_)) => prop_assert!(false, "blocking cannot help"),
+                _ => {}
+            }
+        }
+        // Dropping the lowest-priority task leaves the others' responses
+        // untouched.
+        let prefix = &tasks[..n - 1];
+        for i in 0..n - 1 {
+            prop_assert_eq!(
+                rm::response_time(prefix, i, b1),
+                rm::response_time(&tasks, i, b1)
+            );
+        }
+    }
+
+    /// TTP analyze() is invariant under station order permutation (only the
+    /// per-stream labels move).
+    #[test]
+    fn ttp_verdict_order_invariant(
+        specs in prop::collection::vec((20.0f64..400.0, 1_000u64..400_000), 2..6),
+    ) {
+        use ringrt_core::SchedulabilityTest;
+        let bw = Bandwidth::from_mbps(100.0);
+        let ring = RingConfig::fddi(specs.len(), bw);
+        let a = TtpAnalyzer::with_defaults(ring);
+        let streams: Vec<SyncStream> = specs
+            .iter()
+            .map(|&(p, c)| SyncStream::new(Seconds::from_millis(p), Bits::new(c)))
+            .collect();
+        let forward = MessageSet::new(streams.clone()).unwrap();
+        let mut rev = streams;
+        rev.reverse();
+        let backward = MessageSet::new(rev).unwrap();
+        prop_assert_eq!(a.is_schedulable(&forward), a.is_schedulable(&backward));
+    }
+}

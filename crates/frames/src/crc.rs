@@ -1,0 +1,139 @@
+//! The IEEE 802 CRC-32 frame check sequence.
+//!
+//! Both IEEE 802.5 and FDDI protect frames with the same 32-bit cyclic
+//! redundancy check (polynomial `0x04C11DB7`, reflected, initial value
+//! `0xFFFF_FFFF`, final XOR `0xFFFF_FFFF`) — the classic "CRC-32" also
+//! used by Ethernet and zlib.
+
+/// The reflected CRC-32 polynomial (bit-reversed `0x04C11DB7`).
+const POLY_REFLECTED: u32 = 0xEDB8_8320;
+
+/// A 256-entry lookup table computed at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY_REFLECTED
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Computes the IEEE CRC-32 of `data`.
+///
+/// # Examples
+///
+/// ```
+/// use ringrt_frames::crc::crc32;
+///
+/// // The canonical check value.
+/// assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut state = Crc32::new();
+    state.update(data);
+    state.finish()
+}
+
+/// Incremental CRC-32 computation.
+///
+/// # Examples
+///
+/// ```
+/// use ringrt_frames::crc::{crc32, Crc32};
+///
+/// let mut crc = Crc32::new();
+/// crc.update(b"1234");
+/// crc.update(b"56789");
+/// assert_eq!(crc.finish(), crc32(b"123456789"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Starts a fresh computation.
+    #[must_use]
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds more bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        for &byte in data {
+            let idx = ((self.state ^ byte as u32) & 0xFF) as usize;
+            self.state = (self.state >> 8) ^ TABLE[idx];
+        }
+    }
+
+    /// Returns the final checksum (the accumulator may keep being fed
+    /// afterwards, continuing the same message).
+    #[must_use]
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32/ISO-HDLC test vectors.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"abc"), 0x3524_41C2);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..=255).collect();
+        for split in [0usize, 1, 7, 128, 255, 256] {
+            let mut crc = Crc32::new();
+            crc.update(&data[..split]);
+            crc.update(&data[split..]);
+            assert_eq!(crc.finish(), crc32(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = b"synchronous message payload".to_vec();
+        let original = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                data[byte] ^= 1 << bit;
+                assert_ne!(crc32(&data), original, "flip at {byte}:{bit} undetected");
+                data[byte] ^= 1 << bit;
+            }
+        }
+    }
+
+    #[test]
+    fn default_is_fresh() {
+        assert_eq!(Crc32::default().finish(), crc32(b""));
+    }
+}

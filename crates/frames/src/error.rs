@@ -1,0 +1,75 @@
+//! Frame codec errors.
+
+use core::fmt;
+
+/// Errors raised while decoding a MAC frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrameError {
+    /// The byte buffer is shorter than the fixed framing fields.
+    TooShort {
+        /// Bytes available.
+        got: usize,
+        /// Minimum bytes required.
+        need: usize,
+    },
+    /// A delimiter byte did not match the expected code.
+    BadDelimiter {
+        /// Name of the field ("SD", "ED", …).
+        field: &'static str,
+        /// The byte found on the wire.
+        found: u8,
+    },
+    /// The frame check sequence did not match the frame contents.
+    BadChecksum {
+        /// CRC computed over the covered fields.
+        computed: u32,
+        /// CRC carried by the frame.
+        carried: u32,
+    },
+    /// The access-control byte describes a token, not a data frame (or
+    /// vice versa).
+    WrongKind,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TooShort { got, need } => {
+                write!(f, "frame too short: {got} bytes, need at least {need}")
+            }
+            FrameError::BadDelimiter { field, found } => {
+                write!(f, "bad {field} delimiter byte {found:#04x}")
+            }
+            FrameError::BadChecksum { computed, carried } => write!(
+                f,
+                "frame check sequence mismatch: computed {computed:#010x}, carried {carried:#010x}"
+            ),
+            FrameError::WrongKind => write!(f, "frame kind does not match the decoder"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = FrameError::TooShort { got: 3, need: 21 };
+        assert!(e.to_string().contains("3 bytes"));
+        let e = FrameError::BadDelimiter { field: "SD", found: 0xFF };
+        assert!(e.to_string().contains("SD"));
+        let e = FrameError::BadChecksum { computed: 1, carried: 2 };
+        assert!(e.to_string().contains("mismatch"));
+        assert!(FrameError::WrongKind.to_string().contains("kind"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<FrameError>();
+    }
+}

@@ -1,0 +1,353 @@
+//! ANSI X3T9.5 FDDI frame formats.
+//!
+//! FDDI transmits 4B/5B-encoded symbols; this module works at the octet
+//! level (two symbols per octet), which is the granularity the timing
+//! analysis cares about. Layout of a data frame (octets):
+//!
+//! ```text
+//! PA(8)  SD  FC  DA(6)  SA(6)  INFO(n)  FCS(4)  ED  FS
+//! ```
+//!
+//! and of a token: `PA(8) SD FC ED` — 11 octets = 88 bits, the token
+//! length used by the network model. The fixed data-frame framing is 28
+//! octets = [`OVERHEAD_BITS`] (224) bits.
+
+use crate::crc::crc32;
+use crate::FrameError;
+
+/// Fixed framing overhead of an FDDI data frame: PA + SD + FC + DA + SA +
+/// FCS + ED + FS = 28 octets = 224 bits.
+pub const OVERHEAD_BITS: u64 = 28 * 8;
+
+/// Token length: PA + SD + FC + ED = 11 octets = 88 bits (matches the
+/// network model's default).
+pub const TOKEN_BITS: u64 = 11 * 8;
+
+/// Preamble length in octets (16 idle symbols).
+const PREAMBLE_LEN: usize = 8;
+/// Preamble fill byte (idle line-state symbols).
+const PREAMBLE: u8 = 0x00;
+/// Starting delimiter (J/K symbol pair).
+const SD: u8 = 0xC5;
+/// Ending delimiter (T symbols).
+const ED: u8 = 0x4D;
+
+/// The frame-class half of the frame-control byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameClass {
+    /// A non-restricted token.
+    Token,
+    /// A synchronous data frame (transmitted within `h_i`).
+    Synchronous,
+    /// An asynchronous data frame (transmitted from THT slack).
+    Asynchronous,
+    /// A MAC management frame (claim/beacon).
+    Mac,
+}
+
+impl FrameClass {
+    /// The frame-control byte for this class.
+    #[must_use]
+    pub fn to_byte(self) -> u8 {
+        match self {
+            FrameClass::Token => 0x80,
+            FrameClass::Synchronous => 0xD0,
+            FrameClass::Asynchronous => 0x50,
+            FrameClass::Mac => 0xC1,
+        }
+    }
+
+    /// Parses a frame-control byte; `None` for codes this model does not
+    /// use.
+    #[must_use]
+    pub fn from_byte(byte: u8) -> Option<Self> {
+        match byte {
+            0x80 => Some(FrameClass::Token),
+            0xD0 => Some(FrameClass::Synchronous),
+            0x50 => Some(FrameClass::Asynchronous),
+            0xC1 => Some(FrameClass::Mac),
+            _ => None,
+        }
+    }
+
+    /// `true` for the synchronous class.
+    #[must_use]
+    pub fn is_synchronous(self) -> bool {
+        self == FrameClass::Synchronous
+    }
+}
+
+/// An FDDI token: `PA SD FC ED`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token;
+
+impl Token {
+    /// Encodes the token to its 11-octet wire form.
+    #[must_use]
+    pub fn encode(&self) -> [u8; 11] {
+        let mut out = [PREAMBLE; 11];
+        out[PREAMBLE_LEN] = SD;
+        out[PREAMBLE_LEN + 1] = FrameClass::Token.to_byte();
+        out[PREAMBLE_LEN + 2] = ED;
+        out
+    }
+
+    /// Decodes a token.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::TooShort`], [`FrameError::BadDelimiter`], or
+    /// [`FrameError::WrongKind`] for a non-token frame-control code.
+    pub fn decode(bytes: &[u8]) -> Result<Self, FrameError> {
+        if bytes.len() < 11 {
+            return Err(FrameError::TooShort {
+                got: bytes.len(),
+                need: 11,
+            });
+        }
+        if bytes[PREAMBLE_LEN] != SD {
+            return Err(FrameError::BadDelimiter {
+                field: "SD",
+                found: bytes[PREAMBLE_LEN],
+            });
+        }
+        if bytes[PREAMBLE_LEN + 2] != ED {
+            return Err(FrameError::BadDelimiter {
+                field: "ED",
+                found: bytes[PREAMBLE_LEN + 2],
+            });
+        }
+        match FrameClass::from_byte(bytes[PREAMBLE_LEN + 1]) {
+            Some(FrameClass::Token) => Ok(Token),
+            _ => Err(FrameError::WrongKind),
+        }
+    }
+
+    /// The token's wire length in bits.
+    #[must_use]
+    pub fn wire_bits(&self) -> u64 {
+        TOKEN_BITS
+    }
+}
+
+/// An FDDI data frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataFrame {
+    class: FrameClass,
+    destination: [u8; 6],
+    source: [u8; 6],
+    payload: Vec<u8>,
+    frame_status: u8,
+}
+
+impl DataFrame {
+    /// Builds a synchronous or asynchronous data frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is [`FrameClass::Token`] (tokens carry no data).
+    #[must_use]
+    pub fn new(class: FrameClass, destination: [u8; 6], source: [u8; 6], payload: Vec<u8>) -> Self {
+        assert!(class != FrameClass::Token, "tokens carry no payload");
+        DataFrame {
+            class,
+            destination,
+            source,
+            payload,
+            frame_status: 0,
+        }
+    }
+
+    /// The frame's class (synchronous / asynchronous / MAC).
+    #[must_use]
+    pub fn class(&self) -> FrameClass {
+        self.class
+    }
+
+    /// Destination MAC address.
+    #[must_use]
+    pub fn destination(&self) -> [u8; 6] {
+        self.destination
+    }
+
+    /// Source MAC address.
+    #[must_use]
+    pub fn source(&self) -> [u8; 6] {
+        self.source
+    }
+
+    /// The information field.
+    #[must_use]
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Total length on the wire in bits.
+    #[must_use]
+    pub fn wire_bits(&self) -> u64 {
+        OVERHEAD_BITS + self.payload.len() as u64 * 8
+    }
+
+    /// Encodes the frame; the FCS covers FC through INFO.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(28 + self.payload.len());
+        out.extend_from_slice(&[PREAMBLE; PREAMBLE_LEN]);
+        out.push(SD);
+        out.push(self.class.to_byte());
+        out.extend_from_slice(&self.destination);
+        out.extend_from_slice(&self.source);
+        out.extend_from_slice(&self.payload);
+        let fcs = crc32(&out[PREAMBLE_LEN + 1..]);
+        out.extend_from_slice(&fcs.to_be_bytes());
+        out.push(ED);
+        out.push(self.frame_status);
+        out
+    }
+
+    /// Decodes and validates a data frame.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FrameError`]: short buffer, bad delimiters, an unknown or
+    /// token frame-control code, or an FCS mismatch.
+    pub fn decode(bytes: &[u8]) -> Result<Self, FrameError> {
+        const MIN: usize = 28;
+        if bytes.len() < MIN {
+            return Err(FrameError::TooShort {
+                got: bytes.len(),
+                need: MIN,
+            });
+        }
+        if bytes[PREAMBLE_LEN] != SD {
+            return Err(FrameError::BadDelimiter {
+                field: "SD",
+                found: bytes[PREAMBLE_LEN],
+            });
+        }
+        let ed_pos = bytes.len() - 2;
+        if bytes[ed_pos] != ED {
+            return Err(FrameError::BadDelimiter {
+                field: "ED",
+                found: bytes[ed_pos],
+            });
+        }
+        let class = match FrameClass::from_byte(bytes[PREAMBLE_LEN + 1]) {
+            Some(FrameClass::Token) | None => return Err(FrameError::WrongKind),
+            Some(c) => c,
+        };
+        let fcs_pos = ed_pos - 4;
+        let carried = u32::from_be_bytes(bytes[fcs_pos..ed_pos].try_into().expect("4 bytes"));
+        let computed = crc32(&bytes[PREAMBLE_LEN + 1..fcs_pos]);
+        if carried != computed {
+            return Err(FrameError::BadChecksum { computed, carried });
+        }
+        let destination = bytes[PREAMBLE_LEN + 2..PREAMBLE_LEN + 8]
+            .try_into()
+            .expect("6 bytes");
+        let source = bytes[PREAMBLE_LEN + 8..PREAMBLE_LEN + 14]
+            .try_into()
+            .expect("6 bytes");
+        let payload = bytes[PREAMBLE_LEN + 14..fcs_pos].to_vec();
+        Ok(DataFrame {
+            class,
+            destination,
+            source,
+            payload,
+            frame_status: bytes[bytes.len() - 1],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_roundtrip_and_length() {
+        let t = Token;
+        let wire = t.encode();
+        assert_eq!(wire.len() as u64 * 8, TOKEN_BITS);
+        assert_eq!(t.wire_bits(), 88);
+        assert_eq!(Token::decode(&wire).unwrap(), Token);
+    }
+
+    #[test]
+    fn token_decode_errors() {
+        assert!(matches!(Token::decode(&[0; 5]), Err(FrameError::TooShort { .. })));
+        let mut wire = Token.encode();
+        wire[PREAMBLE_LEN] = 0x00;
+        assert!(matches!(
+            Token::decode(&wire),
+            Err(FrameError::BadDelimiter { field: "SD", .. })
+        ));
+        let mut wire = Token.encode();
+        wire[PREAMBLE_LEN + 1] = FrameClass::Synchronous.to_byte();
+        assert_eq!(Token::decode(&wire), Err(FrameError::WrongKind));
+        let mut wire = Token.encode();
+        wire[PREAMBLE_LEN + 2] = 0x00;
+        assert!(matches!(
+            Token::decode(&wire),
+            Err(FrameError::BadDelimiter { field: "ED", .. })
+        ));
+    }
+
+    #[test]
+    fn frame_class_codes() {
+        for class in [
+            FrameClass::Token,
+            FrameClass::Synchronous,
+            FrameClass::Asynchronous,
+            FrameClass::Mac,
+        ] {
+            assert_eq!(FrameClass::from_byte(class.to_byte()), Some(class));
+        }
+        assert_eq!(FrameClass::from_byte(0xFF), None);
+        assert!(FrameClass::Synchronous.is_synchronous());
+        assert!(!FrameClass::Asynchronous.is_synchronous());
+    }
+
+    #[test]
+    fn data_frame_roundtrip_both_classes() {
+        for class in [FrameClass::Synchronous, FrameClass::Asynchronous] {
+            let f = DataFrame::new(class, [3; 6], [4; 6], vec![1, 2, 3, 4]);
+            let wire = f.encode();
+            assert_eq!(wire.len(), 28 + 4);
+            assert_eq!(f.wire_bits(), OVERHEAD_BITS + 32);
+            let back = DataFrame::decode(&wire).unwrap();
+            assert_eq!(back, f);
+            assert_eq!(back.class(), class);
+            assert_eq!(back.destination(), [3; 6]);
+            assert_eq!(back.source(), [4; 6]);
+            assert_eq!(back.payload(), &[1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let f = DataFrame::new(FrameClass::Synchronous, [1; 6], [2; 6], b"sync".to_vec());
+        let mut wire = f.encode();
+        wire[PREAMBLE_LEN + 3] ^= 0x80; // flip a DA bit
+        assert!(matches!(
+            DataFrame::decode(&wire),
+            Err(FrameError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_tokens_and_unknown_classes() {
+        let f = DataFrame::new(FrameClass::Synchronous, [0; 6], [0; 6], vec![7]);
+        let mut wire = f.encode();
+        wire[PREAMBLE_LEN + 1] = FrameClass::Token.to_byte();
+        assert_eq!(DataFrame::decode(&wire), Err(FrameError::WrongKind));
+        let mut wire = f.encode();
+        wire[PREAMBLE_LEN + 1] = 0xEE;
+        assert_eq!(DataFrame::decode(&wire), Err(FrameError::WrongKind));
+    }
+
+    #[test]
+    #[should_panic(expected = "tokens carry no payload")]
+    fn token_class_data_frame_panics() {
+        let _ = DataFrame::new(FrameClass::Token, [0; 6], [0; 6], vec![]);
+    }
+}

@@ -1,0 +1,486 @@
+//! IEEE 802.5-1989 token ring frame formats.
+//!
+//! Layout of a data frame (octets):
+//!
+//! ```text
+//! SD  AC  FC  DA(6)  SA(6)  INFO(n)  FCS(4)  ED  FS
+//! ```
+//!
+//! and of a token: `SD AC ED` — 3 octets = 24 bits, the token length used
+//! by the network model. The fixed data-frame framing is 21 octets =
+//! [`OVERHEAD_BITS`] (168) bits; the paper assumes 112.
+//!
+//! The **access control** (AC) octet carries the fields the
+//! priority-driven protocol arbitrates with: 3 priority bits, the token
+//! bit, the monitor bit, and 3 reservation bits.
+
+use crate::crc::crc32;
+use crate::FrameError;
+
+/// Fixed framing overhead of a data frame: SD + AC + FC + DA + SA + FCS +
+/// ED + FS = 21 octets = 168 bits.
+pub const OVERHEAD_BITS: u64 = 21 * 8;
+
+/// Token length: SD + AC + ED = 3 octets = 24 bits (matches the network
+/// model's default).
+pub const TOKEN_BITS: u64 = 3 * 8;
+
+/// The starting-delimiter code (J/K symbols approximated as a fixed byte).
+const SD: u8 = 0xAC;
+/// The ending-delimiter code.
+const ED: u8 = 0xCD;
+
+/// A priority level 0–7 (3 bits). Higher values = higher service priority
+/// on the wire; the rate-monotonic mapping assigns shorter periods higher
+/// wire priorities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Priority(u8);
+
+impl Priority {
+    /// The lowest priority (0) — used by asynchronous traffic.
+    pub const LOWEST: Priority = Priority(0);
+    /// The highest priority (7).
+    pub const HIGHEST: Priority = Priority(7);
+
+    /// Creates a priority; `None` if `value > 7`.
+    #[must_use]
+    pub fn new(value: u8) -> Option<Self> {
+        (value <= 7).then_some(Priority(value))
+    }
+
+    /// The raw 3-bit value.
+    #[must_use]
+    pub fn value(self) -> u8 {
+        self.0
+    }
+}
+
+impl core::fmt::Display for Priority {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// The access-control octet: `PPP T M RRR`.
+///
+/// * `PPP` — service priority of the token / frame;
+/// * `T` — token bit (0 = token, 1 = data frame);
+/// * `M` — monitor bit (set by the active monitor to catch orbiting
+///   frames);
+/// * `RRR` — reservation bits: stations bid here for the next token's
+///   priority.
+///
+/// # Examples
+///
+/// ```
+/// use ringrt_frames::ieee8025::{AccessControl, Priority};
+///
+/// let mut ac = AccessControl::token(Priority::new(3).unwrap());
+/// assert!(ac.is_token());
+/// // A station with a priority-5 message bids in the reservation field.
+/// assert!(ac.bid(Priority::new(5).unwrap()));
+/// assert_eq!(ac.reservation().value(), 5);
+/// // A lower bid does not overwrite a higher one.
+/// assert!(!ac.bid(Priority::new(2).unwrap()));
+/// assert_eq!(ac.reservation().value(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AccessControl(u8);
+
+impl AccessControl {
+    /// An AC byte describing a free token at `priority` with no
+    /// reservation.
+    #[must_use]
+    pub fn token(priority: Priority) -> Self {
+        AccessControl(priority.0 << 5)
+    }
+
+    /// An AC byte describing a data frame sent at `priority` carrying an
+    /// existing `reservation`.
+    #[must_use]
+    pub fn frame(priority: Priority, reservation: Priority) -> Self {
+        AccessControl((priority.0 << 5) | 0b0001_0000 | reservation.0)
+    }
+
+    /// Reconstructs from the raw wire byte.
+    #[must_use]
+    pub fn from_byte(byte: u8) -> Self {
+        AccessControl(byte)
+    }
+
+    /// The raw wire byte.
+    #[must_use]
+    pub fn to_byte(self) -> u8 {
+        self.0
+    }
+
+    /// The service priority field.
+    #[must_use]
+    pub fn priority(self) -> Priority {
+        Priority(self.0 >> 5)
+    }
+
+    /// The reservation field.
+    #[must_use]
+    pub fn reservation(self) -> Priority {
+        Priority(self.0 & 0b0000_0111)
+    }
+
+    /// `true` if the token bit marks this as a free token.
+    #[must_use]
+    pub fn is_token(self) -> bool {
+        self.0 & 0b0001_0000 == 0
+    }
+
+    /// The monitor bit.
+    #[must_use]
+    pub fn monitor(self) -> bool {
+        self.0 & 0b0000_1000 != 0
+    }
+
+    /// Sets the monitor bit (done by the active monitor as frames pass).
+    pub fn set_monitor(&mut self, on: bool) {
+        if on {
+            self.0 |= 0b0000_1000;
+        } else {
+            self.0 &= !0b0000_1000;
+        }
+    }
+
+    /// Writes `bid` into the reservation field if it exceeds the current
+    /// reservation — exactly the bidding rule of the protocol (§4.1 of the
+    /// paper). Returns whether the field changed.
+    pub fn bid(&mut self, bid: Priority) -> bool {
+        if bid > self.reservation() {
+            self.0 = (self.0 & 0b1111_1000) | bid.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// A free token: `SD AC ED`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    ac: AccessControl,
+}
+
+impl Token {
+    /// A free token at the given priority.
+    #[must_use]
+    pub fn new(priority: Priority) -> Self {
+        Token {
+            ac: AccessControl::token(priority),
+        }
+    }
+
+    /// The token's access-control byte.
+    #[must_use]
+    pub fn access_control(&self) -> AccessControl {
+        self.ac
+    }
+
+    /// Encodes to the 3-octet wire form.
+    #[must_use]
+    pub fn encode(&self) -> [u8; 3] {
+        [SD, self.ac.to_byte(), ED]
+    }
+
+    /// Decodes a token from its wire form.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::TooShort`], [`FrameError::BadDelimiter`], or
+    /// [`FrameError::WrongKind`] if the AC byte marks a data frame.
+    pub fn decode(bytes: &[u8]) -> Result<Self, FrameError> {
+        if bytes.len() < 3 {
+            return Err(FrameError::TooShort {
+                got: bytes.len(),
+                need: 3,
+            });
+        }
+        if bytes[0] != SD {
+            return Err(FrameError::BadDelimiter {
+                field: "SD",
+                found: bytes[0],
+            });
+        }
+        if bytes[2] != ED {
+            return Err(FrameError::BadDelimiter {
+                field: "ED",
+                found: bytes[2],
+            });
+        }
+        let ac = AccessControl::from_byte(bytes[1]);
+        if !ac.is_token() {
+            return Err(FrameError::WrongKind);
+        }
+        Ok(Token { ac })
+    }
+}
+
+/// An 802.5 data frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataFrame {
+    ac: AccessControl,
+    frame_control: u8,
+    destination: [u8; 6],
+    source: [u8; 6],
+    payload: Vec<u8>,
+    frame_status: u8,
+}
+
+impl DataFrame {
+    /// Builds a data frame (LLC frame-control, clear frame status).
+    ///
+    /// The token bit of `ac` is forced to "frame".
+    #[must_use]
+    pub fn new(ac: AccessControl, destination: [u8; 6], source: [u8; 6], payload: Vec<u8>) -> Self {
+        DataFrame {
+            ac: AccessControl::from_byte(ac.to_byte() | 0b0001_0000),
+            frame_control: 0b0100_0000, // LLC frame
+            destination,
+            source,
+            payload,
+            frame_status: 0,
+        }
+    }
+
+    /// The access-control byte (priority + reservation).
+    #[must_use]
+    pub fn access_control(&self) -> AccessControl {
+        self.ac
+    }
+
+    /// Mutable access to the AC byte, for reservation bidding en route.
+    pub fn access_control_mut(&mut self) -> &mut AccessControl {
+        &mut self.ac
+    }
+
+    /// Destination MAC address.
+    #[must_use]
+    pub fn destination(&self) -> [u8; 6] {
+        self.destination
+    }
+
+    /// Source MAC address.
+    #[must_use]
+    pub fn source(&self) -> [u8; 6] {
+        self.source
+    }
+
+    /// The information field.
+    #[must_use]
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Total length on the wire in bits (framing overhead + payload).
+    #[must_use]
+    pub fn wire_bits(&self) -> u64 {
+        OVERHEAD_BITS + self.payload.len() as u64 * 8
+    }
+
+    /// Encodes the frame, computing the FCS over FC through INFO (the
+    /// AC/SD/ED/FS fields are excluded as in the standard, since AC and FS
+    /// legitimately mutate en route).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(21 + self.payload.len());
+        out.push(SD);
+        out.push(self.ac.to_byte());
+        out.push(self.frame_control);
+        out.extend_from_slice(&self.destination);
+        out.extend_from_slice(&self.source);
+        out.extend_from_slice(&self.payload);
+        let fcs = crc32(&out[2..]);
+        out.extend_from_slice(&fcs.to_be_bytes());
+        out.push(ED);
+        out.push(self.frame_status);
+        out
+    }
+
+    /// Decodes and validates a data frame.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FrameError`]: short buffer, bad delimiters, a token where a
+    /// frame was expected, or an FCS mismatch (bit corruption).
+    pub fn decode(bytes: &[u8]) -> Result<Self, FrameError> {
+        const MIN: usize = 21;
+        if bytes.len() < MIN {
+            return Err(FrameError::TooShort {
+                got: bytes.len(),
+                need: MIN,
+            });
+        }
+        if bytes[0] != SD {
+            return Err(FrameError::BadDelimiter {
+                field: "SD",
+                found: bytes[0],
+            });
+        }
+        let ed_pos = bytes.len() - 2;
+        if bytes[ed_pos] != ED {
+            return Err(FrameError::BadDelimiter {
+                field: "ED",
+                found: bytes[ed_pos],
+            });
+        }
+        let ac = AccessControl::from_byte(bytes[1]);
+        if ac.is_token() {
+            return Err(FrameError::WrongKind);
+        }
+        let fcs_pos = ed_pos - 4;
+        let carried = u32::from_be_bytes(bytes[fcs_pos..ed_pos].try_into().expect("4 bytes"));
+        let computed = crc32(&bytes[2..fcs_pos]);
+        if carried != computed {
+            return Err(FrameError::BadChecksum { computed, carried });
+        }
+        let frame_control = bytes[2];
+        let destination = bytes[3..9].try_into().expect("6 bytes");
+        let source = bytes[9..15].try_into().expect("6 bytes");
+        let payload = bytes[15..fcs_pos].to_vec();
+        Ok(DataFrame {
+            ac,
+            frame_control,
+            destination,
+            source,
+            payload,
+            frame_status: bytes[bytes.len() - 1],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_bounds() {
+        assert_eq!(Priority::new(7), Some(Priority::HIGHEST));
+        assert_eq!(Priority::new(0), Some(Priority::LOWEST));
+        assert!(Priority::new(8).is_none());
+        assert!(Priority::new(3).unwrap() > Priority::new(2).unwrap());
+        assert_eq!(Priority::new(4).unwrap().to_string(), "P4");
+    }
+
+    #[test]
+    fn access_control_fields() {
+        let ac = AccessControl::frame(Priority::new(6).unwrap(), Priority::new(1).unwrap());
+        assert_eq!(ac.priority().value(), 6);
+        assert_eq!(ac.reservation().value(), 1);
+        assert!(!ac.is_token());
+        assert!(!ac.monitor());
+        let mut ac = ac;
+        ac.set_monitor(true);
+        assert!(ac.monitor());
+        ac.set_monitor(false);
+        assert!(!ac.monitor());
+        // Field isolation: priority unharmed by monitor/reservation edits.
+        assert_eq!(ac.priority().value(), 6);
+    }
+
+    #[test]
+    fn reservation_bidding_is_monotone() {
+        let mut ac = AccessControl::token(Priority::new(0).unwrap());
+        assert!(ac.bid(Priority::new(2).unwrap()));
+        assert!(!ac.bid(Priority::new(2).unwrap())); // equal: no change
+        assert!(!ac.bid(Priority::new(1).unwrap())); // lower: no change
+        assert!(ac.bid(Priority::new(7).unwrap()));
+        assert_eq!(ac.reservation(), Priority::HIGHEST);
+    }
+
+    #[test]
+    fn token_roundtrip_and_length() {
+        let t = Token::new(Priority::new(5).unwrap());
+        let wire = t.encode();
+        assert_eq!(wire.len() as u64 * 8, TOKEN_BITS);
+        let back = Token::decode(&wire).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.access_control().priority().value(), 5);
+    }
+
+    #[test]
+    fn token_decode_errors() {
+        assert!(matches!(
+            Token::decode(&[SD, 0]),
+            Err(FrameError::TooShort { .. })
+        ));
+        assert!(matches!(
+            Token::decode(&[0xFF, 0, ED]),
+            Err(FrameError::BadDelimiter { field: "SD", .. })
+        ));
+        assert!(matches!(
+            Token::decode(&[SD, 0, 0xFF]),
+            Err(FrameError::BadDelimiter { field: "ED", .. })
+        ));
+        // A data frame's AC byte is rejected by the token decoder.
+        let ac = AccessControl::frame(Priority::LOWEST, Priority::LOWEST);
+        assert_eq!(Token::decode(&[SD, ac.to_byte(), ED]), Err(FrameError::WrongKind));
+    }
+
+    #[test]
+    fn data_frame_roundtrip() {
+        let ac = AccessControl::frame(Priority::new(4).unwrap(), Priority::new(0).unwrap());
+        let f = DataFrame::new(ac, [1; 6], [2; 6], vec![9, 8, 7, 6, 5]);
+        let wire = f.encode();
+        assert_eq!(wire.len(), 21 + 5);
+        assert_eq!(f.wire_bits(), OVERHEAD_BITS + 40);
+        let back = DataFrame::decode(&wire).unwrap();
+        assert_eq!(back, f);
+        assert_eq!(back.destination(), [1; 6]);
+        assert_eq!(back.source(), [2; 6]);
+    }
+
+    #[test]
+    fn empty_payload_frame() {
+        let ac = AccessControl::frame(Priority::LOWEST, Priority::LOWEST);
+        let f = DataFrame::new(ac, [0; 6], [0; 6], vec![]);
+        let wire = f.encode();
+        assert_eq!(wire.len(), 21);
+        assert_eq!(DataFrame::decode(&wire).unwrap().payload(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let ac = AccessControl::frame(Priority::new(3).unwrap(), Priority::LOWEST);
+        let f = DataFrame::new(ac, [1; 6], [2; 6], b"payload".to_vec());
+        let mut wire = f.encode();
+        // Flip a payload bit.
+        wire[16] ^= 0x01;
+        assert!(matches!(
+            DataFrame::decode(&wire),
+            Err(FrameError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn ac_mutation_en_route_does_not_break_fcs() {
+        // The FCS excludes the AC byte precisely so reservation bids can be
+        // written while the frame circulates.
+        let ac = AccessControl::frame(Priority::new(3).unwrap(), Priority::LOWEST);
+        let f = DataFrame::new(ac, [1; 6], [2; 6], b"x".to_vec());
+        let mut wire = f.encode();
+        let mut en_route = AccessControl::from_byte(wire[1]);
+        en_route.bid(Priority::new(6).unwrap());
+        wire[1] = en_route.to_byte();
+        let back = DataFrame::decode(&wire).unwrap();
+        assert_eq!(back.access_control().reservation().value(), 6);
+    }
+
+    #[test]
+    fn decode_rejects_token_as_frame() {
+        let token_ac = AccessControl::token(Priority::LOWEST);
+        let mut wire = DataFrame::new(
+            AccessControl::frame(Priority::LOWEST, Priority::LOWEST),
+            [0; 6],
+            [0; 6],
+            vec![1, 2, 3],
+        )
+        .encode();
+        wire[1] = token_ac.to_byte();
+        assert_eq!(DataFrame::decode(&wire), Err(FrameError::WrongKind));
+    }
+}

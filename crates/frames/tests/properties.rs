@@ -1,0 +1,109 @@
+//! Property tests of the frame codecs: round-trips, corruption detection,
+//! and reservation-bidding laws.
+
+use proptest::prelude::*;
+
+use ringrt_frames::ieee8025::{AccessControl, DataFrame, Priority, Token};
+use ringrt_frames::{fddi, FrameError};
+
+proptest! {
+    /// Any 802.5 data frame round-trips through encode/decode.
+    #[test]
+    fn ieee_data_frame_roundtrip(
+        prio in 0u8..8,
+        resv in 0u8..8,
+        da in prop::array::uniform6(any::<u8>()),
+        sa in prop::array::uniform6(any::<u8>()),
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let ac = AccessControl::frame(
+            Priority::new(prio).unwrap(),
+            Priority::new(resv).unwrap(),
+        );
+        let frame = DataFrame::new(ac, da, sa, payload);
+        let back = DataFrame::decode(&frame.encode()).unwrap();
+        prop_assert_eq!(back, frame);
+    }
+
+    /// Any FDDI data frame round-trips.
+    #[test]
+    fn fddi_data_frame_roundtrip(
+        sync in any::<bool>(),
+        da in prop::array::uniform6(any::<u8>()),
+        sa in prop::array::uniform6(any::<u8>()),
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let class = if sync { fddi::FrameClass::Synchronous } else { fddi::FrameClass::Asynchronous };
+        let frame = fddi::DataFrame::new(class, da, sa, payload);
+        let back = fddi::DataFrame::decode(&frame.encode()).unwrap();
+        prop_assert_eq!(back, frame);
+    }
+
+    /// Flipping any single payload/header bit (outside AC/FS/delimiters) is
+    /// caught by the FCS.
+    #[test]
+    fn ieee_single_bit_corruption_detected(
+        payload in prop::collection::vec(any::<u8>(), 1..64),
+        byte_sel in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let ac = AccessControl::frame(Priority::new(3).unwrap(), Priority::LOWEST);
+        let frame = DataFrame::new(ac, [1; 6], [2; 6], payload);
+        let mut wire = frame.encode();
+        // Corrupt within the FCS-covered region: FC..payload end.
+        let covered = 2..wire.len() - 6;
+        let idx = covered.start + byte_sel.index(covered.len());
+        wire[idx] ^= 1 << bit;
+        let caught = matches!(DataFrame::decode(&wire), Err(FrameError::BadChecksum { .. }));
+        prop_assert!(caught, "corruption at byte {} bit {} went undetected", idx, bit);
+    }
+
+    /// The reservation field after any sequence of bids equals the maximum
+    /// bid (or the initial value if it was higher).
+    #[test]
+    fn bidding_converges_to_max(bids in prop::collection::vec(0u8..8, 1..20)) {
+        let mut ac = AccessControl::token(Priority::LOWEST);
+        for &b in &bids {
+            ac.bid(Priority::new(b).unwrap());
+        }
+        let max = bids.iter().copied().max().unwrap();
+        prop_assert_eq!(ac.reservation().value(), max);
+        // Priority field untouched by bidding.
+        prop_assert_eq!(ac.priority(), Priority::LOWEST);
+    }
+
+    /// AC byte round-trips through its raw wire form.
+    #[test]
+    fn access_control_byte_roundtrip(byte in any::<u8>()) {
+        let ac = AccessControl::from_byte(byte);
+        prop_assert_eq!(ac.to_byte(), byte);
+        // Derived fields stay within range.
+        prop_assert!(ac.priority().value() <= 7);
+        prop_assert!(ac.reservation().value() <= 7);
+    }
+
+    /// Wire length always equals overhead + 8·payload bytes, for both
+    /// standards.
+    #[test]
+    fn wire_bits_formula(payload in prop::collection::vec(any::<u8>(), 0..256)) {
+        let ac = AccessControl::frame(Priority::LOWEST, Priority::LOWEST);
+        let ieee = DataFrame::new(ac, [0; 6], [0; 6], payload.clone());
+        prop_assert_eq!(ieee.wire_bits(), ringrt_frames::ieee8025::OVERHEAD_BITS + payload.len() as u64 * 8);
+        prop_assert_eq!(ieee.encode().len() as u64 * 8, ieee.wire_bits());
+        let f = fddi::DataFrame::new(fddi::FrameClass::Synchronous, [0; 6], [0; 6], payload.clone());
+        prop_assert_eq!(f.wire_bits(), fddi::OVERHEAD_BITS + payload.len() as u64 * 8);
+        prop_assert_eq!(f.encode().len() as u64 * 8, f.wire_bits());
+    }
+}
+
+#[test]
+fn token_constants_match_network_model_defaults() {
+    use ringrt_model::RingConfig;
+    use ringrt_units::Bandwidth;
+    // The model presets embed the same token lengths the codecs implement.
+    let ring = RingConfig::ieee_802_5(1, Bandwidth::from_mbps(1.0));
+    assert_eq!(ring.token_length().as_u64(), ringrt_frames::ieee8025::TOKEN_BITS);
+    let ring = RingConfig::fddi(1, Bandwidth::from_mbps(1.0));
+    assert_eq!(ring.token_length().as_u64(), fddi::TOKEN_BITS);
+    assert_eq!(Token::new(Priority::LOWEST).encode().len() as u64 * 8, 24);
+}

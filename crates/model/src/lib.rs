@@ -1,0 +1,48 @@
+//! Message-set and ring-network models shared by all `ringrt` crates.
+//!
+//! This crate captures the *system model* of Kamat & Zhao (ICDCS 1993),
+//! Section 3:
+//!
+//! * [`SyncStream`] / [`MessageSet`] — `n` periodic synchronous message
+//!   streams `S_1 … S_n`, one per ring station, each with period `P_i` and
+//!   payload length `C_i^b` bits (deadline = end of period);
+//! * [`RingConfig`] — the physical ring: station count, spacing, per-station
+//!   bit delay, token length, signal propagation speed, and bandwidth, from
+//!   which the token walk time `WT` and the token circulation time
+//!   `Θ = WT + token transmission time` are derived;
+//! * [`FrameFormat`] / [`FrameSplit`] — the frame geometry used by the
+//!   priority-driven protocol: payload `F_info^b`, overhead `F_ovhd^b`, and
+//!   the message split counts `L_i = ⌊C_i^b/F_info^b⌋`,
+//!   `K_i = ⌈C_i^b/F_info^b⌉`.
+//!
+//! # Examples
+//!
+//! ```
+//! use ringrt_model::{MessageSet, RingConfig, SyncStream};
+//! use ringrt_units::{Bandwidth, Bits, Seconds};
+//!
+//! // The paper's evaluation ring: 100 stations, 100 m apart.
+//! let ring = RingConfig::ieee_802_5(100, Bandwidth::from_mbps(4.0));
+//! assert_eq!(ring.stations(), 100);
+//!
+//! let set = MessageSet::new(vec![
+//!     SyncStream::new(Seconds::from_millis(50.0), Bits::new(20_000)),
+//!     SyncStream::new(Seconds::from_millis(100.0), Bits::new(40_000)),
+//! ])
+//! .unwrap();
+//! let u = set.utilization(ring.bandwidth());
+//! assert!(u > 0.0 && u < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod frame;
+mod network;
+mod stream;
+
+pub use error::ModelError;
+pub use frame::{FrameFormat, FrameSplit};
+pub use network::{RingConfig, RingConfigBuilder, SPEED_OF_LIGHT_M_S};
+pub use stream::{MessageSet, StreamId, SyncStream};

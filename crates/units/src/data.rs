@@ -1,0 +1,272 @@
+//! Data sizes in bits and bytes.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An exact data size in bits.
+///
+/// Frame payload and overhead lengths in the paper are specified in bits
+/// (`F_ovhd^b = 112` bits, 64-byte payloads, per-station latency of 4 or 75
+/// bits), so an exact integer representation avoids rounding questions in
+/// the frame-splitting arithmetic `L_i = ⌊C_i^b / F_info^b⌋`,
+/// `K_i = ⌈C_i^b / F_info^b⌉`.
+///
+/// # Examples
+///
+/// ```
+/// use ringrt_units::{Bits, Bytes};
+///
+/// let payload = Bits::from(Bytes::new(64));
+/// assert_eq!(payload, Bits::new(512));
+/// assert_eq!(payload + Bits::new(112), Bits::new(624));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Bits(u64);
+
+impl Bits {
+    /// The zero size.
+    pub const ZERO: Bits = Bits(0);
+
+    /// Creates a size from a raw bit count.
+    #[must_use]
+    pub const fn new(bits: u64) -> Self {
+        Bits(bits)
+    }
+
+    /// Returns the raw bit count.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the bit count as an `f64` (for rate arithmetic).
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Returns `true` if the size is zero bits.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of whole chunks of `chunk` bits contained in `self`
+    /// (the paper's `L_i` when `chunk` is the frame payload size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    #[must_use]
+    pub fn div_floor(self, chunk: Bits) -> u64 {
+        assert!(!chunk.is_zero(), "chunk size must be non-zero");
+        self.0 / chunk.0
+    }
+
+    /// Number of chunks of `chunk` bits needed to cover `self`
+    /// (the paper's `K_i` when `chunk` is the frame payload size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    #[must_use]
+    pub fn div_ceil(self, chunk: Bits) -> u64 {
+        assert!(!chunk.is_zero(), "chunk size must be non-zero");
+        self.0.div_ceil(chunk.0)
+    }
+
+    /// Saturating subtraction: `max(self - rhs, 0)`.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Bits) -> Bits {
+        Bits(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the smaller of two sizes.
+    #[must_use]
+    pub fn min(self, other: Bits) -> Bits {
+        Bits(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two sizes.
+    #[must_use]
+    pub fn max(self, other: Bits) -> Bits {
+        Bits(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} bit", self.0)?;
+        if self.0 != 1 {
+            write!(f, "s")?;
+        }
+        Ok(())
+    }
+}
+
+impl Add for Bits {
+    type Output = Bits;
+    fn add(self, rhs: Bits) -> Bits {
+        Bits(self.0.checked_add(rhs.0).expect("bit count overflow"))
+    }
+}
+
+impl AddAssign for Bits {
+    fn add_assign(&mut self, rhs: Bits) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Bits {
+    type Output = Bits;
+    /// # Panics
+    ///
+    /// Panics on underflow; use [`Bits::saturating_sub`] when the operands
+    /// may cross.
+    fn sub(self, rhs: Bits) -> Bits {
+        Bits(self.0.checked_sub(rhs.0).expect("bit count underflow"))
+    }
+}
+
+impl SubAssign for Bits {
+    fn sub_assign(&mut self, rhs: Bits) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Bits {
+    type Output = Bits;
+    fn mul(self, rhs: u64) -> Bits {
+        Bits(self.0.checked_mul(rhs).expect("bit count overflow"))
+    }
+}
+
+impl Mul<Bits> for u64 {
+    type Output = Bits;
+    fn mul(self, rhs: Bits) -> Bits {
+        rhs * self
+    }
+}
+
+impl Sum for Bits {
+    fn sum<I: Iterator<Item = Bits>>(iter: I) -> Bits {
+        iter.fold(Bits::ZERO, Add::add)
+    }
+}
+
+impl From<Bytes> for Bits {
+    fn from(b: Bytes) -> Bits {
+        Bits(b.as_u64().checked_mul(8).expect("byte count overflow"))
+    }
+}
+
+/// An exact data size in bytes (octets).
+///
+/// Exists mostly as a convenient constructor for [`Bits`]; the paper quotes
+/// frame payloads in bytes ("Packet Length = 64 Bytes").
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Bytes(u64);
+
+impl Bytes {
+    /// Creates a size from a raw byte count.
+    #[must_use]
+    pub const fn new(bytes: u64) -> Self {
+        Bytes(bytes)
+    }
+
+    /// Returns the raw byte count.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The equivalent size in bits.
+    #[must_use]
+    pub fn to_bits(self) -> Bits {
+        Bits::from(self)
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} B", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_bit_conversion() {
+        assert_eq!(Bytes::new(64).to_bits(), Bits::new(512));
+        assert_eq!(Bits::from(Bytes::new(0)), Bits::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Bits::new(100);
+        let b = Bits::new(30);
+        assert_eq!(a + b, Bits::new(130));
+        assert_eq!(a - b, Bits::new(70));
+        assert_eq!(a * 3, Bits::new(300));
+        assert_eq!(3 * b, Bits::new(90));
+        assert_eq!(b.saturating_sub(a), Bits::ZERO);
+    }
+
+    #[test]
+    fn frame_splitting_floor_ceil() {
+        // A 1300-bit message over 512-bit frames: L = 2, K = 3.
+        let msg = Bits::new(1300);
+        let frame = Bits::new(512);
+        assert_eq!(msg.div_floor(frame), 2);
+        assert_eq!(msg.div_ceil(frame), 3);
+        // Exact multiple: L == K.
+        let msg = Bits::new(1024);
+        assert_eq!(msg.div_floor(frame), 2);
+        assert_eq!(msg.div_ceil(frame), 2);
+        // Smaller than one frame.
+        let msg = Bits::new(10);
+        assert_eq!(msg.div_floor(frame), 0);
+        assert_eq!(msg.div_ceil(frame), 1);
+        // Zero-length message needs zero frames.
+        assert_eq!(Bits::ZERO.div_ceil(frame), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = Bits::new(1) - Bits::new(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn div_by_zero_chunk_panics() {
+        let _ = Bits::new(1).div_ceil(Bits::ZERO);
+    }
+
+    #[test]
+    fn sum_and_ordering() {
+        let total: Bits = [Bits::new(1), Bits::new(2), Bits::new(3)].into_iter().sum();
+        assert_eq!(total, Bits::new(6));
+        assert!(Bits::new(1) < Bits::new(2));
+        assert_eq!(Bits::new(5).min(Bits::new(3)), Bits::new(3));
+        assert_eq!(Bits::new(5).max(Bits::new(3)), Bits::new(5));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Bits::new(1).to_string(), "1 bit");
+        assert_eq!(Bits::new(112).to_string(), "112 bits");
+        assert_eq!(Bytes::new(64).to_string(), "64 B");
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the unit types.
+
+use proptest::prelude::*;
+use ringrt_units::{Bandwidth, Bits, Seconds, SimDuration, SimTime};
+
+proptest! {
+    /// Addition of durations is commutative and associative (exactly, for
+    /// integer simulator durations).
+    #[test]
+    fn sim_duration_add_commutative(a in 0u64..1u64<<40, b in 0u64..1u64<<40) {
+        let (a, b) = (SimDuration::from_picos(a), SimDuration::from_picos(b));
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn sim_duration_add_associative(
+        a in 0u64..1u64<<40,
+        b in 0u64..1u64<<40,
+        c in 0u64..1u64<<40,
+    ) {
+        let (a, b, c) = (
+            SimDuration::from_picos(a),
+            SimDuration::from_picos(b),
+            SimDuration::from_picos(c),
+        );
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    /// `SimTime` advance/rewind round-trips exactly.
+    #[test]
+    fn sim_time_add_sub_roundtrip(t in 0u64..1u64<<50, d in 0u64..1u64<<40) {
+        let t0 = SimTime::from_picos(t);
+        let d = SimDuration::from_picos(d);
+        prop_assert_eq!((t0 + d) - d, t0);
+        prop_assert_eq!((t0 + d) - t0, d);
+    }
+
+    /// Seconds → SimDuration conversion is monotone.
+    #[test]
+    fn seconds_to_sim_monotone(a in 0.0f64..1e3, b in 0.0f64..1e3) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let dlo = SimDuration::from_seconds(Seconds::new(lo));
+        let dhi = SimDuration::from_seconds(Seconds::new(hi));
+        prop_assert!(dlo <= dhi);
+    }
+
+    /// Seconds → SimDuration conversion round-trips within half a picosecond.
+    #[test]
+    fn seconds_sim_roundtrip(s in 0.0f64..1e3) {
+        let d = SimDuration::from_seconds(Seconds::new(s));
+        let back = d.as_seconds().as_secs_f64();
+        prop_assert!((back - s).abs() <= 0.51e-12 + s.abs() * 1e-14, "{} vs {}", back, s);
+    }
+
+    /// Transmission time scales linearly with size and inversely with rate.
+    #[test]
+    fn transmission_time_linear(bits in 1u64..1u64<<30, mbps in 1.0f64..1000.0) {
+        let bw = Bandwidth::from_mbps(mbps);
+        let one = bw.transmission_time(Bits::new(bits));
+        let two = bw.transmission_time(Bits::new(bits * 2));
+        prop_assert!((two.as_secs_f64() - 2.0 * one.as_secs_f64()).abs() < 1e-12);
+        let double_rate = Bandwidth::from_mbps(mbps * 2.0);
+        let halved = double_rate.transmission_time(Bits::new(bits));
+        prop_assert!((halved.as_secs_f64() * 2.0 - one.as_secs_f64()).abs() < 1e-12);
+    }
+
+    /// `div_floor`/`div_ceil` satisfy the frame-splitting invariants:
+    /// `L ≤ K ≤ L + 1` and `K` frames always cover the message.
+    #[test]
+    fn frame_split_invariants(msg in 0u64..1u64<<32, frame in 1u64..1u64<<16) {
+        let (m, f) = (Bits::new(msg), Bits::new(frame));
+        let l = m.div_floor(f);
+        let k = m.div_ceil(f);
+        prop_assert!(l <= k && k <= l + 1);
+        prop_assert!(k * frame >= msg);
+        if msg > 0 {
+            prop_assert!((k - 1) * frame < msg);
+        }
+    }
+
+    /// `bits_in` never claims more bits than the window can carry.
+    #[test]
+    fn bits_in_conservative(us in 0.0f64..1e6, mbps in 1.0f64..1000.0) {
+        let bw = Bandwidth::from_mbps(mbps);
+        let window = Seconds::from_micros(us);
+        let got = bw.bits_in(window);
+        let raw = window.as_secs_f64() * bw.as_bps();
+        prop_assert!(got.as_f64() <= raw + raw * 1e-8 + 1e-6);
+    }
+
+    /// Seconds ordering matches the ordering of the raw values.
+    #[test]
+    fn seconds_ordering(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        let (sa, sb) = (Seconds::new(a), Seconds::new(b));
+        prop_assert_eq!(sa < sb, a < b);
+        prop_assert_eq!(sa.total_cmp(&sb), a.total_cmp(&b));
+    }
+}

@@ -1,0 +1,230 @@
+//! Random message-set generation.
+
+use core::fmt;
+
+use rand::Rng;
+
+use ringrt_model::{MessageSet, SyncStream};
+use ringrt_units::{Bandwidth, Bits, Seconds};
+
+use crate::{LengthShape, PeriodDistribution};
+
+/// A reproducible generator of random synchronous message sets.
+///
+/// Periods come from a [`PeriodDistribution`]; lengths follow a
+/// [`LengthShape`] and are normalized so the generated set has a known
+/// *initial utilization* at the generator's reference bandwidth. The
+/// absolute scale only matters as a starting point — the saturation search
+/// in `ringrt-breakdown` rescales every set to its schedulability boundary.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use ringrt_units::Bandwidth;
+/// use ringrt_workload::MessageSetGenerator;
+///
+/// let gen = MessageSetGenerator::paper_population(50);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let set = gen.generate(&mut rng);
+/// assert_eq!(set.len(), 50);
+/// let u = set.utilization(Bandwidth::from_mbps(100.0));
+/// assert!((u - 1.0).abs() < 0.01, "initial utilization ≈ 1, got {u}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MessageSetGenerator {
+    stations: usize,
+    periods: PeriodDistribution,
+    lengths: LengthShape,
+    reference_bandwidth: Bandwidth,
+    initial_utilization: f64,
+}
+
+impl MessageSetGenerator {
+    /// Creates a generator for `stations` streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stations` is zero or `initial_utilization` is not
+    /// strictly positive and finite.
+    #[must_use]
+    pub fn new(
+        stations: usize,
+        periods: PeriodDistribution,
+        lengths: LengthShape,
+        reference_bandwidth: Bandwidth,
+        initial_utilization: f64,
+    ) -> Self {
+        assert!(stations > 0, "need at least one stream");
+        assert!(
+            initial_utilization.is_finite() && initial_utilization > 0.0,
+            "initial utilization must be positive"
+        );
+        MessageSetGenerator {
+            stations,
+            periods,
+            lengths,
+            reference_bandwidth,
+            initial_utilization,
+        }
+    }
+
+    /// The paper's §6 population: `stations` streams, uniform periods with
+    /// mean 100 ms and max/min ratio 10, uniform utilization shares,
+    /// normalized to utilization 1.0 at 100 Mbps.
+    #[must_use]
+    pub fn paper_population(stations: usize) -> Self {
+        MessageSetGenerator::new(
+            stations,
+            PeriodDistribution::paper_default(),
+            LengthShape::UniformUtilization,
+            Bandwidth::from_mbps(100.0),
+            1.0,
+        )
+    }
+
+    /// Number of streams per generated set.
+    #[must_use]
+    pub fn stations(&self) -> usize {
+        self.stations
+    }
+
+    /// The period distribution.
+    #[must_use]
+    pub fn periods(&self) -> &PeriodDistribution {
+        &self.periods
+    }
+
+    /// The length shape.
+    #[must_use]
+    pub fn lengths(&self) -> LengthShape {
+        self.lengths
+    }
+
+    /// Returns a copy with a different period distribution.
+    #[must_use]
+    pub fn with_periods(mut self, periods: PeriodDistribution) -> Self {
+        self.periods = periods;
+        self
+    }
+
+    /// Returns a copy with a different length shape.
+    #[must_use]
+    pub fn with_lengths(mut self, lengths: LengthShape) -> Self {
+        self.lengths = lengths;
+        self
+    }
+
+    /// Draws one message set.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> MessageSet {
+        let periods: Vec<Seconds> = (0..self.stations)
+            .map(|_| self.periods.sample(rng))
+            .collect();
+        let rel_times: Vec<f64> = periods
+            .iter()
+            .map(|&p| self.lengths.sample_relative_time(rng, p))
+            .collect();
+        // Normalize: Σ β·w_i / P_i = initial utilization.
+        let raw_util: f64 = rel_times
+            .iter()
+            .zip(&periods)
+            .map(|(&w, &p)| w / p.as_secs_f64())
+            .sum();
+        let beta = self.initial_utilization / raw_util;
+        let bw = self.reference_bandwidth.as_bps();
+        let streams = periods
+            .into_iter()
+            .zip(rel_times)
+            .map(|(p, w)| {
+                let bits = (beta * w * bw).round().max(1.0);
+                SyncStream::new(p, Bits::new(bits as u64))
+            })
+            .collect();
+        MessageSet::new(streams).expect("generator invariants guarantee a valid set")
+    }
+}
+
+impl fmt::Display for MessageSetGenerator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} streams, periods {}, lengths {}",
+            self.stations, self.periods, self.lengths
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_requested_population() {
+        let gen = MessageSetGenerator::paper_population(100);
+        let mut rng = StdRng::seed_from_u64(5);
+        let set = gen.generate(&mut rng);
+        assert_eq!(set.len(), 100);
+        let (min, max) = PeriodDistribution::paper_default().bounds();
+        for s in &set {
+            assert!(s.period() >= min && s.period() <= max);
+            assert!(s.length_bits().as_u64() >= 1);
+        }
+        let u = set.utilization(Bandwidth::from_mbps(100.0));
+        assert!((u - 1.0).abs() < 0.01, "got {u}");
+    }
+
+    #[test]
+    fn seeded_generation_is_reproducible() {
+        let gen = MessageSetGenerator::paper_population(20);
+        let a = gen.generate(&mut StdRng::seed_from_u64(99));
+        let b = gen.generate(&mut StdRng::seed_from_u64(99));
+        assert_eq!(a, b);
+        let c = gen.generate(&mut StdRng::seed_from_u64(100));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn builder_modifiers() {
+        let gen = MessageSetGenerator::paper_population(10)
+            .with_lengths(LengthShape::EqualBits)
+            .with_periods(PeriodDistribution::Harmonic {
+                base: Seconds::from_millis(10.0),
+                octaves: 3,
+            });
+        assert_eq!(gen.lengths(), LengthShape::EqualBits);
+        let mut rng = StdRng::seed_from_u64(4);
+        let set = gen.generate(&mut rng);
+        // Equal-bits shape → all lengths identical.
+        let first = set.as_slice()[0].length_bits();
+        assert!(set.iter().all(|s| s.length_bits() == first));
+        assert_eq!(gen.stations(), 10);
+        assert!(gen.to_string().contains("10 streams"));
+        assert!(matches!(gen.periods(), PeriodDistribution::Harmonic { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stream")]
+    fn zero_stations_rejected() {
+        let _ = MessageSetGenerator::new(
+            0,
+            PeriodDistribution::paper_default(),
+            LengthShape::default(),
+            Bandwidth::from_mbps(100.0),
+            1.0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization must be positive")]
+    fn bad_utilization_rejected() {
+        let _ = MessageSetGenerator::new(
+            5,
+            PeriodDistribution::paper_default(),
+            LengthShape::default(),
+            Bandwidth::from_mbps(100.0),
+            0.0,
+        );
+    }
+}

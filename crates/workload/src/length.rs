@@ -1,0 +1,115 @@
+//! Message-length shapes.
+
+use core::fmt;
+
+use rand::Rng;
+use ringrt_units::Seconds;
+
+/// The *relative* shape of message lengths in a random set.
+///
+/// The breakdown-utilization search multiplies all lengths by a common
+/// factor until the set saturates, so only the ratios between stream
+/// lengths matter. A shape assigns each stream a positive weight; the
+/// generator then converts weights into payload bits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+#[derive(Default)]
+pub enum LengthShape {
+    /// Each stream's *utilization share* `C_i/P_i` is an independent
+    /// uniform draw from `(0, 1]`. Long-period streams thus get
+    /// proportionally longer messages. This mirrors the Lehoczky–Sha–Ding
+    /// CPU-task populations and is the default.
+    #[default]
+    UniformUtilization,
+    /// Each stream's *length in bits* is an independent uniform draw from
+    /// `(0, 1]` (relative units) regardless of its period: short-period
+    /// streams can carry disproportionally heavy messages.
+    UniformBits,
+    /// All streams transmit equally long messages.
+    EqualBits,
+}
+
+impl LengthShape {
+    /// Draws a relative length weight (interpreted against `period`) and
+    /// returns it as an *equivalent transmission-time share*, i.e. a value
+    /// proportional to the stream's pre-scaling transmission time in
+    /// seconds.
+    pub fn sample_relative_time<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        period: Seconds,
+    ) -> f64 {
+        match self {
+            LengthShape::UniformUtilization => {
+                // u ∈ (0, 1]; transmission time u·P.
+                let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+                u * period.as_secs_f64()
+            }
+            LengthShape::UniformBits => 1.0 - rng.gen::<f64>(),
+            LengthShape::EqualBits => 1.0,
+        }
+    }
+}
+
+
+impl fmt::Display for LengthShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LengthShape::UniformUtilization => f.write_str("uniform utilization"),
+            LengthShape::UniformBits => f.write_str("uniform bits"),
+            LengthShape::EqualBits => f.write_str("equal bits"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_utilization_scales_with_period() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let short = Seconds::from_millis(10.0);
+        let long = Seconds::from_millis(1000.0);
+        let mean = |p: Seconds, rng: &mut StdRng| {
+            (0..5000)
+                .map(|_| LengthShape::UniformUtilization.sample_relative_time(rng, p))
+                .sum::<f64>()
+                / 5000.0
+        };
+        let m_short = mean(short, &mut rng);
+        let m_long = mean(long, &mut rng);
+        // Expected means are P/2: ratio ≈ 100.
+        assert!((m_long / m_short - 100.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn uniform_bits_ignores_period() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..1000 {
+            let w = LengthShape::UniformBits
+                .sample_relative_time(&mut rng, Seconds::from_millis(123.0));
+            assert!(w > 0.0 && w <= 1.0);
+        }
+    }
+
+    #[test]
+    fn equal_bits_constant() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..10 {
+            assert_eq!(
+                LengthShape::EqualBits.sample_relative_time(&mut rng, Seconds::from_millis(5.0)),
+                1.0
+            );
+        }
+    }
+
+    #[test]
+    fn default_and_display() {
+        assert_eq!(LengthShape::default(), LengthShape::UniformUtilization);
+        assert_eq!(LengthShape::EqualBits.to_string(), "equal bits");
+        assert_eq!(LengthShape::UniformBits.to_string(), "uniform bits");
+    }
+}

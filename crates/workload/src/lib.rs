@@ -1,0 +1,43 @@
+//! Synchronous message-set generation for the `ringrt` experiments.
+//!
+//! The Monte-Carlo breakdown-utilization methodology (paper §6.1, following
+//! Lehoczky–Sha–Ding) needs a stream of random message sets drawn from a
+//! parameterized population:
+//!
+//! * **periods** from a distribution — the paper uses a uniform
+//!   distribution described by its *mean* and *max/min ratio* (100 ms and
+//!   10 in the reported experiments);
+//! * **lengths** whose absolute scale is irrelevant (the saturation search
+//!   rescales them) but whose *relative shape* defines the population.
+//!
+//! [`MessageSetGenerator`] combines a [`PeriodDistribution`] and a
+//! [`LengthShape`] into a reproducible, seedable generator. The
+//! [`scenarios`] module provides deterministic message sets for examples
+//! and integration tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use ringrt_workload::{MessageSetGenerator, PeriodDistribution};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let gen = MessageSetGenerator::paper_population(100);
+//! let set = gen.generate(&mut rng);
+//! assert_eq!(set.len(), 100);
+//! // Periods honour the max/min ratio of 10 (up to sampling luck).
+//! assert!(set.max_period() / set.min_period() <= 10.0 + 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scenarios;
+
+mod generator;
+mod length;
+mod period;
+
+pub use generator::MessageSetGenerator;
+pub use length::LengthShape;
+pub use period::PeriodDistribution;

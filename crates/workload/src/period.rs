@@ -1,0 +1,310 @@
+//! Period distributions.
+
+use core::fmt;
+
+use rand::Rng;
+use ringrt_units::Seconds;
+
+/// Distribution of message periods for random set generation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PeriodDistribution {
+    /// Uniform on `[min, max]`, parameterized the paper's way: by the mean
+    /// `(min+max)/2` and the ratio `max/min`.
+    Uniform {
+        /// Mean period.
+        mean: Seconds,
+        /// Ratio of the longest to the shortest possible period (≥ 1).
+        max_min_ratio: f64,
+    },
+    /// Log-uniform on `[min, max]`: uniform in `ln P`. Spreads periods more
+    /// evenly across magnitudes than the plain uniform distribution.
+    LogUniform {
+        /// Shortest possible period.
+        min: Seconds,
+        /// Longest possible period.
+        max: Seconds,
+    },
+    /// Harmonic periods: `base · 2^k` with `k` drawn uniformly from
+    /// `0..octaves`. Harmonic sets are the best case for rate-monotonic
+    /// scheduling and a useful ablation.
+    Harmonic {
+        /// The fundamental (shortest) period.
+        base: Seconds,
+        /// Number of octaves, ≥ 1 (`octaves = 4` yields `base·{1,2,4,8}`).
+        octaves: u32,
+    },
+    /// Bimodal mixture: with probability `fast_fraction` a period uniform
+    /// in `[fast_min, fast_max]` (control loops), otherwise uniform in
+    /// `[slow_min, slow_max]` (bulk transfers). Models the control+bulk
+    /// mixes of the paper's motivating applications better than a single
+    /// uniform band.
+    Bimodal {
+        /// Probability of drawing from the fast band.
+        fast_fraction: f64,
+        /// Fast band bounds.
+        fast: (Seconds, Seconds),
+        /// Slow band bounds.
+        slow: (Seconds, Seconds),
+    },
+}
+
+impl PeriodDistribution {
+    /// The paper's §6 period population: mean 100 ms, max/min ratio 10.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        PeriodDistribution::Uniform {
+            mean: Seconds::from_millis(100.0),
+            max_min_ratio: 10.0,
+        }
+    }
+
+    /// The `[min, max]` support of the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are invalid (non-positive mean or min,
+    /// ratio below 1, zero octaves, or `max < min`).
+    #[must_use]
+    pub fn bounds(&self) -> (Seconds, Seconds) {
+        match *self {
+            PeriodDistribution::Uniform {
+                mean,
+                max_min_ratio,
+            } => {
+                assert!(
+                    mean > Seconds::ZERO && mean.is_finite(),
+                    "mean period must be positive"
+                );
+                assert!(max_min_ratio >= 1.0, "max/min ratio must be at least 1");
+                // mean = (min + max)/2 and max = ratio·min
+                // ⇒ min = 2·mean/(1 + ratio).
+                let min = mean * (2.0 / (1.0 + max_min_ratio));
+                let max = min * max_min_ratio;
+                (min, max)
+            }
+            PeriodDistribution::LogUniform { min, max } => {
+                assert!(min > Seconds::ZERO, "min period must be positive");
+                assert!(max >= min, "max period must be at least min");
+                (min, max)
+            }
+            PeriodDistribution::Harmonic { base, octaves } => {
+                assert!(base > Seconds::ZERO, "base period must be positive");
+                assert!(octaves >= 1, "harmonic distribution needs at least one octave");
+                (base, base * 2f64.powi(octaves as i32 - 1))
+            }
+            PeriodDistribution::Bimodal {
+                fast_fraction,
+                fast,
+                slow,
+            } => {
+                assert!(
+                    (0.0..=1.0).contains(&fast_fraction),
+                    "fast fraction must be a probability"
+                );
+                assert!(
+                    fast.0 > Seconds::ZERO && fast.1 >= fast.0,
+                    "fast band must satisfy 0 < min ≤ max"
+                );
+                assert!(
+                    slow.0 >= fast.1 && slow.1 >= slow.0,
+                    "slow band must sit at or above the fast band"
+                );
+                (fast.0, slow.1)
+            }
+        }
+    }
+
+    /// Draws one period.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters (see [`PeriodDistribution::bounds`]).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Seconds {
+        let (min, max) = self.bounds();
+        match *self {
+            PeriodDistribution::Uniform { .. } => {
+                Seconds::new(rng.gen_range(min.as_secs_f64()..=max.as_secs_f64()))
+            }
+            PeriodDistribution::LogUniform { .. } => {
+                let (ln_min, ln_max) = (min.as_secs_f64().ln(), max.as_secs_f64().ln());
+                Seconds::new(rng.gen_range(ln_min..=ln_max).exp())
+            }
+            PeriodDistribution::Harmonic { base, octaves } => {
+                let k = rng.gen_range(0..octaves);
+                base * 2f64.powi(k as i32)
+            }
+            PeriodDistribution::Bimodal {
+                fast_fraction,
+                fast,
+                slow,
+            } => {
+                let band = if rng.gen::<f64>() < fast_fraction {
+                    fast
+                } else {
+                    slow
+                };
+                Seconds::new(rng.gen_range(band.0.as_secs_f64()..=band.1.as_secs_f64()))
+            }
+        }
+    }
+}
+
+impl fmt::Display for PeriodDistribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeriodDistribution::Uniform {
+                mean,
+                max_min_ratio,
+            } => write!(f, "uniform(mean = {mean}, max/min = {max_min_ratio})"),
+            PeriodDistribution::LogUniform { min, max } => {
+                write!(f, "log-uniform[{min}, {max}]")
+            }
+            PeriodDistribution::Harmonic { base, octaves } => {
+                write!(f, "harmonic(base = {base}, octaves = {octaves})")
+            }
+            PeriodDistribution::Bimodal {
+                fast_fraction,
+                fast,
+                slow,
+            } => write!(
+                f,
+                "bimodal({:.0} % in [{}, {}], rest in [{}, {}])",
+                fast_fraction * 100.0,
+                fast.0,
+                fast.1,
+                slow.0,
+                slow.1
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_default_bounds() {
+        // mean 100 ms, ratio 10 → [200/11, 2000/11] ms.
+        let (min, max) = PeriodDistribution::paper_default().bounds();
+        assert!((min.as_millis() - 200.0 / 11.0).abs() < 1e-9);
+        assert!((max.as_millis() - 2000.0 / 11.0).abs() < 1e-9);
+        assert!((max / min - 10.0).abs() < 1e-9);
+        assert!(((min + max).as_millis() / 2.0 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_samples_within_bounds_and_mean() {
+        let d = PeriodDistribution::paper_default();
+        let (min, max) = d.bounds();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut sum = 0.0;
+        let n = 20_000;
+        for _ in 0..n {
+            let p = d.sample(&mut rng);
+            assert!(p >= min && p <= max);
+            sum += p.as_secs_f64();
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.1).abs() < 0.002, "empirical mean {mean}");
+    }
+
+    #[test]
+    fn log_uniform_within_bounds() {
+        let d = PeriodDistribution::LogUniform {
+            min: Seconds::from_millis(1.0),
+            max: Seconds::from_millis(1000.0),
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut below_geo_mean = 0;
+        for _ in 0..10_000 {
+            let p = d.sample(&mut rng);
+            assert!(p >= Seconds::from_millis(1.0) && p <= Seconds::from_millis(1000.0));
+            // Geometric mean ≈ 31.6 ms splits samples roughly in half.
+            if p < Seconds::from_millis(31.6) {
+                below_geo_mean += 1;
+            }
+        }
+        assert!((below_geo_mean as f64 / 10_000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn harmonic_periods_are_powers_of_two() {
+        let d = PeriodDistribution::Harmonic {
+            base: Seconds::from_millis(5.0),
+            octaves: 4,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let p = d.sample(&mut rng);
+            let ratio = p / Seconds::from_millis(5.0);
+            assert!(
+                [1.0, 2.0, 4.0, 8.0].iter().any(|&r| (ratio - r).abs() < 1e-12),
+                "unexpected ratio {ratio}"
+            );
+        }
+        let (min, max) = d.bounds();
+        assert_eq!(min, Seconds::from_millis(5.0));
+        assert_eq!(max, Seconds::from_millis(40.0));
+    }
+
+    #[test]
+    fn bimodal_respects_bands_and_mixture() {
+        let d = PeriodDistribution::Bimodal {
+            fast_fraction: 0.7,
+            fast: (Seconds::from_millis(5.0), Seconds::from_millis(20.0)),
+            slow: (Seconds::from_millis(100.0), Seconds::from_millis(400.0)),
+        };
+        let (min, max) = d.bounds();
+        assert_eq!(min, Seconds::from_millis(5.0));
+        assert_eq!(max, Seconds::from_millis(400.0));
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut fast = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let p = d.sample(&mut rng);
+            let in_fast = p <= Seconds::from_millis(20.0);
+            let in_slow = p >= Seconds::from_millis(100.0);
+            assert!(in_fast || in_slow, "sample {p} fell in the gap");
+            if in_fast {
+                fast += 1;
+            }
+        }
+        let frac = fast as f64 / n as f64;
+        assert!((frac - 0.7).abs() < 0.02, "fast fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "slow band must sit at or above")]
+    fn bimodal_overlapping_bands_rejected() {
+        let _ = PeriodDistribution::Bimodal {
+            fast_fraction: 0.5,
+            fast: (Seconds::from_millis(5.0), Seconds::from_millis(50.0)),
+            slow: (Seconds::from_millis(20.0), Seconds::from_millis(400.0)),
+        }
+        .bounds();
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be at least 1")]
+    fn ratio_below_one_rejected() {
+        let _ = PeriodDistribution::Uniform {
+            mean: Seconds::from_millis(10.0),
+            max_min_ratio: 0.5,
+        }
+        .bounds();
+    }
+
+    #[test]
+    fn display() {
+        assert!(PeriodDistribution::paper_default().to_string().contains("uniform"));
+        let d = PeriodDistribution::Harmonic {
+            base: Seconds::from_millis(5.0),
+            octaves: 3,
+        };
+        assert!(d.to_string().contains("harmonic"));
+    }
+}

@@ -1,0 +1,50 @@
+//! A down-scaled rendition of the paper's Figure 1 through the library
+//! API: average breakdown utilization of the three protocols across a
+//! bandwidth sweep, printed as CSV (pipe into your plotter of choice).
+//!
+//! The full-size reproduction (100 stations, 100 samples/point) lives in
+//! the `exp_fig1` binary of the `ringrt-bench` crate; this example keeps
+//! the parameters small enough to finish in seconds.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example figure1_mini
+//! ```
+
+use ringrt::breakdown::sweep::{figure1, SweepConfig};
+use ringrt::breakdown::table::{cell, Table};
+
+fn main() {
+    let config = SweepConfig {
+        stations: 20,
+        samples: 12,
+        seed: 0xF16_0001,
+        tolerance: 3e-3,
+    };
+    let bandwidths = [1.0, 3.162, 10.0, 31.62, 100.0, 316.2, 1000.0];
+    let rows = figure1(&bandwidths, &config);
+
+    let mut table = Table::new(&["bandwidth_mbps", "ieee_802_5", "modified_802_5", "fddi"]);
+    for r in &rows {
+        table.push_row(&[
+            cell(r.mbps, 3),
+            cell(r.ieee_802_5.mean, 3),
+            cell(r.modified_802_5.mean, 3),
+            cell(r.fddi.mean, 3),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+
+    // The qualitative shape the paper reports:
+    let low = &rows[0];
+    let high = rows.last().unwrap();
+    println!(
+        "at {} Mbps the priority driven protocol leads ({:.2} vs {:.2});",
+        low.mbps, low.modified_802_5.mean, low.fddi.mean
+    );
+    println!(
+        "at {} Mbps the timed token protocol leads ({:.2} vs {:.2}).",
+        high.mbps, high.fddi.mean, high.modified_802_5.mean
+    );
+}

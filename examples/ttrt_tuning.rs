@@ -1,0 +1,91 @@
+//! Tuning the Target Token Rotation Time for a concrete workload — the
+//! paper's §5.2 in miniature.
+//!
+//! Johnson's bound only requires `TTRT ≤ P_min/2`, but the paper shows the
+//! sweet spot is much lower, near `√(Θ'·P_min)`: long rotations waste
+//! guaranteed visits (`q_i = ⌊P_i/TTRT⌋` shrinks), very short rotations
+//! drown in per-rotation overhead `Θ'`. This example sweeps fixed TTRT
+//! values for the factory-cell scenario and compares the best against the
+//! heuristic — then proves the chosen configuration in simulation.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example ttrt_tuning
+//! ```
+
+use ringrt::breakdown::table::{cell, Table};
+use ringrt::breakdown::SaturationSearch;
+use ringrt::prelude::*;
+use ringrt::workload::scenarios;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let set = scenarios::factory_cell();
+    let bw = Bandwidth::from_mbps(25.0);
+    let ring = RingConfig::fddi(set.len(), bw);
+    let base = TtpAnalyzer::with_defaults(ring);
+    let theta_prime = base.theta_prime();
+    let p_min = set.min_period();
+    println!(
+        "factory cell on {bw} FDDI: U = {:.3}, Θ' = {}, P_min = {}\n",
+        set.utilization(bw),
+        theta_prime,
+        p_min
+    );
+
+    // Sweep fixed TTRTs; score each by how far the workload could grow
+    // before Theorem 5.1 breaks (breakdown scale).
+    let search = SaturationSearch::default();
+    let mut table = Table::new(&["ttrt_ms", "schedulable", "breakdown_scale", "breakdown_util"]);
+    let mut best: Option<(f64, Seconds)> = None;
+    for k in 0..12 {
+        let f = k as f64 / 11.0;
+        let lo = (theta_prime.as_secs_f64() * 1.5).max(1e-4);
+        let hi = (p_min / 2.0).as_secs_f64();
+        let ttrt = Seconds::new(lo * (hi / lo).powf(f));
+        let analyzer = base.with_ttrt_policy(TtrtPolicy::Fixed(ttrt));
+        let verdict = analyzer.is_schedulable(&set);
+        match search.saturate(&analyzer, &set, bw) {
+            Some(sat) => {
+                if best.is_none() || sat.scale > best.unwrap().0 {
+                    best = Some((sat.scale, ttrt));
+                }
+                table.push_row(&[
+                    cell(ttrt.as_millis(), 3),
+                    verdict.to_string(),
+                    cell(sat.scale, 3),
+                    cell(sat.utilization, 3),
+                ]);
+            }
+            None => {
+                table.push_row(&[
+                    cell(ttrt.as_millis(), 3),
+                    verdict.to_string(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+    println!("{}", table.to_markdown());
+
+    let (best_scale, best_ttrt) = best.expect("some TTRT works");
+    let heuristic = base.ttrt_for(&set);
+    println!("best fixed TTRT in sweep: {best_ttrt} (headroom ×{best_scale:.2})");
+    println!("√(Θ'·P_min) heuristic:    {heuristic} — no sweep needed\n");
+
+    // Prove the heuristic configuration end-to-end in simulation.
+    let sim = TtpSimulator::from_analysis(
+        &set,
+        SimConfig::new(ring, Seconds::new(2.0)).with_async_load(0.2),
+    )?
+    .run();
+    println!(
+        "simulated 2 s at the heuristic TTRT: {} messages, {} misses, worst rotation {}",
+        sim.completed(),
+        sim.deadline_misses(),
+        sim.max_rotation().map(|d| d.to_string()).unwrap_or_default()
+    );
+    assert!(sim.all_deadlines_met());
+    Ok(())
+}

@@ -1,0 +1,143 @@
+//! VALID-SIM as a hard test: the analytical guarantees of Theorems 4.1 and
+//! 5.1 must hold in the frame-level simulators, and genuine overloads must
+//! visibly miss.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ringrt::analysis::pdp::{PdpAnalyzer, PdpVariant};
+use ringrt::analysis::ttp::TtpAnalyzer;
+use ringrt::breakdown::SaturationSearch;
+use ringrt::model::{FrameFormat, RingConfig};
+use ringrt::sim::{PdpSimulator, Phasing, SimConfig, TtpSimulator};
+use ringrt::units::{Bandwidth, Seconds};
+use ringrt::workload::MessageSetGenerator;
+
+const STATIONS: usize = 12;
+fn horizon() -> Seconds {
+    Seconds::new(1.0)
+}
+
+#[test]
+fn ttp_saturated_sets_meet_deadlines_in_simulation() {
+    let bw = Bandwidth::from_mbps(100.0);
+    let ring = RingConfig::fddi(STATIONS, bw);
+    let analyzer = TtpAnalyzer::with_defaults(ring);
+    let generator = MessageSetGenerator::paper_population(STATIONS);
+    let search = SaturationSearch::with_tolerance(1e-3);
+    let mut rng = StdRng::seed_from_u64(0x5A11);
+    for k in 0..4u64 {
+        let base = generator.generate(&mut rng);
+        let sat = search.saturate(&analyzer, &base, bw).expect("feasible");
+        let near_boundary = sat.set.with_scaled_lengths(0.97);
+        let config = SimConfig::new(ring, horizon())
+            .with_phasing(Phasing::Synchronized)
+            .with_async_load(0.2)
+            .with_seed(k);
+        let report = TtpSimulator::from_analysis(&near_boundary, config)
+            .expect("schedulable ⇒ feasible allocation")
+            .run();
+        assert_eq!(
+            report.deadline_misses(),
+            0,
+            "set {k} (boundary U = {:.3}) missed deadlines:\n{report}",
+            sat.utilization
+        );
+    }
+}
+
+#[test]
+fn pdp_saturated_sets_meet_deadlines_in_simulation() {
+    let bw = Bandwidth::from_mbps(4.0);
+    let ring = RingConfig::ieee_802_5(STATIONS, bw);
+    let frame = FrameFormat::paper_default();
+    let generator = MessageSetGenerator::paper_population(STATIONS);
+    let search = SaturationSearch::with_tolerance(1e-3);
+    // The paper's Theorem 4.1 charges token circulation at Θ/2 per frame
+    // *on average* (its own stated assumption). A faithful simulator makes
+    // back-to-back frames of one station pay a full Θ walk, so the
+    // standard variant's criterion is only accurate up to that averaging:
+    // we validate it with a correspondingly wider margin, and the modified
+    // variant (token overhead once per message) right at the boundary.
+    for (variant, margin) in [(PdpVariant::Standard, 0.85), (PdpVariant::Modified, 0.97)] {
+        let analyzer = PdpAnalyzer::new(ring, frame, variant);
+        let mut rng = StdRng::seed_from_u64(77);
+        for k in 0..3u64 {
+            let base = generator.generate(&mut rng);
+            let sat = search.saturate(&analyzer, &base, bw).expect("feasible");
+            let near_boundary = sat.set.with_scaled_lengths(margin);
+            let config = SimConfig::new(ring, horizon())
+                .with_phasing(Phasing::Synchronized)
+                .with_async_load(0.2)
+                .with_seed(k);
+            let report = PdpSimulator::new(&near_boundary, config, frame, variant).run();
+            assert_eq!(
+                report.deadline_misses(),
+                0,
+                "{variant:?} set {k} (boundary U = {:.3}) missed deadlines:\n{report}",
+                sat.utilization
+            );
+        }
+    }
+}
+
+#[test]
+fn genuine_overload_misses_in_both_simulators() {
+    let generator = MessageSetGenerator::paper_population(STATIONS);
+    let mut rng = StdRng::seed_from_u64(123);
+    let base = generator.generate(&mut rng);
+
+    // Scale the set to raw utilization 1.3: beyond any protocol's capacity.
+    let bw = Bandwidth::from_mbps(100.0);
+    let u = base.utilization(bw);
+    let overloaded = base.with_scaled_lengths(1.3 / u);
+
+    let ring = RingConfig::fddi(STATIONS, bw);
+    let config = SimConfig::new(ring, horizon());
+    // Give the sim generous (but protocol-legal) allocations by hand.
+    let ttrt = Seconds::from_millis(2.0);
+    let h = vec![Seconds::from_micros(150.0); STATIONS];
+    let ttp = TtpSimulator::with_allocations(&overloaded, config, ttrt, &h)
+        .expect("allocations are structurally valid")
+        .run();
+    assert!(ttp.deadline_misses() > 0, "FDDI absorbed a 130 % load?\n{ttp}");
+
+    let ring = RingConfig::ieee_802_5(STATIONS, bw);
+    let config = SimConfig::new(ring, horizon());
+    let pdp = PdpSimulator::new(
+        &overloaded,
+        config,
+        FrameFormat::paper_default(),
+        PdpVariant::Modified,
+    )
+    .run();
+    assert!(pdp.deadline_misses() > 0, "802.5 absorbed a 130 % load?\n{pdp}");
+}
+
+#[test]
+fn johnson_bound_holds_under_stress() {
+    // Sevcik–Johnson: consecutive token arrivals ≤ 2·TTRT apart — the
+    // property the deadline constraint is built on. Verified under maximal
+    // schedulable sync load plus async pressure.
+    let bw = Bandwidth::from_mbps(100.0);
+    let ring = RingConfig::fddi(STATIONS, bw);
+    let analyzer = TtpAnalyzer::with_defaults(ring);
+    let generator = MessageSetGenerator::paper_population(STATIONS);
+    let search = SaturationSearch::with_tolerance(1e-3);
+    let mut rng = StdRng::seed_from_u64(5);
+    let base = generator.generate(&mut rng);
+    let sat = search.saturate(&analyzer, &base, bw).expect("feasible");
+    let config = SimConfig::new(ring, horizon()).with_async_load(0.4);
+    let sim = TtpSimulator::from_analysis(&sat.set, config).expect("feasible");
+    let ttrt = sim.ttrt();
+    let report = sim.run();
+    let max_rot = report.max_rotation().expect("token rotated").as_seconds();
+    // One asynchronous overrun frame of slop.
+    let slop = 1e-5;
+    assert!(
+        max_rot.as_secs_f64() <= 2.0 * ttrt.as_secs_f64() + slop,
+        "rotation {} exceeded 2·TTRT = {}",
+        max_rot,
+        2.0 * ttrt.as_secs_f64()
+    );
+}

@@ -1,0 +1,179 @@
+//! End-to-end checks of the constrained-deadline extension (`D_i ≤ P_i`):
+//! analysis verdicts, deadline-monotonic priorities, and agreement with the
+//! frame-level simulators.
+
+use ringrt::prelude::*;
+
+fn base_streams() -> Vec<SyncStream> {
+    vec![
+        SyncStream::new(Seconds::from_millis(40.0), Bits::new(20_000)),
+        SyncStream::new(Seconds::from_millis(80.0), Bits::new(40_000)),
+        SyncStream::new(Seconds::from_millis(160.0), Bits::new(60_000)),
+    ]
+}
+
+#[test]
+fn tightening_deadlines_only_removes_schedulability() {
+    let relaxed = MessageSet::new(base_streams()).unwrap();
+    let bw = Bandwidth::from_mbps(16.0);
+    let pdp = PdpAnalyzer::new(
+        RingConfig::ieee_802_5(3, bw),
+        FrameFormat::paper_default(),
+        PdpVariant::Modified,
+    );
+    let ttp = TtpAnalyzer::with_defaults(RingConfig::fddi(3, bw));
+    assert!(pdp.is_schedulable(&relaxed));
+    assert!(ttp.is_schedulable(&relaxed));
+
+    // Mildly constrained (D = P/2): still fine for this light load.
+    let halved = MessageSet::new(
+        base_streams()
+            .into_iter()
+            .map(|s| {
+                let d = s.period() / 2.0;
+                s.with_relative_deadline(d)
+            })
+            .collect(),
+    )
+    .unwrap();
+    assert!(pdp.is_schedulable(&halved));
+    assert!(ttp.is_schedulable(&halved));
+
+    // Savagely constrained (D = P/40): below the service floor.
+    let savage = MessageSet::new(
+        base_streams()
+            .into_iter()
+            .map(|s| {
+                let d = s.period() / 40.0;
+                s.with_relative_deadline(d)
+            })
+            .collect(),
+    )
+    .unwrap();
+    assert!(!pdp.is_schedulable(&savage));
+    assert!(!ttp.is_schedulable(&savage));
+}
+
+#[test]
+fn dm_priorities_rescue_a_tight_slow_stream() {
+    // A slow stream with a tight deadline must outrank a fast stream under
+    // deadline-monotonic assignment; under plain RM it would starve.
+    let set = MessageSet::new(vec![
+        SyncStream::new(Seconds::from_millis(20.0), Bits::new(30_000)),
+        SyncStream::new(Seconds::from_millis(200.0), Bits::new(10_000))
+            .with_relative_deadline(Seconds::from_millis(8.0)),
+    ])
+    .unwrap();
+    let bw = Bandwidth::from_mbps(16.0);
+    let pdp = PdpAnalyzer::new(
+        RingConfig::ieee_802_5(2, bw),
+        FrameFormat::paper_default(),
+        PdpVariant::Modified,
+    );
+    let report = pdp.analyze(&set);
+    assert!(report.schedulable, "{report}");
+    // Station 1 (D = 8 ms) holds the top priority rank.
+    assert_eq!(report.per_stream[0].stream, StreamId(1));
+    // Its response time fits its deadline with room to spare.
+    let r = report.per_stream[0].response_time.unwrap();
+    assert!(r < Seconds::from_millis(8.0));
+}
+
+#[test]
+fn simulator_honours_constrained_deadlines() {
+    // A set whose analysis passes with D = P but fails with D = P/8 —
+    // the simulator must expose exactly that difference as misses, because
+    // completions land between D and P.
+    let bw = Bandwidth::from_mbps(4.0);
+    let ring = RingConfig::ieee_802_5(2, bw);
+    let frame = FrameFormat::paper_default();
+    let relaxed = MessageSet::new(vec![
+        SyncStream::new(Seconds::from_millis(40.0), Bits::new(60_000)),
+        SyncStream::new(Seconds::from_millis(80.0), Bits::new(100_000)),
+    ])
+    .unwrap();
+    let tight = MessageSet::new(
+        relaxed
+            .iter()
+            .map(|s| {
+                let d = s.period() / 8.0;
+                s.with_relative_deadline(d)
+            })
+            .collect(),
+    )
+    .unwrap();
+
+    let pdp = PdpAnalyzer::new(ring, frame, PdpVariant::Modified);
+    assert!(pdp.is_schedulable(&relaxed));
+    assert!(!pdp.is_schedulable(&tight));
+
+    let config = SimConfig::new(ring, Seconds::new(1.0)).with_phasing(Phasing::Synchronized);
+    let r_relaxed = PdpSimulator::new(&relaxed, config, frame, PdpVariant::Modified).run();
+    assert_eq!(r_relaxed.deadline_misses(), 0, "{r_relaxed}");
+    let r_tight = PdpSimulator::new(&tight, config, frame, PdpVariant::Modified).run();
+    assert!(
+        r_tight.deadline_misses() > 0,
+        "tight deadlines should be missed:\n{r_tight}"
+    );
+    // Same transmissions either way — only the deadline verdicts differ.
+    assert_eq!(r_relaxed.completed(), r_tight.completed());
+}
+
+#[test]
+fn ttp_simulation_respects_deadline_based_allocation() {
+    // With D = P/4, the analyzer shrinks TTRT and fattens h_i; a set it
+    // still accepts must run miss-free in simulation.
+    let bw = Bandwidth::from_mbps(100.0);
+    let ring = RingConfig::fddi(3, bw);
+    let set = MessageSet::new(vec![
+        SyncStream::new(Seconds::from_millis(40.0), Bits::new(100_000))
+            .with_relative_deadline(Seconds::from_millis(10.0)),
+        SyncStream::new(Seconds::from_millis(80.0), Bits::new(200_000))
+            .with_relative_deadline(Seconds::from_millis(20.0)),
+        SyncStream::new(Seconds::from_millis(160.0), Bits::new(200_000)),
+    ])
+    .unwrap();
+    let analyzer = TtpAnalyzer::with_defaults(ring);
+    let report = analyzer.analyze(&set);
+    assert!(report.schedulable, "{report}");
+    // TTRT respects the tightest deadline, not the shortest period.
+    assert!(report.ttrt <= Seconds::from_millis(5.0) * 1.0000001);
+
+    let sim = TtpSimulator::from_analysis(
+        &set,
+        SimConfig::new(ring, Seconds::new(1.0))
+            .with_phasing(Phasing::Synchronized)
+            .with_async_load(0.2),
+    )
+    .expect("schedulable ⇒ feasible")
+    .run();
+    assert_eq!(sim.deadline_misses(), 0, "{sim}");
+}
+
+#[test]
+fn eight_hardware_levels_are_nearly_free() {
+    // End-to-end check of the LEVELS finding on a concrete set: quantizing
+    // 16 streams onto 8 levels preserves the verdict, 1 level destroys it.
+    let streams: Vec<SyncStream> = (0..16)
+        .map(|i| {
+            SyncStream::new(
+                Seconds::from_millis(20.0 + 10.0 * i as f64),
+                Bits::new(6_000 + 500 * i as u64),
+            )
+        })
+        .collect();
+    let set = MessageSet::new(streams).unwrap();
+    let bw = Bandwidth::from_mbps(4.0);
+    let base = PdpAnalyzer::new(
+        RingConfig::ieee_802_5(set.len(), bw),
+        FrameFormat::paper_default(),
+        PdpVariant::Modified,
+    );
+    assert!(base.is_schedulable(&set));
+    assert!(base.with_priority_levels(8).is_schedulable(&set));
+    assert!(!base.with_priority_levels(1).is_schedulable(&set));
+    // The quantized analyzer reports per-stream detail too.
+    let report = base.with_priority_levels(8).analyze(&set);
+    assert!(report.schedulable);
+    assert_eq!(report.per_stream.len(), 16);
+}

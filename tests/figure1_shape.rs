@@ -1,0 +1,93 @@
+//! Integration test for the paper's headline artifact: the *shape* of
+//! Figure 1 (FIG1 / CLAIM-XOVER / CLAIM-MODIFIED in DESIGN.md).
+//!
+//! Absolute ABU values depend on the population details the paper leaves
+//! unspecified, but the qualitative claims are crisp and must hold:
+//!
+//! 1. the priority driven protocol beats the timed token protocol at low
+//!    bandwidths, and the ordering flips at high bandwidths;
+//! 2. the 802.5 curves are non-monotone in bandwidth (overhead anomaly);
+//! 3. the modified 802.5 variant dominates the standard one;
+//! 4. the FDDI curve improves with bandwidth.
+
+use ringrt::breakdown::sweep::{figure1, SweepConfig};
+
+fn shape_config() -> SweepConfig {
+    SweepConfig {
+        stations: 20,
+        samples: 10,
+        seed: 0xF16_u64 ^ 0x1000,
+        tolerance: 3e-3,
+    }
+}
+
+#[test]
+fn protocol_ordering_flips_with_bandwidth() {
+    let rows = figure1(&[1.0, 1000.0], &shape_config());
+    let (low, high) = (&rows[0], &rows[1]);
+    assert!(
+        low.modified_802_5.mean > low.fddi.mean + 0.05,
+        "at 1 Mbps PDP ({:.3}) must clearly beat FDDI ({:.3})",
+        low.modified_802_5.mean,
+        low.fddi.mean
+    );
+    assert!(
+        high.fddi.mean > high.modified_802_5.mean + 0.3,
+        "at 1000 Mbps FDDI ({:.3}) must crush PDP ({:.3})",
+        high.fddi.mean,
+        high.modified_802_5.mean
+    );
+}
+
+#[test]
+fn ieee_802_5_curve_is_non_monotone() {
+    // The paper's §6 observation: 802.5 improves with bandwidth at first,
+    // then collapses once Θ (propagation-bound) exceeds the frame time F.
+    let rows = figure1(&[1.0, 10.0, 1000.0], &shape_config());
+    let (a, b, c) = (&rows[0], &rows[1], &rows[2]);
+    assert!(
+        b.modified_802_5.mean > a.modified_802_5.mean - 0.02,
+        "modified 802.5 should not degrade from 1 → 10 Mbps ({:.3} → {:.3})",
+        a.modified_802_5.mean,
+        b.modified_802_5.mean
+    );
+    assert!(
+        c.modified_802_5.mean < b.modified_802_5.mean - 0.2,
+        "modified 802.5 must collapse at 1000 Mbps ({:.3} → {:.3})",
+        b.modified_802_5.mean,
+        c.modified_802_5.mean
+    );
+    assert!(
+        c.ieee_802_5.mean < a.ieee_802_5.mean,
+        "standard 802.5 at 1000 Mbps must be below its 1 Mbps level"
+    );
+}
+
+#[test]
+fn modified_variant_dominates_standard() {
+    let rows = figure1(&[1.0, 10.0, 100.0], &shape_config());
+    for r in &rows {
+        assert!(
+            r.modified_802_5.mean >= r.ieee_802_5.mean - 0.02,
+            "at {} Mbps the modified variant ({:.3}) fell below the standard ({:.3})",
+            r.mbps,
+            r.modified_802_5.mean,
+            r.ieee_802_5.mean
+        );
+    }
+}
+
+#[test]
+fn fddi_improves_with_bandwidth() {
+    let rows = figure1(&[1.0, 10.0, 100.0, 1000.0], &shape_config());
+    for w in rows.windows(2) {
+        assert!(
+            w[1].fddi.mean >= w[0].fddi.mean - 0.02,
+            "FDDI ABU regressed from {} Mbps ({:.3}) to {} Mbps ({:.3})",
+            w[0].mbps,
+            w[0].fddi.mean,
+            w[1].mbps,
+            w[1].fddi.mean
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Cross-crate property-based tests of the schedulability criteria.
+
+use proptest::prelude::*;
+
+use ringrt::analysis::pdp::{PdpAnalyzer, PdpVariant};
+use ringrt::analysis::ttp::TtpAnalyzer;
+use ringrt::analysis::SchedulabilityTest;
+use ringrt::breakdown::SaturationSearch;
+use ringrt::model::{FrameFormat, MessageSet, RingConfig, SyncStream};
+use ringrt::units::{Bandwidth, Bits, Seconds};
+
+/// Strategy: a message set of 1–8 streams with periods 5–500 ms and
+/// payloads 100–200 000 bits.
+fn arb_set() -> impl Strategy<Value = MessageSet> {
+    prop::collection::vec((5.0f64..500.0, 100u64..200_000), 1..8).prop_map(|specs| {
+        MessageSet::new(
+            specs
+                .into_iter()
+                .map(|(p_ms, bits)| {
+                    SyncStream::new(Seconds::from_millis(p_ms), Bits::new(bits))
+                })
+                .collect(),
+        )
+        .expect("generated parameters are valid")
+    })
+}
+
+fn pdp(set_len: usize, mbps: f64, variant: PdpVariant) -> PdpAnalyzer {
+    PdpAnalyzer::new(
+        RingConfig::ieee_802_5(set_len, Bandwidth::from_mbps(mbps)),
+        FrameFormat::paper_default(),
+        variant,
+    )
+}
+
+fn ttp(set_len: usize, mbps: f64) -> TtpAnalyzer {
+    TtpAnalyzer::with_defaults(RingConfig::fddi(set_len, Bandwidth::from_mbps(mbps)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Shrinking every message keeps a schedulable set schedulable
+    /// (monotonicity both protocols' criteria rely on).
+    #[test]
+    fn schedulability_monotone_in_load(set in arb_set(), shrink in 0.1f64..1.0) {
+        let smaller = set.with_scaled_lengths(shrink);
+        for mbps in [4.0, 100.0] {
+            let a = pdp(set.len(), mbps, PdpVariant::Standard);
+            if a.is_schedulable(&set) {
+                prop_assert!(a.is_schedulable(&smaller), "PDP broke at {mbps} Mbps");
+            }
+            let t = ttp(set.len(), mbps);
+            if t.is_schedulable(&set) {
+                prop_assert!(t.is_schedulable(&smaller), "TTP broke at {mbps} Mbps");
+            }
+        }
+    }
+
+    /// The modified 802.5 variant dominates the standard one: anything the
+    /// standard guarantees, the modified guarantees too.
+    #[test]
+    fn modified_dominates_standard(set in arb_set()) {
+        for mbps in [1.0, 16.0, 100.0] {
+            let std = pdp(set.len(), mbps, PdpVariant::Standard);
+            let modv = pdp(set.len(), mbps, PdpVariant::Modified);
+            if std.is_schedulable(&set) {
+                prop_assert!(modv.is_schedulable(&set), "dominance violated at {mbps} Mbps");
+            }
+        }
+    }
+
+    /// The two exact forms of Theorem 4.1 (response-time analysis and the
+    /// scheduling-point test) always agree.
+    #[test]
+    fn rta_agrees_with_scheduling_points(set in arb_set(), scale in 0.2f64..4.0) {
+        let scaled = set.with_scaled_lengths(scale);
+        let a = pdp(set.len(), 16.0, PdpVariant::Modified);
+        prop_assert_eq!(a.is_schedulable(&scaled), a.is_schedulable_by_points(&scaled));
+    }
+
+    /// `analyze` and `satisfies_theorem_5_1` agree for the local scheme.
+    #[test]
+    fn ttp_report_agrees_with_theorem(set in arb_set(), scale in 0.2f64..4.0) {
+        let scaled = set.with_scaled_lengths(scale);
+        let t = ttp(set.len(), 100.0);
+        prop_assert_eq!(t.is_schedulable(&scaled), t.satisfies_theorem_5_1(&scaled));
+    }
+
+    /// The saturation search lands on the boundary: schedulable at the
+    /// result, unschedulable a tolerance-step above.
+    #[test]
+    fn saturation_is_tight(set in arb_set()) {
+        let bw = Bandwidth::from_mbps(100.0);
+        let t = ttp(set.len(), 100.0);
+        let search = SaturationSearch::with_tolerance(1e-4);
+        if let Some(sat) = search.saturate(&t, &set, bw) {
+            prop_assert!(t.is_schedulable(&sat.set));
+            let above = sat.set.with_scaled_lengths(1.0 + 20.0 * 1e-4);
+            prop_assert!(!t.is_schedulable(&above), "boundary not tight (U = {})", sat.utilization);
+        }
+    }
+
+    /// Raising the bandwidth never hurts the timed token protocol (its
+    /// overheads shrink or stay constant); this is the monotonicity behind
+    /// the rising FDDI curve in Figure 1.
+    #[test]
+    fn ttp_improves_with_bandwidth(set in arb_set()) {
+        let t_lo = ttp(set.len(), 50.0);
+        let t_hi = ttp(set.len(), 500.0);
+        if t_lo.is_schedulable(&set) {
+            prop_assert!(t_hi.is_schedulable(&set));
+        }
+    }
+
+    /// Adding a brand-new stream never makes a set *more* schedulable under
+    /// TTP: if the grown set passes, the original must pass.
+    #[test]
+    fn ttp_adding_a_stream_never_helps(set in arb_set(), p_ms in 5.0f64..500.0, bits in 100u64..100_000) {
+        let mut streams: Vec<SyncStream> = set.iter().copied().collect();
+        streams.push(SyncStream::new(Seconds::from_millis(p_ms), Bits::new(bits)));
+        let grown = MessageSet::new(streams).unwrap();
+        // Same ring for both (station count fixed at the grown size).
+        let t = ttp(grown.len(), 100.0);
+        if t.is_schedulable(&grown) {
+            prop_assert!(t.is_schedulable(&set));
+        }
+    }
+
+    /// Utilization of the saturated set never exceeds 1 (no criterion may
+    /// accept more than the wire can carry).
+    #[test]
+    fn breakdown_utilization_at_most_one(set in arb_set()) {
+        let bw = Bandwidth::from_mbps(16.0);
+        let search = SaturationSearch::with_tolerance(1e-3);
+        for sat in [
+            search.saturate(&pdp(set.len(), 16.0, PdpVariant::Modified), &set, bw),
+            search.saturate(&ttp(set.len(), 16.0), &set, bw),
+        ].into_iter().flatten() {
+            prop_assert!(sat.utilization <= 1.0 + 1e-6, "U = {}", sat.utilization);
+            prop_assert!(sat.utilization > 0.0);
+        }
+    }
+}
