@@ -42,7 +42,9 @@ fn bench_event_queue(c: &mut Criterion) {
             // Deterministic pseudo-random times via an LCG.
             let mut x = 0x2545_F491_4F6C_DD1Du64;
             for i in 0..10_000u64 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 q.schedule_at(SimTime::from_picos(x >> 20), i);
             }
             let mut sum = 0u64;
@@ -69,5 +71,11 @@ fn bench_histogram(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_crc32, bench_frame_codec, bench_event_queue, bench_histogram);
+criterion_group!(
+    benches,
+    bench_crc32,
+    bench_frame_codec,
+    bench_event_queue,
+    bench_histogram
+);
 criterion_main!(benches);

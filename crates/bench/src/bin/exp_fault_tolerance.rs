@@ -79,7 +79,8 @@ fn main() {
         let r = TtpSimulator::from_analysis(&fddi_set, fddi_cfg)
             .expect("feasible")
             .run();
-        let ratio = r.deadline_misses() as f64 / (r.completed() + r.deadline_misses()).max(1) as f64;
+        let ratio =
+            r.deadline_misses() as f64 / (r.completed() + r.deadline_misses()).max(1) as f64;
         table.push_row(&[
             cell(loss_rate, 1),
             "FDDI@100Mbps".into(),
@@ -98,7 +99,8 @@ fn main() {
             }
         };
         let r = PdpSimulator::new(&pdp_set, pdp_cfg, frame, PdpVariant::Modified).run();
-        let ratio = r.deadline_misses() as f64 / (r.completed() + r.deadline_misses()).max(1) as f64;
+        let ratio =
+            r.deadline_misses() as f64 / (r.completed() + r.deadline_misses()).max(1) as f64;
         table.push_row(&[
             cell(loss_rate, 1),
             "Mod802.5@4Mbps".into(),

@@ -55,10 +55,9 @@ fn main() {
         rows.last().unwrap().modified_802_5.mean,
         rows.last().unwrap().mbps,
     );
-    match rows
-        .windows(2)
-        .find(|w| w[0].modified_802_5.mean >= w[0].fddi.mean && w[1].modified_802_5.mean < w[1].fddi.mean)
-    {
+    match rows.windows(2).find(|w| {
+        w[0].modified_802_5.mean >= w[0].fddi.mean && w[1].modified_802_5.mean < w[1].fddi.mean
+    }) {
         Some(w) => println!(
             "# FDDI overtakes modified 802.5 between {:.3} and {:.3} Mbps (paper: around 10 Mbps)",
             w[0].mbps, w[1].mbps

@@ -31,7 +31,11 @@ fn main() {
         MessageSetGenerator::paper_population(opts.stations),
         opts.samples,
     )
-    .with_search(SaturationSearch::with_tolerance(if opts.quick { 3e-3 } else { 1e-3 }));
+    .with_search(SaturationSearch::with_tolerance(if opts.quick {
+        3e-3
+    } else {
+        1e-3
+    }));
 
     let mut table = Table::new(&[
         "bandwidth_mbps",
@@ -40,14 +44,17 @@ fn main() {
         "fddi_paper112",
         "fddi_real224",
     ]);
-    for (i, mbps) in [2.0f64, 5.623, 10.0, 31.62, 100.0, 1000.0].into_iter().enumerate() {
+    for (i, mbps) in [2.0f64, 5.623, 10.0, 31.62, 100.0, 1000.0]
+        .into_iter()
+        .enumerate()
+    {
         let bw = Bandwidth::from_mbps(mbps);
         let seed = opts.seed ^ i as u64;
 
         let ring = RingConfig::ieee_802_5(opts.stations, bw);
         let paper_frame = ringrt_model::FrameFormat::paper_default();
-        let real_frame = ringrt_frames::ieee_802_5_frame_format(Bits::new(512))
-            .expect("valid payload");
+        let real_frame =
+            ringrt_frames::ieee_802_5_frame_format(Bits::new(512)).expect("valid payload");
         let pdp_paper = estimator.estimate(
             &PdpAnalyzer::new(ring, paper_frame, PdpVariant::Modified),
             bw,

@@ -37,10 +37,22 @@ fn populations() -> Vec<(&'static str, PeriodDistribution, LengthShape)> {
         slow: (Seconds::from_millis(150.0), Seconds::from_millis(400.0)),
     };
     vec![
-        ("paper_uniform/util", uniform.clone(), LengthShape::UniformUtilization),
-        ("paper_uniform/bits", uniform.clone(), LengthShape::UniformBits),
+        (
+            "paper_uniform/util",
+            uniform.clone(),
+            LengthShape::UniformUtilization,
+        ),
+        (
+            "paper_uniform/bits",
+            uniform.clone(),
+            LengthShape::UniformBits,
+        ),
         ("paper_uniform/equal", uniform, LengthShape::EqualBits),
-        ("log_uniform/util", log_uniform, LengthShape::UniformUtilization),
+        (
+            "log_uniform/util",
+            log_uniform,
+            LengthShape::UniformUtilization,
+        ),
         ("harmonic/util", harmonic, LengthShape::UniformUtilization),
         ("bimodal/util", bimodal, LengthShape::UniformUtilization),
     ]
@@ -72,12 +84,9 @@ fn main() {
         let generator = MessageSetGenerator::paper_population(stations)
             .with_periods(periods)
             .with_lengths(lengths);
-        let estimator = BreakdownEstimator::new(generator, opts.samples)
-            .with_search(SaturationSearch::with_tolerance(if opts.quick {
-                3e-3
-            } else {
-                1e-3
-            }));
+        let estimator = BreakdownEstimator::new(generator, opts.samples).with_search(
+            SaturationSearch::with_tolerance(if opts.quick { 3e-3 } else { 1e-3 }),
+        );
         for (mbps, expect_pdp) in [(2.0, true), (200.0, false)] {
             let bw = Bandwidth::from_mbps(mbps);
             let pdp = PdpAnalyzer::new(
@@ -97,7 +106,11 @@ fn main() {
                 cell(mbps, 0),
                 cell(e_pdp.mean, 4),
                 cell(e_ttp.mean, 4),
-                if pdp_leads { "802.5".into() } else { "fddi".into() },
+                if pdp_leads {
+                    "802.5".into()
+                } else {
+                    "fddi".into()
+                },
             ]);
         }
     }

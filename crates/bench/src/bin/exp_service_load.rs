@@ -1,0 +1,191 @@
+//! SERVICE-LOAD — throughput and tail latency of the admission-control
+//! server (`ringrt-service`) under concurrent clients.
+//!
+//! Spawns the server in-process on an ephemeral port, drives it with
+//! concurrent TCP clients issuing a mix of CHECK and SATURATION requests,
+//! and reports throughput plus p50/p99 request latency for two phases:
+//!
+//! * **cold** — every request is distinct, so each one runs a real
+//!   analysis (all cache misses);
+//! * **warm** — the same request list replayed, so each verdict is served
+//!   from the canonicalizing result cache.
+//!
+//! The gap between the two phases is the cache's value; the cold phase is
+//! the analyzers' intrinsic service rate through the whole TCP + queue +
+//! worker pipeline.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+use ringrt_bench::{banner, ExpOptions};
+use ringrt_breakdown::table::{cell, Table};
+use ringrt_des::stats::DurationHistogram;
+use ringrt_service::{spawn, ServiceConfig};
+use ringrt_units::SimDuration;
+
+/// Builds one request line; `unique` differentiates the payload so the
+/// cold phase cannot hit the cache.
+fn request_line(i: usize, unique: usize) -> String {
+    let protocol = ["modified", "802.5", "fddi"][i % 3];
+    let mbps = if protocol == "fddi" { 100.0 } else { 16.0 };
+    let bits_a = 20_000 + 8 * unique;
+    let bits_b = 60_000 + 8 * unique;
+    let set = format!("20,{bits_a};50,{bits_b}");
+    if i.is_multiple_of(4) {
+        format!("SATURATION mbps={mbps} set={set} protocol={protocol}")
+    } else {
+        format!("CHECK mbps={mbps} set={set} protocol={protocol}")
+    }
+}
+
+struct PhaseResult {
+    histogram: DurationHistogram,
+    requests: u64,
+    errors: u64,
+    elapsed_s: f64,
+}
+
+/// Runs `clients` concurrent connections, each sending its share of
+/// `lines`, and collects the merged latency histogram.
+fn run_phase(addr: SocketAddr, clients: usize, lines: &[String]) -> PhaseResult {
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let my_lines: Vec<String> = lines.iter().skip(c).step_by(clients).cloned().collect();
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut writer = stream.try_clone().expect("clone");
+                let mut reader = BufReader::new(stream);
+                let mut hist = DurationHistogram::new();
+                let mut errors = 0u64;
+                let mut resp = String::new();
+                for line in &my_lines {
+                    let t0 = Instant::now();
+                    writer
+                        .write_all(format!("{line}\n").as_bytes())
+                        .expect("send");
+                    resp.clear();
+                    reader.read_line(&mut resp).expect("recv");
+                    let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    hist.push(SimDuration::from_picos(ns.saturating_mul(1000)));
+                    if !resp.starts_with("OK") {
+                        errors += 1;
+                    }
+                }
+                (hist, my_lines.len() as u64, errors)
+            })
+        })
+        .collect();
+    let mut histogram = DurationHistogram::new();
+    let mut requests = 0;
+    let mut errors = 0;
+    for h in handles {
+        let (hist, n, e) = h.join().expect("client thread");
+        histogram.merge(&hist);
+        requests += n;
+        errors += e;
+    }
+    PhaseResult {
+        histogram,
+        requests,
+        errors,
+        elapsed_s: started.elapsed().as_secs_f64(),
+    }
+}
+
+fn quantile_us(h: &DurationHistogram, q: f64) -> f64 {
+    h.quantile(q)
+        .map_or(f64::NAN, |d| d.as_picos() as f64 / 1e6)
+}
+
+fn stats_field(addr: SocketAddr, key: &str) -> String {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"STATS\n").expect("send");
+    let mut resp = String::new();
+    reader.read_line(&mut resp).expect("recv");
+    resp.split_whitespace()
+        .find_map(|w| w.strip_prefix(&format!("{key}=")[..]))
+        .unwrap_or("?")
+        .to_owned()
+}
+
+fn main() {
+    let opts = ExpOptions::from_env();
+    banner(
+        "SERVICE-LOAD",
+        "admission service throughput and latency, cold vs cache-warm",
+        &opts,
+    );
+
+    let clients = if opts.quick { 4 } else { 8 };
+    let per_client = opts.samples.max(10);
+    let total = clients * per_client;
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+
+    let server = spawn(ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        queue_depth: 4 * total.max(16),
+        default_deadline_ms: 60_000,
+        ..ServiceConfig::default()
+    })
+    .expect("spawn service");
+    let addr = server.addr();
+    println!("# server on {addr}, {workers} workers, {clients} clients × {per_client} requests");
+
+    // Cold: every request distinct. Warm: one fixed list, replayed twice so
+    // the second pass is all cache hits.
+    let cold_lines: Vec<String> = (0..total).map(|i| request_line(i, i + 1)).collect();
+    let warm_lines: Vec<String> = (0..total).map(|i| request_line(i, 0)).collect();
+
+    let mut table = Table::new(&[
+        "phase",
+        "clients",
+        "requests",
+        "errors",
+        "secs",
+        "throughput_rps",
+        "p50_us",
+        "p99_us",
+        "cache_hits",
+    ]);
+    let mut push = |phase: &str, r: &PhaseResult| {
+        table.push_row(&[
+            phase.into(),
+            clients.to_string(),
+            r.requests.to_string(),
+            r.errors.to_string(),
+            cell(r.elapsed_s, 3),
+            cell(r.requests as f64 / r.elapsed_s, 1),
+            cell(quantile_us(&r.histogram, 0.5), 1),
+            cell(quantile_us(&r.histogram, 0.99), 1),
+            stats_field(addr, "cache_hits"),
+        ]);
+    };
+
+    let cold = run_phase(addr, clients, &cold_lines);
+    push("cold", &cold);
+    let _prime = run_phase(addr, clients, &warm_lines);
+    let warm = run_phase(addr, clients, &warm_lines);
+    push("warm", &warm);
+
+    println!();
+    print!("{}", table.to_csv());
+    println!();
+    let cold_rps = cold.requests as f64 / cold.elapsed_s;
+    let warm_rps = warm.requests as f64 / warm.elapsed_s;
+    println!(
+        "# warm throughput is {:.1}x cold (cache short-circuits the analysis pipeline)",
+        warm_rps / cold_rps.max(f64::MIN_POSITIVE)
+    );
+    println!(
+        "# final server stats: requests={} ok={} busy={}",
+        stats_field(addr, "requests"),
+        stats_field(addr, "ok"),
+        stats_field(addr, "busy"),
+    );
+    server.join();
+}

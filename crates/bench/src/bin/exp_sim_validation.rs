@@ -85,7 +85,11 @@ fn main() {
                     k.to_string(),
                     cell(sat.utilization, 4),
                     safe.deadline_misses().to_string(),
-                    if over == u64::MAX { "infeasible".into() } else { over.to_string() },
+                    if over == u64::MAX {
+                        "infeasible".into()
+                    } else {
+                        over.to_string()
+                    },
                 ]);
             }
         }
@@ -102,12 +106,10 @@ fn main() {
                     .with_async_load(0.2)
                     .with_seed(opts.seed ^ (k as u64) << 8);
                 let safe_set = sat.set.with_scaled_lengths(0.97);
-                let safe =
-                    PdpSimulator::new(&safe_set, config, frame, PdpVariant::Modified).run();
+                let safe = PdpSimulator::new(&safe_set, config, frame, PdpVariant::Modified).run();
                 let over_scale = (1.1 / sat.utilization).max(1.3);
                 let over_set: MessageSet = sat.set.with_scaled_lengths(over_scale);
-                let over =
-                    PdpSimulator::new(&over_set, config, frame, PdpVariant::Modified).run();
+                let over = PdpSimulator::new(&over_set, config, frame, PdpVariant::Modified).run();
                 runs += 1;
                 if safe.deadline_misses() > 0 {
                     safe_violations += 1;

@@ -48,8 +48,7 @@ fn main() {
                 .collect(),
         )
         .expect("valid adversarial set");
-        let analyzer =
-            TtpAnalyzer::with_defaults(ring).with_ttrt_policy(TtrtPolicy::Fixed(ttrt));
+        let analyzer = TtpAnalyzer::with_defaults(ring).with_ttrt_policy(TtrtPolicy::Fixed(ttrt));
         let sat = search
             .saturate(&analyzer, &set, bw)
             .expect("adversarial sets admit some load");
@@ -77,12 +76,7 @@ fn main() {
 
 /// The fraction of each rotation usable for synchronous payload after the
 /// per-rotation overhead Θ' and the per-station frame overheads.
-fn usable_fraction(
-    analyzer: &TtpAnalyzer,
-    ttrt: Seconds,
-    stations: usize,
-    bw: Bandwidth,
-) -> f64 {
+fn usable_fraction(analyzer: &TtpAnalyzer, ttrt: Seconds, stations: usize, bw: Bandwidth) -> f64 {
     let theta_prime = analyzer.theta_prime();
     let frame_ovhd = bw.transmission_time(Bits::new(112));
     ((ttrt - theta_prime - frame_ovhd * stations as f64) / ttrt).max(0.0)

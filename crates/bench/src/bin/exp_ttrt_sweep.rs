@@ -41,8 +41,7 @@ fn main() {
             .iter()
             .max_by(|a, b| a.estimate.mean.total_cmp(&b.estimate.mean))
             .expect("non-empty grid");
-        let heuristic =
-            Seconds::new(theta_prime.as_secs_f64() * p_min.as_secs_f64()).sqrt_value();
+        let heuristic = Seconds::new(theta_prime.as_secs_f64() * p_min.as_secs_f64()).sqrt_value();
         for r in &rows {
             table.push_row(&[
                 cell(mbps, 1),

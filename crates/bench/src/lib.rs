@@ -165,7 +165,16 @@ mod tests {
 
     #[test]
     fn explicit_values_override() {
-        let o = parse(&["--quick", "--stations", "64", "--samples", "7", "--seed", "42"]).unwrap();
+        let o = parse(&[
+            "--quick",
+            "--stations",
+            "64",
+            "--samples",
+            "7",
+            "--seed",
+            "42",
+        ])
+        .unwrap();
         assert_eq!(o.stations, 64);
         assert_eq!(o.samples, 7);
         assert_eq!(o.seed, 42);

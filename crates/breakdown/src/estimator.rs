@@ -140,8 +140,11 @@ impl BreakdownEstimator {
         assert!(threads > 0, "need at least one worker thread");
         let threads = threads.min(self.samples);
 
-        let sample_seed =
-            |k: usize| seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let sample_seed = |k: usize| {
+            seed ^ (k as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(1)
+        };
         let run_sample = |k: usize| -> (f64, bool) {
             let mut rng = StdRng::seed_from_u64(sample_seed(k));
             let set = self.generator.generate(&mut rng);
@@ -299,7 +302,12 @@ mod tests {
         let seq = e.estimate(&a, ring.bandwidth(), &mut StdRng::seed_from_u64(7));
         let par = e.estimate_parallel(&a, ring.bandwidth(), 7, 4);
         // Different RNG streams, same population: means land close.
-        assert!((seq.mean - par.mean).abs() < 0.15, "{} vs {}", seq.mean, par.mean);
+        assert!(
+            (seq.mean - par.mean).abs() < 0.15,
+            "{} vs {}",
+            seq.mean,
+            par.mean
+        );
     }
 
     #[test]

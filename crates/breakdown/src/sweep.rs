@@ -186,7 +186,11 @@ pub struct FrameSizeRow {
 /// Sweeps the PDP frame payload size at one bandwidth, exposing the paper's
 /// granularity-vs-overhead trade-off.
 #[must_use]
-pub fn frame_size_sweep(mbps: f64, payloads_bits: &[u64], config: &SweepConfig) -> Vec<FrameSizeRow> {
+pub fn frame_size_sweep(
+    mbps: f64,
+    payloads_bits: &[u64],
+    config: &SweepConfig,
+) -> Vec<FrameSizeRow> {
     let estimator = config.estimator();
     let bw = Bandwidth::from_mbps(mbps);
     let ring = RingConfig::ieee_802_5(config.stations, bw);
@@ -194,8 +198,7 @@ pub fn frame_size_sweep(mbps: f64, payloads_bits: &[u64], config: &SweepConfig) 
         .iter()
         .enumerate()
         .map(|(i, &bits)| {
-            let frame =
-                FrameFormat::with_payload(Bits::new(bits)).expect("non-zero payload sizes");
+            let frame = FrameFormat::with_payload(Bits::new(bits)).expect("non-zero payload sizes");
             let std = PdpAnalyzer::new(ring, frame, PdpVariant::Standard);
             let modified = PdpAnalyzer::new(ring, frame, PdpVariant::Modified);
             FrameSizeRow {
@@ -324,11 +327,7 @@ mod tests {
     #[test]
     fn ttrt_sweep_peaks_inside_range() {
         let cfg = tiny();
-        let grid = suggested_ttrt_grid(
-            Seconds::from_micros(400.0),
-            Seconds::from_millis(9.0),
-            5,
-        );
+        let grid = suggested_ttrt_grid(Seconds::from_micros(400.0), Seconds::from_millis(9.0), 5);
         let rows = ttrt_sweep(100.0, &grid, &cfg);
         assert_eq!(rows.len(), 5);
         // ABU must not be maximal at the extremes only: interior max.

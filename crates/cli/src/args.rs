@@ -38,6 +38,27 @@ impl fmt::Display for ProtocolChoice {
     }
 }
 
+/// Output mode for `check`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Human-readable report (the default).
+    #[default]
+    Plain,
+    /// One machine-readable CSV row with the same canonical field names
+    /// the admission service's wire protocol uses.
+    Csv,
+}
+
+impl OutputFormat {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "plain" | "text" => Ok(OutputFormat::Plain),
+            "csv" => Ok(OutputFormat::Csv),
+            other => Err(format!("unknown format `{other}` (expected plain or csv)")),
+        }
+    }
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Cli {
@@ -58,6 +79,8 @@ pub enum Command {
         protocol: ProtocolChoice,
         /// Ring stations (defaults to the stream count).
         stations: Option<usize>,
+        /// Output mode.
+        format: OutputFormat,
     },
     /// Simulate a message set under one protocol.
     Simulate {
@@ -95,6 +118,17 @@ pub enum Command {
         /// Bandwidth list in Mbps.
         mbps: Vec<f64>,
     },
+    /// Run the online admission-control service (`ringrt-service`).
+    Serve {
+        /// Bind address (`host:port`; port 0 picks an ephemeral one).
+        addr: String,
+        /// Worker threads executing analyses.
+        workers: usize,
+        /// Bounded queue depth before requests are answered `BUSY`.
+        queue_depth: usize,
+        /// Default per-request queue deadline in milliseconds.
+        deadline_ms: u64,
+    },
     /// Print usage.
     Help,
 }
@@ -105,10 +139,12 @@ ringrt — real-time token ring schedulability toolkit (Kamat & Zhao, ICDCS 1993
 
 USAGE:
   ringrt check    <set-file> --mbps <N> [--protocol 802.5|modified|fddi] [--stations N]
+                  [--format plain|csv]
   ringrt simulate <set-file> --mbps <N> [--protocol 802.5|modified|fddi] [--stations N]
                   [--seconds S] [--async-load X] [--seed N]
   ringrt sweep    <set-file> --mbps <N>[,<N>...]
   ringrt abu      --mbps <N> [--stations N] [--samples N] [--seed N]
+  ringrt serve    [--addr HOST:PORT] [--workers N] [--queue-depth N] [--deadline-ms N]
   ringrt help
 
 SET FILE: one `period_ms, payload_bits` pair per line; `#` comments allowed.
@@ -125,7 +161,9 @@ impl Cli {
         let mut it = args.into_iter().peekable();
         let sub = it.next().ok_or_else(|| USAGE.to_owned())?;
         match sub.as_str() {
-            "help" | "--help" | "-h" => Ok(Cli { command: Command::Help }),
+            "help" | "--help" | "-h" => Ok(Cli {
+                command: Command::Help,
+            }),
             "check" => {
                 let (file, flags) = split_flags(&mut it)?;
                 let mbps = required_f64(&flags, "--mbps")?;
@@ -135,6 +173,7 @@ impl Cli {
                         mbps,
                         protocol: optional_protocol(&flags)?,
                         stations: optional_usize(&flags, "--stations")?,
+                        format: optional_format(&flags)?,
                     },
                 })
             }
@@ -155,16 +194,7 @@ impl Cli {
             }
             "abu" => {
                 // No positional file: flags only.
-                let mut flags: Flags = Vec::new();
-                while let Some(flag) = it.next() {
-                    if !flag.starts_with("--") {
-                        return Err(format!("unexpected positional argument `{flag}`"));
-                    }
-                    let value = it
-                        .next()
-                        .ok_or_else(|| format!("flag {flag} needs a value"))?;
-                    flags.push((flag, value));
-                }
+                let flags = flags_only(&mut it)?;
                 let mbps = required_f64(&flags, "--mbps")?;
                 Ok(Cli {
                     command: Command::Abu {
@@ -188,12 +218,45 @@ impl Cli {
                     command: Command::Sweep { file, mbps },
                 })
             }
+            "serve" => {
+                let flags = flags_only(&mut it)?;
+                let workers = optional_usize(&flags, "--workers")?.unwrap_or(4);
+                let queue_depth = optional_usize(&flags, "--queue-depth")?.unwrap_or(64);
+                if workers == 0 || queue_depth == 0 {
+                    return Err("--workers and --queue-depth must be at least 1".into());
+                }
+                Ok(Cli {
+                    command: Command::Serve {
+                        addr: flag_value(&flags, "--addr")
+                            .unwrap_or("127.0.0.1:7400")
+                            .to_owned(),
+                        workers,
+                        queue_depth,
+                        deadline_ms: optional_u64(&flags, "--deadline-ms")?.unwrap_or(2_000),
+                    },
+                })
+            }
             other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
         }
     }
 }
 
 type Flags = Vec<(String, String)>;
+
+/// Collects `(--flag value)*` for subcommands without a positional file.
+fn flags_only<I: Iterator<Item = String>>(it: &mut I) -> Result<Flags, String> {
+    let mut flags = Vec::new();
+    while let Some(flag) = it.next() {
+        if !flag.starts_with("--") {
+            return Err(format!("unexpected positional argument `{flag}`"));
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        flags.push((flag, value));
+    }
+    Ok(flags)
+}
 
 /// Splits `<file> (--flag value)*` into the positional file and flag pairs.
 fn split_flags<I: Iterator<Item = String>>(it: &mut I) -> Result<(String, Flags), String> {
@@ -260,6 +323,13 @@ fn optional_protocol(flags: &Flags) -> Result<ProtocolChoice, String> {
         .map(Option::unwrap_or_default)
 }
 
+fn optional_format(flags: &Flags) -> Result<OutputFormat, String> {
+    flag_value(flags, "--format")
+        .map(OutputFormat::parse)
+        .transpose()
+        .map(Option::unwrap_or_default)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,8 +348,56 @@ mod tests {
                 mbps: 16.0,
                 protocol: ProtocolChoice::Fddi,
                 stations: None,
+                format: OutputFormat::Plain,
             }
         );
+    }
+
+    #[test]
+    fn check_format_flag() {
+        let cli = parse(&["check", "set.txt", "--mbps", "4", "--format", "csv"]).unwrap();
+        match cli.command {
+            Command::Check { format, .. } => assert_eq!(format, OutputFormat::Csv),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&["check", "f", "--mbps", "4", "--format", "xml"]).is_err());
+    }
+
+    #[test]
+    fn serve_command() {
+        let cli = parse(&["serve"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Serve {
+                addr: "127.0.0.1:7400".into(),
+                workers: 4,
+                queue_depth: 64,
+                deadline_ms: 2_000,
+            }
+        );
+        let cli = parse(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:9000",
+            "--workers",
+            "2",
+            "--queue-depth",
+            "8",
+            "--deadline-ms",
+            "500",
+        ])
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Serve {
+                addr: "0.0.0.0:9000".into(),
+                workers: 2,
+                queue_depth: 8,
+                deadline_ms: 500,
+            }
+        );
+        assert!(parse(&["serve", "--workers", "0"]).is_err());
+        assert!(parse(&["serve", "stray"]).is_err());
     }
 
     #[test]
@@ -341,13 +459,24 @@ mod tests {
         assert!(parse(&["check", "f", "--mbps", "NaNx"]).is_err());
         assert!(parse(&["check", "f", "--mbps", "1", "--protocol", "atm"]).is_err());
         assert!(parse(&["sweep", "f", "--mbps", "1,-2"]).is_err());
-        assert!(parse(&["check", "f", "--mbps"]).unwrap_err().contains("needs a value"));
+        assert!(parse(&["check", "f", "--mbps"])
+            .unwrap_err()
+            .contains("needs a value"));
         assert!(parse(&["check", "f", "--mbps", "1", "stray"]).is_err());
     }
 
     #[test]
     fn abu_command() {
-        let cli = parse(&["abu", "--mbps", "100", "--stations", "20", "--samples", "10"]).unwrap();
+        let cli = parse(&[
+            "abu",
+            "--mbps",
+            "100",
+            "--stations",
+            "20",
+            "--samples",
+            "10",
+        ])
+        .unwrap();
         assert_eq!(
             cli.command,
             Command::Abu {

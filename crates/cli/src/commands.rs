@@ -11,7 +11,7 @@ use ringrt_sim::{PdpSimulator, Phasing, SimConfig, TtpSimulator};
 use ringrt_units::{Bandwidth, Seconds};
 
 use crate::args::USAGE;
-use crate::{Cli, Command, ExitCode, ProtocolChoice};
+use crate::{Cli, Command, ExitCode, OutputFormat, ProtocolChoice};
 
 /// Executes a parsed command line, writing human-readable output to `out`.
 ///
@@ -28,8 +28,9 @@ pub fn run<W: Write>(cli: &Cli, out: &mut W) -> ExitCode {
             mbps,
             protocol,
             stations,
+            format,
         } => with_set(file, out, |set, out| {
-            check(set, *mbps, *protocol, *stations, out)
+            check(set, *mbps, *protocol, *stations, *format, out)
         }),
         Command::Simulate {
             file,
@@ -40,18 +41,64 @@ pub fn run<W: Write>(cli: &Cli, out: &mut W) -> ExitCode {
             async_load,
             seed,
         } => with_set(file, out, |set, out| {
-            simulate(set, *mbps, *protocol, *stations, *seconds, *async_load, *seed, out)
+            simulate(
+                set,
+                *mbps,
+                *protocol,
+                *stations,
+                *seconds,
+                *async_load,
+                *seed,
+                out,
+            )
         }),
-        Command::Sweep { file, mbps } => {
-            with_set(file, out, |set, out| sweep(set, mbps, out))
-        }
+        Command::Sweep { file, mbps } => with_set(file, out, |set, out| sweep(set, mbps, out)),
         Command::Abu {
             mbps,
             stations,
             samples,
             seed,
         } => abu(*mbps, *stations, *samples, *seed, out),
+        Command::Serve {
+            addr,
+            workers,
+            queue_depth,
+            deadline_ms,
+        } => serve(addr, *workers, *queue_depth, *deadline_ms, out),
     }
+}
+
+fn serve<W: Write>(
+    addr: &str,
+    workers: usize,
+    queue_depth: usize,
+    deadline_ms: u64,
+    out: &mut W,
+) -> ExitCode {
+    let config = ringrt_service::ServiceConfig {
+        addr: addr.to_owned(),
+        workers,
+        queue_depth,
+        default_deadline_ms: deadline_ms,
+        ..ringrt_service::ServiceConfig::default()
+    };
+    let server = match ringrt_service::spawn(config) {
+        Ok(s) => s,
+        Err(e) => {
+            let _ = writeln!(out, "error: cannot bind `{addr}`: {e}");
+            return ExitCode::UsageError;
+        }
+    };
+    let _ = writeln!(
+        out,
+        "listening on {} ({workers} workers, queue depth {queue_depth}); \
+         send SHUTDOWN to stop",
+        server.addr()
+    );
+    let _ = out.flush();
+    server.wait();
+    let _ = writeln!(out, "shut down cleanly");
+    ExitCode::Success
 }
 
 fn abu<W: Write>(mbps: f64, stations: usize, samples: usize, seed: u64, out: &mut W) -> ExitCode {
@@ -63,10 +110,8 @@ fn abu<W: Write>(mbps: f64, stations: usize, samples: usize, seed: u64, out: &mu
         return ExitCode::UsageError;
     }
     let bw = Bandwidth::from_mbps(mbps);
-    let estimator = BreakdownEstimator::new(
-        MessageSetGenerator::paper_population(stations),
-        samples,
-    );
+    let estimator =
+        BreakdownEstimator::new(MessageSetGenerator::paper_population(stations), samples);
     let frame = FrameFormat::paper_default();
     let _ = writeln!(
         out,
@@ -123,16 +168,20 @@ fn with_set<W: Write>(
     }
 }
 
-fn ring_for(
-    choice: ProtocolChoice,
-    stations: usize,
-    bw: Bandwidth,
-) -> RingConfig {
+fn ring_for(choice: ProtocolChoice, stations: usize, bw: Bandwidth) -> RingConfig {
     match choice {
-        ProtocolChoice::Ieee8025 | ProtocolChoice::Modified => {
-            RingConfig::ieee_802_5(stations, bw)
-        }
+        ProtocolChoice::Ieee8025 | ProtocolChoice::Modified => RingConfig::ieee_802_5(stations, bw),
         ProtocolChoice::Fddi => RingConfig::fddi(stations, bw),
+    }
+}
+
+/// Canonical lower-case protocol token, shared with the admission
+/// service's wire protocol and the csv output.
+fn protocol_token(protocol: ProtocolChoice) -> &'static str {
+    match protocol {
+        ProtocolChoice::Ieee8025 => "802.5",
+        ProtocolChoice::Modified => "modified",
+        ProtocolChoice::Fddi => "fddi",
     }
 }
 
@@ -141,17 +190,20 @@ fn check<W: Write>(
     mbps: f64,
     protocol: ProtocolChoice,
     stations: Option<usize>,
+    format: OutputFormat,
     out: &mut W,
 ) -> ExitCode {
     let bw = Bandwidth::from_mbps(mbps);
     let stations = stations.unwrap_or(set.len()).max(set.len());
     let ring = ring_for(protocol, stations, bw);
-    let _ = writeln!(
-        out,
-        "{} streams, U = {:.4} at {bw}, ring of {stations} stations",
-        set.len(),
-        set.utilization(bw)
-    );
+    if format == OutputFormat::Plain {
+        let _ = writeln!(
+            out,
+            "{} streams, U = {:.4} at {bw}, ring of {stations} stations",
+            set.len(),
+            set.utilization(bw)
+        );
+    }
     let schedulable = match protocol {
         ProtocolChoice::Ieee8025 | ProtocolChoice::Modified => {
             let variant = if protocol == ProtocolChoice::Ieee8025 {
@@ -160,15 +212,32 @@ fn check<W: Write>(
                 PdpVariant::Modified
             };
             let report = PdpAnalyzer::new(ring, FrameFormat::paper_default(), variant).analyze(set);
-            let _ = write!(out, "{report}");
+            if format == OutputFormat::Plain {
+                let _ = write!(out, "{report}");
+            }
             report.schedulable
         }
         ProtocolChoice::Fddi => {
             let report = TtpAnalyzer::with_defaults(ring).analyze(set);
-            let _ = write!(out, "{report}");
+            if format == OutputFormat::Plain {
+                let _ = write!(out, "{report}");
+            }
             report.schedulable
         }
     };
+    if format == OutputFormat::Csv {
+        let _ = writeln!(
+            out,
+            "protocol,mbps,stations,streams,utilization,schedulable"
+        );
+        let _ = writeln!(
+            out,
+            "{},{mbps},{stations},{},{:.6},{schedulable}",
+            protocol_token(protocol),
+            set.len(),
+            set.utilization(bw),
+        );
+    }
     if schedulable {
         ExitCode::Success
     } else {
@@ -349,7 +418,14 @@ mod tests {
     fn simulate_reports_misses() {
         let (_g, path) = write_set("10, 30000\n10, 30000\n"); // hopeless at 1 Mbps
         let (code, out) = run_cli(&[
-            "simulate", &path, "--mbps", "1", "--protocol", "802.5", "--seconds", "0.3",
+            "simulate",
+            &path,
+            "--mbps",
+            "1",
+            "--protocol",
+            "802.5",
+            "--seconds",
+            "0.3",
         ]);
         assert_eq!(code, ExitCode::Unschedulable);
         assert!(out.contains("deadline misses"), "{out}");
@@ -370,6 +446,93 @@ mod tests {
         assert_eq!(code, ExitCode::Success);
         assert!(out.contains("4,802.5,"), "{out}");
         assert!(out.contains("100,fddi,"), "{out}");
+    }
+
+    #[test]
+    fn check_csv_format() {
+        let (_g, path) = write_set("20, 20000\n50, 60000\n");
+        let (code, out) = run_cli(&["check", &path, "--mbps", "16", "--format", "csv"]);
+        assert_eq!(code, ExitCode::Success);
+        let mut lines = out.lines();
+        assert_eq!(
+            lines.next(),
+            Some("protocol,mbps,stations,streams,utilization,schedulable")
+        );
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("modified,16,2,2,"), "{row}");
+        assert!(row.ends_with(",true"), "{row}");
+        assert_eq!(lines.next(), None, "csv mode must print nothing else");
+    }
+
+    #[test]
+    fn check_csv_unschedulable_row() {
+        let (_g, path) = write_set("10, 60000\n10, 60000\n");
+        let (code, out) = run_cli(&[
+            "check",
+            &path,
+            "--mbps",
+            "1",
+            "--protocol",
+            "802.5",
+            "--format",
+            "csv",
+        ]);
+        assert_eq!(code, ExitCode::Unschedulable);
+        assert!(out.contains("802.5,1,2,2,"), "{out}");
+        assert!(out.trim_end().ends_with(",false"), "{out}");
+    }
+
+    #[test]
+    fn serve_runs_until_shutdown() {
+        use std::io::{BufRead, BufReader};
+        use std::net::TcpStream;
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+        let cli = Cli::parse(
+            ["serve", "--addr", "127.0.0.1:0", "--workers", "1"]
+                .iter()
+                .map(|s| (*s).to_owned()),
+        )
+        .unwrap();
+        let mut thread_out = buf.clone();
+        let handle = std::thread::spawn(move || run(&cli, &mut thread_out));
+
+        // Wait for the "listening on …" line to learn the ephemeral port.
+        let addr = loop {
+            let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+            if let Some(rest) = text.strip_prefix("listening on ") {
+                break rest.split_whitespace().next().unwrap().to_owned();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        let stream = TcpStream::connect(&addr).expect("connect to served port");
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut resp = String::new();
+        writeln!(writer, "CHECK mbps=16 set=20,20000;50,60000").unwrap();
+        reader.read_line(&mut resp).unwrap();
+        assert!(resp.contains("schedulable=true"), "{resp}");
+        resp.clear();
+        writeln!(writer, "SHUTDOWN").unwrap();
+        reader.read_line(&mut resp).unwrap();
+        assert!(resp.contains("shutdown"), "{resp}");
+
+        assert_eq!(handle.join().unwrap(), ExitCode::Success);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("shut down cleanly"), "{text}");
     }
 
     #[test]

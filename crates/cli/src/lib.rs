@@ -29,11 +29,12 @@
 
 mod args;
 mod commands;
-mod parse;
 
-pub use args::{Cli, Command, ProtocolChoice};
+pub use args::{Cli, Command, OutputFormat, ProtocolChoice};
 pub use commands::run;
-pub use parse::{parse_message_set, ParseSetError};
+// The set-file parser lives in `ringrt-model` (shared with the admission
+// service's wire protocol); re-exported here for backward compatibility.
+pub use ringrt_model::{parse_message_set, ParseSetError};
 
 /// Process exit codes: 0 = schedulable / success, 1 = unschedulable,
 /// 2 = usage or input error.

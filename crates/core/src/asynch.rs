@@ -92,8 +92,7 @@ pub fn pdp_async_response_bound(
     // signals numeric trouble rather than a real schedule.
     let blocking = analyzer.blocking();
     let total_c: Seconds = sync.iter().map(|&(c, _)| c).sum();
-    let cap =
-        Seconds::new((blocking + c_async + total_c).as_secs_f64() / (1.0 - u)) * 2.0;
+    let cap = Seconds::new((blocking + c_async + total_c).as_secs_f64() / (1.0 - u)) * 2.0;
     let mut r = c_async + blocking;
     for _ in 0..10_000 {
         let mut next = c_async + blocking;

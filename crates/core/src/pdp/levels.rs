@@ -96,7 +96,11 @@ pub(crate) fn quantized_response_time(
             next += t.cost * ceil;
         }
         if next <= r + tol {
-            return if next <= deadline + tol { Some(next) } else { None };
+            return if next <= deadline + tol {
+                Some(next)
+            } else {
+                None
+            };
         }
         r = next;
     }
@@ -109,7 +113,10 @@ mod tests {
     use ringrt_units::Seconds;
 
     fn t(cost_ms: f64, period_ms: f64) -> RmTask {
-        RmTask::new(Seconds::from_millis(cost_ms), Seconds::from_millis(period_ms))
+        RmTask::new(
+            Seconds::from_millis(cost_ms),
+            Seconds::from_millis(period_ms),
+        )
     }
 
     #[test]
@@ -117,7 +124,10 @@ mod tests {
         assert_eq!(quantize_ranks(8, 8), vec![0, 1, 2, 3, 4, 5, 6, 7]);
         assert_eq!(quantize_ranks(4, 2), vec![0, 0, 1, 1]);
         assert_eq!(quantize_ranks(5, 2), vec![0, 0, 0, 1, 1]);
-        assert_eq!(quantize_ranks(100, 8).iter().filter(|&&l| l == 0).count(), 13);
+        assert_eq!(
+            quantize_ranks(100, 8).iter().filter(|&&l| l == 0).count(),
+            13
+        );
         assert_eq!(quantize_ranks(1, 8), vec![0]);
         // Single level: everyone equal.
         assert!(quantize_ranks(10, 1).iter().all(|&l| l == 0));

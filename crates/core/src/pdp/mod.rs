@@ -29,10 +29,8 @@ pub use levels::quantize_ranks;
 pub use overhead::{augmented_length, blocking_bound, effective_last_frame_time};
 pub use test::{PdpAnalyzer, PdpReport, PdpStreamReport};
 
-use serde::{Deserialize, Serialize};
-
 /// Which implementation of the priority-driven protocol is analyzed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PdpVariant {
     /// Standard IEEE 802.5: token released (and `Θ/2` paid) after every
     /// frame.

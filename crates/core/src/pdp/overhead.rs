@@ -34,8 +34,7 @@ pub fn effective_last_frame_time(
     let bw = ring.bandwidth();
     let split = frame.split(stream.length_bits());
     let theta = ring.token_circulation_time();
-    let last_frame_time =
-        bw.transmission_time(split.last_payload) + frame.overhead_time(bw);
+    let last_frame_time = bw.transmission_time(split.last_payload) + frame.overhead_time(bw);
     last_frame_time.max(theta)
 }
 

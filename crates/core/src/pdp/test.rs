@@ -429,7 +429,10 @@ mod tests {
             let limited = a.with_priority_levels(2).is_schedulable(&m);
             let full = a.is_schedulable(&m);
             if limited {
-                assert!(full, "2 levels schedulable but unlimited not, scale {scale}");
+                assert!(
+                    full,
+                    "2 levels schedulable but unlimited not, scale {scale}"
+                );
             }
         }
         // With as many levels as streams the verdicts coincide.

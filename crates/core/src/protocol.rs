@@ -61,7 +61,10 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(Protocol::PriorityDriven.to_string(), "priority driven protocol");
+        assert_eq!(
+            Protocol::PriorityDriven.to_string(),
+            "priority driven protocol"
+        );
         assert_eq!(Protocol::TimedToken.to_string(), "timed token protocol");
     }
 

@@ -165,7 +165,11 @@ pub fn response_time(tasks: &[RmTask], index: usize, blocking: Seconds) -> Optio
             next += hp.cost * ceil_ratio(r, hp.period);
         }
         if next <= r + tol {
-            return if next <= deadline + tol { Some(next) } else { None };
+            return if next <= deadline + tol {
+                Some(next)
+            } else {
+                None
+            };
         }
         r = next;
     }
@@ -315,7 +319,10 @@ mod tests {
     use super::*;
 
     fn t(cost_ms: f64, period_ms: f64) -> RmTask {
-        RmTask::new(Seconds::from_millis(cost_ms), Seconds::from_millis(period_ms))
+        RmTask::new(
+            Seconds::from_millis(cost_ms),
+            Seconds::from_millis(period_ms),
+        )
     }
 
     const NO_BLOCKING: Seconds = Seconds::ZERO;

@@ -171,7 +171,13 @@ mod tests {
     fn full_length_is_whole_message() {
         let set = example_set();
         let fo = Seconds::from_micros(1.12);
-        let h = SbaScheme::FullLength.allocate(&set, Seconds::from_millis(4.0), Seconds::ZERO, fo, BW());
+        let h = SbaScheme::FullLength.allocate(
+            &set,
+            Seconds::from_millis(4.0),
+            Seconds::ZERO,
+            fo,
+            BW(),
+        );
         assert!((h[0].as_millis() - (1.0 + 0.00112)).abs() < 1e-9);
         assert!((h[1].as_millis() - (4.0 + 0.00112)).abs() < 1e-9);
     }

@@ -93,10 +93,7 @@ mod tests {
     #[test]
     fn visit_count_near_integer_tolerance() {
         // 0.3 / 0.1 = 2.9999999999999996 must count as 3 visits.
-        assert_eq!(
-            visit_count(Seconds::new(0.3), Seconds::new(0.1)),
-            3
-        );
+        assert_eq!(visit_count(Seconds::new(0.3), Seconds::new(0.1)), 3);
     }
 
     #[test]

@@ -292,7 +292,11 @@ impl fmt::Display for TtpStreamReport {
             self.visits,
             self.allocation,
             self.available_time,
-            if self.deadline_met { "ok" } else { "deadline miss" }
+            if self.deadline_met {
+                "ok"
+            } else {
+                "deadline miss"
+            }
         )
     }
 }
@@ -370,9 +374,7 @@ mod tests {
             assert!(sr.allocation > Seconds::ZERO);
         }
         // Capacity = TTRT − Θ'.
-        assert!(
-            (r.capacity.as_secs_f64() - (r.ttrt - r.theta_prime).as_secs_f64()).abs() < 1e-15
-        );
+        assert!((r.capacity.as_secs_f64() - (r.ttrt - r.theta_prime).as_secs_f64()).abs() < 1e-15);
         assert!(r.allocation_ratio() > 0.0 && r.allocation_ratio() <= 1.0);
         assert!(r.to_string().contains("PASS"));
     }

@@ -14,8 +14,7 @@ use super::visit_count;
 /// paper's model); within that range the paper shows performance is quite
 /// sensitive to the choice and proposes the bidding rule
 /// `TTRT = min_i √(Θ'·P_i) = √(Θ'·P_min)`.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum TtrtPolicy {
     /// The paper's heuristic: `√(Θ'·P_min)`, clamped to `P_min/2`.
     #[default]
@@ -32,7 +31,6 @@ pub enum TtrtPolicy {
         points: usize,
     },
 }
-
 
 impl fmt::Display for TtrtPolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -231,7 +229,9 @@ mod tests {
         assert!(TtrtPolicy::Fixed(Seconds::from_millis(8.0))
             .to_string()
             .starts_with("fixed"));
-        assert!(TtrtPolicy::GridSearch { points: 10 }.to_string().contains("10"));
+        assert!(TtrtPolicy::GridSearch { points: 10 }
+            .to_string()
+            .contains("10"));
         assert_eq!(TtrtPolicy::default(), TtrtPolicy::SqrtHeuristic);
     }
 }

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 
 use ringrt_core::pdp::{augmented_length, blocking_bound, PdpVariant};
 use ringrt_core::rm::{self, RmTask};
-use ringrt_core::ttp::{visit_count, SbaScheme, TtpAnalyzer, worst_case_available_time};
+use ringrt_core::ttp::{visit_count, worst_case_available_time, SbaScheme, TtpAnalyzer};
 use ringrt_model::{FrameFormat, MessageSet, RingConfig, SyncStream};
 use ringrt_units::{Bandwidth, Bits, Seconds};
 

@@ -220,7 +220,10 @@ mod tests {
         b.set_idle(SimTime::from_picos(200));
         b.set_busy(SimTime::from_picos(300));
         b.set_idle(SimTime::from_picos(450));
-        assert_eq!(b.busy_time(SimTime::from_picos(500)), SimDuration::from_picos(250));
+        assert_eq!(
+            b.busy_time(SimTime::from_picos(500)),
+            SimDuration::from_picos(250)
+        );
         assert!((b.utilization(SimTime::from_picos(500)) - 0.5).abs() < 1e-12);
     }
 
@@ -228,7 +231,10 @@ mod tests {
     fn busy_time_open_interval_counts() {
         let mut b = BusyTime::new();
         b.set_busy(SimTime::from_picos(100));
-        assert_eq!(b.busy_time(SimTime::from_picos(150)), SimDuration::from_picos(50));
+        assert_eq!(
+            b.busy_time(SimTime::from_picos(150)),
+            SimDuration::from_picos(50)
+        );
     }
 
     #[test]
@@ -238,7 +244,10 @@ mod tests {
         b.set_busy(SimTime::from_picos(20)); // ignored: already busy
         b.set_idle(SimTime::from_picos(30));
         b.set_idle(SimTime::from_picos(40)); // ignored: already idle
-        assert_eq!(b.busy_time(SimTime::from_picos(40)), SimDuration::from_picos(20));
+        assert_eq!(
+            b.busy_time(SimTime::from_picos(40)),
+            SimDuration::from_picos(20)
+        );
     }
 
     #[test]
@@ -304,7 +313,11 @@ impl DurationHistogram {
     /// Records one sample.
     pub fn push(&mut self, d: SimDuration) {
         let ps = d.as_picos();
-        let bucket = if ps == 0 { 0 } else { 63 - ps.leading_zeros() as usize };
+        let bucket = if ps == 0 {
+            0
+        } else {
+            63 - ps.leading_zeros() as usize
+        };
         self.counts[bucket] += 1;
         self.total += 1;
     }
@@ -332,7 +345,11 @@ impl DurationHistogram {
         for (k, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                let upper = if k >= 63 { u64::MAX } else { (1u64 << (k + 1)) - 1 };
+                let upper = if k >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (k + 1)) - 1
+                };
                 return Some(SimDuration::from_picos(upper));
             }
         }

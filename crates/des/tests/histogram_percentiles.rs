@@ -1,0 +1,137 @@
+//! Percentile behavior of the log-bucket `DurationHistogram`.
+//!
+//! The service layer (`ringrt-service`) reports request latencies through
+//! this histogram, so these tests pin down the quantile semantics it
+//! relies on: answers are *upper bucket edges*, monotone in `q`, exact for
+//! single-bucket data, and stable under merge.
+
+use ringrt_des::stats::DurationHistogram;
+use ringrt_units::SimDuration;
+
+/// The histogram's bucket for `ps` is `floor(log2 ps)`; its reported
+/// quantile is that bucket's top edge `2^(k+1) - 1`.
+fn bucket_upper_edge(ps: u64) -> u64 {
+    assert!(ps > 0);
+    let k = 63 - ps.leading_zeros();
+    if k >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (k + 1)) - 1
+    }
+}
+
+#[test]
+fn empty_histogram_has_no_quantiles() {
+    let h = DurationHistogram::new();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.quantile(0.5), None);
+    assert_eq!(h.quantile(0.99), None);
+    assert_eq!(h.quantile(1.0), None);
+}
+
+#[test]
+#[should_panic(expected = "quantile")]
+fn zero_q_is_rejected() {
+    let mut h = DurationHistogram::new();
+    h.push(SimDuration::from_picos(100));
+    let _ = h.quantile(0.0);
+}
+
+#[test]
+fn single_sample_all_quantiles_in_its_bucket() {
+    let mut h = DurationHistogram::new();
+    let ps = 1_000_000; // 1 µs
+    h.push(SimDuration::from_picos(ps));
+    let edge = SimDuration::from_picos(bucket_upper_edge(ps));
+    for q in [0.01, 0.5, 0.99, 1.0] {
+        assert_eq!(h.quantile(q), Some(edge), "q = {q}");
+    }
+}
+
+#[test]
+fn uniform_distribution_p50_and_p99() {
+    // 1..=1000 µs uniformly: true p50 = 500 µs, true p99 = 990 µs.
+    let mut h = DurationHistogram::new();
+    for us in 1..=1000u64 {
+        h.push(SimDuration::from_micros(us));
+    }
+    assert_eq!(h.count(), 1000);
+    let p50 = h.quantile(0.5).unwrap().as_picos();
+    let p99 = h.quantile(0.99).unwrap().as_picos();
+    // The bucket answer may overshoot by at most 2x (one bucket width).
+    assert!(p50 >= 500_000_000, "p50 = {p50} ps underestimates");
+    assert!(p50 <= 2 * 500_000_000, "p50 = {p50} ps overshoots a bucket");
+    assert!(p99 >= 990_000_000, "p99 = {p99} ps underestimates");
+    assert!(p99 <= 2 * 990_000_000, "p99 = {p99} ps overshoots a bucket");
+    assert!(p50 <= p99, "quantiles must be monotone");
+}
+
+#[test]
+fn bimodal_distribution_separates_modes() {
+    // 99 fast requests (~10 µs) and 1 slow outlier (~10 ms): p50 must
+    // answer from the fast mode, p995 from the slow one.
+    let mut h = DurationHistogram::new();
+    for _ in 0..99 {
+        h.push(SimDuration::from_micros(10));
+    }
+    h.push(SimDuration::from_millis(10));
+    let p50 = h.quantile(0.5).unwrap();
+    let p995 = h.quantile(0.995).unwrap();
+    assert_eq!(p50.as_picos(), bucket_upper_edge(10_000_000), "{p50:?}");
+    assert_eq!(
+        p995.as_picos(),
+        bucket_upper_edge(10_000_000_000),
+        "{p995:?}"
+    );
+}
+
+#[test]
+fn quantiles_are_monotone_in_q() {
+    let mut h = DurationHistogram::new();
+    // Geometric spread across many buckets.
+    let mut ps = 1u64;
+    for _ in 0..40 {
+        h.push(SimDuration::from_picos(ps));
+        ps = ps.saturating_mul(3);
+    }
+    let mut last = 0;
+    for i in 1..=100 {
+        let q = f64::from(i) / 100.0;
+        let v = h.quantile(q).unwrap().as_picos();
+        assert!(v >= last, "quantile({q}) went backwards: {v} < {last}");
+        last = v;
+    }
+}
+
+#[test]
+fn merge_matches_pushing_everything_into_one() {
+    let samples_a: Vec<u64> = (1..=500).map(|i| i * 977).collect();
+    let samples_b: Vec<u64> = (1..=500).map(|i| i * 31_013).collect();
+    let mut merged = DurationHistogram::new();
+    let mut a = DurationHistogram::new();
+    let mut b = DurationHistogram::new();
+    for &ps in &samples_a {
+        a.push(SimDuration::from_picos(ps));
+        merged.push(SimDuration::from_picos(ps));
+    }
+    for &ps in &samples_b {
+        b.push(SimDuration::from_picos(ps));
+        merged.push(SimDuration::from_picos(ps));
+    }
+    a.merge(&b);
+    assert_eq!(a.count(), merged.count());
+    for q in [0.1, 0.25, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(a.quantile(q), merged.quantile(q), "q = {q}");
+    }
+}
+
+#[test]
+fn zero_duration_samples_land_in_the_lowest_bucket() {
+    let mut h = DurationHistogram::new();
+    h.push(SimDuration::from_picos(0));
+    h.push(SimDuration::from_picos(0));
+    h.push(SimDuration::from_picos(1));
+    // All three samples share buckets 0; every quantile answers ≤ edge of
+    // bucket 0 (1 ps).
+    assert_eq!(h.quantile(1.0).unwrap().as_picos(), 1);
+}

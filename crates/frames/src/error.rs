@@ -60,9 +60,15 @@ mod tests {
     fn display() {
         let e = FrameError::TooShort { got: 3, need: 21 };
         assert!(e.to_string().contains("3 bytes"));
-        let e = FrameError::BadDelimiter { field: "SD", found: 0xFF };
+        let e = FrameError::BadDelimiter {
+            field: "SD",
+            found: 0xFF,
+        };
         assert!(e.to_string().contains("SD"));
-        let e = FrameError::BadChecksum { computed: 1, carried: 2 };
+        let e = FrameError::BadChecksum {
+            computed: 1,
+            carried: 2,
+        };
         assert!(e.to_string().contains("mismatch"));
         assert!(FrameError::WrongKind.to_string().contains("kind"));
     }

@@ -274,7 +274,10 @@ mod tests {
 
     #[test]
     fn token_decode_errors() {
-        assert!(matches!(Token::decode(&[0; 5]), Err(FrameError::TooShort { .. })));
+        assert!(matches!(
+            Token::decode(&[0; 5]),
+            Err(FrameError::TooShort { .. })
+        ));
         let mut wire = Token.encode();
         wire[PREAMBLE_LEN] = 0x00;
         assert!(matches!(

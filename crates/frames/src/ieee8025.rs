@@ -418,7 +418,10 @@ mod tests {
         ));
         // A data frame's AC byte is rejected by the token decoder.
         let ac = AccessControl::frame(Priority::LOWEST, Priority::LOWEST);
-        assert_eq!(Token::decode(&[SD, ac.to_byte(), ED]), Err(FrameError::WrongKind));
+        assert_eq!(
+            Token::decode(&[SD, ac.to_byte(), ED]),
+            Err(FrameError::WrongKind)
+        );
     }
 
     #[test]

@@ -102,7 +102,10 @@ fn token_constants_match_network_model_defaults() {
     use ringrt_units::Bandwidth;
     // The model presets embed the same token lengths the codecs implement.
     let ring = RingConfig::ieee_802_5(1, Bandwidth::from_mbps(1.0));
-    assert_eq!(ring.token_length().as_u64(), ringrt_frames::ieee8025::TOKEN_BITS);
+    assert_eq!(
+        ring.token_length().as_u64(),
+        ringrt_frames::ieee8025::TOKEN_BITS
+    );
     let ring = RingConfig::fddi(1, Bandwidth::from_mbps(1.0));
     assert_eq!(ring.token_length().as_u64(), fddi::TOKEN_BITS);
     assert_eq!(Token::new(Priority::LOWEST).encode().len() as u64 * 8, 24);

@@ -2,8 +2,6 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use ringrt_units::{Bandwidth, Bits, Bytes, Seconds};
 
 use crate::ModelError;
@@ -30,7 +28,7 @@ use crate::ModelError;
 /// let split = f.split(Bits::new(1300));
 /// assert_eq!((split.full_frames, split.total_frames), (2, 3));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FrameFormat {
     payload: Bits,
     overhead: Bits,
@@ -118,7 +116,11 @@ impl FrameFormat {
             message_bits - self.payload * full_frames
         } else {
             // Message is an exact multiple: the last frame is full.
-            if total_frames > 0 { self.payload } else { Bits::ZERO }
+            if total_frames > 0 {
+                self.payload
+            } else {
+                Bits::ZERO
+            }
         };
         FrameSplit {
             full_frames,
@@ -137,7 +139,11 @@ impl FrameFormat {
 
 impl fmt::Display for FrameFormat {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "frame({} payload + {} overhead)", self.payload, self.overhead)
+        write!(
+            f,
+            "frame({} payload + {} overhead)",
+            self.payload, self.overhead
+        )
     }
 }
 

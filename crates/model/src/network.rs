@@ -2,8 +2,6 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use ringrt_units::{Bandwidth, Bits, Seconds};
 
 use crate::ModelError;
@@ -48,7 +46,7 @@ const DEFAULT_MEDIUM_VELOCITY_FACTOR: f64 = 0.75;
 /// let theta = ring.token_circulation_time();
 /// assert!(theta.as_micros() > 100.0 && theta.as_micros() < 130.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RingConfig {
     stations: usize,
     station_spacing_m: f64,
@@ -205,7 +203,10 @@ impl fmt::Display for RingConfig {
         write!(
             f,
             "ring(n = {}, d = {} m, delay = {}/station, token = {}, {})",
-            self.stations, self.station_spacing_m, self.station_delay, self.token_length,
+            self.stations,
+            self.station_spacing_m,
+            self.station_delay,
+            self.token_length,
             self.bandwidth
         )
     }
@@ -320,7 +321,10 @@ impl RingConfigBuilder {
         if !(self.station_spacing_m.is_finite() && self.station_spacing_m > 0.0) {
             return Err(ModelError::InvalidRing {
                 parameter: "station_spacing_m",
-                reason: format!("must be finite and positive, got {}", self.station_spacing_m),
+                reason: format!(
+                    "must be finite and positive, got {}",
+                    self.station_spacing_m
+                ),
             });
         }
         if !(self.velocity_factor > 0.0 && self.velocity_factor <= 1.0) {
@@ -402,39 +406,59 @@ mod tests {
         assert_eq!(b.bandwidth().as_mbps(), 10.0);
         // Propagation delay unchanged, ring latency ×10.
         assert_eq!(a.propagation_delay(), b.propagation_delay());
-        assert!((b.ring_latency().as_secs_f64() / a.ring_latency().as_secs_f64() - 10.0).abs() < 1e-9);
+        assert!(
+            (b.ring_latency().as_secs_f64() / a.ring_latency().as_secs_f64() - 10.0).abs() < 1e-9
+        );
     }
 
     #[test]
     fn builder_validation() {
         assert!(matches!(
-            RingConfig::builder().stations(0).bandwidth(Bandwidth::from_mbps(1.0)).build(),
-            Err(ModelError::InvalidRing { parameter: "stations", .. })
+            RingConfig::builder()
+                .stations(0)
+                .bandwidth(Bandwidth::from_mbps(1.0))
+                .build(),
+            Err(ModelError::InvalidRing {
+                parameter: "stations",
+                ..
+            })
         ));
         assert!(matches!(
             RingConfig::builder().build(),
-            Err(ModelError::InvalidRing { parameter: "bandwidth", .. })
+            Err(ModelError::InvalidRing {
+                parameter: "bandwidth",
+                ..
+            })
         ));
         assert!(matches!(
             RingConfig::builder()
                 .bandwidth(Bandwidth::from_mbps(1.0))
                 .velocity_factor(1.5)
                 .build(),
-            Err(ModelError::InvalidRing { parameter: "velocity_factor", .. })
+            Err(ModelError::InvalidRing {
+                parameter: "velocity_factor",
+                ..
+            })
         ));
         assert!(matches!(
             RingConfig::builder()
                 .bandwidth(Bandwidth::from_mbps(1.0))
                 .station_spacing_m(-3.0)
                 .build(),
-            Err(ModelError::InvalidRing { parameter: "station_spacing_m", .. })
+            Err(ModelError::InvalidRing {
+                parameter: "station_spacing_m",
+                ..
+            })
         ));
         assert!(matches!(
             RingConfig::builder()
                 .bandwidth(Bandwidth::from_mbps(1.0))
                 .token_length(Bits::ZERO)
                 .build(),
-            Err(ModelError::InvalidRing { parameter: "token_length", .. })
+            Err(ModelError::InvalidRing {
+                parameter: "token_length",
+                ..
+            })
         ));
     }
 

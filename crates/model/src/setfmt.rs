@@ -1,8 +1,14 @@
-//! Message-set file parsing.
+//! The `ringrt` message-set text format.
+//!
+//! One stream per line: `period_ms <whitespace-or-comma> payload_bits`,
+//! with `#` comments and blank lines ignored. The CLI reads set files in
+//! this format, and the admission-control service (`ringrt-service`)
+//! accepts the same records inline (`;`-separated) in its wire protocol,
+//! so the parser lives here in the model crate where both can share it.
 
 use core::fmt;
 
-use ringrt_model::{MessageSet, ModelError, SyncStream};
+use crate::{MessageSet, ModelError, SyncStream};
 use ringrt_units::{Bits, Seconds};
 
 /// Errors reading a message-set file.
@@ -44,7 +50,7 @@ impl std::error::Error for ParseSetError {
 }
 
 /// Parses a message set from the text format described in the
-/// [crate docs](crate): one `period_ms, payload_bits` pair per line,
+/// [module docs](self): one `period_ms, payload_bits` pair per line,
 /// `#` comments and blank lines ignored. Commas are optional.
 ///
 /// # Errors
@@ -55,7 +61,7 @@ impl std::error::Error for ParseSetError {
 /// # Examples
 ///
 /// ```
-/// use ringrt_cli::parse_message_set;
+/// use ringrt_model::parse_message_set;
 ///
 /// let set = parse_message_set("# demo\n20, 20000\n50 60000\n").unwrap();
 /// assert_eq!(set.len(), 2);
@@ -91,7 +97,10 @@ pub fn parse_message_set(text: &str) -> Result<MessageSet, ParseSetError> {
         })?;
         let bits: u64 = fields[1].parse().map_err(|_| ParseSetError::BadLine {
             line: line_no,
-            reason: format!("cannot parse payload `{}` as an integer bit count", fields[1]),
+            reason: format!(
+                "cannot parse payload `{}` as an integer bit count",
+                fields[1]
+            ),
         })?;
         if !(period_ms.is_finite() && period_ms > 0.0) {
             return Err(ParseSetError::BadLine {
@@ -172,7 +181,10 @@ mod tests {
     #[test]
     fn empty_inputs() {
         assert_eq!(parse_message_set(""), Err(ParseSetError::Empty));
-        assert_eq!(parse_message_set("# only comments\n"), Err(ParseSetError::Empty));
+        assert_eq!(
+            parse_message_set("# only comments\n"),
+            Err(ParseSetError::Empty)
+        );
     }
 
     #[test]

@@ -2,18 +2,13 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use ringrt_units::{Bandwidth, Bits, Seconds};
 
 use crate::ModelError;
 
 /// Identifier of a synchronous stream, which is also the index of the ring
 /// station that sources it (the paper assumes exactly one stream per node).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct StreamId(pub usize);
 
 impl fmt::Display for StreamId {
@@ -47,12 +42,11 @@ impl fmt::Display for StreamId {
 /// let tight = s.with_relative_deadline(Seconds::from_millis(40.0));
 /// assert_eq!(tight.relative_deadline(), Seconds::from_millis(40.0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SyncStream {
     period: Seconds,
     length_bits: Bits,
     /// Explicit relative deadline; `None` means "end of period".
-    #[serde(default)]
     deadline: Option<Seconds>,
 }
 
@@ -211,7 +205,7 @@ impl fmt::Display for SyncStream {
 /// assert_eq!(set.rm_order(), vec![1, 0]);
 /// # Ok::<(), ringrt_model::ModelError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MessageSet {
     streams: Vec<SyncStream>,
 }
@@ -273,10 +267,7 @@ impl MessageSet {
     /// Total utilization `U(M) = Σ C_i / P_i` (paper eq. 3).
     #[must_use]
     pub fn utilization(&self, bandwidth: Bandwidth) -> f64 {
-        self.streams
-            .iter()
-            .map(|s| s.utilization(bandwidth))
-            .sum()
+        self.streams.iter().map(|s| s.utilization(bandwidth)).sum()
     }
 
     /// The shortest period `P_min` in the set.
@@ -415,10 +406,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_inputs() {
-        assert!(matches!(
-            MessageSet::new(vec![]),
-            Err(ModelError::EmptySet)
-        ));
+        assert!(matches!(MessageSet::new(vec![]), Err(ModelError::EmptySet)));
         assert!(matches!(
             SyncStream::try_new(Seconds::ZERO, Bits::new(1)),
             Err(ModelError::InvalidPeriod { .. })
@@ -444,8 +432,8 @@ mod tests {
 
     #[test]
     fn rm_order_sorts_by_period_with_stable_ties() {
-        let set = MessageSet::new(vec![ms(30.0, 1), ms(10.0, 1), ms(30.0, 1), ms(20.0, 1)])
-            .unwrap();
+        let set =
+            MessageSet::new(vec![ms(30.0, 1), ms(10.0, 1), ms(30.0, 1), ms(20.0, 1)]).unwrap();
         assert_eq!(set.rm_order(), vec![1, 3, 0, 2]);
     }
 
@@ -467,7 +455,10 @@ mod tests {
         let tiny = set.with_scaled_lengths(1e-9);
         assert_eq!(tiny.stream(StreamId(0)).length_bits(), Bits::new(1));
         // Periods untouched.
-        assert_eq!(scaled.stream(StreamId(0)).period(), Seconds::from_millis(10.0));
+        assert_eq!(
+            scaled.stream(StreamId(0)).period(),
+            Seconds::from_millis(10.0)
+        );
     }
 
     #[test]
@@ -507,9 +498,9 @@ mod tests {
     #[test]
     fn dm_order_uses_deadlines() {
         let streams = vec![
-            ms(30.0, 1),                                                     // D = 30
+            ms(30.0, 1),                                                    // D = 30
             ms(50.0, 1).with_relative_deadline(Seconds::from_millis(10.0)), // D = 10
-            ms(20.0, 1),                                                     // D = 20
+            ms(20.0, 1),                                                    // D = 20
         ];
         let set = MessageSet::new(streams).unwrap();
         assert_eq!(set.dm_order(), vec![1, 2, 0]);

@@ -1,0 +1,222 @@
+//! Sharded, canonicalizing result cache.
+//!
+//! Admission checks are pure functions of (message set, ring config,
+//! protocol), so identical requests — a common pattern when clients retry
+//! or several front-ends ask about the same set — can be answered without
+//! re-running the analysis. Keys canonicalize the message set by *sorting*
+//! the streams, so two requests that list the same streams in different
+//! order hit the same entry.
+//!
+//! The map is split into [`SHARDS`] independently locked shards (hash of
+//! the key picks the shard) so concurrent workers and connection threads
+//! rarely contend on the same mutex.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::protocol::{AnalysisRequest, CommandKind, ProtocolKind};
+
+/// Number of independently locked shards. Power of two, comfortably above
+/// any realistic worker count.
+pub const SHARDS: usize = 16;
+
+/// A canonical description of an analysis request.
+///
+/// Floats are compared by their IEEE-754 bit patterns: requests must be
+/// *literally* identical (after stream reordering) to share an entry,
+/// which is exactly the semantics a result cache needs — no epsilon
+/// surprises.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    command: CommandKind,
+    protocol: ProtocolKind,
+    mbps_bits: u64,
+    stations: usize,
+    /// `(period seconds as bits, payload bits)` per stream, sorted.
+    streams: Vec<(u64, u64)>,
+    /// SIMULATE-only parameters; zeroed for the analytic commands so that
+    /// e.g. a CHECK and a SATURATION of the same set stay distinct only
+    /// via `command`.
+    sim: (u64, u64, u64),
+}
+
+impl CommandKind {
+    fn cacheable(self) -> bool {
+        !matches!(self, CommandKind::Sleep)
+    }
+}
+
+impl CacheKey {
+    /// Builds the canonical key for a request, or `None` if the command's
+    /// results are not cacheable.
+    #[must_use]
+    pub fn for_request(req: &AnalysisRequest) -> Option<CacheKey> {
+        if !req.command.cacheable() {
+            return None;
+        }
+        let mut streams: Vec<(u64, u64)> = req
+            .set
+            .as_slice()
+            .iter()
+            .map(|s| (s.period().as_secs_f64().to_bits(), s.length_bits().as_u64()))
+            .collect();
+        streams.sort_unstable();
+        let sim = if req.command == CommandKind::Simulate {
+            (req.seconds.to_bits(), req.async_load.to_bits(), req.seed)
+        } else {
+            (0, 0, 0)
+        };
+        Some(CacheKey {
+            command: req.command,
+            protocol: req.protocol,
+            mbps_bits: req.mbps.to_bits(),
+            stations: req.effective_stations(),
+            streams,
+            sim,
+        })
+    }
+
+    fn shard(&self) -> usize {
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        (h.finish() as usize) % SHARDS
+    }
+}
+
+/// The sharded verdict cache with hit/miss accounting.
+#[derive(Debug)]
+pub struct ResultCache {
+    shards: Vec<Mutex<HashMap<CacheKey, String>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        ResultCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a cached response body, counting the hit or miss.
+    #[must_use]
+    pub fn get(&self, key: &CacheKey) -> Option<String> {
+        let shard = self.shards[key.shard()]
+            .lock()
+            .expect("cache shard poisoned");
+        let found = shard.get(key).cloned();
+        drop(shard);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Stores a successful response body.
+    pub fn insert(&self, key: CacheKey, body: String) {
+        let mut shard = self.shards[key.shard()]
+            .lock()
+            .expect("cache shard poisoned");
+        shard.insert(key, body);
+    }
+
+    /// Cache hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct entries currently stored.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        ResultCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{parse_request, Request};
+
+    fn key_of(line: &str) -> Option<CacheKey> {
+        match parse_request(line).unwrap() {
+            Request::Analysis(a) => CacheKey::for_request(&a),
+            other => panic!("not an analysis request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_order_is_canonicalized() {
+        let a = key_of("CHECK mbps=16 set=20,1000;50,2000").unwrap();
+        let b = key_of("CHECK mbps=16 set=50,2000;20,1000").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_parameters_differ() {
+        let base = key_of("CHECK mbps=16 set=20,1000").unwrap();
+        assert_ne!(base, key_of("CHECK mbps=4 set=20,1000").unwrap());
+        assert_ne!(base, key_of("CHECK mbps=16 set=20,1001").unwrap());
+        assert_ne!(
+            base,
+            key_of("CHECK mbps=16 set=20,1000 protocol=fddi").unwrap()
+        );
+        assert_ne!(
+            base,
+            key_of("CHECK mbps=16 set=20,1000 stations=9").unwrap()
+        );
+        assert_ne!(base, key_of("SATURATION mbps=16 set=20,1000").unwrap());
+    }
+
+    #[test]
+    fn simulate_keys_include_sim_parameters() {
+        let a = key_of("SIMULATE mbps=16 set=20,1000 seed=1").unwrap();
+        let b = key_of("SIMULATE mbps=16 set=20,1000 seed=2").unwrap();
+        let c = key_of("SIMULATE mbps=16 set=20,1000 seconds=0.25").unwrap();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn deadline_does_not_affect_key() {
+        let a = key_of("CHECK mbps=16 set=20,1000").unwrap();
+        let b = key_of("CHECK mbps=16 set=20,1000 deadline_ms=5").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let cache = ResultCache::new();
+        let key = key_of("CHECK mbps=16 set=20,1000").unwrap();
+        assert_eq!(cache.get(&key), None);
+        cache.insert(key.clone(), "schedulable=true".into());
+        assert_eq!(cache.get(&key).as_deref(), Some("schedulable=true"));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.entries(), 1);
+    }
+}

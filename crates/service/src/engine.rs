@@ -1,0 +1,221 @@
+//! Request execution: maps a parsed [`AnalysisRequest`] onto the analysis
+//! kernels and renders the response body.
+//!
+//! Kept free of any server state so the verdict logic is unit-testable and
+//! provably identical to calling the analyzers directly — the service
+//! integration tests rely on that equivalence.
+
+use std::fmt::Write as _;
+
+use ringrt_breakdown::SaturationSearch;
+use ringrt_core::pdp::{PdpAnalyzer, PdpVariant};
+use ringrt_core::ttp::TtpAnalyzer;
+use ringrt_core::SchedulabilityTest;
+use ringrt_model::{FrameFormat, MessageSet, RingConfig};
+use ringrt_sim::{PdpSimulator, Phasing, SimConfig, TtpSimulator};
+use ringrt_units::{Bandwidth, Seconds};
+
+use crate::protocol::{AnalysisRequest, CommandKind, ProtocolKind};
+
+/// Hard cap on SIMULATE length; requests beyond it are rejected so a single
+/// client cannot pin a worker for minutes.
+pub const MAX_SIM_SECONDS: f64 = 5.0;
+
+fn analyzer_for(
+    protocol: ProtocolKind,
+    stations: usize,
+    bw: Bandwidth,
+) -> Box<dyn SchedulabilityTest> {
+    match protocol {
+        ProtocolKind::Ieee8025 => Box::new(PdpAnalyzer::new(
+            RingConfig::ieee_802_5(stations, bw),
+            FrameFormat::paper_default(),
+            PdpVariant::Standard,
+        )),
+        ProtocolKind::Modified => Box::new(PdpAnalyzer::new(
+            RingConfig::ieee_802_5(stations, bw),
+            FrameFormat::paper_default(),
+            PdpVariant::Modified,
+        )),
+        ProtocolKind::Fddi => Box::new(TtpAnalyzer::with_defaults(RingConfig::fddi(stations, bw))),
+    }
+}
+
+/// Runs one analysis request to completion and renders the response body.
+///
+/// The body uses the same canonical field names as `ringrt check
+/// --format csv` (`protocol`, `mbps`, `stations`, `streams`,
+/// `utilization`, `schedulable`); the server appends `cached=…` before
+/// sending.
+#[must_use]
+pub fn execute(req: &AnalysisRequest) -> String {
+    let bw = Bandwidth::from_mbps(req.mbps);
+    let stations = req.effective_stations();
+    let set = &req.set;
+    let mut body = format!(
+        "OK cmd={} protocol={} mbps={} stations={stations} streams={} utilization={:.6}",
+        req.command.token(),
+        req.protocol,
+        req.mbps,
+        set.len(),
+        set.utilization(bw),
+    );
+    match req.command {
+        CommandKind::Check => {
+            let verdict = analyzer_for(req.protocol, stations, bw).is_schedulable(set);
+            let _ = write!(body, " schedulable={verdict}");
+        }
+        CommandKind::Saturation => {
+            let analyzer = analyzer_for(req.protocol, stations, bw);
+            let verdict = analyzer.is_schedulable(set);
+            let _ = write!(body, " schedulable={verdict}");
+            match SaturationSearch::default().saturate(analyzer.as_ref(), set, bw) {
+                Some(sat) => {
+                    let _ = write!(
+                        body,
+                        " scale={:.6} breakdown_util={:.6}",
+                        sat.scale, sat.utilization
+                    );
+                }
+                None => {
+                    let _ = write!(body, " scale=nan breakdown_util=nan");
+                }
+            }
+        }
+        CommandKind::Simulate => match simulate(req, set, bw, stations) {
+            Ok(extra) => body.push_str(&extra),
+            Err(msg) => return format!("ERR {msg}"),
+        },
+        CommandKind::Sleep => unreachable!("SLEEP is not an analysis command"),
+    }
+    body
+}
+
+fn simulate(
+    req: &AnalysisRequest,
+    set: &MessageSet,
+    bw: Bandwidth,
+    stations: usize,
+) -> Result<String, String> {
+    if req.seconds > MAX_SIM_SECONDS {
+        return Err(format!(
+            "seconds={} exceeds the server limit of {MAX_SIM_SECONDS}",
+            req.seconds
+        ));
+    }
+    let config = SimConfig::new(
+        ring_for(req.protocol, stations, bw),
+        Seconds::new(req.seconds),
+    )
+    .with_phasing(Phasing::Synchronized)
+    .with_async_load(req.async_load)
+    .with_seed(req.seed);
+    let report = match req.protocol {
+        ProtocolKind::Ieee8025 => PdpSimulator::new(
+            set,
+            config,
+            FrameFormat::paper_default(),
+            PdpVariant::Standard,
+        )
+        .run(),
+        ProtocolKind::Modified => PdpSimulator::new(
+            set,
+            config,
+            FrameFormat::paper_default(),
+            PdpVariant::Modified,
+        )
+        .run(),
+        ProtocolKind::Fddi => TtpSimulator::from_analysis(set, config)
+            .map_err(|e| format!("FDDI cannot allocate synchronous bandwidth: {e}"))?
+            .run(),
+    };
+    Ok(format!(
+        " seconds={} seed={} schedulable={} completed={} deadline_misses={} \
+         medium_utilization={:.6} events={}",
+        req.seconds,
+        req.seed,
+        report.all_deadlines_met(),
+        report.completed(),
+        report.deadline_misses(),
+        report.medium_utilization,
+        report.events,
+    ))
+}
+
+fn ring_for(protocol: ProtocolKind, stations: usize, bw: Bandwidth) -> RingConfig {
+    match protocol {
+        ProtocolKind::Ieee8025 | ProtocolKind::Modified => RingConfig::ieee_802_5(stations, bw),
+        ProtocolKind::Fddi => RingConfig::fddi(stations, bw),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{parse_request, Request};
+
+    fn exec(line: &str) -> String {
+        match parse_request(line).unwrap() {
+            Request::Analysis(a) => execute(&a),
+            other => panic!("not an analysis request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn check_matches_direct_analyzer_call() {
+        let set = ringrt_model::parse_message_set("20, 20000\n50, 60000\n").unwrap();
+        let bw = Bandwidth::from_mbps(16.0);
+        let direct = PdpAnalyzer::new(
+            RingConfig::ieee_802_5(2, bw),
+            FrameFormat::paper_default(),
+            PdpVariant::Modified,
+        )
+        .is_schedulable(&set);
+        let body = exec("CHECK mbps=16 set=20,20000;50,60000 protocol=modified");
+        assert!(body.contains(&format!("schedulable={direct}")), "{body}");
+        assert!(
+            body.starts_with("OK cmd=check protocol=modified mbps=16 stations=2"),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn saturation_reports_boundary() {
+        let body = exec("SATURATION mbps=100 set=20,20000;50,60000 protocol=fddi");
+        assert!(body.contains(" scale="), "{body}");
+        assert!(body.contains(" breakdown_util="), "{body}");
+        let scale: f64 = body
+            .split(" scale=")
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        // This light set at 100 Mbps has lots of headroom.
+        assert!(scale > 1.0, "{body}");
+    }
+
+    #[test]
+    fn simulate_runs_and_reports() {
+        let body = exec("SIMULATE mbps=4 set=20,4000;40,8000 seconds=0.2 seed=7");
+        assert!(body.contains(" completed="), "{body}");
+        assert!(body.contains(" deadline_misses=0"), "{body}");
+        assert!(body.contains(" seed=7"), "{body}");
+    }
+
+    #[test]
+    fn simulate_rejects_overlong_runs() {
+        let body = exec("SIMULATE mbps=4 set=20,4000 seconds=3600");
+        assert!(body.starts_with("ERR"), "{body}");
+        assert!(body.contains("server limit"), "{body}");
+    }
+
+    #[test]
+    fn unschedulable_set_says_so() {
+        // 120 % utilization at 1 Mbps: hopeless.
+        let body = exec("CHECK mbps=1 set=10,60000;10,60000");
+        assert!(body.contains("schedulable=false"), "{body}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Server observability: request/outcome counters and per-command latency
+//! histograms.
+//!
+//! Latencies reuse [`ringrt_des::stats::DurationHistogram`] — the same
+//! log₂-bucketed structure the simulator uses for response times — so the
+//! `STATS` quantiles carry the identical "upper edge of the bucket"
+//! semantics documented there. Counters are lock-free atomics; each
+//! command's histogram sits behind its own mutex, touched once per
+//! completed request.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use ringrt_des::stats::DurationHistogram;
+use ringrt_units::SimDuration;
+
+use crate::protocol::CommandKind;
+
+/// Converts a wall-clock duration to the simulator's picosecond duration,
+/// saturating at the (≈213-day) representable maximum.
+#[must_use]
+pub fn sim_duration(d: Duration) -> SimDuration {
+    let ps = d.as_nanos().saturating_mul(1000);
+    SimDuration::from_picos(u64::try_from(ps).unwrap_or(u64::MAX))
+}
+
+/// One command's latency record.
+#[derive(Debug, Default)]
+struct CommandStats {
+    histogram: Mutex<DurationHistogram>,
+}
+
+/// All server counters and histograms.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Request lines received (including malformed ones).
+    pub requests: AtomicU64,
+    /// `OK` responses sent.
+    pub ok: AtomicU64,
+    /// `ERR` responses sent.
+    pub errors: AtomicU64,
+    /// `BUSY` responses sent (queue full, load shed).
+    pub busy: AtomicU64,
+    /// Requests answered `ERR` because they overstayed their queue deadline.
+    pub deadline_expired: AtomicU64,
+    per_command: [CommandStats; CommandKind::ALL.len()],
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics {
+            requests: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            per_command: Default::default(),
+        }
+    }
+
+    /// Records a completed request's end-to-end latency.
+    pub fn record_latency(&self, command: CommandKind, elapsed: Duration) {
+        let mut h = self.per_command[command.index()]
+            .histogram
+            .lock()
+            .expect("metrics histogram poisoned");
+        h.push(sim_duration(elapsed));
+    }
+
+    /// Classifies a response line into the ok/err/busy counters.
+    pub fn count_response(&self, response: &str) {
+        let counter = if response.starts_with("OK") {
+            &self.ok
+        } else if response.starts_with("BUSY") {
+            &self.busy
+        } else {
+            &self.errors
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Appends `<cmd>_count / <cmd>_p50_us / <cmd>_p99_us` fields for every
+    /// command to a `STATS` response body.
+    pub fn render_latencies(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        for cmd in CommandKind::ALL {
+            let h = self.per_command[cmd.index()]
+                .histogram
+                .lock()
+                .expect("metrics histogram poisoned");
+            let name = cmd.token();
+            let _ = write!(out, " {name}_count={}", h.count());
+            for (label, q) in [("p50", 0.5), ("p99", 0.99)] {
+                match h.quantile(q) {
+                    Some(d) => {
+                        let us = d.as_picos() as f64 / 1e6;
+                        let _ = write!(out, " {name}_{label}_us={us:.1}");
+                    }
+                    None => {
+                        let _ = write!(out, " {name}_{label}_us=nan");
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_conversion() {
+        assert_eq!(sim_duration(Duration::from_micros(3)).as_picos(), 3_000_000);
+        assert_eq!(sim_duration(Duration::ZERO).as_picos(), 0);
+        // Far beyond the picosecond range: saturates instead of panicking.
+        assert_eq!(
+            sim_duration(Duration::from_secs(1 << 40)).as_picos(),
+            u64::MAX
+        );
+    }
+
+    #[test]
+    fn response_classification() {
+        let m = Metrics::new();
+        m.count_response("OK cmd=ping");
+        m.count_response("ERR nope");
+        m.count_response("BUSY queue_capacity=4");
+        m.count_response("garbage");
+        assert_eq!(m.ok.load(Ordering::Relaxed), 1);
+        assert_eq!(m.errors.load(Ordering::Relaxed), 2);
+        assert_eq!(m.busy.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn latency_fields_render() {
+        let m = Metrics::new();
+        m.record_latency(CommandKind::Check, Duration::from_micros(100));
+        m.record_latency(CommandKind::Check, Duration::from_micros(200));
+        let mut out = String::new();
+        m.render_latencies(&mut out);
+        assert!(out.contains(" check_count=2"));
+        assert!(out.contains(" check_p50_us="));
+        assert!(out.contains(" simulate_count=0"));
+        assert!(out.contains(" simulate_p50_us=nan"));
+        // p50 upper bucket edge for ~100–200 µs samples stays in range.
+        let p50: f64 = out
+            .split(" check_p50_us=")
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((100.0..=600.0).contains(&p50), "p50 = {p50}");
+    }
+}

@@ -1,0 +1,380 @@
+//! The wire protocol: newline-delimited, human-readable requests and
+//! single-line responses.
+//!
+//! # Request grammar
+//!
+//! ```text
+//! CHECK      mbps=<f64> set=<p_ms,bits[;p_ms,bits…]> [protocol=802.5|modified|fddi] [stations=<n>] [deadline_ms=<n>]
+//! SATURATION mbps=<f64> set=<…> [protocol=<…>] [stations=<n>] [deadline_ms=<n>]
+//! SIMULATE   mbps=<f64> set=<…> [protocol=<…>] [stations=<n>] [seconds=<f64>] [async_load=<f64>] [seed=<n>] [deadline_ms=<n>]
+//! SLEEP      ms=<n>                      # diagnostic: occupies a worker
+//! PING | STATS | SHUTDOWN
+//! ```
+//!
+//! `set` carries the CLI's message-set records inline: the same
+//! `period_ms, payload_bits` pairs a set file holds, `;`-separated instead
+//! of newline-separated (see [`ringrt_model::setfmt`]).
+//!
+//! # Responses
+//!
+//! One line per request: `OK key=value …`, `BUSY queue_capacity=<n>` when
+//! the admission queue is full (load shedding), or `ERR <message>`.
+
+use core::fmt;
+
+use ringrt_model::MessageSet;
+
+/// Protocol selector, mirroring the CLI's choices. The canonical tokens
+/// (`802.5`, `modified`, `fddi`) are shared with `ringrt check --format csv`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ProtocolKind {
+    /// Standard IEEE 802.5 priority-driven protocol.
+    Ieee8025,
+    /// The paper's modified (token-holding) 802.5 variant.
+    #[default]
+    Modified,
+    /// FDDI timed token protocol with the local allocation scheme.
+    Fddi,
+}
+
+impl ProtocolKind {
+    /// Parses the same aliases the CLI accepts.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "802.5" | "8025" | "ieee802.5" | "standard" => Ok(ProtocolKind::Ieee8025),
+            "modified" | "mod" => Ok(ProtocolKind::Modified),
+            "fddi" | "ttp" | "timed-token" => Ok(ProtocolKind::Fddi),
+            other => Err(format!(
+                "unknown protocol `{other}` (expected 802.5, modified, or fddi)"
+            )),
+        }
+    }
+
+    /// The canonical wire token.
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            ProtocolKind::Ieee8025 => "802.5",
+            ProtocolKind::Modified => "modified",
+            ProtocolKind::Fddi => "fddi",
+        }
+    }
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// Which analysis a queued request runs; indexes the per-command metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommandKind {
+    /// Admission verdict (Theorem 4.1 / 5.1).
+    Check,
+    /// Saturation boundary search.
+    Saturation,
+    /// Bounded frame-level simulation.
+    Simulate,
+    /// Diagnostic worker occupation.
+    Sleep,
+}
+
+impl CommandKind {
+    /// All queued commands, in metrics order.
+    pub const ALL: [CommandKind; 4] = [
+        CommandKind::Check,
+        CommandKind::Saturation,
+        CommandKind::Simulate,
+        CommandKind::Sleep,
+    ];
+
+    /// Metrics slot.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            CommandKind::Check => 0,
+            CommandKind::Saturation => 1,
+            CommandKind::Simulate => 2,
+            CommandKind::Sleep => 3,
+        }
+    }
+
+    /// Lower-case wire token (also the metrics field prefix).
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            CommandKind::Check => "check",
+            CommandKind::Saturation => "saturation",
+            CommandKind::Simulate => "simulate",
+            CommandKind::Sleep => "sleep",
+        }
+    }
+}
+
+/// Shared parameters of the three analysis commands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisRequest {
+    /// Which analysis to run.
+    pub command: CommandKind,
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Ring bandwidth in Mbps.
+    pub mbps: f64,
+    /// The synchronous message set to admit.
+    pub set: MessageSet,
+    /// Ring stations (defaults to the stream count; never below it).
+    pub stations: Option<usize>,
+    /// Simulated seconds (SIMULATE only).
+    pub seconds: f64,
+    /// Offered asynchronous load fraction (SIMULATE only).
+    pub async_load: f64,
+    /// RNG seed (SIMULATE only).
+    pub seed: u64,
+    /// Per-request queue deadline override, milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+impl AnalysisRequest {
+    /// Effective station count (at least the stream count).
+    #[must_use]
+    pub fn effective_stations(&self) -> usize {
+        self.stations.unwrap_or(self.set.len()).max(self.set.len())
+    }
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// An analysis to run on the worker pool.
+    Analysis(AnalysisRequest),
+    /// Diagnostic: occupy a worker for the given milliseconds.
+    Sleep {
+        /// Sleep length (capped by the server).
+        ms: u64,
+        /// Per-request queue deadline override.
+        deadline_ms: Option<u64>,
+    },
+    /// Liveness probe, answered inline.
+    Ping,
+    /// Metrics snapshot, answered inline.
+    Stats,
+    /// Begin graceful shutdown.
+    Shutdown,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A human-readable message describing the first problem found; the server
+/// sends it back as `ERR <message>`.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut words = line.split_whitespace();
+    let cmd = words.next().ok_or_else(|| "empty request".to_owned())?;
+    let mut pairs: Vec<(&str, &str)> = Vec::new();
+    for w in words {
+        let (k, v) = w
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, found `{w}`"))?;
+        pairs.push((k, v));
+    }
+    let command = match cmd.to_ascii_uppercase().as_str() {
+        "PING" => return reject_extras(pairs, Request::Ping),
+        "STATS" => return reject_extras(pairs, Request::Stats),
+        "SHUTDOWN" => return reject_extras(pairs, Request::Shutdown),
+        "SLEEP" => {
+            check_keys(&pairs, &["ms", "deadline_ms"])?;
+            return Ok(Request::Sleep {
+                ms: required(&pairs, "ms")?,
+                deadline_ms: optional(&pairs, "deadline_ms")?,
+            });
+        }
+        "CHECK" => CommandKind::Check,
+        "SATURATION" => CommandKind::Saturation,
+        "SIMULATE" => CommandKind::Simulate,
+        other => return Err(format!("unknown command `{other}`")),
+    };
+    let allowed: &[&str] = if command == CommandKind::Simulate {
+        &[
+            "mbps",
+            "set",
+            "protocol",
+            "stations",
+            "seconds",
+            "async_load",
+            "seed",
+            "deadline_ms",
+        ]
+    } else {
+        &["mbps", "set", "protocol", "stations", "deadline_ms"]
+    };
+    check_keys(&pairs, allowed)?;
+
+    let mbps: f64 = required(&pairs, "mbps")?;
+    if !(mbps.is_finite() && mbps > 0.0) {
+        return Err(format!("mbps must be positive, got {mbps}"));
+    }
+    let set_text = lookup(&pairs, "set").ok_or_else(|| "set is required".to_owned())?;
+    let set = ringrt_model::parse_message_set(&set_text.replace(';', "\n"))
+        .map_err(|e| format!("invalid set: {e}"))?;
+    let protocol = match lookup(&pairs, "protocol") {
+        Some(p) => ProtocolKind::parse(p)?,
+        None => ProtocolKind::default(),
+    };
+    let seconds: f64 = optional(&pairs, "seconds")?.unwrap_or(0.5);
+    if !(seconds.is_finite() && seconds > 0.0) {
+        return Err(format!("seconds must be positive, got {seconds}"));
+    }
+    let async_load: f64 = optional(&pairs, "async_load")?.unwrap_or(0.0);
+    if !(0.0..1.0).contains(&async_load) {
+        return Err(format!("async_load must be in [0, 1), got {async_load}"));
+    }
+    Ok(Request::Analysis(AnalysisRequest {
+        command,
+        protocol,
+        mbps,
+        set,
+        stations: optional(&pairs, "stations")?,
+        seconds,
+        async_load,
+        seed: optional(&pairs, "seed")?.unwrap_or(1),
+        deadline_ms: optional(&pairs, "deadline_ms")?,
+    }))
+}
+
+fn reject_extras(pairs: Vec<(&str, &str)>, req: Request) -> Result<Request, String> {
+    if let Some((k, _)) = pairs.first() {
+        return Err(format!("unexpected parameter `{k}`"));
+    }
+    Ok(req)
+}
+
+fn check_keys(pairs: &[(&str, &str)], allowed: &[&str]) -> Result<(), String> {
+    for (k, _) in pairs {
+        if !allowed.contains(k) {
+            return Err(format!("unknown parameter `{k}`"));
+        }
+    }
+    Ok(())
+}
+
+fn lookup<'a>(pairs: &[(&'a str, &'a str)], key: &str) -> Option<&'a str> {
+    pairs.iter().rev().find(|(k, _)| *k == key).map(|(_, v)| *v)
+}
+
+fn required<T: std::str::FromStr>(pairs: &[(&str, &str)], key: &str) -> Result<T, String> {
+    optional(pairs, key)?.ok_or_else(|| format!("{key} is required"))
+}
+
+fn optional<T: std::str::FromStr>(pairs: &[(&str, &str)], key: &str) -> Result<Option<T>, String> {
+    lookup(pairs, key)
+        .map(|v| {
+            v.parse::<T>()
+                .map_err(|_| format!("invalid value `{v}` for {key}"))
+        })
+        .transpose()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_check() {
+        let r = parse_request("CHECK mbps=16 set=20,20000;50,60000 protocol=fddi").unwrap();
+        match r {
+            Request::Analysis(a) => {
+                assert_eq!(a.command, CommandKind::Check);
+                assert_eq!(a.protocol, ProtocolKind::Fddi);
+                assert_eq!(a.mbps, 16.0);
+                assert_eq!(a.set.len(), 2);
+                assert_eq!(a.effective_stations(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stations_never_below_stream_count() {
+        let r = parse_request("check mbps=4 set=20,1000;30,1000;40,1000 stations=2").unwrap();
+        match r {
+            Request::Analysis(a) => assert_eq!(a.effective_stations(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_simulate_defaults() {
+        let r = parse_request("SIMULATE mbps=4 set=20,4000").unwrap();
+        match r {
+            Request::Analysis(a) => {
+                assert_eq!(a.command, CommandKind::Simulate);
+                assert_eq!(a.seconds, 0.5);
+                assert_eq!(a.async_load, 0.0);
+                assert_eq!(a.seed, 1);
+                assert_eq!(a.protocol, ProtocolKind::Modified);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_control_commands() {
+        assert_eq!(parse_request("PING").unwrap(), Request::Ping);
+        assert_eq!(parse_request("stats").unwrap(), Request::Stats);
+        assert_eq!(parse_request("Shutdown").unwrap(), Request::Shutdown);
+        assert_eq!(
+            parse_request("SLEEP ms=50").unwrap(),
+            Request::Sleep {
+                ms: 50,
+                deadline_ms: None
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("FROBNICATE").is_err());
+        assert!(parse_request("CHECK set=20,1000")
+            .unwrap_err()
+            .contains("mbps"));
+        assert!(parse_request("CHECK mbps=4").unwrap_err().contains("set"));
+        assert!(parse_request("CHECK mbps=-1 set=20,1000").is_err());
+        assert!(parse_request("CHECK mbps=4 set=bogus").is_err());
+        assert!(parse_request("CHECK mbps=4 set=20,1000 protocol=atm").is_err());
+        assert!(parse_request("CHECK mbps=4 set=20,1000 bogus_key=1").is_err());
+        assert!(parse_request("PING extra=1").is_err());
+        assert!(parse_request("SIMULATE mbps=4 set=20,1000 seconds=-1").is_err());
+        assert!(parse_request("SIMULATE mbps=4 set=20,1000 async_load=1.5").is_err());
+        assert!(parse_request("SLEEP").unwrap_err().contains("ms"));
+        assert!(parse_request("CHECK mbps=4 set").is_err());
+    }
+
+    #[test]
+    fn simulate_only_keys_rejected_elsewhere() {
+        assert!(parse_request("CHECK mbps=4 set=20,1000 seed=3").is_err());
+        assert!(parse_request("SIMULATE mbps=4 set=20,1000 seed=3").is_ok());
+    }
+
+    #[test]
+    fn last_duplicate_key_wins() {
+        match parse_request("CHECK mbps=4 mbps=8 set=20,1000").unwrap() {
+            Request::Analysis(a) => assert_eq!(a.mbps, 8.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn protocol_tokens_round_trip() {
+        for p in [
+            ProtocolKind::Ieee8025,
+            ProtocolKind::Modified,
+            ProtocolKind::Fddi,
+        ] {
+            assert_eq!(ProtocolKind::parse(p.token()).unwrap(), p);
+            assert_eq!(p.to_string(), p.token());
+        }
+    }
+}

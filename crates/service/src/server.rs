@@ -1,0 +1,607 @@
+//! The TCP server: acceptor, connection readers, bounded admission queue,
+//! worker pool, and graceful shutdown.
+//!
+//! # Threading model
+//!
+//! ```text
+//! acceptor ──spawns──▶ connection threads ──jobs──▶ bounded queue ──▶ workers
+//!                          │    ▲                                       │
+//!                          │    └──────────── mpsc reply ◀──────────────┘
+//!                          └─ inline: PING / STATS / SHUTDOWN / cache hits
+//! ```
+//!
+//! * Each connection gets a reader thread; cheap requests (PING, STATS,
+//!   SHUTDOWN, malformed lines, cache hits) are answered inline without
+//!   touching the queue.
+//! * Analysis work is pushed onto a bounded queue. A full queue sheds load
+//!   with an immediate `BUSY` line — the client is never left hanging.
+//! * Workers pop jobs; a job that waited past its deadline is answered
+//!   `ERR deadline expired` without being executed.
+//! * Shutdown (`SHUTDOWN` request or [`ServerHandle::shutdown`]) stops the
+//!   acceptor, lets workers **drain** everything already queued, and closes
+//!   reader threads at their next poll tick — in-flight requests still get
+//!   their answers.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::engine;
+use crate::metrics::Metrics;
+use crate::protocol::{parse_request, CommandKind, Request};
+
+/// How often blocked reads and the acceptor wake to check for shutdown.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+/// Extra execution time a client allows beyond the queue deadline before
+/// giving up on a reply.
+const EXECUTION_GRACE: Duration = Duration::from_secs(60);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address, e.g. `127.0.0.1:7400` (port 0 picks an ephemeral one).
+    pub addr: String,
+    /// Worker threads executing analyses (min 1).
+    pub workers: usize,
+    /// Bounded queue depth; a full queue answers `BUSY` (min 1).
+    pub queue_depth: usize,
+    /// Default per-request queue deadline, milliseconds.
+    pub default_deadline_ms: u64,
+    /// Cap on the diagnostic `SLEEP` command, milliseconds.
+    pub max_sleep_ms: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_depth: 64,
+            default_deadline_ms: 2_000,
+            max_sleep_ms: 10_000,
+        }
+    }
+}
+
+/// One queued unit of work.
+struct Job {
+    request: Request,
+    cache_key: Option<CacheKey>,
+    reply: mpsc::Sender<String>,
+    enqueued: Instant,
+    deadline: Duration,
+}
+
+/// State shared by every thread of one server instance.
+struct Shared {
+    config: ServiceConfig,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    metrics: Metrics,
+    cache: ResultCache,
+    shutdown: AtomicBool,
+    inflight: AtomicU64,
+    started: Instant,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+    }
+
+    /// Pushes a job unless the queue is full; returns whether it was
+    /// admitted. Jobs are still accepted during shutdown drain so
+    /// already-connected clients finish cleanly.
+    fn try_enqueue(&self, job: Job) -> bool {
+        let mut q = self.queue.lock().expect("job queue poisoned");
+        if q.len() >= self.config.queue_depth {
+            return false;
+        }
+        q.push_back(job);
+        drop(q);
+        self.queue_cv.notify_one();
+        true
+    }
+
+    fn queue_len(&self) -> usize {
+        self.queue.lock().expect("job queue poisoned").len()
+    }
+
+    fn render_stats(&self) -> String {
+        use std::fmt::Write as _;
+        let m = &self.metrics;
+        let mut out = format!(
+            "OK cmd=stats uptime_ms={} requests={} ok={} errors={} busy={} deadline_expired={}",
+            self.started.elapsed().as_millis(),
+            m.requests.load(Ordering::Relaxed),
+            m.ok.load(Ordering::Relaxed),
+            m.errors.load(Ordering::Relaxed),
+            m.busy.load(Ordering::Relaxed),
+            m.deadline_expired.load(Ordering::Relaxed),
+        );
+        let _ = write!(
+            out,
+            " cache_hits={} cache_misses={} cache_entries={}",
+            self.cache.hits(),
+            self.cache.misses(),
+            self.cache.entries(),
+        );
+        let _ = write!(
+            out,
+            " workers={} queue_capacity={} queue_len={} inflight={}",
+            self.config.workers,
+            self.config.queue_depth,
+            self.queue_len(),
+            self.inflight.load(Ordering::Relaxed),
+        );
+        m.render_latencies(&mut out);
+        out
+    }
+}
+
+/// A running server. Dropping the handle signals shutdown but does not
+/// block; call [`ServerHandle::join`] to wait for a full drain.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals graceful shutdown: stop accepting, drain the queue, answer
+    /// everything in flight. Returns immediately.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Signals shutdown and waits for every thread — acceptor, connection
+    /// readers, workers — to finish.
+    pub fn join(self) {
+        self.shared.begin_shutdown();
+        self.wait();
+    }
+
+    /// Waits (without signaling) until shutdown is triggered — by a client's
+    /// `SHUTDOWN` request or a concurrent [`ServerHandle::shutdown`] — then
+    /// drains every thread. This is how `ringrt serve` blocks.
+    pub fn wait(mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        // The acceptor has exited, so no new connection threads appear.
+        let conns =
+            std::mem::take(&mut *self.connections.lock().expect("connection list poisoned"));
+        for c in conns {
+            let _ = c.join();
+        }
+        for w in std::mem::take(&mut self.workers) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.begin_shutdown();
+    }
+}
+
+/// Binds the listener and spawns the acceptor and worker threads.
+///
+/// # Errors
+///
+/// Propagates the bind failure (address in use, permission, …).
+pub fn spawn(mut config: ServiceConfig) -> std::io::Result<ServerHandle> {
+    config.workers = config.workers.max(1);
+    config.queue_depth = config.queue_depth.max(1);
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let shared = Arc::new(Shared {
+        config: config.clone(),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        metrics: Metrics::new(),
+        cache: ResultCache::new(),
+        shutdown: AtomicBool::new(false),
+        inflight: AtomicU64::new(0),
+        started: Instant::now(),
+    });
+
+    let workers = (0..config.workers)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("ringrt-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    let connections = Arc::new(Mutex::new(Vec::new()));
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        let connections = Arc::clone(&connections);
+        std::thread::Builder::new()
+            .name("ringrt-acceptor".to_owned())
+            .spawn(move || accept_loop(&listener, &shared, &connections))
+            .expect("spawn acceptor thread")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+        workers,
+        connections,
+    })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    connections: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut next_id = 0u64;
+    while !shared.shutting_down() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name(format!("ringrt-conn-{next_id}"))
+                    .spawn(move || connection_loop(stream, &shared))
+                    .expect("spawn connection thread");
+                next_id += 1;
+                connections
+                    .lock()
+                    .expect("connection list poisoned")
+                    .push(handle);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        // `read_line` keeps partially read bytes in `line` across timeouts,
+        // so clearing only after a complete line preserves slow writers.
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {
+                let response = handle_line(line.trim_end(), shared);
+                line.clear();
+                let stop = matches!(response, Response::Close);
+                let text = response.into_text();
+                shared.metrics.count_response(&text);
+                if writer
+                    .write_all(format!("{text}\n").as_bytes())
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    return;
+                }
+                if stop {
+                    return;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.shutting_down() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// A response line plus whether the connection should close after it.
+enum Response {
+    Line(String),
+    Close,
+}
+
+impl Response {
+    fn into_text(self) -> String {
+        match self {
+            Response::Line(s) => s,
+            Response::Close => "OK cmd=shutdown".to_owned(),
+        }
+    }
+}
+
+fn handle_line(line: &str, shared: &Arc<Shared>) -> Response {
+    shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(msg) => return Response::Line(format!("ERR {msg}")),
+    };
+    match request {
+        Request::Ping => Response::Line("OK cmd=ping".to_owned()),
+        Request::Stats => Response::Line(shared.render_stats()),
+        Request::Shutdown => {
+            shared.begin_shutdown();
+            Response::Close
+        }
+        Request::Sleep { ms, deadline_ms } => {
+            let started = Instant::now();
+            let text = dispatch(
+                shared,
+                Request::Sleep { ms, deadline_ms },
+                None,
+                deadline_ms,
+            );
+            record_completed(shared, CommandKind::Sleep, started, &text);
+            Response::Line(text)
+        }
+        Request::Analysis(req) => {
+            let started = Instant::now();
+            let command = req.command;
+            let deadline_ms = req.deadline_ms;
+            let key = CacheKey::for_request(&req);
+            if let Some(k) = &key {
+                if let Some(body) = shared.cache.get(k) {
+                    shared.metrics.record_latency(command, started.elapsed());
+                    return Response::Line(format!("{body} cached=true"));
+                }
+            }
+            let text = dispatch(shared, Request::Analysis(req), key, deadline_ms);
+            record_completed(shared, command, started, &text);
+            Response::Line(text)
+        }
+    }
+}
+
+/// Records latency only for completed (`OK`) requests, so BUSY fast-rejects
+/// and errors do not skew the per-command histograms.
+fn record_completed(shared: &Arc<Shared>, command: CommandKind, started: Instant, text: &str) {
+    if text.starts_with("OK") {
+        shared.metrics.record_latency(command, started.elapsed());
+    }
+}
+
+/// Queues a job and waits for the worker's reply; sheds load when full.
+fn dispatch(
+    shared: &Arc<Shared>,
+    request: Request,
+    cache_key: Option<CacheKey>,
+    deadline_ms: Option<u64>,
+) -> String {
+    let deadline = Duration::from_millis(deadline_ms.unwrap_or(shared.config.default_deadline_ms));
+    let (reply, rx) = mpsc::channel();
+    let job = Job {
+        request,
+        cache_key,
+        reply,
+        enqueued: Instant::now(),
+        deadline,
+    };
+    if !shared.try_enqueue(job) {
+        return format!("BUSY queue_capacity={}", shared.config.queue_depth);
+    }
+    match rx.recv_timeout(deadline + EXECUTION_GRACE) {
+        Ok(text) => text,
+        Err(_) => "ERR request lost (worker gave no reply)".to_owned(),
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("job queue poisoned");
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                if shared.shutting_down() {
+                    return; // queue drained, shutdown requested
+                }
+                q = shared.queue_cv.wait(q).expect("job queue poisoned");
+            }
+        };
+        if job.enqueued.elapsed() > job.deadline {
+            shared
+                .metrics
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(format!(
+                "ERR deadline expired after {} ms in queue",
+                job.enqueued.elapsed().as_millis()
+            ));
+            continue;
+        }
+        shared.inflight.fetch_add(1, Ordering::Relaxed);
+        let text = run_job(&job, shared);
+        shared.inflight.fetch_sub(1, Ordering::Relaxed);
+        let _ = job.reply.send(text);
+    }
+}
+
+fn run_job(job: &Job, shared: &Arc<Shared>) -> String {
+    match &job.request {
+        Request::Sleep { ms, .. } => {
+            let ms = (*ms).min(shared.config.max_sleep_ms);
+            std::thread::sleep(Duration::from_millis(ms));
+            format!("OK cmd=sleep ms={ms}")
+        }
+        Request::Analysis(req) => {
+            let body = engine::execute(req);
+            if !body.starts_with("OK") {
+                return body;
+            }
+            if let Some(key) = &job.cache_key {
+                shared.cache.insert(key.clone(), body.clone());
+            }
+            format!("{body} cached=false")
+        }
+        other => format!("ERR internal: non-queueable request {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    struct Client {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).expect("connect");
+            let writer = stream.try_clone().expect("clone");
+            Client {
+                reader: BufReader::new(stream),
+                writer,
+            }
+        }
+
+        fn roundtrip(&mut self, line: &str) -> String {
+            self.writer
+                .write_all(format!("{line}\n").as_bytes())
+                .expect("send");
+            let mut resp = String::new();
+            self.reader.read_line(&mut resp).expect("recv");
+            resp.trim_end().to_owned()
+        }
+    }
+
+    fn test_server(workers: usize, queue_depth: usize) -> ServerHandle {
+        spawn(ServiceConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers,
+            queue_depth,
+            ..ServiceConfig::default()
+        })
+        .expect("spawn server")
+    }
+
+    #[test]
+    fn ping_and_malformed_lines() {
+        let server = test_server(1, 4);
+        let mut c = Client::connect(server.addr());
+        assert_eq!(c.roundtrip("PING"), "OK cmd=ping");
+        assert!(c.roundtrip("NONSENSE").starts_with("ERR"));
+        assert!(c.roundtrip("").starts_with("ERR"));
+        server.join();
+    }
+
+    #[test]
+    fn check_roundtrip_and_cache() {
+        let server = test_server(2, 8);
+        let mut c = Client::connect(server.addr());
+        let first = c.roundtrip("CHECK mbps=16 set=20,20000;50,60000");
+        assert!(first.contains("schedulable=true"), "{first}");
+        assert!(first.ends_with("cached=false"), "{first}");
+        let second = c.roundtrip("CHECK mbps=16 set=50,60000;20,20000"); // reordered
+        assert!(second.ends_with("cached=true"), "{second}");
+        let stats = c.roundtrip("STATS");
+        assert!(stats.contains("cache_hits=1"), "{stats}");
+        assert!(stats.contains("cache_entries=1"), "{stats}");
+        server.join();
+    }
+
+    #[test]
+    fn busy_when_queue_full() {
+        let server = test_server(1, 1);
+        let addr = server.addr();
+        // Occupy the single worker…
+        let blocker = std::thread::spawn(move || {
+            let mut c = Client::connect(addr);
+            c.roundtrip("SLEEP ms=600")
+        });
+        std::thread::sleep(Duration::from_millis(150));
+        // …fill the one queue slot…
+        let filler = std::thread::spawn(move || {
+            let mut c = Client::connect(addr);
+            c.roundtrip("SLEEP ms=100")
+        });
+        std::thread::sleep(Duration::from_millis(150));
+        // …and the next request must be shed, not left hanging.
+        let mut c = Client::connect(addr);
+        let resp = c.roundtrip("SLEEP ms=1");
+        assert!(resp.starts_with("BUSY"), "{resp}");
+        assert!(resp.contains("queue_capacity=1"), "{resp}");
+        assert_eq!(blocker.join().unwrap(), "OK cmd=sleep ms=600");
+        assert_eq!(filler.join().unwrap(), "OK cmd=sleep ms=100");
+        let stats = c.roundtrip("STATS");
+        assert!(stats.contains("busy=1"), "{stats}");
+        server.join();
+    }
+
+    #[test]
+    fn graceful_shutdown_answers_in_flight_work() {
+        let server = test_server(1, 4);
+        let addr = server.addr();
+        let inflight = std::thread::spawn(move || {
+            let mut c = Client::connect(addr);
+            c.roundtrip("SLEEP ms=300")
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        server.shutdown();
+        assert_eq!(inflight.join().unwrap(), "OK cmd=sleep ms=300");
+        server.join();
+    }
+
+    #[test]
+    fn shutdown_command_closes_and_stops_accepting() {
+        let server = test_server(1, 4);
+        let addr = server.addr();
+        let mut c = Client::connect(addr);
+        assert_eq!(c.roundtrip("SHUTDOWN"), "OK cmd=shutdown");
+        server.join();
+        assert!(TcpStream::connect(addr).is_err(), "still accepting");
+    }
+
+    #[test]
+    fn deadline_expires_in_queue() {
+        let server = test_server(1, 4);
+        let addr = server.addr();
+        let blocker = std::thread::spawn(move || {
+            let mut c = Client::connect(addr);
+            c.roundtrip("SLEEP ms=300")
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        let mut c = Client::connect(addr);
+        let resp = c.roundtrip("CHECK mbps=16 set=20,20000 deadline_ms=50");
+        assert!(resp.starts_with("ERR deadline expired"), "{resp}");
+        blocker.join().unwrap();
+        let stats = c.roundtrip("STATS");
+        assert!(stats.contains("deadline_expired=1"), "{stats}");
+        server.join();
+    }
+}

@@ -242,7 +242,10 @@ mod tests {
     fn trace_builder() {
         let cfg = SimConfig::new(ring(), Seconds::new(1.0)).with_trace(500);
         assert_eq!(cfg.trace_capacity(), 500);
-        assert_eq!(SimConfig::new(ring(), Seconds::new(1.0)).trace_capacity(), 0);
+        assert_eq!(
+            SimConfig::new(ring(), Seconds::new(1.0)).trace_capacity(),
+            0
+        );
     }
 
     #[test]

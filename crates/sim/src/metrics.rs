@@ -113,7 +113,13 @@ impl fmt::Display for SimReport {
         }
         writeln!(f, "  token rotations: {}", self.rotations)?;
         for (i, s) in self.per_stream.iter().enumerate() {
-            write!(f, "  S{}: {} done, {} missed", i + 1, s.completed, s.deadline_misses)?;
+            write!(
+                f,
+                "  S{}: {} done, {} missed",
+                i + 1,
+                s.completed,
+                s.deadline_misses
+            )?;
             if let Some(w) = s.worst_response() {
                 write!(f, ", worst response {w}")?;
             }
@@ -217,8 +223,18 @@ mod tests {
     #[test]
     fn report_aggregates() {
         let mut m = MetricsCollector::new(2);
-        m.message_done(0, SimTime::ZERO, SimTime::from_picos(10), SimTime::from_picos(5));
-        m.message_done(1, SimTime::ZERO, SimTime::from_picos(10), SimTime::from_picos(50));
+        m.message_done(
+            0,
+            SimTime::ZERO,
+            SimTime::from_picos(10),
+            SimTime::from_picos(5),
+        );
+        m.message_done(
+            1,
+            SimTime::ZERO,
+            SimTime::from_picos(10),
+            SimTime::from_picos(50),
+        );
         let report = SimReport {
             protocol: "FDDI",
             simulated: SimDuration::from_millis(1),

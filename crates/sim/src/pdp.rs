@@ -168,7 +168,8 @@ impl PdpSimulator {
     pub fn run(mut self) -> SimReport {
         let end = SimTime::ZERO + self.config.duration();
         for (i, s) in self.sync.iter().enumerate() {
-            self.queue.schedule_at(s.first_arrival(), Event::SyncArrival(i));
+            self.queue
+                .schedule_at(s.first_arrival(), Event::SyncArrival(i));
         }
         for st in 0..self.asynchronous.len() {
             if self.asynchronous[st].is_active() {
@@ -179,10 +180,12 @@ impl PdpSimulator {
                     .schedule_at(SimTime::ZERO + gap, Event::AsyncArrival(st));
             }
         }
-        self.queue.schedule_at(SimTime::ZERO, Event::TokenArrive(0, 0));
+        self.queue
+            .schedule_at(SimTime::ZERO, Event::TokenArrive(0, 0));
         if self.config.token_loss_rate() > 0.0 {
             let gap = self.loss_gap();
-            self.queue.schedule_at(SimTime::ZERO + gap, Event::TokenLoss);
+            self.queue
+                .schedule_at(SimTime::ZERO + gap, Event::TokenLoss);
         }
 
         while let Some((now, event)) = self.queue.pop_until(end) {
@@ -234,7 +237,8 @@ impl PdpSimulator {
     }
 
     fn token_arrive(&mut self, st: usize, now: SimTime) {
-        self.trace.record(now, TraceKind::TokenArrive { station: st });
+        self.trace
+            .record(now, TraceKind::TokenArrive { station: st });
         if st == 0 {
             self.metrics.mark_rotation(now);
         }
@@ -321,7 +325,8 @@ impl PdpSimulator {
         }
         let occupancy = tx_time.max(self.theta);
         self.busy_until = now + occupancy;
-        self.queue.schedule_at(now + occupancy, Event::FrameDone(st));
+        self.queue
+            .schedule_at(now + occupancy, Event::FrameDone(st));
     }
 
     fn frame_done(&mut self, st: usize, now: SimTime) {
@@ -425,9 +430,13 @@ mod tests {
         .unwrap();
         let ring = RingConfig::ieee_802_5(2, Bandwidth::from_mbps(1.0));
         let config = SimConfig::new(ring, Seconds::new(0.5));
-        let report =
-            PdpSimulator::new(&heavy, config, FrameFormat::paper_default(), PdpVariant::Modified)
-                .run();
+        let report = PdpSimulator::new(
+            &heavy,
+            config,
+            FrameFormat::paper_default(),
+            PdpVariant::Modified,
+        )
+        .run();
         assert!(report.deadline_misses() > 0, "{report}");
         // Medium saturated.
         assert!(report.medium_utilization > 0.8, "{report}");
@@ -444,9 +453,13 @@ mod tests {
         .unwrap();
         let ring = RingConfig::ieee_802_5(2, Bandwidth::from_mbps(1.0));
         let config = SimConfig::new(ring, Seconds::new(1.0));
-        let report =
-            PdpSimulator::new(&set, config, FrameFormat::paper_default(), PdpVariant::Standard)
-                .run();
+        let report = PdpSimulator::new(
+            &set,
+            config,
+            FrameFormat::paper_default(),
+            PdpVariant::Standard,
+        )
+        .run();
         assert_eq!(report.per_stream[0].deadline_misses, 0, "{report}");
         assert!(report.per_stream[1].deadline_misses > 0, "{report}");
     }
@@ -454,12 +467,20 @@ mod tests {
     #[test]
     fn modified_variant_is_at_least_as_fast() {
         let config = SimConfig::new(ring(4.0), Seconds::new(1.0));
-        let std =
-            PdpSimulator::new(&light_set(), config, FrameFormat::paper_default(), PdpVariant::Standard)
-                .run();
-        let modv =
-            PdpSimulator::new(&light_set(), config, FrameFormat::paper_default(), PdpVariant::Modified)
-                .run();
+        let std = PdpSimulator::new(
+            &light_set(),
+            config,
+            FrameFormat::paper_default(),
+            PdpVariant::Standard,
+        )
+        .run();
+        let modv = PdpSimulator::new(
+            &light_set(),
+            config,
+            FrameFormat::paper_default(),
+            PdpVariant::Modified,
+        )
+        .run();
         let worst = |r: &SimReport| {
             r.per_stream
                 .iter()
@@ -565,17 +586,39 @@ mod tests {
         assert!(!report.trace.is_empty());
         assert!(report.trace.windows(2).all(|w| w[0].at <= w[1].at));
         // Both traffic classes show up.
-        let sync_frames = report.trace.iter().filter(|e| {
-            matches!(e.kind, TraceKind::FrameStart { synchronous: true, .. })
-        }).count();
-        let async_frames = report.trace.iter().filter(|e| {
-            matches!(e.kind, TraceKind::FrameStart { synchronous: false, .. })
-        }).count();
+        let sync_frames = report
+            .trace
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    TraceKind::FrameStart {
+                        synchronous: true,
+                        ..
+                    }
+                )
+            })
+            .count();
+        let async_frames = report
+            .trace
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    TraceKind::FrameStart {
+                        synchronous: false,
+                        ..
+                    }
+                )
+            })
+            .count();
         assert!(sync_frames > 0);
         assert!(async_frames as u64 == report.async_frames_sent);
-        let completes = report.trace.iter().filter(|e| {
-            matches!(e.kind, TraceKind::MessageComplete { .. })
-        }).count();
+        let completes = report
+            .trace
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::MessageComplete { .. }))
+            .count();
         assert_eq!(completes as u64, report.completed());
     }
 
@@ -608,7 +651,10 @@ mod tests {
             .run()
         };
         let prioritized = build(None);
-        assert_eq!(prioritized.per_stream[0].deadline_misses, 0, "{prioritized}");
+        assert_eq!(
+            prioritized.per_stream[0].deadline_misses, 0,
+            "{prioritized}"
+        );
         let flattened = build(Some(1));
         let w_pri = prioritized.per_stream[0].worst_response().unwrap();
         let w_flat = flattened.per_stream[0].worst_response().unwrap();

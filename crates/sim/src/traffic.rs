@@ -48,7 +48,8 @@ impl SyncTraffic {
                 let first_arrival = match phasing {
                     Phasing::Synchronized => SimTime::ZERO,
                     Phasing::Staggered => {
-                        SimTime::ZERO + SimDuration::from_picos(period.as_picos() / n as u64 * i as u64)
+                        SimTime::ZERO
+                            + SimDuration::from_picos(period.as_picos() / n as u64 * i as u64)
                     }
                 };
                 SyncTraffic {
@@ -145,7 +146,12 @@ impl AsyncTraffic {
     /// `bandwidth_bps` in `frame_bits`-payload frames, split evenly across
     /// `stations`.
     #[must_use]
-    pub fn build(stations: usize, load: f64, frame_bits: u64, bandwidth_bps: f64) -> Vec<AsyncTraffic> {
+    pub fn build(
+        stations: usize,
+        load: f64,
+        frame_bits: u64,
+        bandwidth_bps: f64,
+    ) -> Vec<AsyncTraffic> {
         let mean = if load > 0.0 {
             // Per-station frame rate: load·BW / (frame_bits · stations).
             let rate = load * bandwidth_bps / (frame_bits as f64 * stations as f64);
@@ -202,7 +208,10 @@ impl AsyncTraffic {
     ///
     /// Panics if the queue is empty.
     pub(crate) fn take_frame(&mut self, now: SimTime) -> SimDuration {
-        let arrival = self.queue.pop_front().expect("no asynchronous frame queued");
+        let arrival = self
+            .queue
+            .pop_front()
+            .expect("no asynchronous frame queued");
         self.sent_frames += 1;
         now.saturating_duration_since(arrival)
     }

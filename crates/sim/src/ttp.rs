@@ -119,8 +119,7 @@ impl TtpSimulator {
     pub fn from_analysis(set: &MessageSet, config: SimConfig) -> Result<Self, TtpSimError> {
         let analyzer = TtpAnalyzer::with_defaults(*config.ring());
         let report = analyzer.analyze(set);
-        let allocations: Vec<Seconds> =
-            report.per_stream.iter().map(|s| s.allocation).collect();
+        let allocations: Vec<Seconds> = report.per_stream.iter().map(|s| s.allocation).collect();
         Self::with_allocations(set, config, report.ttrt, &allocations)
     }
 
@@ -202,7 +201,8 @@ impl TtpSimulator {
         let end = SimTime::ZERO + self.config.duration();
         // Prime arrivals and the token.
         for (i, s) in self.sync.iter().enumerate() {
-            self.queue.schedule_at(s.first_arrival(), Event::SyncArrival(i));
+            self.queue
+                .schedule_at(s.first_arrival(), Event::SyncArrival(i));
         }
         for st in 0..self.asynchronous.len() {
             if self.asynchronous[st].is_active() {
@@ -213,10 +213,12 @@ impl TtpSimulator {
                     .schedule_at(SimTime::ZERO + gap, Event::AsyncArrival(st));
             }
         }
-        self.queue.schedule_at(SimTime::ZERO, Event::TokenArrive(0, 0));
+        self.queue
+            .schedule_at(SimTime::ZERO, Event::TokenArrive(0, 0));
         if self.config.token_loss_rate() > 0.0 {
             let gap = self.loss_gap();
-            self.queue.schedule_at(SimTime::ZERO + gap, Event::TokenLoss);
+            self.queue
+                .schedule_at(SimTime::ZERO + gap, Event::TokenLoss);
         }
 
         while let Some((now, event)) = self.queue.pop_until(end) {
@@ -248,7 +250,8 @@ impl TtpSimulator {
     /// Handles one token visit at station `st`, then schedules the arrival
     /// at the next station.
     fn token_visit(&mut self, st: usize, now: SimTime) {
-        self.trace.record(now, TraceKind::TokenArrive { station: st });
+        self.trace
+            .record(now, TraceKind::TokenArrive { station: st });
         if st == 0 {
             self.metrics.mark_rotation(now);
         }
@@ -465,10 +468,18 @@ mod tests {
     fn async_traffic_flows_only_in_slack() {
         let quiet = SimConfig::new(ring(), Seconds::new(0.5));
         let busy = quiet.with_async_load(0.3);
-        let r_quiet = TtpSimulator::from_analysis(&light_set(), quiet).unwrap().run();
-        let r_busy = TtpSimulator::from_analysis(&light_set(), busy).unwrap().run();
+        let r_quiet = TtpSimulator::from_analysis(&light_set(), quiet)
+            .unwrap()
+            .run();
+        let r_busy = TtpSimulator::from_analysis(&light_set(), busy)
+            .unwrap()
+            .run();
         assert_eq!(r_quiet.async_frames_sent, 0);
-        assert!(r_busy.async_frames_sent > 100, "{}", r_busy.async_frames_sent);
+        assert!(
+            r_busy.async_frames_sent > 100,
+            "{}",
+            r_busy.async_frames_sent
+        );
         // Async load must not cause sync misses for a schedulable set.
         assert_eq!(r_busy.deadline_misses(), 0, "{r_busy}");
         // Utilization rises with background traffic.
@@ -501,7 +512,10 @@ mod tests {
         let config = SimConfig::new(ring(), Seconds::new(0.1));
         assert!(matches!(
             TtpSimulator::with_allocations(&set, config, Seconds::from_millis(5.0), &[]),
-            Err(TtpSimError::AllocationCountMismatch { got: 0, expected: 4 })
+            Err(TtpSimError::AllocationCountMismatch {
+                got: 0,
+                expected: 4
+            })
         ));
         let zero = vec![Seconds::ZERO; 4];
         assert!(matches!(
@@ -550,8 +564,12 @@ mod tests {
     fn zero_loss_rate_is_identical_to_no_injection() {
         let base = SimConfig::new(ring(), Seconds::new(0.5)).with_async_load(0.2);
         let with_zero = base.with_token_loss(0.0, Seconds::from_millis(1.0));
-        let a = TtpSimulator::from_analysis(&light_set(), base).unwrap().run();
-        let b = TtpSimulator::from_analysis(&light_set(), with_zero).unwrap().run();
+        let a = TtpSimulator::from_analysis(&light_set(), base)
+            .unwrap()
+            .run();
+        let b = TtpSimulator::from_analysis(&light_set(), with_zero)
+            .unwrap()
+            .run();
         assert_eq!(a.completed(), b.completed());
         assert_eq!(b.token_losses, 0);
     }
@@ -562,24 +580,42 @@ mod tests {
         let config = SimConfig::new(ring(), Seconds::new(0.05))
             .with_async_load(0.2)
             .with_trace(200_000);
-        let report = TtpSimulator::from_analysis(&light_set(), config).unwrap().run();
+        let report = TtpSimulator::from_analysis(&light_set(), config)
+            .unwrap()
+            .run();
         assert_eq!(report.trace_dropped, 0, "raise capacity: trace truncated");
         assert!(!report.trace.is_empty());
         // Timestamps are nondecreasing.
         assert!(report.trace.windows(2).all(|w| w[0].at <= w[1].at));
-        let arrivals = report.trace.iter().filter(|e| matches!(e.kind, TraceKind::TokenArrive { .. })).count();
-        let frames = report.trace.iter().filter(|e| matches!(e.kind, TraceKind::FrameStart { .. })).count();
-        let completes = report.trace.iter().filter(|e| matches!(e.kind, TraceKind::MessageComplete { late: false, .. })).count();
+        let arrivals = report
+            .trace
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::TokenArrive { .. }))
+            .count();
+        let frames = report
+            .trace
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::FrameStart { .. }))
+            .count();
+        let completes = report
+            .trace
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::MessageComplete { late: false, .. }))
+            .count();
         assert!(arrivals > frames, "token visits outnumber transmissions");
         assert_eq!(completes as u64, report.completed());
         // A tiny capacity truncates and counts the overflow.
         let tiny = SimConfig::new(ring(), Seconds::new(0.05)).with_trace(5);
-        let r = TtpSimulator::from_analysis(&light_set(), tiny).unwrap().run();
+        let r = TtpSimulator::from_analysis(&light_set(), tiny)
+            .unwrap()
+            .run();
         assert_eq!(r.trace.len(), 5);
         assert!(r.trace_dropped > 0);
         // Tracing off by default.
         let off = SimConfig::new(ring(), Seconds::new(0.05));
-        let r = TtpSimulator::from_analysis(&light_set(), off).unwrap().run();
+        let r = TtpSimulator::from_analysis(&light_set(), off)
+            .unwrap()
+            .run();
         assert!(r.trace.is_empty());
         assert_eq!(r.trace_dropped, 0);
         // Timeline rendering mentions stations.
@@ -589,9 +625,15 @@ mod tests {
 
     #[test]
     fn deterministic_runs() {
-        let config = SimConfig::new(ring(), Seconds::new(0.3)).with_async_load(0.2).with_seed(5);
-        let a = TtpSimulator::from_analysis(&light_set(), config).unwrap().run();
-        let b = TtpSimulator::from_analysis(&light_set(), config).unwrap().run();
+        let config = SimConfig::new(ring(), Seconds::new(0.3))
+            .with_async_load(0.2)
+            .with_seed(5);
+        let a = TtpSimulator::from_analysis(&light_set(), config)
+            .unwrap()
+            .run();
+        let b = TtpSimulator::from_analysis(&light_set(), config)
+            .unwrap()
+            .run();
         assert_eq!(a.completed(), b.completed());
         assert_eq!(a.async_frames_sent, b.async_frames_sent);
         assert_eq!(a.events, b.events);

@@ -2,8 +2,6 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Bits, Seconds};
 
 /// A transmission rate in bits per second.
@@ -23,8 +21,7 @@ use crate::{Bits, Seconds};
 /// let t = bw.transmission_time(Bits::new(112));
 /// assert!((t.as_micros() - 1.12).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Bandwidth(f64);
 
 impl Bandwidth {

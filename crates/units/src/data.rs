@@ -4,8 +4,6 @@ use core::fmt;
 use core::iter::Sum;
 use core::ops::{Add, AddAssign, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// An exact data size in bits.
 ///
 /// Frame payload and overhead lengths in the paper are specified in bits
@@ -23,10 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(payload, Bits::new(512));
 /// assert_eq!(payload + Bits::new(112), Bits::new(624));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Bits(u64);
 
 impl Bits {
@@ -170,10 +165,7 @@ impl From<Bytes> for Bits {
 ///
 /// Exists mostly as a convenient constructor for [`Bits`]; the paper quotes
 /// frame payloads in bytes ("Packet Length = 64 Bytes").
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Bytes(u64);
 
 impl Bytes {

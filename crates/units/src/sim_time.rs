@@ -312,8 +312,14 @@ mod tests {
     #[test]
     fn rounding_is_nearest() {
         // 0.4 ps rounds down, 0.6 ps rounds up.
-        assert_eq!(SimDuration::from_seconds(Seconds::new(0.4e-12)).as_picos(), 0);
-        assert_eq!(SimDuration::from_seconds(Seconds::new(0.6e-12)).as_picos(), 1);
+        assert_eq!(
+            SimDuration::from_seconds(Seconds::new(0.4e-12)).as_picos(),
+            0
+        );
+        assert_eq!(
+            SimDuration::from_seconds(Seconds::new(0.6e-12)).as_picos(),
+            1
+        );
     }
 
     #[test]
@@ -352,7 +358,9 @@ mod tests {
 
     #[test]
     fn checked_add_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_picos(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_picos(1))
+            .is_none());
         assert_eq!(
             SimTime::ZERO.checked_add(SimDuration::from_picos(1)),
             Some(SimTime::from_picos(1))

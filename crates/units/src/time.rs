@@ -5,8 +5,6 @@ use core::fmt;
 use core::iter::Sum;
 use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// A duration (or instant offset) in seconds, stored as an `f64`.
 ///
 /// `Seconds` is the time type of the *analytical* side of the suite: message
@@ -28,8 +26,7 @@ use serde::{Deserialize, Serialize};
 /// let utilization = cost / period;
 /// assert!((utilization - 0.0025).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Seconds(f64);
 
 impl Seconds {

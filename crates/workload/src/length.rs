@@ -34,11 +34,7 @@ impl LengthShape {
     /// returns it as an *equivalent transmission-time share*, i.e. a value
     /// proportional to the stream's pre-scaling transmission time in
     /// seconds.
-    pub fn sample_relative_time<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        period: Seconds,
-    ) -> f64 {
+    pub fn sample_relative_time<R: Rng + ?Sized>(&self, rng: &mut R, period: Seconds) -> f64 {
         match self {
             LengthShape::UniformUtilization => {
                 // u ∈ (0, 1]; transmission time u·P.
@@ -50,7 +46,6 @@ impl LengthShape {
         }
     }
 }
-
 
 impl fmt::Display for LengthShape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -90,7 +90,10 @@ impl PeriodDistribution {
             }
             PeriodDistribution::Harmonic { base, octaves } => {
                 assert!(base > Seconds::ZERO, "base period must be positive");
-                assert!(octaves >= 1, "harmonic distribution needs at least one octave");
+                assert!(
+                    octaves >= 1,
+                    "harmonic distribution needs at least one octave"
+                );
                 (base, base * 2f64.powi(octaves as i32 - 1))
             }
             PeriodDistribution::Bimodal {
@@ -242,7 +245,9 @@ mod tests {
             let p = d.sample(&mut rng);
             let ratio = p / Seconds::from_millis(5.0);
             assert!(
-                [1.0, 2.0, 4.0, 8.0].iter().any(|&r| (ratio - r).abs() < 1e-12),
+                [1.0, 2.0, 4.0, 8.0]
+                    .iter()
+                    .any(|&r| (ratio - r).abs() < 1e-12),
                 "unexpected ratio {ratio}"
             );
         }
@@ -300,7 +305,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(PeriodDistribution::paper_default().to_string().contains("uniform"));
+        assert!(PeriodDistribution::paper_default()
+            .to_string()
+            .contains("uniform"));
         let d = PeriodDistribution::Harmonic {
             base: Seconds::from_millis(5.0),
             octaves: 3,

@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pdp = PdpAnalyzer::new(ring_pdp, frame, PdpVariant::Standard);
     let pdp_report = pdp.analyze(&set);
     print!("{pdp_report}");
-    assert!(pdp_report.schedulable, "802.5 must guarantee the avionics set");
+    assert!(
+        pdp_report.schedulable,
+        "802.5 must guarantee the avionics set"
+    );
 
     // --- Analysis: FDDI cannot ----------------------------------------
     let ring_ttp = RingConfig::fddi(set.len(), bw);
@@ -57,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sim = PdpSimulator::new(&set, config, frame, PdpVariant::Standard).run();
     println!("--- simulated 2 s of 802.5 ring time, 30 % async background ---");
     print!("{sim}");
-    assert!(sim.all_deadlines_met(), "Theorem 4.1 guarantee violated in simulation");
+    assert!(
+        sim.all_deadlines_met(),
+        "Theorem 4.1 guarantee violated in simulation"
+    );
 
     // --- How much headroom does each protocol leave? -------------------
     use ringrt::analysis::SchedulabilityTest as _;

@@ -53,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pdp_report = pdp.analyze(&set);
     println!(
         "standard IEEE 802.5 at {bw}: {} (Θ = {}, frame time = {} ⇒ every frame occupies Θ)",
-        if pdp_report.schedulable { "PASS" } else { "FAIL" },
+        if pdp_report.schedulable {
+            "PASS"
+        } else {
+            "FAIL"
+        },
         ring_pdp.token_circulation_time(),
         frame.frame_time(bw),
     );
@@ -73,7 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .run();
     println!("\n--- simulated 2 s of FDDI ring time, 25 % async background ---");
     print!("{ttp_sim}");
-    assert!(ttp_sim.all_deadlines_met(), "Theorem 5.1 guarantee violated");
+    assert!(
+        ttp_sim.all_deadlines_met(),
+        "Theorem 5.1 guarantee violated"
+    );
     if let Some(max_rot) = ttp_sim.max_rotation() {
         println!(
             "worst token rotation {} ≤ 2·TTRT = {} (Johnson's bound)\n",

@@ -27,8 +27,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- IEEE 802.5 ----------------------------------------------------
     let ring = RingConfig::ieee_802_5(set.len(), Bandwidth::from_mbps(4.0));
     let config = SimConfig::new(ring, horizon).with_trace(100_000);
-    let report = PdpSimulator::new(&set, config, FrameFormat::paper_default(), PdpVariant::Standard)
-        .run();
+    let report = PdpSimulator::new(
+        &set,
+        config,
+        FrameFormat::paper_default(),
+        PdpVariant::Standard,
+    )
+    .run();
     println!("=== IEEE 802.5 at 4 Mbps: first 25 non-hop events ===");
     let interesting: Vec<_> = report
         .trace

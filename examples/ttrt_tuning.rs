@@ -36,7 +36,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Sweep fixed TTRTs; score each by how far the workload could grow
     // before Theorem 5.1 breaks (breakdown scale).
     let search = SaturationSearch::default();
-    let mut table = Table::new(&["ttrt_ms", "schedulable", "breakdown_scale", "breakdown_util"]);
+    let mut table = Table::new(&[
+        "ttrt_ms",
+        "schedulable",
+        "breakdown_scale",
+        "breakdown_util",
+    ]);
     let mut best: Option<(f64, Seconds)> = None;
     for k in 0..12 {
         let f = k as f64 / 11.0;
@@ -84,7 +89,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "simulated 2 s at the heuristic TTRT: {} messages, {} misses, worst rotation {}",
         sim.completed(),
         sim.deadline_misses(),
-        sim.max_rotation().map(|d| d.to_string()).unwrap_or_default()
+        sim.max_rotation()
+            .map(|d| d.to_string())
+            .unwrap_or_default()
     );
     assert!(sim.all_deadlines_met());
     Ok(())

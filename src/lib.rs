@@ -18,6 +18,7 @@
 //! | [`des`] | `ringrt-des` | deterministic discrete-event engine |
 //! | [`sim`] | `ringrt-sim` | frame-level 802.5 and FDDI simulators |
 //! | [`frames`] | `ringrt-frames` | real 802.5/FDDI wire formats, CRC-32, access control |
+//! | [`service`] | `ringrt-service` | online admission-control TCP server with result cache |
 //!
 //! # Quickstart
 //!
@@ -87,6 +88,11 @@ pub mod sim {
 /// Wire formats of both MACs (re-export of `ringrt-frames`).
 pub mod frames {
     pub use ringrt_frames::*;
+}
+
+/// Online admission-control server (re-export of `ringrt-service`).
+pub mod service {
+    pub use ringrt_service::*;
 }
 
 /// The most common imports in one place.

@@ -100,7 +100,10 @@ fn genuine_overload_misses_in_both_simulators() {
     let ttp = TtpSimulator::with_allocations(&overloaded, config, ttrt, &h)
         .expect("allocations are structurally valid")
         .run();
-    assert!(ttp.deadline_misses() > 0, "FDDI absorbed a 130 % load?\n{ttp}");
+    assert!(
+        ttp.deadline_misses() > 0,
+        "FDDI absorbed a 130 % load?\n{ttp}"
+    );
 
     let ring = RingConfig::ieee_802_5(STATIONS, bw);
     let config = SimConfig::new(ring, horizon());
@@ -111,7 +114,10 @@ fn genuine_overload_misses_in_both_simulators() {
         PdpVariant::Modified,
     )
     .run();
-    assert!(pdp.deadline_misses() > 0, "802.5 absorbed a 130 % load?\n{pdp}");
+    assert!(
+        pdp.deadline_misses() > 0,
+        "802.5 absorbed a 130 % load?\n{pdp}"
+    );
 }
 
 #[test]

@@ -16,9 +16,7 @@ fn arb_set() -> impl Strategy<Value = MessageSet> {
         MessageSet::new(
             specs
                 .into_iter()
-                .map(|(p_ms, bits)| {
-                    SyncStream::new(Seconds::from_millis(p_ms), Bits::new(bits))
-                })
+                .map(|(p_ms, bits)| SyncStream::new(Seconds::from_millis(p_ms), Bits::new(bits)))
                 .collect(),
         )
         .expect("generated parameters are valid")

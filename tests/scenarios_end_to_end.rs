@@ -14,7 +14,10 @@ fn avionics_needs_the_priority_driven_protocol_at_1mbps() {
         FrameFormat::paper_default(),
         PdpVariant::Standard,
     );
-    assert!(pdp.is_schedulable(&set), "802.5 must guarantee avionics at 1 Mbps");
+    assert!(
+        pdp.is_schedulable(&set),
+        "802.5 must guarantee avionics at 1 Mbps"
+    );
 
     let ttp = TtpAnalyzer::with_defaults(RingConfig::fddi(set.len(), bw));
     assert!(
@@ -30,8 +33,13 @@ fn avionics_simulation_confirms_802_5_guarantee() {
     let config = SimConfig::new(ring, Seconds::new(1.5))
         .with_phasing(Phasing::Synchronized)
         .with_async_load(0.3);
-    let report =
-        PdpSimulator::new(&set, config, FrameFormat::paper_default(), PdpVariant::Standard).run();
+    let report = PdpSimulator::new(
+        &set,
+        config,
+        FrameFormat::paper_default(),
+        PdpVariant::Standard,
+    )
+    .run();
     assert_eq!(report.deadline_misses(), 0, "{report}");
     assert!(report.completed() > 200, "{report}");
 }
@@ -43,7 +51,10 @@ fn backbone_needs_the_timed_token_protocol_at_100mbps() {
 
     let ttp = TtpAnalyzer::with_defaults(RingConfig::fddi(set.len(), bw));
     let report = ttp.analyze(&set);
-    assert!(report.schedulable, "FDDI must guarantee the backbone:\n{report}");
+    assert!(
+        report.schedulable,
+        "FDDI must guarantee the backbone:\n{report}"
+    );
 
     let pdp = PdpAnalyzer::new(
         RingConfig::ieee_802_5(set.len(), bw),
@@ -63,12 +74,10 @@ fn backbone_simulation_confirms_fddi_guarantee_and_802_5_failure() {
     let horizon = Seconds::new(1.5);
 
     let ring = RingConfig::fddi(set.len(), bw);
-    let fddi = TtpSimulator::from_analysis(
-        &set,
-        SimConfig::new(ring, horizon).with_async_load(0.25),
-    )
-    .expect("schedulable set is feasible")
-    .run();
+    let fddi =
+        TtpSimulator::from_analysis(&set, SimConfig::new(ring, horizon).with_async_load(0.25))
+            .expect("schedulable set is feasible")
+            .run();
     assert_eq!(fddi.deadline_misses(), 0, "{fddi}");
 
     let ring = RingConfig::ieee_802_5(set.len(), bw);

@@ -1,0 +1,255 @@
+//! End-to-end tests of the admission-control service (`ringrt-service`):
+//! a real server on an ephemeral port, concurrent clients over TCP, and
+//! the acceptance properties of the subsystem — verdict fidelity against
+//! direct analyzer calls, cache behavior, load shedding, and graceful
+//! shutdown.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use ringrt::analysis::pdp::{PdpAnalyzer, PdpVariant};
+use ringrt::analysis::ttp::TtpAnalyzer;
+use ringrt::analysis::SchedulabilityTest;
+use ringrt::model::{parse_message_set, FrameFormat, RingConfig};
+use ringrt::service::{spawn, ServerHandle, ServiceConfig};
+use ringrt::units::Bandwidth;
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let writer = stream.try_clone().expect("clone stream");
+        Client {
+            reader: BufReader::new(stream),
+            writer,
+        }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send request");
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp).expect("read response");
+        assert!(resp.ends_with('\n'), "truncated response: {resp:?}");
+        resp.trim_end().to_owned()
+    }
+}
+
+fn server(workers: usize, queue_depth: usize) -> ServerHandle {
+    spawn(ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        queue_depth,
+        ..ServiceConfig::default()
+    })
+    .expect("spawn service")
+}
+
+/// Extracts `key=value` from a response line.
+fn field<'a>(resp: &'a str, key: &str) -> &'a str {
+    resp.split_whitespace()
+        .find_map(|w| w.strip_prefix(&format!("{key}=")[..]))
+        .unwrap_or_else(|| panic!("no field `{key}` in `{resp}`"))
+}
+
+/// The service's verdicts must equal direct analyzer calls — for a mix of
+/// CHECK and SATURATION requests issued by 8 concurrent clients.
+#[test]
+fn concurrent_verdicts_match_direct_analysis() {
+    // (protocol token, mbps, set text) — a mix of tight and loose sets.
+    let cases: [(&str, f64, &str); 8] = [
+        ("802.5", 16.0, "20,20000\n50,60000\n"),
+        ("modified", 16.0, "20,20000\n50,60000\n100,120000\n"),
+        ("fddi", 100.0, "20,200000\n50,500000\n"),
+        ("802.5", 1.0, "10,60000\n10,60000\n"),
+        ("modified", 4.0, "20,4000\n40,8000\n"),
+        ("fddi", 100.0, "8,100000\n16,200000\n32,400000\n"),
+        ("modified", 1.0, "10,30000\n10,30000\n"),
+        ("802.5", 4.0, "50,10000\n100,20000\n200,40000\n"),
+    ];
+    let srv = server(4, 32);
+    let addr = srv.addr();
+
+    let handles: Vec<_> = cases
+        .iter()
+        .map(|&(proto, mbps, set_text)| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                let inline = set_text.trim_end().replace('\n', ";");
+                let check =
+                    c.roundtrip(&format!("CHECK mbps={mbps} set={inline} protocol={proto}"));
+                let sat = c.roundtrip(&format!(
+                    "SATURATION mbps={mbps} set={inline} protocol={proto}"
+                ));
+                (proto, mbps, set_text, check, sat)
+            })
+        })
+        .collect();
+
+    for h in handles {
+        let (proto, mbps, set_text, check, sat) = h.join().expect("client thread");
+        let set = parse_message_set(set_text).unwrap();
+        let bw = Bandwidth::from_mbps(mbps);
+        let n = set.len();
+        let expected = match proto {
+            "802.5" => PdpAnalyzer::new(
+                RingConfig::ieee_802_5(n, bw),
+                FrameFormat::paper_default(),
+                PdpVariant::Standard,
+            )
+            .is_schedulable(&set),
+            "modified" => PdpAnalyzer::new(
+                RingConfig::ieee_802_5(n, bw),
+                FrameFormat::paper_default(),
+                PdpVariant::Modified,
+            )
+            .is_schedulable(&set),
+            "fddi" => TtpAnalyzer::with_defaults(RingConfig::fddi(n, bw)).is_schedulable(&set),
+            other => panic!("unknown protocol {other}"),
+        };
+        assert!(check.starts_with("OK"), "{check}");
+        assert_eq!(
+            field(&check, "schedulable"),
+            expected.to_string(),
+            "CHECK verdict diverged for {proto} @ {mbps} Mbps: {check}"
+        );
+        // SATURATION reports the same verdict plus a boundary consistent
+        // with it: schedulable sets have scale ≥ 1, unschedulable < 1.
+        assert_eq!(field(&sat, "schedulable"), expected.to_string(), "{sat}");
+        let scale: f64 = field(&sat, "scale").parse().unwrap();
+        if expected {
+            assert!(scale >= 1.0, "{sat}");
+        } else {
+            assert!(scale < 1.0, "{sat}");
+        }
+    }
+    srv.join();
+}
+
+/// Repeating an identical request must be served from the cache, and STATS
+/// must account for the hits.
+#[test]
+fn repeated_requests_hit_the_cache() {
+    let srv = server(2, 16);
+    let mut c = Client::connect(srv.addr());
+    let req = "CHECK mbps=16 set=20,20000;50,60000 protocol=modified";
+    let first = c.roundtrip(req);
+    assert_eq!(field(&first, "cached"), "false", "{first}");
+    for _ in 0..5 {
+        let again = c.roundtrip(req);
+        assert_eq!(field(&again, "cached"), "true", "{again}");
+        // The cached verdict carries the same canonical fields.
+        assert_eq!(field(&again, "schedulable"), field(&first, "schedulable"));
+        assert_eq!(field(&again, "utilization"), field(&first, "utilization"));
+    }
+    // Stream order must not defeat the cache (keys are canonicalized).
+    let reordered = c.roundtrip("CHECK mbps=16 set=50,60000;20,20000 protocol=modified");
+    assert_eq!(field(&reordered, "cached"), "true", "{reordered}");
+
+    let stats = c.roundtrip("STATS");
+    let hits: u64 = field(&stats, "cache_hits").parse().unwrap();
+    assert!(hits >= 6, "expected ≥6 cache hits, got {stats}");
+    assert_eq!(field(&stats, "cache_entries"), "1", "{stats}");
+    srv.join();
+}
+
+/// A full queue must shed load with an immediate BUSY — never a hang.
+#[test]
+fn full_queue_sheds_load_with_busy() {
+    let srv = server(1, 1);
+    let addr = srv.addr();
+    // Occupy the only worker, then the only queue slot.
+    let blocker = std::thread::spawn(move || {
+        let mut c = Client::connect(addr);
+        c.roundtrip("SLEEP ms=700")
+    });
+    std::thread::sleep(Duration::from_millis(200));
+    let filler = std::thread::spawn(move || {
+        let mut c = Client::connect(addr);
+        c.roundtrip("SLEEP ms=100")
+    });
+    std::thread::sleep(Duration::from_millis(200));
+
+    let mut c = Client::connect(addr);
+    let start = std::time::Instant::now();
+    let resp = c.roundtrip("SLEEP ms=1");
+    assert!(resp.starts_with("BUSY"), "expected load shed, got {resp}");
+    assert_eq!(field(&resp, "queue_capacity"), "1", "{resp}");
+    assert!(
+        start.elapsed() < Duration::from_millis(250),
+        "BUSY took {:?} — the server blocked instead of shedding",
+        start.elapsed()
+    );
+
+    // The work that was admitted still completes normally.
+    assert_eq!(blocker.join().unwrap(), "OK cmd=sleep ms=700");
+    assert_eq!(filler.join().unwrap(), "OK cmd=sleep ms=100");
+    let stats = c.roundtrip("STATS");
+    let busy: u64 = field(&stats, "busy").parse().unwrap();
+    assert!(busy >= 1, "{stats}");
+    srv.join();
+}
+
+/// Graceful shutdown answers all in-flight requests before the threads
+/// exit, and stops accepting afterwards.
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let srv = server(2, 8);
+    let addr = srv.addr();
+    // Two in-flight sleeps (one executing, one queued behind it per worker).
+    let inflight: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                c.roundtrip(&format!("SLEEP ms={}", 300 + i))
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(100));
+    srv.shutdown();
+    for (i, h) in inflight.into_iter().enumerate() {
+        let resp = h.join().expect("in-flight client");
+        assert_eq!(resp, format!("OK cmd=sleep ms={}", 300 + i), "client {i}");
+    }
+    srv.join();
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "server still accepting after shutdown"
+    );
+}
+
+/// The SHUTDOWN request behaves like ServerHandle::shutdown, remotely.
+#[test]
+fn shutdown_request_stops_the_server() {
+    let srv = server(1, 4);
+    let addr = srv.addr();
+    let mut c = Client::connect(addr);
+    assert!(c.roundtrip("PING").starts_with("OK"));
+    assert_eq!(c.roundtrip("SHUTDOWN"), "OK cmd=shutdown");
+    srv.join();
+    assert!(TcpStream::connect(addr).is_err());
+}
+
+/// SIMULATE runs a bounded simulation and reports deadline outcomes that
+/// agree with the analysis for a comfortably schedulable set.
+#[test]
+fn simulate_round_trip() {
+    let srv = server(2, 8);
+    let mut c = Client::connect(srv.addr());
+    let resp =
+        c.roundtrip("SIMULATE mbps=4 set=20,4000;40,8000 seconds=0.2 seed=3 protocol=modified");
+    assert!(resp.starts_with("OK"), "{resp}");
+    assert_eq!(field(&resp, "deadline_misses"), "0", "{resp}");
+    let completed: u64 = field(&resp, "completed").parse().unwrap();
+    assert!(completed > 0, "{resp}");
+    // Overlong simulations are refused, not executed.
+    let refused = c.roundtrip("SIMULATE mbps=4 set=20,4000 seconds=3600");
+    assert!(refused.starts_with("ERR"), "{refused}");
+    srv.join();
+}

@@ -1,0 +1,326 @@
+//! Vendored, dependency-free subset of the `criterion` benchmarking API.
+//!
+//! The ringrt workspace builds offline, so the criterion surface its
+//! benches use is reimplemented here: `criterion_group!`/`criterion_main!`,
+//! [`Criterion::benchmark_group`], per-group `sample_size`/`throughput`,
+//! `bench_function`/`bench_with_input`, and [`BenchmarkId`].
+//!
+//! Statistics are deliberately simple — per-sample wall-clock means with a
+//! min/mean/max summary line — but calibration (batching short benchmarks
+//! until a sample is long enough to time reliably) mirrors the real tool,
+//! so relative comparisons between kernels remain meaningful.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver; collects groups and prints results.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoLabel, mut f: F) {
+        let mut b = Bencher::new(20);
+        f(&mut b);
+        report("", &id.into_label(), &b, None);
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the work per iteration so results can be rated (bytes/s or
+    /// elements/s).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times `f` under the given label.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoLabel,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&self.name, &id.into_label(), &b, self.throughput);
+        self
+    }
+
+    /// Times `f`, passing it a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoLabel,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        report(&self.name, &id.into_label(), &b, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Work-per-iteration declaration for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark label of the form `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Label combining a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Label from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion of the various accepted label types.
+pub trait IntoLabel {
+    /// The display label.
+    fn into_label(self) -> String;
+}
+
+impl IntoLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoLabel for &str {
+    fn into_label(self) -> String {
+        self.to_owned()
+    }
+}
+
+/// Collected timing state for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            samples_ns: Vec::new(),
+            iters_per_sample: 0,
+        }
+    }
+
+    /// Times repeated calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: batch iterations until one sample takes >= 1 ms (or
+        // the batch is already large), so Instant overhead stays < 0.1 %.
+        let mut per: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..per {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || per >= 1 << 22 {
+                break;
+            }
+            per = per.saturating_mul(8);
+        }
+        self.iters_per_sample = per;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns.push(elapsed.as_nanos() as f64 / per as f64);
+        }
+    }
+
+    fn stats(&self) -> Option<(f64, f64, f64)> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        let min = self
+            .samples_ns
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let max = self.samples_ns.iter().copied().fold(0.0f64, f64::max);
+        let mean = self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64;
+        Some((min, mean, max))
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn report(group: &str, label: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let full = if group.is_empty() {
+        label.to_owned()
+    } else {
+        format!("{group}/{label}")
+    };
+    match b.stats() {
+        Some((min, mean, max)) => {
+            let mut line = format!(
+                "{full:<44} time: [{} {} {}]",
+                human_ns(min),
+                human_ns(mean),
+                human_ns(max)
+            );
+            if let Some(t) = throughput {
+                let per_sec = match t {
+                    Throughput::Bytes(n) => {
+                        format!("{:.1} MiB/s", n as f64 / (mean / 1e9) / (1024.0 * 1024.0))
+                    }
+                    Throughput::Elements(n) => {
+                        format!("{:.0} elem/s", n as f64 / (mean / 1e9))
+                    }
+                };
+                line.push_str(&format!("  thrpt: {per_sec}"));
+            }
+            println!("{line}");
+        }
+        None => println!("{full:<44} (no samples)"),
+    }
+}
+
+/// Declares a function running the listed benchmark targets with a shared
+/// [`Criterion`] instance.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main()` invoking the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Opaque value barrier, re-exported for compatibility with benches that
+/// import it from criterion rather than `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::new(3);
+        b.iter(|| 1u64 + 1);
+        assert_eq!(b.samples_ns.len(), 3);
+        let (min, mean, max) = b.stats().unwrap();
+        assert!(min <= mean && mean <= max);
+        assert!(b.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("rta", 50).into_label(), "rta/50");
+        assert_eq!(BenchmarkId::from_parameter("x").into_label(), "x");
+    }
+
+    #[test]
+    fn human_units() {
+        assert!(human_ns(5.0).ends_with("ns"));
+        assert!(human_ns(5.0e3).ends_with("µs"));
+        assert!(human_ns(5.0e6).ends_with("ms"));
+        assert!(human_ns(5.0e9).ends_with('s'));
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test_group");
+        group.sample_size(2).throughput(Throughput::Bytes(64));
+        let mut ran = 0;
+        group.bench_function("a", |b| {
+            b.iter(|| 0u8);
+        });
+        group.bench_with_input(BenchmarkId::new("b", 1), &7u64, |b, &x| {
+            ran += 1;
+            b.iter(|| x * 2);
+        });
+        group.finish();
+        assert_eq!(ran, 1);
+    }
+}
