@@ -1,0 +1,132 @@
+//! REGISTRY-REPLAY — crash-recovery speed of the persistent ring
+//! registry (`ringrt-registry`).
+//!
+//! Admits `--samples` streams (each an incremental admission test + one
+//! journaled append) spread over rings of 50 — walk time `Θ` grows with
+//! the pinned station count, so one huge ring would stop admitting long
+//! before the journal gets interesting — then measures how fast a fresh
+//! process image recovers the state:
+//!
+//! * **journal** — reopen with the full journal, no snapshot: every
+//!   record is CRC-checked, parsed and re-applied;
+//! * **snapshot** — compact first, then reopen: recovery loads the
+//!   snapshot and replays an empty journal.
+//!
+//! The headline number is **streams restored per second**; the byte
+//! columns show what compaction buys on disk.
+
+use std::time::Instant;
+
+use ringrt_bench::{banner, ExpOptions};
+use ringrt_breakdown::table::{cell, Table};
+use ringrt_registry::RingRegistry;
+use ringrt_units::{Bits, Seconds};
+
+/// Streams per ring; 50 streams on a 60-station, 100 Mbps ring admit
+/// comfortably under both PDP variants.
+const RING_SIZE: usize = 50;
+
+fn ring_name(i: usize) -> String {
+    format!("load{:03}", i / RING_SIZE)
+}
+
+fn admit_stream(reg: &RingRegistry, i: usize) {
+    let period = Seconds::from_millis(20.0 + (i % 40) as f64);
+    let stream = ringrt_model::SyncStream::new(period, Bits::new(1_000 + 16 * (i as u64 % 50)));
+    let outcome = reg
+        .admit(&ring_name(i), &format!("s{:03}", i % RING_SIZE), stream)
+        .expect("admit");
+    assert!(outcome.applied, "stream {i} unexpectedly rejected");
+}
+
+fn main() {
+    let opts = ExpOptions::from_env();
+    banner(
+        "REGISTRY-REPLAY",
+        "ring-registry crash recovery: journal replay vs snapshot load",
+        &opts,
+    );
+
+    let streams = opts.samples.max(50);
+    let dir = std::env::temp_dir().join(format!(
+        "ringrt-exp-registry-replay-{}-{streams}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Build the state: rings of RING_SIZE, `streams` journaled admissions.
+    let rings = streams.div_ceil(RING_SIZE);
+    let build_started = Instant::now();
+    {
+        let reg = RingRegistry::open(&dir).expect("open state dir");
+        for r in 0..rings {
+            reg.register(
+                &ring_name(r * RING_SIZE),
+                ringrt_registry::RingSpec {
+                    protocol: ringrt_registry::ProtocolKind::Modified,
+                    mbps: 100.0,
+                    stations: Some(RING_SIZE + 10),
+                },
+            )
+            .expect("register");
+        }
+        for i in 0..streams {
+            admit_stream(&reg, i);
+        }
+    }
+    let build_s = build_started.elapsed().as_secs_f64();
+    println!(
+        "# admitted {streams} streams over {rings} ring(s) in {build_s:.3}s \
+         ({:.0} incremental admissions/s)",
+        streams as f64 / build_s
+    );
+
+    let mut table = Table::new(&[
+        "recovery",
+        "streams",
+        "records",
+        "replay_ms",
+        "streams_per_sec",
+        "journal_bytes",
+        "snapshot_bytes",
+    ]);
+    let mut push = |label: &str, reg: &RingRegistry| {
+        let stats = reg.replay_stats().expect("persistent registry").clone();
+        let m = reg.metrics();
+        let replay_s = stats.replay.as_secs_f64();
+        table.push_row(&[
+            label.into(),
+            stats.streams_restored.to_string(),
+            stats.records_applied.to_string(),
+            cell(replay_s * 1e3, 3),
+            cell(
+                stats.streams_restored as f64 / replay_s.max(f64::MIN_POSITIVE),
+                0,
+            ),
+            m.journal_bytes.to_string(),
+            m.snapshot_bytes.to_string(),
+        ]);
+        assert_eq!(m.streams, streams, "recovery lost streams");
+    };
+
+    // Phase 1: recover from the raw journal.
+    let reg = RingRegistry::open(&dir).expect("reopen (journal)");
+    push("journal", &reg);
+
+    // Phase 2: compact, then recover from the snapshot.
+    reg.compact().expect("compact");
+    drop(reg);
+    let reg = RingRegistry::open(&dir).expect("reopen (snapshot)");
+    push("snapshot", &reg);
+    drop(reg);
+
+    println!();
+    print!("{}", table.to_csv());
+    println!();
+    println!(
+        "# both recoveries restore the same {streams} streams; snapshot \
+         recovery skips per-record parse/apply work and the journal bytes"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

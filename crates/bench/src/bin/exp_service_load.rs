@@ -8,11 +8,14 @@
 //! * **cold** — every request is distinct, so each one runs a real
 //!   analysis (all cache misses);
 //! * **warm** — the same request list replayed, so each verdict is served
-//!   from the canonicalizing result cache.
+//!   from the canonicalizing result cache;
+//! * **warm-batch** — the warm list again, but framed as `BATCH <n>`
+//!   pipelines so each chunk crosses the socket in one write per
+//!   direction.
 //!
-//! The gap between the two phases is the cache's value; the cold phase is
-//! the analyzers' intrinsic service rate through the whole TCP + queue +
-//! worker pipeline.
+//! The cold→warm gap is the cache's value; the warm→warm-batch gap is
+//! pure per-request syscall and wakeup overhead, since both phases serve
+//! every verdict from the cache.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -46,8 +49,31 @@ struct PhaseResult {
     elapsed_s: f64,
 }
 
+/// Joins the per-client worker threads into one merged phase result.
+fn collect(
+    handles: Vec<std::thread::JoinHandle<(DurationHistogram, u64, u64)>>,
+    started: Instant,
+) -> PhaseResult {
+    let mut histogram = DurationHistogram::new();
+    let mut requests = 0;
+    let mut errors = 0;
+    for h in handles {
+        let (hist, n, e) = h.join().expect("client thread");
+        histogram.merge(&hist);
+        requests += n;
+        errors += e;
+    }
+    PhaseResult {
+        histogram,
+        requests,
+        errors,
+        elapsed_s: started.elapsed().as_secs_f64(),
+    }
+}
+
 /// Runs `clients` concurrent connections, each sending its share of
-/// `lines`, and collects the merged latency histogram.
+/// `lines` one request per write, and collects the merged latency
+/// histogram.
 fn run_phase(addr: SocketAddr, clients: usize, lines: &[String]) -> PhaseResult {
     let started = Instant::now();
     let handles: Vec<_> = (0..clients)
@@ -77,21 +103,56 @@ fn run_phase(addr: SocketAddr, clients: usize, lines: &[String]) -> PhaseResult 
             })
         })
         .collect();
-    let mut histogram = DurationHistogram::new();
-    let mut requests = 0;
-    let mut errors = 0;
-    for h in handles {
-        let (hist, n, e) = h.join().expect("client thread");
-        histogram.merge(&hist);
-        requests += n;
-        errors += e;
-    }
-    PhaseResult {
-        histogram,
-        requests,
-        errors,
-        elapsed_s: started.elapsed().as_secs_f64(),
-    }
+    collect(handles, started)
+}
+
+/// Like [`run_phase`], but each client frames its share as `BATCH <n>`
+/// pipelines of up to `chunk` requests: one `write` carries the whole
+/// chunk out and the server answers it with one `write` back. Latency is
+/// recorded per request, amortized across its chunk.
+fn run_batched_phase(
+    addr: SocketAddr,
+    clients: usize,
+    lines: &[String],
+    chunk: usize,
+) -> PhaseResult {
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let my_lines: Vec<String> = lines.iter().skip(c).step_by(clients).cloned().collect();
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut writer = stream.try_clone().expect("clone");
+                let mut reader = BufReader::new(stream);
+                let mut hist = DurationHistogram::new();
+                let mut errors = 0u64;
+                let mut resp = String::new();
+                for batch in my_lines.chunks(chunk) {
+                    let mut frame = format!("BATCH {}\n", batch.len());
+                    for line in batch {
+                        frame.push_str(line);
+                        frame.push('\n');
+                    }
+                    let t0 = Instant::now();
+                    writer.write_all(frame.as_bytes()).expect("send");
+                    for _ in batch {
+                        resp.clear();
+                        reader.read_line(&mut resp).expect("recv");
+                        if !resp.starts_with("OK") {
+                            errors += 1;
+                        }
+                    }
+                    let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    let per = ns / batch.len() as u64;
+                    for _ in batch {
+                        hist.push(SimDuration::from_picos(per.saturating_mul(1000)));
+                    }
+                }
+                (hist, my_lines.len() as u64, errors)
+            })
+        })
+        .collect();
+    collect(handles, started)
 }
 
 fn quantile_us(h: &DurationHistogram, q: f64) -> f64 {
@@ -166,20 +227,29 @@ fn main() {
         ]);
     };
 
+    let batch_chunk = 32;
     let cold = run_phase(addr, clients, &cold_lines);
     push("cold", &cold);
     let _prime = run_phase(addr, clients, &warm_lines);
     let warm = run_phase(addr, clients, &warm_lines);
     push("warm", &warm);
+    let batched = run_batched_phase(addr, clients, &warm_lines, batch_chunk);
+    push(&format!("warm-batch{batch_chunk}"), &batched);
 
     println!();
     print!("{}", table.to_csv());
     println!();
     let cold_rps = cold.requests as f64 / cold.elapsed_s;
     let warm_rps = warm.requests as f64 / warm.elapsed_s;
+    let batched_rps = batched.requests as f64 / batched.elapsed_s;
     println!(
         "# warm throughput is {:.1}x cold (cache short-circuits the analysis pipeline)",
         warm_rps / cold_rps.max(f64::MIN_POSITIVE)
+    );
+    println!(
+        "# BATCH {batch_chunk} is {:.1}x warm line-at-a-time (saved per-request \
+         write/read syscalls)",
+        batched_rps / warm_rps.max(f64::MIN_POSITIVE)
     );
     println!(
         "# final server stats: requests={} ok={} busy={}",

@@ -128,9 +128,68 @@ pub enum Command {
         queue_depth: usize,
         /// Default per-request queue deadline in milliseconds.
         deadline_ms: u64,
+        /// Persistent registry state directory (`None` = in-memory).
+        state_dir: Option<String>,
+        /// Result-cache entry capacity (`None` = service default).
+        cache_entries: Option<usize>,
+    },
+    /// Operate directly on a persistent ring-registry state directory.
+    Registry {
+        /// Directory holding the journal and snapshot.
+        state_dir: String,
+        /// What to do to the registry.
+        action: RegistryAction,
     },
     /// Print usage.
     Help,
+}
+
+/// The `ringrt registry <action>` verbs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryAction {
+    /// Create a named ring.
+    Register {
+        /// Ring name.
+        ring: String,
+        /// Ring bandwidth in Mbps.
+        mbps: f64,
+        /// Protocol the ring runs.
+        protocol: ProtocolChoice,
+        /// Pinned station count (defaults to the stream count).
+        stations: Option<usize>,
+    },
+    /// Admit one stream into a ring (incremental schedulability test).
+    Admit {
+        /// Ring name.
+        ring: String,
+        /// Stream name.
+        stream: String,
+        /// Stream period in milliseconds.
+        period_ms: f64,
+        /// Payload bits per period.
+        bits: u64,
+        /// Relative deadline in milliseconds (defaults to the period).
+        deadline_ms: Option<f64>,
+    },
+    /// Remove one stream from a ring.
+    Remove {
+        /// Ring name.
+        ring: String,
+        /// Stream name.
+        stream: String,
+    },
+    /// Delete a ring and its admitted streams.
+    Unregister {
+        /// Ring name.
+        ring: String,
+    },
+    /// List rings, or show one ring's spec and admitted streams.
+    Show {
+        /// Ring to show (all rings when omitted).
+        ring: Option<String>,
+    },
+    /// Fold the journal into a fresh snapshot.
+    Compact,
 }
 
 /// Usage text.
@@ -145,6 +204,15 @@ USAGE:
   ringrt sweep    <set-file> --mbps <N>[,<N>...]
   ringrt abu      --mbps <N> [--stations N] [--samples N] [--seed N]
   ringrt serve    [--addr HOST:PORT] [--workers N] [--queue-depth N] [--deadline-ms N]
+                  [--state-dir DIR] [--cache-entries N]
+  ringrt registry register   <ring> --state-dir DIR --mbps <N>
+                             [--protocol 802.5|modified|fddi] [--stations N]
+  ringrt registry admit      <ring> <stream> --state-dir DIR --period-ms <N> --bits <N>
+                             [--deadline-ms N]
+  ringrt registry remove     <ring> <stream> --state-dir DIR
+  ringrt registry unregister <ring> --state-dir DIR
+  ringrt registry show       [<ring>] --state-dir DIR
+  ringrt registry compact    --state-dir DIR
   ringrt help
 
 SET FILE: one `period_ms, payload_bits` pair per line; `#` comments allowed.
@@ -233,7 +301,25 @@ impl Cli {
                         workers,
                         queue_depth,
                         deadline_ms: optional_u64(&flags, "--deadline-ms")?.unwrap_or(2_000),
+                        state_dir: flag_value(&flags, "--state-dir").map(str::to_owned),
+                        cache_entries: optional_usize(&flags, "--cache-entries")?,
                     },
+                })
+            }
+            "registry" => {
+                let action = it.next().ok_or_else(|| {
+                    format!(
+                        "registry needs an action \
+                         (register, admit, remove, unregister, show, compact)\n\n{USAGE}"
+                    )
+                })?;
+                let (positionals, flags) = positionals_and_flags(&mut it)?;
+                let state_dir = flag_value(&flags, "--state-dir")
+                    .ok_or_else(|| "registry commands require --state-dir <DIR>".to_owned())?
+                    .to_owned();
+                let action = registry_action(&action, &positionals, &flags)?;
+                Ok(Cli {
+                    command: Command::Registry { state_dir, action },
                 })
             }
             other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
@@ -241,7 +327,100 @@ impl Cli {
     }
 }
 
+fn registry_action(
+    action: &str,
+    positionals: &[String],
+    flags: &Flags,
+) -> Result<RegistryAction, String> {
+    match action {
+        "register" => {
+            let [ring] = fixed_positionals(positionals, "registry register", &["<ring>"])?;
+            Ok(RegistryAction::Register {
+                ring,
+                mbps: required_f64(flags, "--mbps")?,
+                protocol: optional_protocol(flags)?,
+                stations: optional_usize(flags, "--stations")?,
+            })
+        }
+        "admit" => {
+            let [ring, stream] =
+                fixed_positionals(positionals, "registry admit", &["<ring>", "<stream>"])?;
+            Ok(RegistryAction::Admit {
+                ring,
+                stream,
+                period_ms: required_f64(flags, "--period-ms")?,
+                bits: optional_u64(flags, "--bits")?
+                    .ok_or_else(|| "--bits is required".to_owned())?,
+                deadline_ms: optional_f64(flags, "--deadline-ms")?,
+            })
+        }
+        "remove" => {
+            let [ring, stream] =
+                fixed_positionals(positionals, "registry remove", &["<ring>", "<stream>"])?;
+            Ok(RegistryAction::Remove { ring, stream })
+        }
+        "unregister" => {
+            let [ring] = fixed_positionals(positionals, "registry unregister", &["<ring>"])?;
+            Ok(RegistryAction::Unregister { ring })
+        }
+        "show" => match positionals {
+            [] => Ok(RegistryAction::Show { ring: None }),
+            [ring] => Ok(RegistryAction::Show {
+                ring: Some(ring.clone()),
+            }),
+            more => Err(format!(
+                "registry show takes at most one ring name, got {}",
+                more.len()
+            )),
+        },
+        "compact" => {
+            if positionals.is_empty() {
+                Ok(RegistryAction::Compact)
+            } else {
+                Err("registry compact takes no positional arguments".into())
+            }
+        }
+        other => Err(format!(
+            "unknown registry action `{other}` \
+             (expected register, admit, remove, unregister, show, or compact)"
+        )),
+    }
+}
+
+/// Demands exactly `N` positional arguments, named in the error message.
+fn fixed_positionals<const N: usize>(
+    positionals: &[String],
+    what: &str,
+    names: &[&str; N],
+) -> Result<[String; N], String> {
+    <[String; N]>::try_from(positionals.to_vec())
+        .map_err(|_| format!("{what} takes exactly: {}", names.join(" ")))
+}
+
 type Flags = Vec<(String, String)>;
+
+/// Splits `<positional>* (--flag value)*`; positionals must come first.
+fn positionals_and_flags<I: Iterator<Item = String>>(
+    it: &mut I,
+) -> Result<(Vec<String>, Flags), String> {
+    let mut positionals = Vec::new();
+    let mut flags = Vec::new();
+    while let Some(arg) = it.next() {
+        if arg.starts_with("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag {arg} needs a value"))?;
+            flags.push((arg, value));
+        } else if flags.is_empty() {
+            positionals.push(arg);
+        } else {
+            return Err(format!(
+                "unexpected positional argument `{arg}` after flags"
+            ));
+        }
+    }
+    Ok((positionals, flags))
+}
 
 /// Collects `(--flag value)*` for subcommands without a positional file.
 fn flags_only<I: Iterator<Item = String>>(it: &mut I) -> Result<Flags, String> {
@@ -373,6 +552,8 @@ mod tests {
                 workers: 4,
                 queue_depth: 64,
                 deadline_ms: 2_000,
+                state_dir: None,
+                cache_entries: None,
             }
         );
         let cli = parse(&[
@@ -385,6 +566,10 @@ mod tests {
             "8",
             "--deadline-ms",
             "500",
+            "--state-dir",
+            "/tmp/rings",
+            "--cache-entries",
+            "128",
         ])
         .unwrap();
         assert_eq!(
@@ -394,10 +579,137 @@ mod tests {
                 workers: 2,
                 queue_depth: 8,
                 deadline_ms: 500,
+                state_dir: Some("/tmp/rings".into()),
+                cache_entries: Some(128),
             }
         );
         assert!(parse(&["serve", "--workers", "0"]).is_err());
         assert!(parse(&["serve", "stray"]).is_err());
+    }
+
+    #[test]
+    fn registry_register() {
+        let cli = parse(&[
+            "registry",
+            "register",
+            "lab",
+            "--state-dir",
+            "/tmp/s",
+            "--mbps",
+            "16",
+            "--protocol",
+            "fddi",
+            "--stations",
+            "12",
+        ])
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Registry {
+                state_dir: "/tmp/s".into(),
+                action: RegistryAction::Register {
+                    ring: "lab".into(),
+                    mbps: 16.0,
+                    protocol: ProtocolChoice::Fddi,
+                    stations: Some(12),
+                },
+            }
+        );
+    }
+
+    #[test]
+    fn registry_admit_takes_two_positionals() {
+        let cli = parse(&[
+            "registry",
+            "admit",
+            "lab",
+            "video",
+            "--state-dir",
+            "/tmp/s",
+            "--period-ms",
+            "20",
+            "--bits",
+            "20000",
+        ])
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Registry {
+                state_dir: "/tmp/s".into(),
+                action: RegistryAction::Admit {
+                    ring: "lab".into(),
+                    stream: "video".into(),
+                    period_ms: 20.0,
+                    bits: 20_000,
+                    deadline_ms: None,
+                },
+            }
+        );
+        // Missing the stream positional.
+        let err = parse(&[
+            "registry",
+            "admit",
+            "lab",
+            "--state-dir",
+            "/tmp/s",
+            "--period-ms",
+            "20",
+            "--bits",
+            "1",
+        ])
+        .unwrap_err();
+        assert!(err.contains("<ring> <stream>"), "{err}");
+    }
+
+    #[test]
+    fn registry_show_and_compact() {
+        let cli = parse(&["registry", "show", "--state-dir", "/tmp/s"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Registry {
+                state_dir: "/tmp/s".into(),
+                action: RegistryAction::Show { ring: None },
+            }
+        );
+        let cli = parse(&["registry", "show", "lab", "--state-dir", "/tmp/s"]).unwrap();
+        match cli.command {
+            Command::Registry {
+                action: RegistryAction::Show { ring },
+                ..
+            } => assert_eq!(ring.as_deref(), Some("lab")),
+            other => panic!("unexpected {other:?}"),
+        }
+        let cli = parse(&["registry", "compact", "--state-dir", "/tmp/s"]).unwrap();
+        match cli.command {
+            Command::Registry { action, .. } => assert_eq!(action, RegistryAction::Compact),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn registry_errors() {
+        assert!(parse(&["registry"]).unwrap_err().contains("action"));
+        assert!(parse(&["registry", "frob", "--state-dir", "/tmp/s"])
+            .unwrap_err()
+            .contains("unknown registry action"));
+        assert!(parse(&["registry", "show"])
+            .unwrap_err()
+            .contains("--state-dir"));
+        assert!(parse(&["registry", "compact", "x", "--state-dir", "/tmp/s"]).is_err());
+        assert!(parse(&[
+            "registry",
+            "admit",
+            "lab",
+            "v",
+            "--state-dir",
+            "/tmp/s",
+            "--period-ms",
+            "20"
+        ])
+        .unwrap_err()
+        .contains("--bits"));
+        // Positionals after flags are rejected.
+        assert!(parse(&["registry", "remove", "lab", "--state-dir", "/tmp/s", "v"]).is_err());
     }
 
     #[test]

@@ -1,16 +1,18 @@
 //! Command execution.
 
 use std::io::Write;
+use std::path::{Path, PathBuf};
 
 use ringrt_breakdown::SaturationSearch;
 use ringrt_core::pdp::{PdpAnalyzer, PdpVariant};
 use ringrt_core::ttp::TtpAnalyzer;
 use ringrt_core::SchedulabilityTest;
-use ringrt_model::{FrameFormat, MessageSet, RingConfig};
+use ringrt_model::{FrameFormat, MessageSet, RingConfig, SyncStream};
+use ringrt_registry::{ProtocolKind, RingRegistry, RingSpec};
 use ringrt_sim::{PdpSimulator, Phasing, SimConfig, TtpSimulator};
-use ringrt_units::{Bandwidth, Seconds};
+use ringrt_units::{Bandwidth, Bits, Seconds};
 
-use crate::args::USAGE;
+use crate::args::{RegistryAction, USAGE};
 use crate::{Cli, Command, ExitCode, OutputFormat, ProtocolChoice};
 
 /// Executes a parsed command line, writing human-readable output to `out`.
@@ -64,7 +66,18 @@ pub fn run<W: Write>(cli: &Cli, out: &mut W) -> ExitCode {
             workers,
             queue_depth,
             deadline_ms,
-        } => serve(addr, *workers, *queue_depth, *deadline_ms, out),
+            state_dir,
+            cache_entries,
+        } => serve(
+            addr,
+            *workers,
+            *queue_depth,
+            *deadline_ms,
+            state_dir.as_deref(),
+            *cache_entries,
+            out,
+        ),
+        Command::Registry { state_dir, action } => registry(state_dir, action, out),
     }
 }
 
@@ -73,14 +86,19 @@ fn serve<W: Write>(
     workers: usize,
     queue_depth: usize,
     deadline_ms: u64,
+    state_dir: Option<&str>,
+    cache_entries: Option<usize>,
     out: &mut W,
 ) -> ExitCode {
+    let defaults = ringrt_service::ServiceConfig::default();
     let config = ringrt_service::ServiceConfig {
         addr: addr.to_owned(),
         workers,
         queue_depth,
         default_deadline_ms: deadline_ms,
-        ..ringrt_service::ServiceConfig::default()
+        state_dir: state_dir.map(PathBuf::from),
+        cache_entries: cache_entries.unwrap_or(defaults.cache_entries),
+        ..defaults
     };
     let server = match ringrt_service::spawn(config) {
         Ok(s) => s,
@@ -99,6 +117,206 @@ fn serve<W: Write>(
     server.wait();
     let _ = writeln!(out, "shut down cleanly");
     ExitCode::Success
+}
+
+/// The registry-side protocol enum for a CLI protocol choice.
+fn registry_protocol(choice: ProtocolChoice) -> ProtocolKind {
+    match choice {
+        ProtocolChoice::Ieee8025 => ProtocolKind::Ieee8025,
+        ProtocolChoice::Modified => ProtocolKind::Modified,
+        ProtocolChoice::Fddi => ProtocolKind::Fddi,
+    }
+}
+
+fn registry<W: Write>(state_dir: &str, action: &RegistryAction, out: &mut W) -> ExitCode {
+    let reg = match RingRegistry::open(Path::new(state_dir)) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = writeln!(out, "error: cannot open state dir `{state_dir}`: {e}");
+            return ExitCode::UsageError;
+        }
+    };
+    match action {
+        RegistryAction::Register {
+            ring,
+            mbps,
+            protocol,
+            stations,
+        } => {
+            let spec = RingSpec {
+                protocol: registry_protocol(*protocol),
+                mbps: *mbps,
+                stations: *stations,
+            };
+            match reg.register(ring, spec) {
+                Ok(()) => {
+                    let _ = writeln!(
+                        out,
+                        "registered ring `{ring}`: protocol={} mbps={mbps} stations={}",
+                        registry_protocol(*protocol).token(),
+                        stations.map_or("-".to_owned(), |s| s.to_string()),
+                    );
+                    ExitCode::Success
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "error: {e}");
+                    ExitCode::UsageError
+                }
+            }
+        }
+        RegistryAction::Admit {
+            ring,
+            stream,
+            period_ms,
+            bits,
+            deadline_ms,
+        } => {
+            let candidate =
+                match SyncStream::try_new(Seconds::from_millis(*period_ms), Bits::new(*bits)) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        let _ = writeln!(out, "error: invalid stream: {e}");
+                        return ExitCode::UsageError;
+                    }
+                };
+            let candidate = match deadline_ms {
+                None => candidate,
+                Some(d) if *d > 0.0 && *d <= *period_ms => {
+                    candidate.with_relative_deadline(Seconds::from_millis(*d))
+                }
+                Some(d) => {
+                    let _ = writeln!(
+                        out,
+                        "error: --deadline-ms must be in (0, period_ms={period_ms}], got {d}"
+                    );
+                    return ExitCode::UsageError;
+                }
+            };
+            match reg.admit(ring, stream, candidate) {
+                Ok(outcome) => {
+                    let verdict = if outcome.applied {
+                        "admitted"
+                    } else {
+                        "rejected (unschedulable)"
+                    };
+                    let _ = writeln!(
+                        out,
+                        "{verdict} `{stream}` into ring `{ring}`: {} test, \
+                         {} evaluations, {} streams now admitted",
+                        if outcome.check.incremental {
+                            "incremental"
+                        } else {
+                            "full"
+                        },
+                        outcome.check.evaluations,
+                        outcome.streams,
+                    );
+                    if outcome.applied {
+                        ExitCode::Success
+                    } else {
+                        ExitCode::Unschedulable
+                    }
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "error: {e}");
+                    ExitCode::UsageError
+                }
+            }
+        }
+        RegistryAction::Remove { ring, stream } => match reg.remove(ring, stream) {
+            Ok(outcome) => {
+                let _ = writeln!(
+                    out,
+                    "removed `{stream}` from ring `{ring}`: {} streams remain \
+                     (remaining set schedulable={})",
+                    outcome.streams, outcome.check.schedulable,
+                );
+                ExitCode::Success
+            }
+            Err(e) => {
+                let _ = writeln!(out, "error: {e}");
+                ExitCode::UsageError
+            }
+        },
+        RegistryAction::Unregister { ring } => match reg.unregister(ring) {
+            Ok(()) => {
+                let _ = writeln!(out, "unregistered ring `{ring}`");
+                ExitCode::Success
+            }
+            Err(e) => {
+                let _ = writeln!(out, "error: {e}");
+                ExitCode::UsageError
+            }
+        },
+        RegistryAction::Show { ring: Some(ring) } => match reg.ring_state(ring) {
+            Ok(state) => {
+                let _ = writeln!(
+                    out,
+                    "ring `{ring}`: protocol={} mbps={} stations={} streams={}",
+                    state.spec.protocol.token(),
+                    state.spec.mbps,
+                    state
+                        .spec
+                        .stations
+                        .map_or("-".to_owned(), |s| s.to_string()),
+                    state.streams.len(),
+                );
+                for named in &state.streams {
+                    let _ = writeln!(
+                        out,
+                        "  {}: period_ms={} bits={} deadline_ms={}",
+                        named.name,
+                        named.stream.period().as_millis(),
+                        named.stream.length_bits().as_u64(),
+                        named.stream.relative_deadline().as_millis(),
+                    );
+                }
+                if let Ok(check) = reg.check_full(ring) {
+                    let _ = writeln!(
+                        out,
+                        "  schedulable={} utilization={:.6} evaluations={}",
+                        check.schedulable, check.utilization, check.evaluations,
+                    );
+                }
+                ExitCode::Success
+            }
+            Err(e) => {
+                let _ = writeln!(out, "error: {e}");
+                ExitCode::UsageError
+            }
+        },
+        RegistryAction::Show { ring: None } => {
+            let names = reg.ring_names();
+            let _ = writeln!(out, "{} ring(s) in `{state_dir}`", names.len());
+            for name in names {
+                if let Ok(state) = reg.ring_state(&name) {
+                    let _ = writeln!(
+                        out,
+                        "  {name}: protocol={} mbps={} streams={}",
+                        state.spec.protocol.token(),
+                        state.spec.mbps,
+                        state.streams.len(),
+                    );
+                }
+            }
+            ExitCode::Success
+        }
+        RegistryAction::Compact => match reg.compact() {
+            Ok(()) => {
+                let m = reg.metrics();
+                let _ = writeln!(
+                    out,
+                    "compacted: journal_bytes={} snapshot_bytes={}",
+                    m.journal_bytes, m.snapshot_bytes,
+                );
+                ExitCode::Success
+            }
+            Err(e) => {
+                let _ = writeln!(out, "error: {e}");
+                ExitCode::UsageError
+            }
+        },
+    }
 }
 
 fn abu<W: Write>(mbps: f64, stations: usize, samples: usize, seed: u64, out: &mut W) -> ExitCode {
@@ -533,6 +751,122 @@ mod tests {
         assert_eq!(handle.join().unwrap(), ExitCode::Success);
         let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
         assert!(text.contains("shut down cleanly"), "{text}");
+    }
+
+    #[test]
+    fn registry_cli_roundtrip_persists_across_invocations() {
+        let dir = std::env::temp_dir().join(format!("ringrt-cli-reg-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let d = dir.to_string_lossy().into_owned();
+
+        let (code, out) = run_cli(&[
+            "registry",
+            "register",
+            "lab",
+            "--state-dir",
+            &d,
+            "--mbps",
+            "16",
+        ]);
+        assert_eq!(code, ExitCode::Success, "{out}");
+        assert!(out.contains("registered ring `lab`"), "{out}");
+
+        let (code, out) = run_cli(&[
+            "registry",
+            "admit",
+            "lab",
+            "video",
+            "--state-dir",
+            &d,
+            "--period-ms",
+            "20",
+            "--bits",
+            "20000",
+        ]);
+        assert_eq!(code, ExitCode::Success, "{out}");
+        assert!(out.contains("admitted `video`"), "{out}");
+
+        // Duplicate stream names are a structured error, not a crash.
+        let (code, out) = run_cli(&[
+            "registry",
+            "admit",
+            "lab",
+            "video",
+            "--state-dir",
+            &d,
+            "--period-ms",
+            "50",
+            "--bits",
+            "1000",
+        ]);
+        assert_eq!(code, ExitCode::UsageError, "{out}");
+        assert!(out.contains("duplicate stream"), "{out}");
+
+        // Each invocation reopens the store: the state survived.
+        let (code, out) = run_cli(&["registry", "show", "lab", "--state-dir", &d]);
+        assert_eq!(code, ExitCode::Success, "{out}");
+        assert!(out.contains("video: period_ms=20 bits=20000"), "{out}");
+        assert!(out.contains("schedulable=true"), "{out}");
+
+        let (code, out) = run_cli(&["registry", "compact", "--state-dir", &d]);
+        assert_eq!(code, ExitCode::Success, "{out}");
+        assert!(out.contains("journal_bytes=0"), "{out}");
+
+        let (code, out) = run_cli(&["registry", "remove", "lab", "video", "--state-dir", &d]);
+        assert_eq!(code, ExitCode::Success, "{out}");
+        assert!(out.contains("0 streams remain"), "{out}");
+
+        let (code, out) = run_cli(&["registry", "show", "--state-dir", &d]);
+        assert_eq!(code, ExitCode::Success, "{out}");
+        assert!(
+            out.contains("lab: protocol=modified mbps=16 streams=0"),
+            "{out}"
+        );
+
+        let (code, out) = run_cli(&["registry", "unregister", "lab", "--state-dir", &d]);
+        assert_eq!(code, ExitCode::Success, "{out}");
+        let (_, out) = run_cli(&["registry", "show", "--state-dir", &d]);
+        assert!(out.contains("0 ring(s)"), "{out}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn registry_rejected_admit_exits_unschedulable() {
+        let dir = std::env::temp_dir().join(format!("ringrt-cli-rej-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let d = dir.to_string_lossy().into_owned();
+
+        let (code, _) = run_cli(&[
+            "registry",
+            "register",
+            "slow",
+            "--state-dir",
+            &d,
+            "--mbps",
+            "1",
+        ]);
+        assert_eq!(code, ExitCode::Success);
+        // 60 kbit every 10 ms at 1 Mbps is a 600 % load: rejected.
+        let (code, out) = run_cli(&[
+            "registry",
+            "admit",
+            "slow",
+            "hog",
+            "--state-dir",
+            &d,
+            "--period-ms",
+            "10",
+            "--bits",
+            "60000",
+        ]);
+        assert_eq!(code, ExitCode::Unschedulable, "{out}");
+        assert!(out.contains("rejected"), "{out}");
+        // The rejected stream was not stored.
+        let (_, out) = run_cli(&["registry", "show", "slow", "--state-dir", &d]);
+        assert!(out.contains("streams=0"), "{out}");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

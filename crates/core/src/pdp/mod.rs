@@ -27,7 +27,7 @@ mod test;
 
 pub use levels::quantize_ranks;
 pub use overhead::{augmented_length, blocking_bound, effective_last_frame_time};
-pub use test::{PdpAnalyzer, PdpReport, PdpStreamReport};
+pub use test::{CountedCheck, PdpAnalyzer, PdpReport, PdpStreamReport};
 
 /// Which implementation of the priority-driven protocol is analyzed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

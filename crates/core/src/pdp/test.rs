@@ -178,6 +178,81 @@ impl PdpAnalyzer {
         let (tasks, _) = self.rm_view(set);
         rm::is_schedulable_points(&tasks, self.blocking())
     }
+
+    /// Deadline-monotonic rank (0 = highest priority) of `stream` in `set`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` is out of range for `set`.
+    #[must_use]
+    pub fn priority_rank(&self, set: &MessageSet, stream: StreamId) -> usize {
+        assert!(stream.0 < set.len(), "stream index out of range");
+        set.dm_order()
+            .iter()
+            .position(|&i| i == stream.0)
+            .expect("dm_order is a permutation")
+    }
+
+    /// Response-time verdict restricted to deadline-monotonic ranks
+    /// `from_rank..n`, counting fixed-point demand evaluations.
+    ///
+    /// Admitting a stream leaves every higher-priority stream's response
+    /// time untouched (interference only flows downward and the blocking
+    /// bound is configuration-only), so an admission engine that knows the
+    /// previous set was schedulable only needs to re-test from the new
+    /// stream's rank on — the Lehoczky scheduling-point structure of
+    /// Theorem 4.1. `from_rank = 0` is a full check; its verdict equals
+    /// [`SchedulabilityTest::is_schedulable`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from_rank >= set.len()`, or if this analyzer restricts
+    /// hardware priority levels (quantized levels couple streams across
+    /// ranks, so partial re-tests would be unsound).
+    #[must_use]
+    pub fn check_from_rank(&self, set: &MessageSet, from_rank: usize) -> CountedCheck {
+        assert!(
+            self.priority_levels.is_none(),
+            "counted partial checks require the unquantized analyzer"
+        );
+        assert!(from_rank < set.len(), "from_rank out of range");
+        let (tasks, _) = self.rm_view(set);
+        // Same quick necessary condition as `rm::is_schedulable_rta`: the
+        // lowest-priority task (always within any suffix) diverges when
+        // utilization exceeds 1.
+        let u: f64 = tasks.iter().map(RmTask::utilization).sum();
+        if u > 1.0 + 1e-9 {
+            return CountedCheck {
+                schedulable: false,
+                evaluations: 0,
+            };
+        }
+        let blocking = self.blocking();
+        let mut evaluations = 0u64;
+        for i in from_rank..tasks.len() {
+            let (response, evals) = rm::response_time_counted(&tasks, i, blocking);
+            evaluations += evals;
+            if response.is_none() {
+                return CountedCheck {
+                    schedulable: false,
+                    evaluations,
+                };
+            }
+        }
+        CountedCheck {
+            schedulable: true,
+            evaluations,
+        }
+    }
+}
+
+/// Outcome of a counted (possibly partial) response-time check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountedCheck {
+    /// Whether every tested rank meets its deadline.
+    pub schedulable: bool,
+    /// Fixed-point demand evaluations performed.
+    pub evaluations: u64,
 }
 
 impl SchedulabilityTest for PdpAnalyzer {

@@ -148,33 +148,58 @@ pub fn liu_layland_bound(n: usize) -> f64 {
 /// not sorted by ascending period.
 #[must_use]
 pub fn response_time(tasks: &[RmTask], index: usize, blocking: Seconds) -> Option<Seconds> {
+    response_time_counted(tasks, index, blocking).0
+}
+
+/// Like [`response_time`], but also reports how many demand evaluations
+/// (fixed-point iterations over the scheduling-point demand function) the
+/// test performed.
+///
+/// The count is the work metric behind the registry's incremental
+/// admission engine: re-testing only the priority levels a change touches
+/// must evaluate measurably fewer points than a full recomputation, and
+/// this counter is what makes that claim observable.
+///
+/// # Panics
+///
+/// Panics if `index` is out of range, and in debug builds if the tasks are
+/// not sorted by ascending deadline.
+#[must_use]
+pub fn response_time_counted(
+    tasks: &[RmTask],
+    index: usize,
+    blocking: Seconds,
+) -> (Option<Seconds>, u64) {
     debug_assert_priority_order(tasks);
     let task = &tasks[index];
     let deadline = task.deadline;
     let tol = Seconds::new(RATIO_EPS * deadline.as_secs_f64().max(1e-30));
     let mut r = task.cost + blocking;
+    let mut evaluations = 0u64;
     // Each iteration increases R until the fixed point; bail out as soon as
     // the deadline is exceeded. A generous iteration cap guards against
     // pathological float non-convergence.
     for _ in 0..10_000 {
         if r > deadline + tol {
-            return None;
+            return (None, evaluations);
         }
         let mut next = task.cost + blocking;
         for hp in &tasks[..index] {
             next += hp.cost * ceil_ratio(r, hp.period);
         }
+        evaluations += 1;
         if next <= r + tol {
-            return if next <= deadline + tol {
+            let verdict = if next <= deadline + tol {
                 Some(next)
             } else {
                 None
             };
+            return (verdict, evaluations);
         }
         r = next;
     }
     // Did not converge within the cap — treat as unschedulable.
-    None
+    (None, evaluations)
 }
 
 /// Verdict of the exact scheduling-point test (paper eq. 4) for task

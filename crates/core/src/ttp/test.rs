@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use ringrt_model::{MessageSet, RingConfig, StreamId};
+use ringrt_model::{MessageSet, RingConfig, StreamId, SyncStream};
 use ringrt_units::{Bits, Seconds};
 
 use crate::SchedulabilityTest;
@@ -205,6 +205,41 @@ impl TtpAnalyzer {
             self.ring.bandwidth(),
         )
         .is_some_and(|slack| slack >= -1e-12)
+    }
+
+    /// The Theorem 5.1 term one stream contributes at a given TTRT:
+    /// `C_i/(q_i−1) + F_ovhd`, or `None` if `q_i < 2` (no deadline
+    /// guarantee possible).
+    ///
+    /// Computed with the same float operations (in the same order) as
+    /// [`TtpAnalyzer::satisfies_theorem_5_1`], so summing the terms of a
+    /// set in station order reproduces its left-hand side bit for bit —
+    /// the property the registry's delta-updated admission test relies on.
+    #[must_use]
+    pub fn stream_term(&self, stream: &SyncStream, ttrt: Seconds) -> Option<Seconds> {
+        let q = visit_count(stream.relative_deadline(), ttrt);
+        if q < 2 {
+            return None;
+        }
+        Some(
+            stream.transmission_time(self.ring.bandwidth()) / (q - 1) as f64
+                + self.frame_overhead_time(),
+        )
+    }
+
+    /// Usable rotation capacity `TTRT − Θ'` at a given TTRT — the right-hand
+    /// side of the Theorem 5.1 inequality.
+    #[must_use]
+    pub fn capacity_at(&self, ttrt: Seconds) -> Seconds {
+        ttrt - self.theta_prime()
+    }
+
+    /// The Theorem 5.1 verdict for a precomputed term sum: `Σ terms` must
+    /// not exceed [`TtpAnalyzer::capacity_at`] within the same tolerance
+    /// used by [`TtpAnalyzer::satisfies_theorem_5_1`].
+    #[must_use]
+    pub fn terms_feasible(&self, term_sum: Seconds, ttrt: Seconds) -> bool {
+        (self.capacity_at(ttrt) - term_sum).as_secs_f64() >= -1e-12
     }
 }
 

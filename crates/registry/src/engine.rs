@@ -1,0 +1,419 @@
+//! The incremental admission engine: full and delta-updated re-runs of the
+//! paper's Theorem 4.1 (PDP) and Theorem 5.1 (TTP) tests.
+//!
+//! # Why incremental re-analysis is sound
+//!
+//! **PDP (Theorems 4.1):** the test runs the Lehoczky-style response-time
+//! analysis level by level in deadline-monotonic order. Admitting a stream
+//! at DM rank `r` leaves every higher-priority level's task set — and the
+//! blocking bound `B = 2·max(F, Θ)`, provided the station count is pinned —
+//! untouched, so their response times are unchanged and only ranks `≥ r`
+//! need re-testing. Removing a stream only removes interference, so a
+//! schedulable set stays schedulable with **zero** evaluations. Both
+//! shortcuts require the stored set to already be schedulable, which the
+//! registry guarantees: failed admits are never stored, and PDP removals
+//! preserve schedulability.
+//!
+//! **TTP (Theorem 5.1):** the test is a single inequality
+//! `Σ_i [C_i/(q_i−1) + F_ovhd] ≤ TTRT − Θ'`. The engine caches each
+//! stream's term; when an admit or remove leaves the negotiated TTRT
+//! *bit-identical* (and the effective station count, hence `Θ'`,
+//! unchanged), the sum is rebuilt from cached terms in station order with
+//! the same float operations as the full test — the incremental verdict is
+//! therefore bit-identical to recomputation, not merely approximately
+//! equal. Any TTRT or topology change falls back to the full test.
+//!
+//! Every incremental path carries a `debug_assert!` comparing its verdict
+//! against a from-scratch recomputation; the randomized equivalence sweep
+//! in the workspace tests exercises the same property in release builds.
+
+use ringrt_core::pdp::{PdpAnalyzer, PdpVariant};
+use ringrt_core::ttp::TtpAnalyzer;
+use ringrt_model::{FrameFormat, MessageSet, RingConfig, StreamId};
+use ringrt_units::Seconds;
+
+use crate::spec::{ProtocolKind, RingSpec};
+
+/// Verdict of one admission-control run, with the work it took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckOutcome {
+    /// Whether the (new) stream set is schedulable.
+    pub schedulable: bool,
+    /// Whether the incremental fast path was taken (`false` = full
+    /// recomputation).
+    pub incremental: bool,
+    /// Scheduling-point work performed: fixed-point demand iterations for
+    /// PDP, Theorem 5.1 term computations for TTP. The `STATS` counters
+    /// that prove `ADMIT` is cheaper than a full `CHECK` aggregate this.
+    pub evaluations: u64,
+}
+
+/// Cached per-stream Theorem 5.1 terms for a TTP ring, valid only for the
+/// TTRT they were computed at. Derived state — never persisted; rebuilt by
+/// the first full check after a restart.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct TtpCache {
+    /// The TTRT the terms were computed at (compared bit-for-bit).
+    pub ttrt: Seconds,
+    /// `C_i/(q_i−1) + F_ovhd` per stream, in station order.
+    pub terms: Vec<Seconds>,
+}
+
+fn pdp_analyzer(spec: &RingSpec, stations: usize, variant: PdpVariant) -> PdpAnalyzer {
+    PdpAnalyzer::new(
+        RingConfig::ieee_802_5(stations, spec.bandwidth()),
+        FrameFormat::paper_default(),
+        variant,
+    )
+}
+
+fn ttp_analyzer(spec: &RingSpec, stations: usize) -> TtpAnalyzer {
+    TtpAnalyzer::with_defaults(RingConfig::fddi(stations, spec.bandwidth()))
+}
+
+fn pdp_variant(protocol: ProtocolKind) -> Option<PdpVariant> {
+    match protocol {
+        ProtocolKind::Ieee8025 => Some(PdpVariant::Standard),
+        ProtocolKind::Modified => Some(PdpVariant::Modified),
+        ProtocolKind::Fddi => None,
+    }
+}
+
+/// Sums cached terms left to right from zero — the exact accumulation
+/// order of the full path, so incremental sums are bit-identical.
+fn sum_terms(terms: &[Seconds]) -> Seconds {
+    let mut sum = Seconds::ZERO;
+    for &t in terms {
+        sum += t;
+    }
+    sum
+}
+
+/// Full (from-scratch) schedulability check of `set` on `spec`'s ring.
+pub(crate) fn full_check(spec: &RingSpec, set: &MessageSet) -> (CheckOutcome, Option<TtpCache>) {
+    let stations = spec.effective_stations(set.len());
+    match pdp_variant(spec.protocol) {
+        Some(variant) => {
+            let counted = pdp_analyzer(spec, stations, variant).check_from_rank(set, 0);
+            (
+                CheckOutcome {
+                    schedulable: counted.schedulable,
+                    incremental: false,
+                    evaluations: counted.evaluations,
+                },
+                None,
+            )
+        }
+        None => {
+            let analyzer = ttp_analyzer(spec, stations);
+            let ttrt = analyzer.ttrt_for(set);
+            let mut terms = Vec::with_capacity(set.len());
+            let mut evaluations = 0u64;
+            for stream in set.iter() {
+                evaluations += 1;
+                match analyzer.stream_term(stream, ttrt) {
+                    Some(term) => terms.push(term),
+                    // q_i < 2: no deadline guarantee possible at this TTRT.
+                    None => {
+                        return (
+                            CheckOutcome {
+                                schedulable: false,
+                                incremental: false,
+                                evaluations,
+                            },
+                            None,
+                        )
+                    }
+                }
+            }
+            let schedulable = analyzer.terms_feasible(sum_terms(&terms), ttrt);
+            (
+                CheckOutcome {
+                    schedulable,
+                    incremental: false,
+                    evaluations,
+                },
+                Some(TtpCache { ttrt, terms }),
+            )
+        }
+    }
+}
+
+/// Admission check for a set whose **last** stream is the candidate, with
+/// `old_len = set.len() − 1` streams previously present. Takes the
+/// incremental path when sound (see the module docs), otherwise falls back
+/// to [`full_check`].
+pub(crate) fn admit_check(
+    spec: &RingSpec,
+    cache: Option<&TtpCache>,
+    old_len: usize,
+    new_set: &MessageSet,
+) -> (CheckOutcome, Option<TtpCache>) {
+    debug_assert_eq!(old_len + 1, new_set.len());
+    let stations_unchanged =
+        old_len > 0 && spec.effective_stations(old_len) == spec.effective_stations(new_set.len());
+    if !stations_unchanged {
+        return full_check(spec, new_set);
+    }
+    let stations = spec.effective_stations(new_set.len());
+    match pdp_variant(spec.protocol) {
+        Some(variant) => {
+            // Only DM ranks at or below the newcomer's can have changed.
+            let analyzer = pdp_analyzer(spec, stations, variant);
+            let rank = analyzer.priority_rank(new_set, StreamId(new_set.len() - 1));
+            let counted = analyzer.check_from_rank(new_set, rank);
+            let outcome = CheckOutcome {
+                schedulable: counted.schedulable,
+                incremental: true,
+                evaluations: counted.evaluations,
+            };
+            debug_assert_eq!(
+                outcome.schedulable,
+                full_check(spec, new_set).0.schedulable,
+                "incremental PDP admit diverged from full recomputation"
+            );
+            (outcome, None)
+        }
+        None => {
+            let analyzer = ttp_analyzer(spec, stations);
+            let ttrt = analyzer.ttrt_for(new_set);
+            let Some(cache) =
+                cache.filter(|c| c.ttrt.as_secs_f64().to_bits() == ttrt.as_secs_f64().to_bits())
+            else {
+                return full_check(spec, new_set);
+            };
+            // One new term; the rest are reused bit-for-bit.
+            let new_stream = new_set.stream(StreamId(new_set.len() - 1));
+            let (schedulable, terms) = match analyzer.stream_term(new_stream, ttrt) {
+                Some(term) => {
+                    let mut terms = cache.terms.clone();
+                    terms.push(term);
+                    (
+                        analyzer.terms_feasible(sum_terms(&terms), ttrt),
+                        Some(terms),
+                    )
+                }
+                None => (false, None),
+            };
+            let outcome = CheckOutcome {
+                schedulable,
+                incremental: true,
+                evaluations: 1,
+            };
+            debug_assert_eq!(
+                outcome.schedulable,
+                full_check(spec, new_set).0.schedulable,
+                "incremental TTP admit diverged from full recomputation"
+            );
+            (outcome, terms.map(|terms| TtpCache { ttrt, terms }))
+        }
+    }
+}
+
+/// Re-check after removing the stream at `removed_index` from a set of
+/// `old_len` streams; `new_set` is the remaining set (`None` when empty).
+pub(crate) fn remove_check(
+    spec: &RingSpec,
+    cache: Option<&TtpCache>,
+    removed_index: usize,
+    old_len: usize,
+    new_set: Option<&MessageSet>,
+) -> (CheckOutcome, Option<TtpCache>) {
+    debug_assert_eq!(old_len, new_set.map_or(0, MessageSet::len) + 1);
+    let Some(new_set) = new_set else {
+        // An empty ring is vacuously schedulable.
+        return (
+            CheckOutcome {
+                schedulable: true,
+                incremental: true,
+                evaluations: 0,
+            },
+            None,
+        );
+    };
+    if pdp_variant(spec.protocol).is_some() {
+        // Removing a stream only removes interference (and can only shrink
+        // the ring overheads), so a schedulable PDP set stays schedulable
+        // with no work at all.
+        let outcome = CheckOutcome {
+            schedulable: true,
+            incremental: true,
+            evaluations: 0,
+        };
+        debug_assert_eq!(
+            outcome.schedulable,
+            full_check(spec, new_set).0.schedulable,
+            "PDP removal broke schedulability — stored set was not schedulable?"
+        );
+        return (outcome, None);
+    }
+    let stations_unchanged =
+        spec.effective_stations(old_len) == spec.effective_stations(new_set.len());
+    let stations = spec.effective_stations(new_set.len());
+    let analyzer = ttp_analyzer(spec, stations);
+    let ttrt = analyzer.ttrt_for(new_set);
+    let valid_cache = cache.filter(|c| {
+        stations_unchanged
+            && c.ttrt.as_secs_f64().to_bits() == ttrt.as_secs_f64().to_bits()
+            && c.terms.len() == old_len
+    });
+    let Some(cache) = valid_cache else {
+        // TTRT renegotiated (e.g. the min-deadline stream left) or topology
+        // changed: removal CAN flip the verdict either way — recompute.
+        return full_check(spec, new_set);
+    };
+    let mut terms = cache.terms.clone();
+    terms.remove(removed_index);
+    let outcome = CheckOutcome {
+        schedulable: analyzer.terms_feasible(sum_terms(&terms), ttrt),
+        incremental: true,
+        evaluations: 0,
+    };
+    debug_assert_eq!(
+        outcome.schedulable,
+        full_check(spec, new_set).0.schedulable,
+        "incremental TTP removal diverged from full recomputation"
+    );
+    (outcome, Some(TtpCache { ttrt, terms }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringrt_model::SyncStream;
+    use ringrt_units::{Bits, Seconds};
+
+    fn set(streams: &[(f64, u64)]) -> MessageSet {
+        MessageSet::new(
+            streams
+                .iter()
+                .map(|&(p, c)| SyncStream::new(Seconds::from_millis(p), Bits::new(c)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn pdp_spec() -> RingSpec {
+        RingSpec {
+            protocol: ProtocolKind::Modified,
+            mbps: 16.0,
+            stations: Some(16),
+        }
+    }
+
+    fn ttp_spec() -> RingSpec {
+        RingSpec {
+            protocol: ProtocolKind::Fddi,
+            mbps: 100.0,
+            stations: Some(16),
+        }
+    }
+
+    #[test]
+    fn pdp_incremental_admit_matches_full_and_is_cheaper() {
+        let spec = pdp_spec();
+        let base = set(&[(20.0, 20_000), (50.0, 60_000), (100.0, 80_000)]);
+        let (full, _) = full_check(&spec, &base);
+        assert!(full.schedulable);
+        assert!(!full.incremental);
+        // Admit a slow (lowest-priority) stream: only its own level re-runs.
+        let grown = set(&[
+            (20.0, 20_000),
+            (50.0, 60_000),
+            (100.0, 80_000),
+            (200.0, 10_000),
+        ]);
+        let (inc, _) = admit_check(&spec, None, 3, &grown);
+        assert!(inc.schedulable);
+        assert!(inc.incremental);
+        let (grown_full, _) = full_check(&spec, &grown);
+        assert!(
+            inc.evaluations < grown_full.evaluations,
+            "{inc:?} vs {grown_full:?}"
+        );
+    }
+
+    #[test]
+    fn pdp_unpinned_stations_force_full_path() {
+        let spec = RingSpec {
+            stations: None,
+            ..pdp_spec()
+        };
+        let grown = set(&[(20.0, 20_000), (50.0, 60_000)]);
+        let (out, _) = admit_check(&spec, None, 1, &grown);
+        assert!(!out.incremental);
+    }
+
+    #[test]
+    fn pdp_removal_is_free() {
+        let spec = pdp_spec();
+        let remaining = set(&[(20.0, 20_000), (100.0, 80_000)]);
+        let (out, _) = remove_check(&spec, None, 1, 3, Some(&remaining));
+        assert!(out.schedulable);
+        assert!(out.incremental);
+        assert_eq!(out.evaluations, 0);
+    }
+
+    #[test]
+    fn ttp_incremental_admit_reuses_terms() {
+        let spec = ttp_spec();
+        // Keep the min-deadline stream first so TTRT stays put on admit.
+        let base = set(&[(20.0, 100_000), (50.0, 200_000)]);
+        let (full, cache) = full_check(&spec, &base);
+        assert!(full.schedulable);
+        let cache = cache.expect("TTP full check caches terms");
+        assert_eq!(cache.terms.len(), 2);
+        let grown = set(&[(20.0, 100_000), (50.0, 200_000), (100.0, 400_000)]);
+        let (inc, new_cache) = admit_check(&spec, Some(&cache), 2, &grown);
+        assert!(inc.schedulable);
+        assert!(inc.incremental);
+        assert_eq!(inc.evaluations, 1); // one new term, two reused
+        assert_eq!(new_cache.unwrap().terms.len(), 3);
+    }
+
+    #[test]
+    fn ttp_ttrt_shift_falls_back_to_full() {
+        let spec = ttp_spec();
+        let base = set(&[(50.0, 200_000), (100.0, 400_000)]);
+        let (_, cache) = full_check(&spec, &base);
+        // The newcomer has the new minimum deadline → TTRT renegotiates.
+        let grown = set(&[(50.0, 200_000), (100.0, 400_000), (10.0, 50_000)]);
+        let (out, _) = admit_check(&spec, cache.as_ref(), 2, &grown);
+        assert!(!out.incremental);
+        assert_eq!(out.evaluations, 3);
+    }
+
+    #[test]
+    fn ttp_removal_of_min_deadline_stream_recomputes() {
+        let spec = ttp_spec();
+        let base = set(&[(10.0, 50_000), (50.0, 200_000), (100.0, 400_000)]);
+        let (_, cache) = full_check(&spec, &base);
+        let remaining = set(&[(50.0, 200_000), (100.0, 400_000)]);
+        let (out, _) = remove_check(&spec, cache.as_ref(), 0, 3, Some(&remaining));
+        assert!(!out.incremental); // TTRT changed
+        let remaining2 = set(&[(10.0, 50_000), (100.0, 400_000)]);
+        let (out2, _) = remove_check(&spec, cache.as_ref(), 1, 3, Some(&remaining2));
+        assert!(out2.incremental); // TTRT keeper stayed
+        assert_eq!(out2.evaluations, 0);
+    }
+
+    #[test]
+    fn overloaded_admit_rejected_incrementally() {
+        let spec = ttp_spec();
+        let base = set(&[(20.0, 100_000)]);
+        let (_, cache) = full_check(&spec, &base);
+        // A hopeless hog (well past ring capacity) with a long period so
+        // the TTRT is unchanged.
+        let grown = set(&[(20.0, 100_000), (100.0, 12_000_000)]);
+        let (out, _) = admit_check(&spec, cache.as_ref(), 1, &grown);
+        assert!(!out.schedulable);
+        assert!(out.incremental);
+    }
+
+    #[test]
+    fn empty_after_removal_is_schedulable() {
+        let (out, cache) = remove_check(&ttp_spec(), None, 0, 1, None);
+        assert!(out.schedulable);
+        assert!(cache.is_none());
+    }
+}

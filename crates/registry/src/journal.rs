@@ -1,0 +1,730 @@
+//! Append-only journal plus snapshot persistence for the ring registry.
+//!
+//! # On-disk layout
+//!
+//! A state directory holds at most three files:
+//!
+//! * `journal.log` — one CRC-framed record per state mutation:
+//!   `<crc32 hex8> <seq> <op…>\n`, where the checksum covers everything
+//!   after the first space. Sequence numbers are strictly increasing.
+//! * `snapshot.dat` — a full-state snapshot written by compaction: a
+//!   header line `ringrt-registry-snapshot v1 seq=<n>`, one `ring` line
+//!   per ring and one `stream` line per admitted stream, and a trailing
+//!   `crc <hex8>` line covering every preceding byte.
+//! * `snapshot.tmp` — a snapshot in the middle of being written; never
+//!   read on startup.
+//!
+//! # Crash recovery
+//!
+//! Startup loads the snapshot (ignored wholesale if its checksum fails),
+//! then replays journal records with `seq >` the snapshot's sequence
+//! number. A torn or checksum-corrupt record ends the replay: the tail
+//! from that record on is truncated away, exactly like a write-ahead log.
+//! Compaction writes `snapshot.tmp`, fsyncs, renames it over
+//! `snapshot.dat`, and only then truncates the journal — a crash between
+//! any two steps leaves a state that replays to the same registry, because
+//! replay skips journal records already covered by the snapshot.
+//!
+//! Periods and deadlines are persisted as raw seconds with Rust's
+//! round-trip `{}` float formatting, so a replayed stream is bit-identical
+//! to the one originally admitted — the property behind the "survives
+//! restart byte-identically" guarantee.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use ringrt_frames::crc::crc32;
+use ringrt_model::SyncStream;
+use ringrt_units::{Bits, Seconds};
+
+use crate::spec::{
+    validate_name, NamedStream, ProtocolKind, RegistryError, RingSpec, RingState, Rings,
+};
+
+const JOURNAL_FILE: &str = "journal.log";
+const SNAPSHOT_FILE: &str = "snapshot.dat";
+const SNAPSHOT_TMP: &str = "snapshot.tmp";
+const SNAPSHOT_HEADER: &str = "ringrt-registry-snapshot v1";
+
+/// One journaled state mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalOp {
+    /// A new ring was registered.
+    Register {
+        /// Ring name.
+        ring: String,
+        /// Its configuration.
+        spec: RingSpec,
+    },
+    /// A stream was admitted into a ring.
+    Admit {
+        /// Ring name.
+        ring: String,
+        /// The admitted stream.
+        stream: NamedStream,
+    },
+    /// A stream was removed from a ring.
+    Remove {
+        /// Ring name.
+        ring: String,
+        /// The removed stream's name.
+        stream: String,
+    },
+    /// A ring (and all its streams) was dropped.
+    Unregister {
+        /// Ring name.
+        ring: String,
+    },
+}
+
+/// Applies one op to the in-memory ring map; used both by live mutations
+/// and by replay so the two can never drift apart.
+pub(crate) fn apply(rings: &mut Rings, op: &JournalOp) -> Result<(), RegistryError> {
+    match op {
+        JournalOp::Register { ring, spec } => {
+            if rings.contains_key(ring) {
+                return Err(RegistryError::DuplicateRing { ring: ring.clone() });
+            }
+            rings.insert(
+                ring.clone(),
+                RingState {
+                    spec: *spec,
+                    streams: Vec::new(),
+                },
+            );
+        }
+        JournalOp::Admit { ring, stream } => {
+            let state = rings
+                .get_mut(ring)
+                .ok_or_else(|| RegistryError::UnknownRing { ring: ring.clone() })?;
+            if state.stream_index(&stream.name).is_some() {
+                return Err(RegistryError::DuplicateStream {
+                    ring: ring.clone(),
+                    stream: stream.name.clone(),
+                });
+            }
+            state.streams.push(stream.clone());
+        }
+        JournalOp::Remove { ring, stream } => {
+            let state = rings
+                .get_mut(ring)
+                .ok_or_else(|| RegistryError::UnknownRing { ring: ring.clone() })?;
+            let index = state
+                .stream_index(stream)
+                .ok_or_else(|| RegistryError::UnknownStream {
+                    ring: ring.clone(),
+                    stream: stream.clone(),
+                })?;
+            state.streams.remove(index);
+        }
+        JournalOp::Unregister { ring } => {
+            rings
+                .remove(ring)
+                .ok_or_else(|| RegistryError::UnknownRing { ring: ring.clone() })?;
+        }
+    }
+    Ok(())
+}
+
+fn fmt_stations(stations: Option<usize>) -> String {
+    match stations {
+        Some(n) => n.to_string(),
+        None => "-".to_owned(),
+    }
+}
+
+fn parse_stations(text: &str) -> Result<Option<usize>, String> {
+    if text == "-" {
+        return Ok(None);
+    }
+    text.parse::<usize>()
+        .map(Some)
+        .map_err(|_| format!("bad stations `{text}`"))
+}
+
+fn fmt_deadline(stream: &SyncStream) -> String {
+    if stream.has_implicit_deadline() {
+        "-".to_owned()
+    } else {
+        format!("{}", stream.relative_deadline().as_secs_f64())
+    }
+}
+
+fn build_stream(period_s: f64, bits: u64, deadline_s: Option<f64>) -> Result<SyncStream, String> {
+    let stream = SyncStream::try_new(Seconds::new(period_s), Bits::new(bits))
+        .map_err(|e| format!("bad stream: {e}"))?;
+    match deadline_s {
+        None => Ok(stream),
+        Some(d) if d > 0.0 && d <= period_s => Ok(stream.with_relative_deadline(Seconds::new(d))),
+        Some(d) => Err(format!("bad deadline {d} for period {period_s}")),
+    }
+}
+
+fn encode_op(op: &JournalOp) -> String {
+    match op {
+        JournalOp::Register { ring, spec } => format!(
+            "register {ring} protocol={} mbps={} stations={}",
+            spec.protocol.token(),
+            spec.mbps,
+            fmt_stations(spec.stations),
+        ),
+        JournalOp::Admit { ring, stream } => format!(
+            "admit {ring} {} period_s={} bits={} deadline_s={}",
+            stream.name,
+            stream.stream.period().as_secs_f64(),
+            stream.stream.length_bits().as_u64(),
+            fmt_deadline(&stream.stream),
+        ),
+        JournalOp::Remove { ring, stream } => format!("remove {ring} {stream}"),
+        JournalOp::Unregister { ring } => format!("unregister {ring}"),
+    }
+}
+
+fn kv<'a>(word: &'a str, key: &str) -> Result<&'a str, String> {
+    word.strip_prefix(key)
+        .and_then(|r| r.strip_prefix('='))
+        .ok_or_else(|| format!("expected {key}=…, found `{word}`"))
+}
+
+fn parse_f64(text: &str, what: &str) -> Result<f64, String> {
+    text.parse::<f64>()
+        .map_err(|_| format!("bad {what} `{text}`"))
+}
+
+fn parse_opt_f64(text: &str, what: &str) -> Result<Option<f64>, String> {
+    if text == "-" {
+        Ok(None)
+    } else {
+        parse_f64(text, what).map(Some)
+    }
+}
+
+fn decode_op(text: &str) -> Result<JournalOp, String> {
+    let mut words = text.split(' ');
+    let verb = words.next().ok_or("empty op")?;
+    let mut next = |what: &str| words.next().ok_or_else(|| format!("missing {what}"));
+    let op = match verb {
+        "register" => {
+            let ring = next("ring")?.to_owned();
+            let protocol = ProtocolKind::parse(kv(next("protocol")?, "protocol")?)?;
+            let mbps = parse_f64(kv(next("mbps")?, "mbps")?, "mbps")?;
+            let stations = parse_stations(kv(next("stations")?, "stations")?)?;
+            JournalOp::Register {
+                ring,
+                spec: RingSpec {
+                    protocol,
+                    mbps,
+                    stations,
+                },
+            }
+        }
+        "admit" => {
+            let ring = next("ring")?.to_owned();
+            let name = next("stream")?.to_owned();
+            let period_s = parse_f64(kv(next("period_s")?, "period_s")?, "period")?;
+            let bits = kv(next("bits")?, "bits")?
+                .parse::<u64>()
+                .map_err(|_| "bad bits".to_owned())?;
+            let deadline_s = parse_opt_f64(kv(next("deadline_s")?, "deadline_s")?, "deadline")?;
+            JournalOp::Admit {
+                ring,
+                stream: NamedStream {
+                    name,
+                    stream: build_stream(period_s, bits, deadline_s)?,
+                },
+            }
+        }
+        "remove" => JournalOp::Remove {
+            ring: next("ring")?.to_owned(),
+            stream: next("stream")?.to_owned(),
+        },
+        "unregister" => JournalOp::Unregister {
+            ring: next("ring")?.to_owned(),
+        },
+        other => return Err(format!("unknown op `{other}`")),
+    };
+    if words.next().is_some() {
+        return Err("trailing garbage after op".to_owned());
+    }
+    match &op {
+        JournalOp::Register { ring, spec } => {
+            validate_name(ring).map_err(|e| e.to_string())?;
+            spec.validate().map_err(|e| e.to_string())?;
+        }
+        JournalOp::Admit { ring, stream } => {
+            validate_name(ring).map_err(|e| e.to_string())?;
+            validate_name(&stream.name).map_err(|e| e.to_string())?;
+        }
+        JournalOp::Remove { ring, stream } => {
+            validate_name(ring).map_err(|e| e.to_string())?;
+            validate_name(stream).map_err(|e| e.to_string())?;
+        }
+        JournalOp::Unregister { ring } => validate_name(ring).map_err(|e| e.to_string())?,
+    }
+    Ok(op)
+}
+
+fn encode_record(seq: u64, op: &JournalOp) -> String {
+    let payload = format!("{seq} {}", encode_op(op));
+    format!("{:08x} {payload}\n", crc32(payload.as_bytes()))
+}
+
+fn decode_record(line: &str) -> Result<(u64, JournalOp), String> {
+    let (crc_hex, payload) = line.split_once(' ').ok_or("record missing checksum")?;
+    let expected = u32::from_str_radix(crc_hex, 16).map_err(|_| "bad checksum field")?;
+    if crc32(payload.as_bytes()) != expected {
+        return Err("checksum mismatch".to_owned());
+    }
+    let (seq_text, op_text) = payload.split_once(' ').ok_or("record missing sequence")?;
+    let seq = seq_text
+        .parse::<u64>()
+        .map_err(|_| "bad sequence number".to_owned())?;
+    Ok((seq, decode_op(op_text)?))
+}
+
+fn encode_snapshot<'a, I>(seq: u64, rings: I) -> String
+where
+    I: Iterator<Item = (&'a String, &'a RingState)>,
+{
+    let mut body = format!("{SNAPSHOT_HEADER} seq={seq}\n");
+    for (name, state) in rings {
+        body.push_str(&format!(
+            "ring {name} protocol={} mbps={} stations={}\n",
+            state.spec.protocol.token(),
+            state.spec.mbps,
+            fmt_stations(state.spec.stations),
+        ));
+        for ns in &state.streams {
+            body.push_str(&format!(
+                "stream {name} {} period_s={} bits={} deadline_s={}\n",
+                ns.name,
+                ns.stream.period().as_secs_f64(),
+                ns.stream.length_bits().as_u64(),
+                fmt_deadline(&ns.stream),
+            ));
+        }
+    }
+    let checksum = crc32(body.as_bytes());
+    body.push_str(&format!("crc {checksum:08x}\n"));
+    body
+}
+
+fn load_snapshot(bytes: &[u8]) -> Result<(u64, Rings), String> {
+    let text = std::str::from_utf8(bytes).map_err(|_| "snapshot is not UTF-8")?;
+    let trimmed = text.strip_suffix('\n').ok_or("snapshot missing newline")?;
+    let (body_lines, crc_line) = trimmed
+        .rsplit_once('\n')
+        .ok_or("snapshot missing crc line")?;
+    let crc_hex = crc_line
+        .strip_prefix("crc ")
+        .ok_or("snapshot crc line malformed")?;
+    let expected = u32::from_str_radix(crc_hex, 16).map_err(|_| "bad snapshot checksum")?;
+    let body = format!("{body_lines}\n");
+    if crc32(body.as_bytes()) != expected {
+        return Err("snapshot checksum mismatch".to_owned());
+    }
+    let mut lines = body_lines.lines();
+    let header = lines.next().ok_or("empty snapshot")?;
+    let seq_text = header
+        .strip_prefix(SNAPSHOT_HEADER)
+        .and_then(|r| r.trim().strip_prefix("seq="))
+        .ok_or("snapshot header malformed")?;
+    let seq = seq_text
+        .parse::<u64>()
+        .map_err(|_| "bad snapshot sequence")?;
+    let mut rings = Rings::new();
+    for line in lines {
+        let (kind, rest) = line.split_once(' ').ok_or("snapshot line malformed")?;
+        match kind {
+            "ring" => {
+                let op = decode_op(&format!("register {rest}"))?;
+                apply(&mut rings, &op).map_err(|e| e.to_string())?;
+            }
+            "stream" => {
+                let op = decode_op(&format!("admit {rest}"))?;
+                apply(&mut rings, &op).map_err(|e| e.to_string())?;
+            }
+            other => return Err(format!("unknown snapshot line kind `{other}`")),
+        }
+    }
+    Ok((seq, rings))
+}
+
+fn storage_err(context: &str, e: impl fmt_display::Display) -> RegistryError {
+    RegistryError::Storage {
+        reason: format!("{context}: {e}"),
+    }
+}
+
+// `std::fmt::Display` under a private alias so `storage_err` reads cleanly.
+mod fmt_display {
+    pub use core::fmt::Display;
+}
+
+/// What startup replay found and how long it took.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayStats {
+    /// Sequence number of the snapshot that seeded the state, if any.
+    pub snapshot_seq: Option<u64>,
+    /// Journal records applied on top of the snapshot.
+    pub records_applied: u64,
+    /// Total streams present after recovery.
+    pub streams_restored: usize,
+    /// Whether a torn or corrupt journal tail was truncated away.
+    pub truncated_tail: bool,
+    /// Wall-clock time spent recovering.
+    pub replay: Duration,
+}
+
+/// The open state directory: an append handle on the journal plus the
+/// bookkeeping compaction needs.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    journal: File,
+    next_seq: u64,
+    journal_bytes: u64,
+    snapshot_bytes: u64,
+}
+
+impl Store {
+    /// Opens (creating if necessary) a state directory, recovering the ring
+    /// map from snapshot + journal.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Storage`] for I/O failures or a journal whose
+    /// *interior* records replay inconsistently (e.g. an admit into a ring
+    /// that never existed). A torn tail is not an error.
+    pub fn open(dir: &Path) -> Result<(Store, Rings, ReplayStats), RegistryError> {
+        let started = Instant::now();
+        fs::create_dir_all(dir).map_err(|e| storage_err("create state dir", e))?;
+
+        let mut rings = Rings::new();
+        let mut snapshot_seq = None;
+        let mut snapshot_bytes = 0u64;
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        if let Ok(bytes) = fs::read(&snapshot_path) {
+            // A corrupt snapshot is ignored wholesale: the journal alone
+            // must then reconstruct the state (it is only truncated *after*
+            // a snapshot has safely landed, so nothing is lost).
+            if let Ok((seq, loaded)) = load_snapshot(&bytes) {
+                snapshot_seq = Some(seq);
+                snapshot_bytes = bytes.len() as u64;
+                rings = loaded;
+            }
+        }
+
+        let journal_path = dir.join(JOURNAL_FILE);
+        let bytes = fs::read(&journal_path).unwrap_or_default();
+        let floor = snapshot_seq.unwrap_or(0);
+        let mut max_seq = floor;
+        let mut offset = 0usize;
+        let mut good_end = 0usize;
+        let mut records_applied = 0u64;
+        let mut truncated_tail = false;
+        while offset < bytes.len() {
+            let Some(rel) = bytes[offset..].iter().position(|&b| b == b'\n') else {
+                truncated_tail = true; // partial final record (crash mid-write)
+                break;
+            };
+            let line = &bytes[offset..offset + rel];
+            let decoded = std::str::from_utf8(line)
+                .ok()
+                .and_then(|l| decode_record(l).ok());
+            let Some((seq, op)) = decoded else {
+                truncated_tail = true; // torn/corrupt record ends the log
+                break;
+            };
+            if seq > floor {
+                apply(&mut rings, &op)
+                    .map_err(|e| storage_err("journal replays inconsistently", e))?;
+                records_applied += 1;
+            }
+            max_seq = max_seq.max(seq);
+            offset += rel + 1;
+            good_end = offset;
+        }
+        if truncated_tail {
+            let f = OpenOptions::new()
+                .write(true)
+                .open(&journal_path)
+                .map_err(|e| storage_err("open journal for truncation", e))?;
+            f.set_len(good_end as u64)
+                .map_err(|e| storage_err("truncate torn journal tail", e))?;
+            f.sync_all()
+                .map_err(|e| storage_err("sync truncated journal", e))?;
+        }
+
+        let journal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&journal_path)
+            .map_err(|e| storage_err("open journal", e))?;
+        let stats = ReplayStats {
+            snapshot_seq,
+            records_applied,
+            streams_restored: rings.values().map(|r| r.streams.len()).sum(),
+            truncated_tail,
+            replay: started.elapsed(),
+        };
+        Ok((
+            Store {
+                dir: dir.to_owned(),
+                journal,
+                next_seq: max_seq + 1,
+                journal_bytes: good_end as u64,
+                snapshot_bytes,
+            },
+            rings,
+            stats,
+        ))
+    }
+
+    /// Appends one record and syncs it to disk. Call *before* mutating the
+    /// in-memory state so a failed write leaves memory and disk agreeing.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Storage`] if the write or sync fails.
+    pub fn append(&mut self, op: &JournalOp) -> Result<(), RegistryError> {
+        let record = encode_record(self.next_seq, op);
+        self.journal
+            .write_all(record.as_bytes())
+            .map_err(|e| storage_err("append journal record", e))?;
+        self.journal
+            .sync_data()
+            .map_err(|e| storage_err("sync journal", e))?;
+        self.journal_bytes += record.len() as u64;
+        self.next_seq += 1;
+        Ok(())
+    }
+
+    /// Compacts: writes a checksummed snapshot of `rings` (tmp file +
+    /// atomic rename), then truncates the journal. Crash-safe at every
+    /// step — see the module docs.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Storage`] if any I/O step fails.
+    pub fn compact<'a, I>(&mut self, rings: I) -> Result<(), RegistryError>
+    where
+        I: Iterator<Item = (&'a String, &'a RingState)>,
+    {
+        let seq = self.next_seq - 1; // highest sequence the snapshot covers
+        let body = encode_snapshot(seq, rings);
+        let tmp = self.dir.join(SNAPSHOT_TMP);
+        let mut f = File::create(&tmp).map_err(|e| storage_err("create snapshot.tmp", e))?;
+        f.write_all(body.as_bytes())
+            .map_err(|e| storage_err("write snapshot", e))?;
+        f.sync_all().map_err(|e| storage_err("sync snapshot", e))?;
+        drop(f);
+        fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))
+            .map_err(|e| storage_err("publish snapshot", e))?;
+        self.snapshot_bytes = body.len() as u64;
+        // Only now is it safe to drop the journal prefix the snapshot covers.
+        self.journal
+            .set_len(0)
+            .map_err(|e| storage_err("truncate journal", e))?;
+        self.journal
+            .sync_all()
+            .map_err(|e| storage_err("sync truncated journal", e))?;
+        self.journal_bytes = 0;
+        Ok(())
+    }
+
+    /// Current journal size in bytes.
+    #[must_use]
+    pub fn journal_bytes(&self) -> u64 {
+        self.journal_bytes
+    }
+
+    /// Current snapshot size in bytes (0 before the first compaction).
+    #[must_use]
+    pub fn snapshot_bytes(&self) -> u64 {
+        self.snapshot_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> RingSpec {
+        RingSpec {
+            protocol: ProtocolKind::Fddi,
+            mbps: 100.0,
+            stations: Some(16),
+        }
+    }
+
+    fn admit_op(ring: &str, name: &str, period_ms: f64, bits: u64) -> JournalOp {
+        JournalOp::Admit {
+            ring: ring.to_owned(),
+            stream: NamedStream {
+                name: name.to_owned(),
+                stream: SyncStream::new(Seconds::from_millis(period_ms), Bits::new(bits)),
+            },
+        }
+    }
+
+    #[test]
+    fn ops_round_trip_through_records() {
+        let ops = [
+            JournalOp::Register {
+                ring: "lab".into(),
+                spec: spec(),
+            },
+            admit_op("lab", "cam-1", 20.0, 20_000),
+            JournalOp::Remove {
+                ring: "lab".into(),
+                stream: "cam-1".into(),
+            },
+            JournalOp::Unregister { ring: "lab".into() },
+        ];
+        for (i, op) in ops.iter().enumerate() {
+            let rec = encode_record(i as u64 + 1, op);
+            let (seq, decoded) = decode_record(rec.trim_end()).unwrap();
+            assert_eq!(seq, i as u64 + 1);
+            assert_eq!(&decoded, op);
+        }
+    }
+
+    #[test]
+    fn deadline_round_trips_bit_exactly() {
+        let stream = SyncStream::new(Seconds::from_millis(20.0), Bits::new(1_000))
+            .with_relative_deadline(Seconds::from_millis(7.3));
+        let op = JournalOp::Admit {
+            ring: "r".into(),
+            stream: NamedStream {
+                name: "s".into(),
+                stream,
+            },
+        };
+        let rec = encode_record(1, &op);
+        let (_, decoded) = decode_record(rec.trim_end()).unwrap();
+        match decoded {
+            JournalOp::Admit { stream: ns, .. } => {
+                assert_eq!(
+                    ns.stream.relative_deadline().as_secs_f64().to_bits(),
+                    stream.relative_deadline().as_secs_f64().to_bits()
+                );
+                assert_eq!(
+                    ns.stream.period().as_secs_f64().to_bits(),
+                    stream.period().as_secs_f64().to_bits()
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_records_rejected() {
+        let rec = encode_record(1, &admit_op("r", "s", 10.0, 100));
+        let line = rec.trim_end();
+        // Flip a payload byte: checksum must catch it.
+        let mut bad = line.to_owned();
+        let n = bad.len();
+        bad.replace_range(n - 1..n, "X");
+        assert!(decode_record(&bad).is_err());
+        assert!(decode_record("zzzzzzzz 1 unregister r").is_err());
+        assert!(decode_record("not-a-record").is_err());
+    }
+
+    #[test]
+    fn apply_enforces_invariants() {
+        let mut rings = Rings::new();
+        let reg = JournalOp::Register {
+            ring: "r".into(),
+            spec: spec(),
+        };
+        apply(&mut rings, &reg).unwrap();
+        assert!(matches!(
+            apply(&mut rings, &reg),
+            Err(RegistryError::DuplicateRing { .. })
+        ));
+        apply(&mut rings, &admit_op("r", "s", 10.0, 100)).unwrap();
+        assert!(matches!(
+            apply(&mut rings, &admit_op("r", "s", 12.0, 200)),
+            Err(RegistryError::DuplicateStream { .. })
+        ));
+        assert!(matches!(
+            apply(&mut rings, &admit_op("ghost", "s", 10.0, 100)),
+            Err(RegistryError::UnknownRing { .. })
+        ));
+        let rm = JournalOp::Remove {
+            ring: "r".into(),
+            stream: "ghost".into(),
+        };
+        assert!(matches!(
+            apply(&mut rings, &rm),
+            Err(RegistryError::UnknownStream { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let mut rings = Rings::new();
+        apply(
+            &mut rings,
+            &JournalOp::Register {
+                ring: "a".into(),
+                spec: spec(),
+            },
+        )
+        .unwrap();
+        apply(&mut rings, &admit_op("a", "s1", 20.0, 1_000)).unwrap();
+        apply(&mut rings, &admit_op("a", "s2", 40.0, 2_000)).unwrap();
+        let body = encode_snapshot(7, rings.iter());
+        let (seq, loaded) = load_snapshot(body.as_bytes()).unwrap();
+        assert_eq!(seq, 7);
+        assert_eq!(loaded, rings);
+        // Any corruption invalidates the whole snapshot.
+        let corrupt = body.replace("s1", "sX");
+        assert!(load_snapshot(corrupt.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn store_persists_and_replays() {
+        let dir = std::env::temp_dir().join(format!(
+            "ringrt-journal-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let (mut store, mut rings, stats) = Store::open(&dir).unwrap();
+            assert_eq!(stats.records_applied, 0);
+            let ops = [
+                JournalOp::Register {
+                    ring: "r".into(),
+                    spec: spec(),
+                },
+                admit_op("r", "s1", 20.0, 1_000),
+                admit_op("r", "s2", 40.0, 2_000),
+            ];
+            for op in &ops {
+                store.append(op).unwrap();
+                apply(&mut rings, op).unwrap();
+            }
+            assert!(store.journal_bytes() > 0);
+        }
+        let (mut store, rings, stats) = Store::open(&dir).unwrap();
+        assert_eq!(stats.records_applied, 3);
+        assert_eq!(stats.streams_restored, 2);
+        assert!(!stats.truncated_tail);
+        assert_eq!(rings["r"].streams.len(), 2);
+        // Compaction: snapshot lands, journal empties, state survives.
+        store.compact(rings.iter()).unwrap();
+        assert_eq!(store.journal_bytes(), 0);
+        assert!(store.snapshot_bytes() > 0);
+        drop(store);
+        let (_, rings2, stats2) = Store::open(&dir).unwrap();
+        assert_eq!(rings2, rings);
+        assert_eq!(stats2.records_applied, 0);
+        assert_eq!(stats2.snapshot_seq, Some(3));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

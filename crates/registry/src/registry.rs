@@ -1,0 +1,592 @@
+//! The registry proper: a thread-safe named-ring store with journaled
+//! persistence and incremental admission control.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use ringrt_model::SyncStream;
+
+use crate::engine::{self, CheckOutcome, TtpCache};
+use crate::journal::{JournalOp, ReplayStats, Store};
+use crate::spec::{validate_name, NamedStream, RegistryError, RingSpec, RingState};
+
+/// One ring plus the derived analysis state that never touches disk.
+#[derive(Debug)]
+struct RingEntry {
+    state: RingState,
+    /// Cached Theorem 5.1 terms (TTP rings only); rebuilt lazily.
+    ttp_cache: Option<TtpCache>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    rings: BTreeMap<String, RingEntry>,
+    /// `None` for a purely in-memory registry (tests, ephemeral servers).
+    store: Option<Store>,
+}
+
+/// Work counters proving the incremental path's savings; exposed via
+/// `STATS` and [`RingRegistry::metrics`].
+#[derive(Debug, Default)]
+struct Counters {
+    incremental_tests: AtomicU64,
+    full_tests: AtomicU64,
+    incremental_evaluations: AtomicU64,
+    full_evaluations: AtomicU64,
+}
+
+/// A persistent, thread-safe store of named rings and their admitted
+/// streams, with incremental Theorem 4.1/5.1 re-analysis on every
+/// mutation.
+///
+/// All mutations are journaled **before** they touch memory, so the
+/// in-memory map never runs ahead of what a crash would recover.
+#[derive(Debug)]
+pub struct RingRegistry {
+    inner: Mutex<Inner>,
+    counters: Counters,
+    replay: Option<ReplayStats>,
+}
+
+/// Result of an `ADMIT`/`REMOVE` call: the verdict plus ring bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionOutcome {
+    /// The schedulability verdict (for `REMOVE`: of the remaining set).
+    pub check: CheckOutcome,
+    /// Whether the mutation was applied (rejected admits are not).
+    pub applied: bool,
+    /// Streams in the ring after the call.
+    pub streams: usize,
+}
+
+/// Result of a full `CHECK ring=…` re-analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingCheck {
+    /// Whether the stored set is schedulable.
+    pub schedulable: bool,
+    /// Scheduling-point evaluations the full test performed.
+    pub evaluations: u64,
+    /// The ring's spec.
+    pub spec: RingSpec,
+    /// Number of admitted streams.
+    pub streams: usize,
+    /// Synchronous utilization of the stored set on this ring.
+    pub utilization: f64,
+}
+
+/// Point-in-time registry gauges for `STATS` and the metrics endpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegistryMetrics {
+    /// Registered rings.
+    pub rings: usize,
+    /// Admitted streams across all rings.
+    pub streams: usize,
+    /// Current journal size in bytes.
+    pub journal_bytes: u64,
+    /// Current snapshot size in bytes.
+    pub snapshot_bytes: u64,
+    /// Startup recovery time in milliseconds.
+    pub replay_ms: f64,
+    /// Streams restored by startup recovery.
+    pub replayed_streams: usize,
+    /// Admission checks that took the incremental path.
+    pub incremental_tests: u64,
+    /// Admission checks that recomputed from scratch.
+    pub full_tests: u64,
+    /// Evaluations spent on incremental checks.
+    pub incremental_evaluations: u64,
+    /// Evaluations spent on full checks.
+    pub full_evaluations: u64,
+}
+
+impl RingRegistry {
+    /// A registry with no backing store; state dies with the process.
+    #[must_use]
+    pub fn in_memory() -> Self {
+        RingRegistry {
+            inner: Mutex::new(Inner {
+                rings: BTreeMap::new(),
+                store: None,
+            }),
+            counters: Counters::default(),
+            replay: None,
+        }
+    }
+
+    /// Opens (creating if needed) a journaled registry in `dir`, replaying
+    /// any persisted state.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Storage`] if the directory cannot be opened or the
+    /// journal replays inconsistently.
+    pub fn open(dir: &Path) -> Result<Self, RegistryError> {
+        let (store, rings, replay) = Store::open(dir)?;
+        let rings = rings
+            .into_iter()
+            .map(|(name, state)| {
+                (
+                    name,
+                    RingEntry {
+                        state,
+                        ttp_cache: None,
+                    },
+                )
+            })
+            .collect();
+        Ok(RingRegistry {
+            inner: Mutex::new(Inner {
+                rings,
+                store: Some(store),
+            }),
+            counters: Counters::default(),
+            replay: Some(replay),
+        })
+    }
+
+    /// What startup recovery found, if this registry is persistent.
+    #[must_use]
+    pub fn replay_stats(&self) -> Option<&ReplayStats> {
+        self.replay.as_ref()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Journals `op` (if persistent), then applies it to `rings`. The
+    /// journal write happens first so memory never runs ahead of disk.
+    fn commit(inner: &mut Inner, op: &JournalOp) -> Result<(), RegistryError> {
+        if let Some(store) = inner.store.as_mut() {
+            store.append(op)?;
+        }
+        match op {
+            JournalOp::Register { ring, spec } => {
+                inner.rings.insert(
+                    ring.clone(),
+                    RingEntry {
+                        state: RingState {
+                            spec: *spec,
+                            streams: Vec::new(),
+                        },
+                        ttp_cache: None,
+                    },
+                );
+            }
+            JournalOp::Admit { ring, stream } => {
+                let entry = inner.rings.get_mut(ring).expect("caller validated ring");
+                entry.state.streams.push(stream.clone());
+            }
+            JournalOp::Remove { ring, stream } => {
+                let entry = inner.rings.get_mut(ring).expect("caller validated ring");
+                let idx = entry
+                    .state
+                    .stream_index(stream)
+                    .expect("caller validated stream");
+                entry.state.streams.remove(idx);
+            }
+            JournalOp::Unregister { ring } => {
+                inner.rings.remove(ring);
+            }
+        }
+        Ok(())
+    }
+
+    fn record(&self, check: &CheckOutcome) {
+        if check.incremental {
+            self.counters
+                .incremental_tests
+                .fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .incremental_evaluations
+                .fetch_add(check.evaluations, Ordering::Relaxed);
+        } else {
+            self.counters.full_tests.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .full_evaluations
+                .fetch_add(check.evaluations, Ordering::Relaxed);
+        }
+    }
+
+    /// Registers a new, empty ring.
+    ///
+    /// # Errors
+    ///
+    /// Invalid names/specs, duplicate rings, or storage failures.
+    pub fn register(&self, ring: &str, spec: RingSpec) -> Result<(), RegistryError> {
+        validate_name(ring)?;
+        spec.validate()?;
+        let mut inner = self.lock();
+        if inner.rings.contains_key(ring) {
+            return Err(RegistryError::DuplicateRing {
+                ring: ring.to_owned(),
+            });
+        }
+        Self::commit(
+            &mut inner,
+            &JournalOp::Register {
+                ring: ring.to_owned(),
+                spec,
+            },
+        )
+    }
+
+    /// Drops a ring and all its streams.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::UnknownRing`] or storage failures.
+    pub fn unregister(&self, ring: &str) -> Result<(), RegistryError> {
+        let mut inner = self.lock();
+        if !inner.rings.contains_key(ring) {
+            return Err(RegistryError::UnknownRing {
+                ring: ring.to_owned(),
+            });
+        }
+        Self::commit(
+            &mut inner,
+            &JournalOp::Unregister {
+                ring: ring.to_owned(),
+            },
+        )
+    }
+
+    /// Runs the admission test for `stream` on `ring` and, if it passes,
+    /// admits it (journaled). A rejected stream leaves the ring untouched
+    /// and is **not** journaled.
+    ///
+    /// # Errors
+    ///
+    /// Unknown ring, duplicate stream name, invalid name, or storage
+    /// failure. A schedulability rejection is **not** an error — it is an
+    /// [`AdmissionOutcome`] with `applied == false`.
+    pub fn admit(
+        &self,
+        ring: &str,
+        name: &str,
+        stream: SyncStream,
+    ) -> Result<AdmissionOutcome, RegistryError> {
+        validate_name(name)?;
+        let mut inner = self.lock();
+        let entry = inner
+            .rings
+            .get(ring)
+            .ok_or_else(|| RegistryError::UnknownRing {
+                ring: ring.to_owned(),
+            })?;
+        if entry.state.stream_index(name).is_some() {
+            return Err(RegistryError::DuplicateStream {
+                ring: ring.to_owned(),
+                stream: name.to_owned(),
+            });
+        }
+        let old_len = entry.state.streams.len();
+        let mut candidate = entry.state.clone();
+        candidate.streams.push(NamedStream {
+            name: name.to_owned(),
+            stream,
+        });
+        let new_set = candidate.message_set().expect("set has the candidate");
+        let (check, new_cache) =
+            engine::admit_check(&candidate.spec, entry.ttp_cache.as_ref(), old_len, &new_set);
+        self.record(&check);
+        if !check.schedulable {
+            return Ok(AdmissionOutcome {
+                check,
+                applied: false,
+                streams: old_len,
+            });
+        }
+        Self::commit(
+            &mut inner,
+            &JournalOp::Admit {
+                ring: ring.to_owned(),
+                stream: NamedStream {
+                    name: name.to_owned(),
+                    stream,
+                },
+            },
+        )?;
+        let entry = inner.rings.get_mut(ring).expect("just committed");
+        entry.ttp_cache = new_cache;
+        Ok(AdmissionOutcome {
+            check,
+            applied: true,
+            streams: old_len + 1,
+        })
+    }
+
+    /// Removes a stream (always applied) and reports the remaining set's
+    /// verdict — which for TTP can flip to unschedulable if the departure
+    /// renegotiates the TTRT.
+    ///
+    /// # Errors
+    ///
+    /// Unknown ring or stream, or storage failure.
+    pub fn remove(&self, ring: &str, name: &str) -> Result<AdmissionOutcome, RegistryError> {
+        let mut inner = self.lock();
+        let entry = inner
+            .rings
+            .get(ring)
+            .ok_or_else(|| RegistryError::UnknownRing {
+                ring: ring.to_owned(),
+            })?;
+        let index = entry
+            .state
+            .stream_index(name)
+            .ok_or_else(|| RegistryError::UnknownStream {
+                ring: ring.to_owned(),
+                stream: name.to_owned(),
+            })?;
+        let old_len = entry.state.streams.len();
+        let mut remaining = entry.state.clone();
+        remaining.streams.remove(index);
+        let new_set = remaining.message_set();
+        let (check, new_cache) = engine::remove_check(
+            &remaining.spec,
+            entry.ttp_cache.as_ref(),
+            index,
+            old_len,
+            new_set.as_ref(),
+        );
+        self.record(&check);
+        Self::commit(
+            &mut inner,
+            &JournalOp::Remove {
+                ring: ring.to_owned(),
+                stream: name.to_owned(),
+            },
+        )?;
+        let entry = inner.rings.get_mut(ring).expect("just committed");
+        entry.ttp_cache = new_cache;
+        Ok(AdmissionOutcome {
+            check,
+            applied: true,
+            streams: old_len - 1,
+        })
+    }
+
+    /// Runs the full (non-incremental) test on a ring's stored set —
+    /// the baseline `ADMIT` is measured against. Refreshes the ring's
+    /// term cache as a side effect.
+    ///
+    /// # Errors
+    ///
+    /// Unknown or empty ring.
+    pub fn check_full(&self, ring: &str) -> Result<RingCheck, RegistryError> {
+        let mut inner = self.lock();
+        let entry = inner
+            .rings
+            .get_mut(ring)
+            .ok_or_else(|| RegistryError::UnknownRing {
+                ring: ring.to_owned(),
+            })?;
+        let set = entry
+            .state
+            .message_set()
+            .ok_or_else(|| RegistryError::EmptyRing {
+                ring: ring.to_owned(),
+            })?;
+        let (check, cache) = engine::full_check(&entry.state.spec, &set);
+        entry.ttp_cache = cache;
+        self.record(&check);
+        let spec = entry.state.spec;
+        Ok(RingCheck {
+            schedulable: check.schedulable,
+            evaluations: check.evaluations,
+            spec,
+            streams: set.len(),
+            utilization: set.utilization(spec.bandwidth()),
+        })
+    }
+
+    /// Names of all registered rings, sorted.
+    #[must_use]
+    pub fn ring_names(&self) -> Vec<String> {
+        self.lock().rings.keys().cloned().collect()
+    }
+
+    /// A snapshot of one ring's state.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::UnknownRing`].
+    pub fn ring_state(&self, ring: &str) -> Result<RingState, RegistryError> {
+        self.lock()
+            .rings
+            .get(ring)
+            .map(|e| e.state.clone())
+            .ok_or_else(|| RegistryError::UnknownRing {
+                ring: ring.to_owned(),
+            })
+    }
+
+    /// Compacts the journal into a snapshot. A no-op for in-memory
+    /// registries.
+    ///
+    /// # Errors
+    ///
+    /// Storage failures from the snapshot write or journal truncation.
+    pub fn compact(&self) -> Result<(), RegistryError> {
+        let mut inner = self.lock();
+        let Inner { rings, store } = &mut *inner;
+        if let Some(store) = store.as_mut() {
+            store.compact(rings.iter().map(|(name, entry)| (name, &entry.state)))?;
+        }
+        Ok(())
+    }
+
+    /// Current gauges and counters.
+    #[must_use]
+    pub fn metrics(&self) -> RegistryMetrics {
+        let inner = self.lock();
+        let (journal_bytes, snapshot_bytes) = inner
+            .store
+            .as_ref()
+            .map_or((0, 0), |s| (s.journal_bytes(), s.snapshot_bytes()));
+        RegistryMetrics {
+            rings: inner.rings.len(),
+            streams: inner.rings.values().map(|e| e.state.streams.len()).sum(),
+            journal_bytes,
+            snapshot_bytes,
+            replay_ms: self
+                .replay
+                .as_ref()
+                .map_or(0.0, |r| r.replay.as_secs_f64() * 1e3),
+            replayed_streams: self.replay.as_ref().map_or(0, |r| r.streams_restored),
+            incremental_tests: self.counters.incremental_tests.load(Ordering::Relaxed),
+            full_tests: self.counters.full_tests.load(Ordering::Relaxed),
+            incremental_evaluations: self
+                .counters
+                .incremental_evaluations
+                .load(Ordering::Relaxed),
+            full_evaluations: self.counters.full_evaluations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ProtocolKind;
+    use ringrt_units::{Bits, Seconds};
+
+    fn stream(period_ms: f64, bits: u64) -> SyncStream {
+        SyncStream::new(Seconds::from_millis(period_ms), Bits::new(bits))
+    }
+
+    fn fddi_spec() -> RingSpec {
+        RingSpec {
+            protocol: ProtocolKind::Fddi,
+            mbps: 100.0,
+            stations: Some(16),
+        }
+    }
+
+    #[test]
+    fn register_admit_remove_lifecycle() {
+        let reg = RingRegistry::in_memory();
+        reg.register("lab", fddi_spec()).unwrap();
+        assert!(matches!(
+            reg.register("lab", fddi_spec()),
+            Err(RegistryError::DuplicateRing { .. })
+        ));
+        let out = reg.admit("lab", "cam", stream(20.0, 100_000)).unwrap();
+        assert!(out.applied && out.check.schedulable);
+        assert_eq!(out.streams, 1);
+        assert!(matches!(
+            reg.admit("lab", "cam", stream(30.0, 1_000)),
+            Err(RegistryError::DuplicateStream { .. })
+        ));
+        let out = reg.admit("lab", "mic", stream(50.0, 200_000)).unwrap();
+        assert!(out.applied);
+        assert!(out.check.incremental, "second admit should be incremental");
+        let rm = reg.remove("lab", "cam").unwrap();
+        assert_eq!(rm.streams, 1);
+        assert!(matches!(
+            reg.remove("lab", "cam"),
+            Err(RegistryError::UnknownStream { .. })
+        ));
+        reg.unregister("lab").unwrap();
+        assert!(reg.ring_names().is_empty());
+    }
+
+    #[test]
+    fn rejected_admit_leaves_ring_untouched() {
+        let reg = RingRegistry::in_memory();
+        reg.register("r", fddi_spec()).unwrap();
+        reg.admit("r", "a", stream(20.0, 100_000)).unwrap();
+        // A hog far beyond ring capacity.
+        let out = reg.admit("r", "hog", stream(100.0, 12_000_000)).unwrap();
+        assert!(!out.applied && !out.check.schedulable);
+        assert_eq!(out.streams, 1);
+        assert!(reg.ring_state("r").unwrap().stream_index("hog").is_none());
+        // The ring still accepts reasonable streams afterwards.
+        assert!(reg.admit("r", "b", stream(50.0, 100_000)).unwrap().applied);
+    }
+
+    #[test]
+    fn counters_track_incremental_vs_full() {
+        let reg = RingRegistry::in_memory();
+        reg.register("r", fddi_spec()).unwrap();
+        reg.admit("r", "s0", stream(20.0, 50_000)).unwrap(); // full (empty ring)
+        reg.admit("r", "s1", stream(40.0, 50_000)).unwrap(); // incremental
+        reg.admit("r", "s2", stream(80.0, 50_000)).unwrap(); // incremental
+        reg.check_full("r").unwrap(); // full
+        let m = reg.metrics();
+        assert_eq!(m.incremental_tests, 2);
+        assert_eq!(m.full_tests, 2);
+        assert!(m.incremental_evaluations < m.full_evaluations);
+        assert_eq!(m.rings, 1);
+        assert_eq!(m.streams, 3);
+    }
+
+    #[test]
+    fn persistent_registry_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!(
+            "ringrt-registry-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let reg = RingRegistry::open(&dir).unwrap();
+            reg.register("lab", fddi_spec()).unwrap();
+            reg.admit("lab", "cam", stream(20.0, 100_000)).unwrap();
+            reg.admit("lab", "mic", stream(50.0, 200_000)).unwrap();
+            let out = reg.admit("lab", "hog", stream(100.0, 12_000_000)).unwrap();
+            assert!(!out.applied); // must NOT reappear after reopen
+        }
+        let reg = RingRegistry::open(&dir).unwrap();
+        let state = reg.ring_state("lab").unwrap();
+        assert_eq!(state.streams.len(), 2);
+        assert!(state.stream_index("hog").is_none());
+        let stats = reg.replay_stats().unwrap();
+        assert_eq!(stats.streams_restored, 2);
+        // Compact, reopen again: identical state from the snapshot alone.
+        reg.compact().unwrap();
+        drop(reg);
+        let reg = RingRegistry::open(&dir).unwrap();
+        assert_eq!(reg.ring_state("lab").unwrap(), state);
+        assert_eq!(reg.replay_stats().unwrap().records_applied, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn check_full_reports_empty_ring() {
+        let reg = RingRegistry::in_memory();
+        reg.register("r", fddi_spec()).unwrap();
+        assert!(matches!(
+            reg.check_full("r"),
+            Err(RegistryError::EmptyRing { .. })
+        ));
+        assert!(matches!(
+            reg.check_full("ghost"),
+            Err(RegistryError::UnknownRing { .. })
+        ));
+    }
+}

@@ -1,0 +1,269 @@
+//! Crash-recovery scenarios for the journaled registry: torn journal
+//! tails, interrupted compactions, and snapshot/journal precedence. These
+//! also run in release mode in CI, where the engine's `debug_assert`
+//! equivalence checks are compiled out — recovery must not depend on them.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ringrt_model::SyncStream;
+use ringrt_registry::{ProtocolKind, RingRegistry, RingSpec};
+use ringrt_units::{Bits, Seconds};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ringrt-crash-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn stream(period_ms: f64, bits: u64) -> SyncStream {
+    SyncStream::new(Seconds::from_millis(period_ms), Bits::new(bits))
+}
+
+fn spec() -> RingSpec {
+    RingSpec {
+        protocol: ProtocolKind::Fddi,
+        mbps: 100.0,
+        stations: Some(64),
+    }
+}
+
+fn populate(reg: &RingRegistry, ring: &str, n: usize) {
+    reg.register(ring, spec()).unwrap();
+    for i in 0..n {
+        let out = reg
+            .admit(
+                ring,
+                &format!("s{i:03}"),
+                stream(20.0 + i as f64, 1_000 + 10 * i as u64),
+            )
+            .unwrap();
+        assert!(out.applied, "stream {i} should be admissible");
+    }
+}
+
+#[test]
+fn truncated_last_record_drops_only_the_torn_write() {
+    let dir = temp_dir("torn-tail");
+    {
+        let reg = RingRegistry::open(&dir).unwrap();
+        populate(&reg, "lab", 5);
+    }
+    // Simulate a crash mid-append: chop bytes off the journal's last record.
+    let journal = dir.join("journal.log");
+    let bytes = fs::read(&journal).unwrap();
+    fs::write(&journal, &bytes[..bytes.len() - 7]).unwrap();
+
+    let reg = RingRegistry::open(&dir).unwrap();
+    let stats = reg.replay_stats().unwrap().clone();
+    assert!(stats.truncated_tail, "torn tail must be detected");
+    // Exactly one record (the torn one) is lost.
+    assert_eq!(stats.streams_restored, 4);
+    let state = reg.ring_state("lab").unwrap();
+    assert_eq!(state.streams.len(), 4);
+    assert!(state.stream_index("s004").is_none());
+
+    // The registry keeps working after truncation: the same stream can be
+    // re-admitted and survives another reopen.
+    assert!(
+        reg.admit("lab", "s004", stream(24.0, 1_040))
+            .unwrap()
+            .applied
+    );
+    drop(reg);
+    let reg = RingRegistry::open(&dir).unwrap();
+    assert_eq!(reg.ring_state("lab").unwrap().streams.len(), 5);
+    assert!(!reg.replay_stats().unwrap().truncated_tail);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_interior_record_truncates_the_rest() {
+    let dir = temp_dir("interior");
+    {
+        let reg = RingRegistry::open(&dir).unwrap();
+        populate(&reg, "lab", 5);
+    }
+    // Flip a byte inside the 4th record (register + 5 admits = 6 records).
+    let journal = dir.join("journal.log");
+    let text = fs::read_to_string(&journal).unwrap();
+    let corrupted: Vec<String> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            if i == 3 {
+                l.replace("s002", "sXXX")
+            } else {
+                l.to_owned()
+            }
+        })
+        .collect();
+    fs::write(&journal, corrupted.join("\n") + "\n").unwrap();
+
+    let reg = RingRegistry::open(&dir).unwrap();
+    let stats = reg.replay_stats().unwrap();
+    assert!(stats.truncated_tail);
+    // Records after the corruption are gone too — a WAL never replays
+    // past a hole.
+    assert_eq!(reg.ring_state("lab").unwrap().streams.len(), 2);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_mid_compaction_leaves_tmp_snapshot_ignored() {
+    let dir = temp_dir("mid-compaction");
+    {
+        let reg = RingRegistry::open(&dir).unwrap();
+        populate(&reg, "lab", 8);
+    }
+    // Simulate dying after writing snapshot.tmp but before the rename:
+    // plant a bogus tmp file; recovery must ignore it entirely.
+    fs::write(
+        dir.join("snapshot.tmp"),
+        "ringrt-registry-snapshot v1 seq=999\ngarbage\n",
+    )
+    .unwrap();
+    let reg = RingRegistry::open(&dir).unwrap();
+    assert_eq!(reg.ring_state("lab").unwrap().streams.len(), 8);
+    assert_eq!(reg.replay_stats().unwrap().snapshot_seq, None);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_snapshot_falls_back_to_journal_replay() {
+    let dir = temp_dir("bad-snapshot");
+    {
+        let reg = RingRegistry::open(&dir).unwrap();
+        populate(&reg, "lab", 6);
+        // Compact, then keep mutating so both snapshot and journal matter.
+        reg.compact().unwrap();
+    }
+    // Corrupt the published snapshot. The journal was truncated by the
+    // compaction, so state is lost — but recovery must come up EMPTY and
+    // consistent rather than crash or half-load.
+    let snap = dir.join("snapshot.dat");
+    let text = fs::read_to_string(&snap).unwrap();
+    fs::write(&snap, text.replace("s003", "sBAD")).unwrap();
+    let reg = RingRegistry::open(&dir).unwrap();
+    assert_eq!(reg.replay_stats().unwrap().snapshot_seq, None);
+    assert!(reg.ring_names().is_empty());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_plus_journal_precedence() {
+    let dir = temp_dir("precedence");
+    {
+        let reg = RingRegistry::open(&dir).unwrap();
+        populate(&reg, "lab", 4);
+        reg.compact().unwrap();
+        // Post-snapshot mutations land in the journal only.
+        assert!(
+            reg.admit("lab", "late-a", stream(30.0, 2_000))
+                .unwrap()
+                .applied
+        );
+        assert!(
+            reg.admit("lab", "late-b", stream(35.0, 2_000))
+                .unwrap()
+                .applied
+        );
+        reg.remove("lab", "s001").unwrap();
+    }
+    let reg = RingRegistry::open(&dir).unwrap();
+    let stats = reg.replay_stats().unwrap();
+    assert!(stats.snapshot_seq.is_some());
+    assert_eq!(
+        stats.records_applied, 3,
+        "only post-snapshot records replay"
+    );
+    let state = reg.ring_state("lab").unwrap();
+    assert_eq!(state.streams.len(), 5);
+    assert!(state.stream_index("late-b").is_some());
+    assert!(state.stream_index("s001").is_none());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fifty_streams_survive_restart_byte_identically() {
+    let dir = temp_dir("fifty");
+    let before;
+    {
+        let reg = RingRegistry::open(&dir).unwrap();
+        populate(&reg, "big", 50);
+        before = reg.ring_state("big").unwrap();
+        assert_eq!(before.streams.len(), 50);
+    }
+    let reg = RingRegistry::open(&dir).unwrap();
+    let after = reg.ring_state("big").unwrap();
+    assert_eq!(reg.replay_stats().unwrap().streams_restored, 50);
+    // Bit-exact equality of every persisted float, not approximate.
+    assert_eq!(before.streams.len(), after.streams.len());
+    for (b, a) in before.streams.iter().zip(&after.streams) {
+        assert_eq!(b.name, a.name);
+        assert_eq!(
+            b.stream.period().as_secs_f64().to_bits(),
+            a.stream.period().as_secs_f64().to_bits()
+        );
+        assert_eq!(
+            b.stream.relative_deadline().as_secs_f64().to_bits(),
+            a.stream.relative_deadline().as_secs_f64().to_bits()
+        );
+        assert_eq!(b.stream.length_bits(), a.stream.length_bits());
+    }
+    assert_eq!(before, after);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_between_every_pair_of_compaction_steps_recovers() {
+    // Walk the compaction protocol manually and verify recovery at each
+    // intermediate disk state: (1) tmp written, (2) tmp renamed over
+    // snapshot, (3) journal truncated. Steps are emulated by copying the
+    // directory before compaction and replaying the file operations.
+    let dir = temp_dir("steps");
+    {
+        let reg = RingRegistry::open(&dir).unwrap();
+        populate(&reg, "lab", 4);
+    }
+    let journal_before = fs::read(dir.join("journal.log")).unwrap();
+
+    // Full compaction for reference snapshot bytes.
+    {
+        let reg = RingRegistry::open(&dir).unwrap();
+        reg.compact().unwrap();
+    }
+    let snapshot = fs::read(dir.join("snapshot.dat")).unwrap();
+
+    // State A: snapshot.tmp exists, journal intact, no snapshot.dat.
+    let a = temp_dir("steps-a");
+    fs::create_dir_all(&a).unwrap();
+    fs::write(a.join("journal.log"), &journal_before).unwrap();
+    fs::write(a.join("snapshot.tmp"), &snapshot).unwrap();
+    let reg = RingRegistry::open(&a).unwrap();
+    assert_eq!(reg.ring_state("lab").unwrap().streams.len(), 4);
+    drop(reg);
+
+    // State B: snapshot.dat published, journal NOT yet truncated — replay
+    // must skip the journal records the snapshot already covers.
+    let b = temp_dir("steps-b");
+    fs::create_dir_all(&b).unwrap();
+    fs::write(b.join("journal.log"), &journal_before).unwrap();
+    fs::write(b.join("snapshot.dat"), &snapshot).unwrap();
+    let reg = RingRegistry::open(&b).unwrap();
+    assert_eq!(reg.ring_state("lab").unwrap().streams.len(), 4);
+    assert_eq!(reg.replay_stats().unwrap().records_applied, 0);
+    drop(reg);
+
+    // State C: the completed compaction (snapshot + empty journal).
+    let reg = RingRegistry::open(&dir).unwrap();
+    assert_eq!(reg.ring_state("lab").unwrap().streams.len(), 4);
+
+    for d in [a, b, dir] {
+        let _ = fs::remove_dir_all(&d);
+    }
+}

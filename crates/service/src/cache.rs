@@ -1,4 +1,4 @@
-//! Sharded, canonicalizing result cache.
+//! Sharded, canonicalizing result cache with LRU eviction.
 //!
 //! Admission checks are pure functions of (message set, ring config,
 //! protocol), so identical requests — a common pattern when clients retry
@@ -9,7 +9,11 @@
 //!
 //! The map is split into [`SHARDS`] independently locked shards (hash of
 //! the key picks the shard) so concurrent workers and connection threads
-//! rarely contend on the same mutex.
+//! rarely contend on the same mutex. Each shard holds at most
+//! `capacity / SHARDS` entries; inserting into a full shard evicts its
+//! least-recently-used entry (recency is a global atomic tick stamped on
+//! every hit), so a long-running server's memory stays bounded no matter
+//! how many distinct sets clients probe.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -22,6 +26,9 @@ use crate::protocol::{AnalysisRequest, CommandKind, ProtocolKind};
 /// Number of independently locked shards. Power of two, comfortably above
 /// any realistic worker count.
 pub const SHARDS: usize = 16;
+
+/// Default total entry capacity when none is configured.
+pub const DEFAULT_CAPACITY: usize = 4096;
 
 /// A canonical description of an analysis request.
 ///
@@ -86,32 +93,64 @@ impl CacheKey {
     }
 }
 
-/// The sharded verdict cache with hit/miss accounting.
+/// A cached response body stamped with its last-use tick.
+#[derive(Debug)]
+struct Entry {
+    body: String,
+    last_used: u64,
+}
+
+/// The sharded LRU verdict cache with hit/miss/eviction accounting.
 #[derive(Debug)]
 pub struct ResultCache {
-    shards: Vec<Mutex<HashMap<CacheKey, String>>>,
+    shards: Vec<Mutex<HashMap<CacheKey, Entry>>>,
+    /// Entry cap per shard (total capacity / [`SHARDS`], at least 1).
+    shard_capacity: usize,
+    /// Monotonic recency clock; bumped on every get and insert.
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl ResultCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the [`DEFAULT_CAPACITY`].
     #[must_use]
     pub fn new() -> Self {
+        ResultCache::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Creates an empty cache capped at `capacity` total entries
+    /// (distributed over the shards; at least one entry per shard).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
         ResultCache {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shard_capacity: (capacity / SHARDS).max(1),
+            tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
-    /// Looks up a cached response body, counting the hit or miss.
+    /// Total entry capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * SHARDS
+    }
+
+    /// Looks up a cached response body, counting the hit or miss and
+    /// refreshing the entry's recency on a hit.
     #[must_use]
     pub fn get(&self, key: &CacheKey) -> Option<String> {
-        let shard = self.shards[key.shard()]
+        let mut shard = self.shards[key.shard()]
             .lock()
             .expect("cache shard poisoned");
-        let found = shard.get(key).cloned();
+        let found = shard.get_mut(key).map(|e| {
+            e.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+            e.body.clone()
+        });
         drop(shard);
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -121,12 +160,37 @@ impl ResultCache {
         found
     }
 
-    /// Stores a successful response body.
+    /// Stores a successful response body, evicting the shard's
+    /// least-recently-used entry if the shard is at capacity.
     pub fn insert(&self, key: CacheKey, body: String) {
         let mut shard = self.shards[key.shard()]
             .lock()
             .expect("cache shard poisoned");
-        shard.insert(key, body);
+        if !shard.contains_key(&key) && shard.len() >= self.shard_capacity {
+            if let Some(coldest) = shard
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                shard.remove(&coldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+        shard.insert(key, Entry { body, last_used });
+    }
+
+    /// Drops every entry (the `EVICT` command), returning how many were
+    /// removed. The removals are **not** counted as LRU evictions — they
+    /// were requested, not forced by capacity.
+    pub fn clear(&self) -> usize {
+        let mut removed = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard poisoned");
+            removed += shard.len();
+            shard.clear();
+        }
+        removed
     }
 
     /// Cache hits so far.
@@ -139,6 +203,12 @@ impl ResultCache {
     #[must_use]
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by the LRU policy so far.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Number of distinct entries currently stored.
@@ -218,5 +288,61 @@ mod tests {
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.entries(), 1);
+    }
+
+    #[test]
+    fn capacity_is_enforced_per_shard() {
+        // Capacity below SHARDS still leaves one slot per shard.
+        let cache = ResultCache::with_capacity(1);
+        assert_eq!(cache.capacity(), SHARDS);
+        for i in 0..200 {
+            let key = key_of(&format!("CHECK mbps=16 set=20,{}", 1000 + i)).unwrap();
+            cache.insert(key, format!("body-{i}"));
+        }
+        assert!(cache.entries() <= SHARDS, "entries={}", cache.entries());
+        assert!(cache.evictions() >= (200 - SHARDS) as u64);
+    }
+
+    #[test]
+    fn lru_keeps_the_recently_used_entry() {
+        let cache = ResultCache::with_capacity(SHARDS); // one entry per shard
+                                                        // Find two keys that land in the same shard.
+        let keys: Vec<CacheKey> = (0..400)
+            .map(|i| key_of(&format!("CHECK mbps=16 set=20,{}", 1000 + i)).unwrap())
+            .collect();
+        let (a, rest) = keys.split_first().unwrap();
+        let b = rest
+            .iter()
+            .find(|k| k.shard() == a.shard())
+            .expect("some key shares a shard");
+        cache.insert(a.clone(), "a".into());
+        assert_eq!(cache.get(a).as_deref(), Some("a")); // refresh a
+                                                        // With one slot per shard, inserting `b` must evict `a`.
+        cache.insert(b.clone(), "b".into());
+        assert_eq!(cache.get(a), None);
+        assert_eq!(cache.get(b).as_deref(), Some("b"));
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn reinserting_existing_key_does_not_evict() {
+        let cache = ResultCache::with_capacity(SHARDS);
+        let key = key_of("CHECK mbps=16 set=20,1000").unwrap();
+        cache.insert(key.clone(), "v1".into());
+        cache.insert(key.clone(), "v2".into());
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.get(&key).as_deref(), Some("v2"));
+    }
+
+    #[test]
+    fn clear_reports_removed_count() {
+        let cache = ResultCache::new();
+        for i in 0..10 {
+            let key = key_of(&format!("CHECK mbps=16 set=20,{}", 1000 + i)).unwrap();
+            cache.insert(key, "x".into());
+        }
+        assert_eq!(cache.clear(), 10);
+        assert_eq!(cache.entries(), 0);
+        assert_eq!(cache.evictions(), 0, "clear is not an LRU eviction");
     }
 }

@@ -55,5 +55,7 @@ pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheKey, ResultCache};
-pub use protocol::{parse_request, AnalysisRequest, CommandKind, ProtocolKind, Request};
+pub use protocol::{
+    parse_request, AnalysisRequest, CommandKind, ProtocolKind, Request, RingSpec, MAX_BATCH,
+};
 pub use server::{spawn, ServerHandle, ServiceConfig};

@@ -5,67 +5,42 @@
 //!
 //! ```text
 //! CHECK      mbps=<f64> set=<p_ms,bits[;p_ms,bits…]> [protocol=802.5|modified|fddi] [stations=<n>] [deadline_ms=<n>]
-//! SATURATION mbps=<f64> set=<…> [protocol=<…>] [stations=<n>] [deadline_ms=<n>]
-//! SIMULATE   mbps=<f64> set=<…> [protocol=<…>] [stations=<n>] [seconds=<f64>] [async_load=<f64>] [seed=<n>] [deadline_ms=<n>]
-//! SLEEP      ms=<n>                      # diagnostic: occupies a worker
-//! PING | STATS | SHUTDOWN
+//! CHECK      ring=<name> [deadline_ms=<n>]          # stored-ring mode
+//! SATURATION mbps=<f64> set=<…> [protocol=<…>] [stations=<n>] [deadline_ms=<n>]   (or ring=<name>)
+//! SIMULATE   mbps=<f64> set=<…> [protocol=<…>] [stations=<n>] [seconds=<f64>] [async_load=<f64>] [seed=<n>] [deadline_ms=<n>]   (or ring=<name>)
+//! REGISTER   ring=<name> protocol=<…> mbps=<f64> [stations=<n>]
+//! ADMIT      ring=<name> stream=<name> period_ms=<f64> bits=<u64> [deadline_ms=<f64>]
+//! REMOVE     ring=<name> stream=<name>
+//! UNREGISTER ring=<name>
+//! SHOW       [ring=<name>]
+//! BATCH      <n>                          # next n lines answered in one write
+//! SLEEP      ms=<n>                       # diagnostic: occupies a worker
+//! PING | STATS | EVICT | COMPACT | SHUTDOWN
 //! ```
 //!
 //! `set` carries the CLI's message-set records inline: the same
 //! `period_ms, payload_bits` pairs a set file holds, `;`-separated instead
 //! of newline-separated (see [`ringrt_model::setfmt`]).
 //!
+//! The registry commands (`REGISTER`/`ADMIT`/`REMOVE`/`UNREGISTER`/`SHOW`)
+//! operate on the server's persistent ring registry; `ADMIT`'s
+//! `deadline_ms` is the **stream's relative deadline**, not a queue
+//! deadline — registry commands are answered inline and never queue.
+//! `BATCH <n>` reads the next `n` request lines, answers them in order,
+//! and writes all responses in a single syscall.
+//!
 //! # Responses
 //!
 //! One line per request: `OK key=value …`, `BUSY queue_capacity=<n>` when
 //! the admission queue is full (load shedding), or `ERR <message>`.
 
-use core::fmt;
+use ringrt_model::{MessageSet, SyncStream};
+use ringrt_units::{Bits, Seconds};
 
-use ringrt_model::MessageSet;
+pub use ringrt_registry::{ProtocolKind, RingSpec};
 
-/// Protocol selector, mirroring the CLI's choices. The canonical tokens
-/// (`802.5`, `modified`, `fddi`) are shared with `ringrt check --format csv`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub enum ProtocolKind {
-    /// Standard IEEE 802.5 priority-driven protocol.
-    Ieee8025,
-    /// The paper's modified (token-holding) 802.5 variant.
-    #[default]
-    Modified,
-    /// FDDI timed token protocol with the local allocation scheme.
-    Fddi,
-}
-
-impl ProtocolKind {
-    /// Parses the same aliases the CLI accepts.
-    pub fn parse(s: &str) -> Result<Self, String> {
-        match s.to_ascii_lowercase().as_str() {
-            "802.5" | "8025" | "ieee802.5" | "standard" => Ok(ProtocolKind::Ieee8025),
-            "modified" | "mod" => Ok(ProtocolKind::Modified),
-            "fddi" | "ttp" | "timed-token" => Ok(ProtocolKind::Fddi),
-            other => Err(format!(
-                "unknown protocol `{other}` (expected 802.5, modified, or fddi)"
-            )),
-        }
-    }
-
-    /// The canonical wire token.
-    #[must_use]
-    pub fn token(self) -> &'static str {
-        match self {
-            ProtocolKind::Ieee8025 => "802.5",
-            ProtocolKind::Modified => "modified",
-            ProtocolKind::Fddi => "fddi",
-        }
-    }
-}
-
-impl fmt::Display for ProtocolKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.token())
-    }
-}
+/// Largest pipelined batch a single `BATCH` header may announce.
+pub const MAX_BATCH: usize = 1024;
 
 /// Which analysis a queued request runs; indexes the per-command metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -148,6 +123,65 @@ impl AnalysisRequest {
 pub enum Request {
     /// An analysis to run on the worker pool.
     Analysis(AnalysisRequest),
+    /// An analysis of a **stored ring**'s admitted set; the server resolves
+    /// the ring before execution. `CHECK` is answered inline with a full
+    /// (counted) re-analysis; the other commands queue like any analysis.
+    RingAnalysis {
+        /// Which analysis to run.
+        command: CommandKind,
+        /// The registered ring to analyze.
+        ring: String,
+        /// Simulated seconds (SIMULATE only).
+        seconds: f64,
+        /// Offered asynchronous load fraction (SIMULATE only).
+        async_load: f64,
+        /// RNG seed (SIMULATE only).
+        seed: u64,
+        /// Per-request queue deadline override, milliseconds.
+        deadline_ms: Option<u64>,
+    },
+    /// Register a new named ring.
+    Register {
+        /// Ring name.
+        ring: String,
+        /// Its configuration.
+        spec: RingSpec,
+    },
+    /// Admission-test a stream and, if schedulable, admit it.
+    Admit {
+        /// Target ring.
+        ring: String,
+        /// Client-chosen stream name (unique within the ring).
+        stream: String,
+        /// The candidate stream.
+        candidate: SyncStream,
+    },
+    /// Remove a named stream from a ring.
+    Remove {
+        /// Target ring.
+        ring: String,
+        /// Stream to remove.
+        stream: String,
+    },
+    /// Drop a ring and all its streams.
+    Unregister {
+        /// Ring to drop.
+        ring: String,
+    },
+    /// List rings, or dump one ring's admitted set.
+    Show {
+        /// `None` lists ring names; `Some` dumps that ring.
+        ring: Option<String>,
+    },
+    /// Answer the next `count` request lines in one write.
+    Batch {
+        /// Number of pipelined request lines that follow.
+        count: usize,
+    },
+    /// Drop every result-cache entry, reporting how many were evicted.
+    Evict,
+    /// Fold the registry journal into a snapshot.
+    Compact,
     /// Diagnostic: occupy a worker for the given milliseconds.
     Sleep {
         /// Sleep length (capped by the server).
@@ -172,6 +206,22 @@ pub enum Request {
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let mut words = line.split_whitespace();
     let cmd = words.next().ok_or_else(|| "empty request".to_owned())?;
+    if cmd.eq_ignore_ascii_case("BATCH") {
+        // BATCH is the one positional command: `BATCH <n>`.
+        let count = words
+            .next()
+            .ok_or_else(|| "BATCH requires a line count".to_owned())?;
+        if words.next().is_some() {
+            return Err("BATCH takes exactly one argument".to_owned());
+        }
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("invalid batch count `{count}`"))?;
+        if count == 0 || count > MAX_BATCH {
+            return Err(format!("batch count must be in 1..={MAX_BATCH}"));
+        }
+        return Ok(Request::Batch { count });
+    }
     let mut pairs: Vec<(&str, &str)> = Vec::new();
     for w in words {
         let (k, v) = w
@@ -183,6 +233,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "PING" => return reject_extras(pairs, Request::Ping),
         "STATS" => return reject_extras(pairs, Request::Stats),
         "SHUTDOWN" => return reject_extras(pairs, Request::Shutdown),
+        "EVICT" => return reject_extras(pairs, Request::Evict),
+        "COMPACT" => return reject_extras(pairs, Request::Compact),
         "SLEEP" => {
             check_keys(&pairs, &["ms", "deadline_ms"])?;
             return Ok(Request::Sleep {
@@ -190,11 +242,90 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 deadline_ms: optional(&pairs, "deadline_ms")?,
             });
         }
+        "REGISTER" => {
+            check_keys(&pairs, &["ring", "protocol", "mbps", "stations"])?;
+            let protocol = ProtocolKind::parse(
+                lookup(&pairs, "protocol").ok_or_else(|| "protocol is required".to_owned())?,
+            )?;
+            return Ok(Request::Register {
+                ring: required_name(&pairs, "ring")?,
+                spec: RingSpec {
+                    protocol,
+                    mbps: required(&pairs, "mbps")?,
+                    stations: optional(&pairs, "stations")?,
+                },
+            });
+        }
+        "ADMIT" => {
+            check_keys(
+                &pairs,
+                &["ring", "stream", "period_ms", "bits", "deadline_ms"],
+            )?;
+            let period_ms: f64 = required(&pairs, "period_ms")?;
+            let bits: u64 = required(&pairs, "bits")?;
+            let candidate = SyncStream::try_new(Seconds::from_millis(period_ms), Bits::new(bits))
+                .map_err(|e| format!("invalid stream: {e}"))?;
+            let candidate = match optional::<f64>(&pairs, "deadline_ms")? {
+                None => candidate,
+                Some(d) if d > 0.0 && d <= period_ms => {
+                    candidate.with_relative_deadline(Seconds::from_millis(d))
+                }
+                Some(d) => {
+                    return Err(format!(
+                        "deadline_ms must be in (0, period_ms={period_ms}], got {d}"
+                    ))
+                }
+            };
+            return Ok(Request::Admit {
+                ring: required_name(&pairs, "ring")?,
+                stream: required_name(&pairs, "stream")?,
+                candidate,
+            });
+        }
+        "REMOVE" => {
+            check_keys(&pairs, &["ring", "stream"])?;
+            return Ok(Request::Remove {
+                ring: required_name(&pairs, "ring")?,
+                stream: required_name(&pairs, "stream")?,
+            });
+        }
+        "UNREGISTER" => {
+            check_keys(&pairs, &["ring"])?;
+            return Ok(Request::Unregister {
+                ring: required_name(&pairs, "ring")?,
+            });
+        }
+        "SHOW" => {
+            check_keys(&pairs, &["ring"])?;
+            return Ok(Request::Show {
+                ring: lookup(&pairs, "ring").map(str::to_owned),
+            });
+        }
         "CHECK" => CommandKind::Check,
         "SATURATION" => CommandKind::Saturation,
         "SIMULATE" => CommandKind::Simulate,
         other => return Err(format!("unknown command `{other}`")),
     };
+    if lookup(&pairs, "ring").is_some() {
+        // Stored-ring mode: the set comes from the registry, so the inline
+        // set parameters are contradictory.
+        let allowed: &[&str] = if command == CommandKind::Simulate {
+            &["ring", "seconds", "async_load", "seed", "deadline_ms"]
+        } else {
+            &["ring", "deadline_ms"]
+        };
+        check_keys(&pairs, allowed)
+            .map_err(|e| format!("{e} (ring=… mode takes the set from the registry)"))?;
+        let (seconds, async_load) = sim_params(&pairs)?;
+        return Ok(Request::RingAnalysis {
+            command,
+            ring: required_name(&pairs, "ring")?,
+            seconds,
+            async_load,
+            seed: optional(&pairs, "seed")?.unwrap_or(1),
+            deadline_ms: optional(&pairs, "deadline_ms")?,
+        });
+    }
     let allowed: &[&str] = if command == CommandKind::Simulate {
         &[
             "mbps",
@@ -222,14 +353,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         Some(p) => ProtocolKind::parse(p)?,
         None => ProtocolKind::default(),
     };
-    let seconds: f64 = optional(&pairs, "seconds")?.unwrap_or(0.5);
-    if !(seconds.is_finite() && seconds > 0.0) {
-        return Err(format!("seconds must be positive, got {seconds}"));
-    }
-    let async_load: f64 = optional(&pairs, "async_load")?.unwrap_or(0.0);
-    if !(0.0..1.0).contains(&async_load) {
-        return Err(format!("async_load must be in [0, 1), got {async_load}"));
-    }
+    let (seconds, async_load) = sim_params(&pairs)?;
     Ok(Request::Analysis(AnalysisRequest {
         command,
         protocol,
@@ -241,6 +365,18 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         seed: optional(&pairs, "seed")?.unwrap_or(1),
         deadline_ms: optional(&pairs, "deadline_ms")?,
     }))
+}
+
+fn sim_params(pairs: &[(&str, &str)]) -> Result<(f64, f64), String> {
+    let seconds: f64 = optional(pairs, "seconds")?.unwrap_or(0.5);
+    if !(seconds.is_finite() && seconds > 0.0) {
+        return Err(format!("seconds must be positive, got {seconds}"));
+    }
+    let async_load: f64 = optional(pairs, "async_load")?.unwrap_or(0.0);
+    if !(0.0..1.0).contains(&async_load) {
+        return Err(format!("async_load must be in [0, 1), got {async_load}"));
+    }
+    Ok((seconds, async_load))
 }
 
 fn reject_extras(pairs: Vec<(&str, &str)>, req: Request) -> Result<Request, String> {
@@ -261,6 +397,14 @@ fn check_keys(pairs: &[(&str, &str)], allowed: &[&str]) -> Result<(), String> {
 
 fn lookup<'a>(pairs: &[(&'a str, &'a str)], key: &str) -> Option<&'a str> {
     pairs.iter().rev().find(|(k, _)| *k == key).map(|(_, v)| *v)
+}
+
+/// A required name-valued parameter, validated against the registry's
+/// naming rules so malformed names fail fast at the protocol edge.
+fn required_name(pairs: &[(&str, &str)], key: &str) -> Result<String, String> {
+    let value = lookup(pairs, key).ok_or_else(|| format!("{key} is required"))?;
+    ringrt_registry::validate_name(value).map_err(|e| e.to_string())?;
+    Ok(value.to_owned())
 }
 
 fn required<T: std::str::FromStr>(pairs: &[(&str, &str)], key: &str) -> Result<T, String> {
@@ -324,6 +468,8 @@ mod tests {
         assert_eq!(parse_request("PING").unwrap(), Request::Ping);
         assert_eq!(parse_request("stats").unwrap(), Request::Stats);
         assert_eq!(parse_request("Shutdown").unwrap(), Request::Shutdown);
+        assert_eq!(parse_request("EVICT").unwrap(), Request::Evict);
+        assert_eq!(parse_request("compact").unwrap(), Request::Compact);
         assert_eq!(
             parse_request("SLEEP ms=50").unwrap(),
             Request::Sleep {
@@ -331,6 +477,97 @@ mod tests {
                 deadline_ms: None
             }
         );
+    }
+
+    #[test]
+    fn parses_registry_commands() {
+        match parse_request("REGISTER ring=lab protocol=fddi mbps=100 stations=16").unwrap() {
+            Request::Register { ring, spec } => {
+                assert_eq!(ring, "lab");
+                assert_eq!(spec.protocol, ProtocolKind::Fddi);
+                assert_eq!(spec.mbps, 100.0);
+                assert_eq!(spec.stations, Some(16));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_request("ADMIT ring=lab stream=cam period_ms=20 bits=100000").unwrap() {
+            Request::Admit {
+                ring,
+                stream,
+                candidate,
+            } => {
+                assert_eq!((ring.as_str(), stream.as_str()), ("lab", "cam"));
+                assert!(candidate.has_implicit_deadline());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_request("ADMIT ring=lab stream=cam period_ms=20 bits=1000 deadline_ms=7.5")
+            .unwrap()
+        {
+            Request::Admit { candidate, .. } => {
+                assert!(!candidate.has_implicit_deadline());
+                assert_eq!(candidate.relative_deadline(), Seconds::from_millis(7.5));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            parse_request("REMOVE ring=lab stream=cam").unwrap(),
+            Request::Remove {
+                ring: "lab".into(),
+                stream: "cam".into()
+            }
+        );
+        assert_eq!(
+            parse_request("UNREGISTER ring=lab").unwrap(),
+            Request::Unregister { ring: "lab".into() }
+        );
+        assert_eq!(parse_request("SHOW").unwrap(), Request::Show { ring: None });
+        assert_eq!(
+            parse_request("SHOW ring=lab").unwrap(),
+            Request::Show {
+                ring: Some("lab".into())
+            }
+        );
+    }
+
+    #[test]
+    fn ring_mode_analysis() {
+        match parse_request("CHECK ring=lab").unwrap() {
+            Request::RingAnalysis { command, ring, .. } => {
+                assert_eq!(command, CommandKind::Check);
+                assert_eq!(ring, "lab");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_request("SIMULATE ring=lab seconds=0.25 seed=3").unwrap() {
+            Request::RingAnalysis {
+                command,
+                seconds,
+                seed,
+                ..
+            } => {
+                assert_eq!(command, CommandKind::Simulate);
+                assert_eq!(seconds, 0.25);
+                assert_eq!(seed, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // ring= and set= are mutually exclusive.
+        let err = parse_request("CHECK ring=lab mbps=16 set=20,1000").unwrap_err();
+        assert!(err.contains("ring=…"), "{err}");
+    }
+
+    #[test]
+    fn parses_batch_header() {
+        assert_eq!(
+            parse_request("BATCH 32").unwrap(),
+            Request::Batch { count: 32 }
+        );
+        assert!(parse_request("BATCH").is_err());
+        assert!(parse_request("BATCH 0").is_err());
+        assert!(parse_request("BATCH 100000").is_err());
+        assert!(parse_request("BATCH twelve").is_err());
+        assert!(parse_request("BATCH 3 4").is_err());
     }
 
     #[test]
@@ -350,12 +587,25 @@ mod tests {
         assert!(parse_request("SIMULATE mbps=4 set=20,1000 async_load=1.5").is_err());
         assert!(parse_request("SLEEP").unwrap_err().contains("ms"));
         assert!(parse_request("CHECK mbps=4 set").is_err());
+        // Registry parameter validation at the protocol edge.
+        assert!(parse_request("REGISTER ring=has;semicolon protocol=fddi mbps=100").is_err());
+        assert!(
+            parse_request("ADMIT ring=r stream=s period_ms=20 bits=1000 deadline_ms=25")
+                .unwrap_err()
+                .contains("deadline_ms")
+        );
+        assert!(parse_request("ADMIT ring=r stream=s period_ms=-3 bits=1000").is_err());
+        assert!(parse_request("REGISTER protocol=fddi mbps=100")
+            .unwrap_err()
+            .contains("ring"));
     }
 
     #[test]
     fn simulate_only_keys_rejected_elsewhere() {
         assert!(parse_request("CHECK mbps=4 set=20,1000 seed=3").is_err());
         assert!(parse_request("SIMULATE mbps=4 set=20,1000 seed=3").is_ok());
+        assert!(parse_request("CHECK ring=lab seconds=1").is_err());
+        assert!(parse_request("SIMULATE ring=lab seconds=1").is_ok());
     }
 
     #[test]

@@ -25,16 +25,19 @@
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use ringrt_registry::{AdmissionOutcome, RingRegistry, RingSpec, RingState};
+
 use crate::cache::{CacheKey, ResultCache};
 use crate::engine;
 use crate::metrics::Metrics;
-use crate::protocol::{parse_request, CommandKind, Request};
+use crate::protocol::{parse_request, AnalysisRequest, CommandKind, Request};
 
 /// How often blocked reads and the acceptor wake to check for shutdown.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
@@ -55,6 +58,11 @@ pub struct ServiceConfig {
     pub default_deadline_ms: u64,
     /// Cap on the diagnostic `SLEEP` command, milliseconds.
     pub max_sleep_ms: u64,
+    /// Directory for the persistent ring registry's journal and snapshot;
+    /// `None` keeps the registry in memory only.
+    pub state_dir: Option<PathBuf>,
+    /// Total result-cache entry cap (LRU-evicted beyond it).
+    pub cache_entries: usize,
 }
 
 impl Default for ServiceConfig {
@@ -65,6 +73,8 @@ impl Default for ServiceConfig {
             queue_depth: 64,
             default_deadline_ms: 2_000,
             max_sleep_ms: 10_000,
+            state_dir: None,
+            cache_entries: crate::cache::DEFAULT_CAPACITY,
         }
     }
 }
@@ -85,6 +95,7 @@ struct Shared {
     queue_cv: Condvar,
     metrics: Metrics,
     cache: ResultCache,
+    registry: RingRegistry,
     shutdown: AtomicBool,
     inflight: AtomicU64,
     started: Instant,
@@ -132,10 +143,29 @@ impl Shared {
         );
         let _ = write!(
             out,
-            " cache_hits={} cache_misses={} cache_entries={}",
+            " cache_hits={} cache_misses={} cache_entries={} cache_evictions={} cache_capacity={}",
             self.cache.hits(),
             self.cache.misses(),
             self.cache.entries(),
+            self.cache.evictions(),
+            self.cache.capacity(),
+        );
+        let r = self.registry.metrics();
+        let _ = write!(
+            out,
+            " rings={} registry_streams={} journal_bytes={} snapshot_bytes={} replay_ms={:.3} \
+             replayed_streams={} incremental_tests={} full_tests={} incremental_evaluations={} \
+             full_evaluations={}",
+            r.rings,
+            r.streams,
+            r.journal_bytes,
+            r.snapshot_bytes,
+            r.replay_ms,
+            r.replayed_streams,
+            r.incremental_tests,
+            r.full_tests,
+            r.incremental_evaluations,
+            r.full_evaluations,
         );
         let _ = write!(
             out,
@@ -213,16 +243,22 @@ impl Drop for ServerHandle {
 pub fn spawn(mut config: ServiceConfig) -> std::io::Result<ServerHandle> {
     config.workers = config.workers.max(1);
     config.queue_depth = config.queue_depth.max(1);
+    let registry = match &config.state_dir {
+        Some(dir) => RingRegistry::open(dir).map_err(|e| std::io::Error::other(e.to_string()))?,
+        None => RingRegistry::in_memory(),
+    };
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
 
+    let cache_entries = config.cache_entries;
     let shared = Arc::new(Shared {
         config: config.clone(),
         queue: Mutex::new(VecDeque::new()),
         queue_cv: Condvar::new(),
         metrics: Metrics::new(),
-        cache: ResultCache::new(),
+        cache: ResultCache::with_capacity(cache_entries),
+        registry,
         shutdown: AtomicBool::new(false),
         inflight: AtomicU64::new(0),
         started: Instant::now(),
@@ -303,6 +339,12 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
             Ok(_) => {
                 let response = handle_line(line.trim_end(), shared);
                 line.clear();
+                if let Response::Batch(count) = response {
+                    if !run_batch(count, &mut reader, &mut writer, &mut line, shared) {
+                        return;
+                    }
+                    continue;
+                }
                 let stop = matches!(response, Response::Close);
                 let text = response.into_text();
                 shared.metrics.count_response(&text);
@@ -327,10 +369,62 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
-/// A response line plus whether the connection should close after it.
+/// Reads `count` pipelined request lines, answers each in arrival order,
+/// and flushes all responses with a **single** write — the syscall saving
+/// `BATCH` exists for (measured by `exp_service_load`). Returns whether
+/// the connection should stay open.
+fn run_batch(
+    count: usize,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    line: &mut String,
+    shared: &Arc<Shared>,
+) -> bool {
+    let mut out = String::new();
+    let mut keep_open = true;
+    let mut handled = 0;
+    while handled < count {
+        match reader.read_line(line) {
+            Ok(0) => return false, // client closed mid-batch
+            Ok(_) => {
+                let response = handle_line(line.trim_end(), shared);
+                line.clear();
+                let text = match response {
+                    // One framing level is enough; nesting would let a
+                    // client demand unbounded buffering.
+                    Response::Batch(_) => "ERR nested BATCH is not allowed".to_owned(),
+                    Response::Close => {
+                        keep_open = false;
+                        Response::Close.into_text()
+                    }
+                    Response::Line(text) => text,
+                };
+                shared.metrics.count_response(&text);
+                out.push_str(&text);
+                out.push('\n');
+                handled += 1;
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.shutting_down() {
+                    return false;
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+    writer
+        .write_all(out.as_bytes())
+        .and_then(|()| writer.flush())
+        .is_ok()
+        && keep_open
+}
+
+/// A response line, a connection-closing line, or a batch header asking
+/// the connection loop to collect the next `n` responses into one write.
 enum Response {
     Line(String),
     Close,
+    Batch(usize),
 }
 
 impl Response {
@@ -338,6 +432,7 @@ impl Response {
         match self {
             Response::Line(s) => s,
             Response::Close => "OK cmd=shutdown".to_owned(),
+            Response::Batch(_) => unreachable!("batch headers are framed, not rendered"),
         }
     }
 }
@@ -355,6 +450,120 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> Response {
             shared.begin_shutdown();
             Response::Close
         }
+        Request::Batch { count } => Response::Batch(count),
+        Request::Evict => Response::Line(format!("OK cmd=evict evicted={}", shared.cache.clear())),
+        Request::Compact => Response::Line(match shared.registry.compact() {
+            Ok(()) => {
+                let m = shared.registry.metrics();
+                format!(
+                    "OK cmd=compact journal_bytes={} snapshot_bytes={}",
+                    m.journal_bytes, m.snapshot_bytes
+                )
+            }
+            Err(e) => format!("ERR {e}"),
+        }),
+        Request::Register { ring, spec } => {
+            Response::Line(match shared.registry.register(&ring, spec) {
+                Ok(()) => format!(
+                    "OK cmd=register ring={ring} protocol={} mbps={} stations={}",
+                    spec.protocol,
+                    spec.mbps,
+                    fmt_stations(spec.stations),
+                ),
+                Err(e) => format!("ERR {e}"),
+            })
+        }
+        Request::Admit {
+            ring,
+            stream,
+            candidate,
+        } => Response::Line(match shared.registry.admit(&ring, &stream, candidate) {
+            Ok(out) => render_admission("admit", &ring, &stream, &out),
+            Err(e) => format!("ERR {e}"),
+        }),
+        Request::Remove { ring, stream } => {
+            Response::Line(match shared.registry.remove(&ring, &stream) {
+                Ok(out) => render_admission("remove", &ring, &stream, &out),
+                Err(e) => format!("ERR {e}"),
+            })
+        }
+        Request::Unregister { ring } => Response::Line(match shared.registry.unregister(&ring) {
+            Ok(()) => format!("OK cmd=unregister ring={ring}"),
+            Err(e) => format!("ERR {e}"),
+        }),
+        Request::Show { ring } => Response::Line(match ring {
+            Some(ring) => match shared.registry.ring_state(&ring) {
+                Ok(state) => render_show(&ring, &state),
+                Err(e) => format!("ERR {e}"),
+            },
+            None => {
+                let names = shared.registry.ring_names();
+                format!(
+                    "OK cmd=show rings={} names={}",
+                    names.len(),
+                    if names.is_empty() {
+                        "-".to_owned()
+                    } else {
+                        names.join(",")
+                    }
+                )
+            }
+        }),
+        Request::RingAnalysis {
+            command: CommandKind::Check,
+            ring,
+            ..
+        } => {
+            // Answered inline with the counted full test — the baseline the
+            // STATS evaluation counters compare ADMIT against.
+            let started = Instant::now();
+            let text = match shared.registry.check_full(&ring) {
+                Ok(check) => format!(
+                    "OK cmd=check ring={ring} protocol={} mbps={} stations={} streams={} \
+                     utilization={:.6} schedulable={} evaluations={}",
+                    check.spec.protocol,
+                    check.spec.mbps,
+                    check.spec.effective_stations(check.streams),
+                    check.streams,
+                    check.utilization,
+                    check.schedulable,
+                    check.evaluations,
+                ),
+                Err(e) => format!("ERR {e}"),
+            };
+            record_completed(shared, CommandKind::Check, started, &text);
+            Response::Line(text)
+        }
+        Request::RingAnalysis {
+            command,
+            ring,
+            seconds,
+            async_load,
+            seed,
+            deadline_ms,
+        } => {
+            // Resolve the stored ring into a plain analysis request, then
+            // run it through the normal queue (with caching).
+            let state = match shared.registry.ring_state(&ring) {
+                Ok(s) => s,
+                Err(e) => return Response::Line(format!("ERR {e}")),
+            };
+            let Some(set) = state.message_set() else {
+                return Response::Line(format!("ERR ring `{ring}` has no streams"));
+            };
+            let req = AnalysisRequest {
+                command,
+                protocol: state.spec.protocol,
+                mbps: state.spec.mbps,
+                stations: Some(state.spec.effective_stations(set.len())),
+                set,
+                seconds,
+                async_load,
+                seed,
+                deadline_ms,
+            };
+            run_analysis(shared, req)
+        }
         Request::Sleep { ms, deadline_ms } => {
             let started = Instant::now();
             let text = dispatch(
@@ -366,22 +575,78 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> Response {
             record_completed(shared, CommandKind::Sleep, started, &text);
             Response::Line(text)
         }
-        Request::Analysis(req) => {
-            let started = Instant::now();
-            let command = req.command;
-            let deadline_ms = req.deadline_ms;
-            let key = CacheKey::for_request(&req);
-            if let Some(k) = &key {
-                if let Some(body) = shared.cache.get(k) {
-                    shared.metrics.record_latency(command, started.elapsed());
-                    return Response::Line(format!("{body} cached=true"));
-                }
-            }
-            let text = dispatch(shared, Request::Analysis(req), key, deadline_ms);
-            record_completed(shared, command, started, &text);
-            Response::Line(text)
+        Request::Analysis(req) => run_analysis(shared, req),
+    }
+}
+
+/// Cache-checks and queues one analysis request.
+fn run_analysis(shared: &Arc<Shared>, req: AnalysisRequest) -> Response {
+    let started = Instant::now();
+    let command = req.command;
+    let deadline_ms = req.deadline_ms;
+    let key = CacheKey::for_request(&req);
+    if let Some(k) = &key {
+        if let Some(body) = shared.cache.get(k) {
+            shared.metrics.record_latency(command, started.elapsed());
+            return Response::Line(format!("{body} cached=true"));
         }
     }
+    let text = dispatch(shared, Request::Analysis(req), key, deadline_ms);
+    record_completed(shared, command, started, &text);
+    Response::Line(text)
+}
+
+fn fmt_stations(stations: Option<usize>) -> String {
+    stations.map_or_else(|| "-".to_owned(), |n| n.to_string())
+}
+
+fn render_admission(cmd: &str, ring: &str, stream: &str, out: &AdmissionOutcome) -> String {
+    format!(
+        "OK cmd={cmd} ring={ring} stream={stream} schedulable={} admitted={} incremental={} \
+         evaluations={} streams={}",
+        out.check.schedulable,
+        out.applied,
+        out.check.incremental,
+        out.check.evaluations,
+        out.streams,
+    )
+}
+
+/// Renders one ring's full state. Deterministic down to the byte: stream
+/// order is admission order and every float uses Rust's round-trip `{}`
+/// formatting, so the output is identical before and after a server
+/// restart — the property the persistence integration test pins down.
+fn render_show(ring: &str, state: &RingState) -> String {
+    use std::fmt::Write as _;
+    let spec: &RingSpec = &state.spec;
+    let mut out = format!(
+        "OK cmd=show ring={ring} protocol={} mbps={} stations={} streams={}",
+        spec.protocol,
+        spec.mbps,
+        fmt_stations(spec.stations),
+        state.streams.len(),
+    );
+    out.push_str(" set=");
+    if state.streams.is_empty() {
+        out.push('-');
+        return out;
+    }
+    for (i, ns) in state.streams.iter().enumerate() {
+        if i > 0 {
+            out.push(';');
+        }
+        let _ = write!(
+            out,
+            "{}:{},{}",
+            ns.name,
+            ns.stream.period().as_millis(),
+            ns.stream.length_bits().as_u64(),
+        );
+        if !ns.stream.has_implicit_deadline() {
+            let _ = write!(out, ",{}", ns.stream.relative_deadline().as_millis());
+        }
+    }
+    out
 }
 
 /// Records latency only for completed (`OK`) requests, so BUSY fast-rejects
@@ -585,6 +850,128 @@ mod tests {
         assert_eq!(c.roundtrip("SHUTDOWN"), "OK cmd=shutdown");
         server.join();
         assert!(TcpStream::connect(addr).is_err(), "still accepting");
+    }
+
+    #[test]
+    fn registry_commands_roundtrip() {
+        let server = test_server(1, 4);
+        let mut c = Client::connect(server.addr());
+        assert_eq!(
+            c.roundtrip("REGISTER ring=lab protocol=fddi mbps=100 stations=16"),
+            "OK cmd=register ring=lab protocol=fddi mbps=100 stations=16"
+        );
+        assert!(c
+            .roundtrip("REGISTER ring=lab protocol=fddi mbps=100")
+            .starts_with("ERR ring `lab` is already registered"));
+        let admit = c.roundtrip("ADMIT ring=lab stream=cam period_ms=20 bits=100000");
+        assert!(admit.contains("schedulable=true admitted=true"), "{admit}");
+        assert!(admit.contains("streams=1"), "{admit}");
+        // Duplicate stream names are rejected with a structured error.
+        let dup = c.roundtrip("ADMIT ring=lab stream=cam period_ms=30 bits=1000");
+        assert_eq!(dup, "ERR duplicate stream `cam` in ring `lab`");
+        let admit2 = c.roundtrip("ADMIT ring=lab stream=mic period_ms=50 bits=200000");
+        assert!(admit2.contains("incremental=true"), "{admit2}");
+        let show = c.roundtrip("SHOW ring=lab");
+        assert!(
+            show.starts_with("OK cmd=show ring=lab protocol=fddi"),
+            "{show}"
+        );
+        assert!(show.contains("set=cam:20,100000;mic:50,200000"), "{show}");
+        assert_eq!(c.roundtrip("SHOW"), "OK cmd=show rings=1 names=lab");
+        let check = c.roundtrip("CHECK ring=lab");
+        assert!(check.contains("schedulable=true"), "{check}");
+        assert!(check.contains("evaluations="), "{check}");
+        let stats = c.roundtrip("STATS");
+        assert!(stats.contains("rings=1"), "{stats}");
+        assert!(stats.contains("registry_streams=2"), "{stats}");
+        assert!(stats.contains("incremental_tests=1"), "{stats}");
+        let rm = c.roundtrip("REMOVE ring=lab stream=cam");
+        assert!(rm.contains("streams=1"), "{rm}");
+        assert_eq!(
+            c.roundtrip("UNREGISTER ring=lab"),
+            "OK cmd=unregister ring=lab"
+        );
+        assert!(c.roundtrip("SHOW ring=lab").starts_with("ERR unknown ring"));
+        server.join();
+    }
+
+    #[test]
+    fn unschedulable_admit_not_applied() {
+        let server = test_server(1, 4);
+        let mut c = Client::connect(server.addr());
+        c.roundtrip("REGISTER ring=r protocol=fddi mbps=100 stations=8");
+        c.roundtrip("ADMIT ring=r stream=ok period_ms=20 bits=100000");
+        let hog = c.roundtrip("ADMIT ring=r stream=hog period_ms=100 bits=12000000");
+        assert!(hog.contains("schedulable=false admitted=false"), "{hog}");
+        assert!(hog.contains("streams=1"), "{hog}");
+        // The hog can be retried under another name; the ring is intact.
+        let show = c.roundtrip("SHOW ring=r");
+        assert!(show.contains("streams=1"), "{show}");
+        server.join();
+    }
+
+    #[test]
+    fn batch_answers_in_order_with_one_write() {
+        let server = test_server(2, 8);
+        let mut c = Client::connect(server.addr());
+        // One write carrying the header and all three pipelined requests.
+        c.writer
+            .write_all(b"BATCH 3\nPING\nCHECK mbps=16 set=20,20000\nPING\n")
+            .expect("send batch");
+        let mut responses = Vec::new();
+        for _ in 0..3 {
+            let mut r = String::new();
+            c.reader.read_line(&mut r).expect("recv");
+            responses.push(r.trim_end().to_owned());
+        }
+        assert_eq!(responses[0], "OK cmd=ping");
+        assert!(responses[1].contains("cmd=check"), "{}", responses[1]);
+        assert_eq!(responses[2], "OK cmd=ping");
+        // Nested batches are refused but do not kill the connection.
+        c.writer
+            .write_all(b"BATCH 2\nBATCH 2\nPING\n")
+            .expect("send nested");
+        let mut nested = Vec::new();
+        for _ in 0..2 {
+            let mut r = String::new();
+            c.reader.read_line(&mut r).expect("recv");
+            nested.push(r.trim_end().to_owned());
+        }
+        assert!(nested[0].starts_with("ERR nested BATCH"), "{}", nested[0]);
+        assert_eq!(nested[1], "OK cmd=ping");
+        assert_eq!(c.roundtrip("PING"), "OK cmd=ping");
+        server.join();
+    }
+
+    #[test]
+    fn evict_clears_cache_and_counts() {
+        let server = test_server(1, 4);
+        let mut c = Client::connect(server.addr());
+        c.roundtrip("CHECK mbps=16 set=20,20000");
+        c.roundtrip("CHECK mbps=16 set=20,30000");
+        assert_eq!(c.roundtrip("EVICT"), "OK cmd=evict evicted=2");
+        let stats = c.roundtrip("STATS");
+        assert!(stats.contains("cache_entries=0"), "{stats}");
+        assert!(stats.contains("cache_capacity="), "{stats}");
+        // The next identical CHECK is a miss again.
+        let again = c.roundtrip("CHECK mbps=16 set=20,20000");
+        assert!(again.ends_with("cached=false"), "{again}");
+        server.join();
+    }
+
+    #[test]
+    fn saturation_on_stored_ring() {
+        let server = test_server(2, 8);
+        let mut c = Client::connect(server.addr());
+        c.roundtrip("REGISTER ring=r protocol=fddi mbps=100 stations=8");
+        c.roundtrip("ADMIT ring=r stream=a period_ms=20 bits=100000");
+        let sat = c.roundtrip("SATURATION ring=r");
+        assert!(sat.contains("cmd=saturation"), "{sat}");
+        assert!(sat.contains(" scale="), "{sat}");
+        assert!(c
+            .roundtrip("SATURATION ring=ghost")
+            .starts_with("ERR unknown ring"));
+        server.join();
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | [`sim`] | `ringrt-sim` | frame-level 802.5 and FDDI simulators |
 //! | [`frames`] | `ringrt-frames` | real 802.5/FDDI wire formats, CRC-32, access control |
 //! | [`service`] | `ringrt-service` | online admission-control TCP server with result cache |
+//! | [`registry`] | `ringrt-registry` | persistent named-ring registry, journaled state, incremental admission |
 //!
 //! # Quickstart
 //!
@@ -93,6 +94,12 @@ pub mod frames {
 /// Online admission-control server (re-export of `ringrt-service`).
 pub mod service {
     pub use ringrt_service::*;
+}
+
+/// Persistent ring registry with journaled state and incremental
+/// admission re-analysis (re-export of `ringrt-registry`).
+pub mod registry {
+    pub use ringrt_registry::*;
 }
 
 /// The most common imports in one place.

@@ -1,0 +1,236 @@
+//! End-to-end tests of the persistent ring registry: a real server with a
+//! `--state-dir`, restart survival with byte-identical state, the
+//! incremental-vs-full evaluation savings the `STATS` counters expose, and
+//! a randomized sweep asserting the incremental admission engine always
+//! agrees with a from-scratch recomputation.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ringrt::registry::{ProtocolKind, RingRegistry, RingSpec};
+use ringrt::service::{spawn, ServerHandle, ServiceConfig};
+use ringrt::workload::MessageSetGenerator;
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let writer = stream.try_clone().expect("clone stream");
+        Client {
+            reader: BufReader::new(stream),
+            writer,
+        }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send request");
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp).expect("read response");
+        assert!(resp.ends_with('\n'), "truncated response: {resp:?}");
+        resp.trim_end().to_owned()
+    }
+}
+
+fn field<'a>(resp: &'a str, key: &str) -> &'a str {
+    resp.split_whitespace()
+        .find_map(|w| w.strip_prefix(&format!("{key}=")[..]))
+        .unwrap_or_else(|| panic!("no field `{key}` in `{resp}`"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ringrt-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn server_with_state(dir: &Path) -> ServerHandle {
+    spawn(ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        queue_depth: 64,
+        state_dir: Some(dir.to_path_buf()),
+        ..ServiceConfig::default()
+    })
+    .expect("spawn service")
+}
+
+/// A ring with 50 admitted streams must come back from a server restart
+/// with byte-identical `SHOW` output — and again after a compaction.
+#[test]
+fn fifty_stream_ring_survives_server_restart_byte_identically() {
+    let dir = temp_dir("restart");
+    let srv = server_with_state(&dir);
+    let mut c = Client::connect(srv.addr());
+    assert!(c
+        .roundtrip("REGISTER ring=prod protocol=modified mbps=100 stations=60")
+        .starts_with("OK"));
+
+    // Admit 50 streams through one BATCH frame (one write, 50 answers).
+    let mut frame = String::from("BATCH 50\n");
+    for i in 0..50u64 {
+        frame.push_str(&format!(
+            "ADMIT ring=prod stream=s{i:03} period_ms={} bits={}\n",
+            20 + (i % 40),
+            1_000 + 16 * i,
+        ));
+    }
+    c.writer.write_all(frame.as_bytes()).expect("send batch");
+    for i in 0..50 {
+        let mut resp = String::new();
+        c.reader.read_line(&mut resp).expect("batch response");
+        assert!(resp.starts_with("OK"), "admit {i}: {resp}");
+        assert!(resp.contains("admitted=true"), "admit {i}: {resp}");
+    }
+
+    let before = c.roundtrip("SHOW ring=prod");
+    assert!(before.contains("streams=50"), "{before}");
+    assert_eq!(c.roundtrip("SHUTDOWN"), "OK cmd=shutdown");
+    srv.join();
+
+    // Restart on the same state dir: journal replay.
+    let srv = server_with_state(&dir);
+    let mut c = Client::connect(srv.addr());
+    assert_eq!(
+        before,
+        c.roundtrip("SHOW ring=prod"),
+        "SHOW diverged across restart (journal replay)"
+    );
+    let stats = c.roundtrip("STATS");
+    assert_eq!(field(&stats, "replayed_streams"), "50", "{stats}");
+    assert!(c.roundtrip("COMPACT").starts_with("OK"));
+    assert_eq!(c.roundtrip("SHUTDOWN"), "OK cmd=shutdown");
+    srv.join();
+
+    // Restart again: snapshot load.
+    let srv = server_with_state(&dir);
+    let mut c = Client::connect(srv.addr());
+    assert_eq!(
+        before,
+        c.roundtrip("SHOW ring=prod"),
+        "SHOW diverged across restart (snapshot load)"
+    );
+    assert_eq!(c.roundtrip("SHUTDOWN"), "OK cmd=shutdown");
+    srv.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An incremental `ADMIT` must perform measurably fewer scheduling-point
+/// evaluations than a full `CHECK` of the same ring, and `STATS` must
+/// expose the aggregated counters proving it.
+#[test]
+fn incremental_admit_is_cheaper_than_full_check() {
+    let srv = spawn(ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        queue_depth: 64,
+        ..ServiceConfig::default()
+    })
+    .expect("spawn service");
+    let mut c = Client::connect(srv.addr());
+    assert!(c
+        .roundtrip("REGISTER ring=lab protocol=modified mbps=16 stations=40")
+        .starts_with("OK"));
+
+    // Strictly growing periods: each newcomer ranks last under DM, so the
+    // incremental test re-checks exactly one priority level.
+    let mut last_admit = String::new();
+    for i in 0..30u64 {
+        last_admit = c.roundtrip(&format!(
+            "ADMIT ring=lab stream=s{i:02} period_ms={} bits=2000",
+            20 + i,
+        ));
+        assert!(last_admit.starts_with("OK"), "{last_admit}");
+        assert_eq!(field(&last_admit, "admitted"), "true", "{last_admit}");
+    }
+    assert_eq!(field(&last_admit, "incremental"), "true", "{last_admit}");
+    let admit_evals: u64 = field(&last_admit, "evaluations").parse().unwrap();
+
+    let check = c.roundtrip("CHECK ring=lab");
+    assert!(check.starts_with("OK"), "{check}");
+    assert_eq!(field(&check, "schedulable"), "true", "{check}");
+    let check_evals: u64 = field(&check, "evaluations").parse().unwrap();
+    assert!(
+        admit_evals < check_evals,
+        "incremental admit ({admit_evals} evaluations) not cheaper than \
+         full check ({check_evals} evaluations)"
+    );
+
+    let stats = c.roundtrip("STATS");
+    let inc_tests: u64 = field(&stats, "incremental_tests").parse().unwrap();
+    let full_tests: u64 = field(&stats, "full_tests").parse().unwrap();
+    let inc_evals: u64 = field(&stats, "incremental_evaluations").parse().unwrap();
+    let full_evals: u64 = field(&stats, "full_evaluations").parse().unwrap();
+    assert!(inc_tests >= 29, "{stats}");
+    assert!(full_tests >= 1, "{stats}");
+    // Per-test average work: incremental must beat full.
+    assert!(
+        inc_evals * full_tests < full_evals * inc_tests,
+        "incremental mean not below full mean: {stats}"
+    );
+    srv.join();
+}
+
+/// Randomized admit/remove sequences over the paper's stream population:
+/// the incremental verdict must always equal a from-scratch recomputation
+/// of the stored set, for both PDP variants and TTP. (In debug builds the
+/// engine additionally asserts equality on *every* incremental path,
+/// including rejected admissions.)
+#[test]
+fn randomized_incremental_equals_full_across_protocols() {
+    for &(protocol, mbps) in &[
+        (ProtocolKind::Ieee8025, 16.0),
+        (ProtocolKind::Modified, 16.0),
+        (ProtocolKind::Fddi, 100.0),
+    ] {
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(0xD1CE_0000 + seed);
+            let set = MessageSetGenerator::paper_population(12).generate(&mut rng);
+            let reg = RingRegistry::in_memory();
+            reg.register(
+                "r",
+                RingSpec {
+                    protocol,
+                    mbps,
+                    stations: Some(12),
+                },
+            )
+            .expect("register");
+
+            let mut admitted: Vec<String> = Vec::new();
+            for (i, stream) in set.as_slice().iter().enumerate() {
+                let name = format!("s{i:02}");
+                let outcome = reg.admit("r", &name, *stream).expect("admit");
+                if outcome.applied {
+                    admitted.push(name.clone());
+                    let full = reg.check_full("r").expect("check_full");
+                    assert_eq!(
+                        outcome.check.schedulable, full.schedulable,
+                        "admit verdict diverged: {protocol:?} seed={seed} stream={name}"
+                    );
+                }
+                // Occasionally remove a random admitted stream.
+                if !admitted.is_empty() && rng.gen_range(0u64..3) == 0 {
+                    let victim =
+                        admitted.remove(rng.gen_range(0u64..admitted.len() as u64) as usize);
+                    let outcome = reg.remove("r", &victim).expect("remove");
+                    if !admitted.is_empty() {
+                        let full = reg.check_full("r").expect("check_full");
+                        assert_eq!(
+                            outcome.check.schedulable, full.schedulable,
+                            "remove verdict diverged: {protocol:?} seed={seed} stream={victim}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
