@@ -1,0 +1,144 @@
+//! SPEEDUP — multi-core ABU estimation throughput (engineering benchmark).
+//!
+//! Measures Monte-Carlo average-breakdown-utilization throughput
+//! (samples/sec) for the serial `estimate` path against
+//! `estimate_parallel` on the shared `ringrt-exec` pool, across a thread
+//! ladder up to the configured width (`RINGRT_THREADS` or the machine's
+//! core count). Because the parallel path consumes the same canonical
+//! SplitMix64 seed stream as the serial one, every row also asserts the
+//! estimates are **bit-identical** — the speedup is free of any numerical
+//! drift.
+//!
+//! Besides the usual CSV on stdout, writes `BENCH_abu.json` to the current
+//! directory for CI artifact upload.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ringrt_bench::{banner, ExpOptions};
+use ringrt_breakdown::table::{cell, Table};
+use ringrt_breakdown::{BreakdownEstimate, BreakdownEstimator, SaturationSearch};
+use ringrt_core::ttp::TtpAnalyzer;
+use ringrt_exec::Pool;
+use ringrt_model::RingConfig;
+use ringrt_workload::MessageSetGenerator;
+
+const OUT_PATH: &str = "BENCH_abu.json";
+
+fn main() {
+    let opts = ExpOptions::from_env();
+    banner(
+        "SPEEDUP",
+        "serial vs pooled ABU estimation throughput (bit-identical by construction)",
+        &opts,
+    );
+
+    let ring = RingConfig::fddi(opts.stations, ringrt_units::Bandwidth::from_mbps(100.0));
+    let analyzer = TtpAnalyzer::with_defaults(ring);
+    let estimator = BreakdownEstimator::new(
+        MessageSetGenerator::paper_population(opts.stations),
+        opts.samples,
+    )
+    .with_search(SaturationSearch::with_tolerance(if opts.quick {
+        3e-3
+    } else {
+        1e-3
+    }));
+    let iters = if opts.quick { 1 } else { 3 };
+    let bw = ring.bandwidth();
+
+    // Warm-up (page in code paths, settle allocator) + reference estimate.
+    let reference = estimator.estimate(&analyzer, bw, &mut StdRng::seed_from_u64(opts.seed));
+
+    // Serial baseline: best of `iters` runs of the plain estimate path.
+    let serial_sps = best_samples_per_sec(iters, opts.samples, || {
+        estimator.estimate(&analyzer, bw, &mut StdRng::seed_from_u64(opts.seed))
+    });
+
+    let max_threads = ringrt_exec::configured_threads();
+    let mut table = Table::new(&[
+        "threads",
+        "serial_sps",
+        "parallel_sps",
+        "speedup",
+        "bit_identical",
+    ]);
+    let mut rows_json = Vec::new();
+    for threads in thread_ladder(max_threads) {
+        let pool = Pool::new(threads);
+        let parallel = estimator.estimate_parallel(&analyzer, bw, opts.seed, &pool);
+        assert_eq!(
+            reference, parallel,
+            "parallel ABU diverged from serial at {threads} threads"
+        );
+        let sps = best_samples_per_sec(iters, opts.samples, || {
+            estimator.estimate_parallel(&analyzer, bw, opts.seed, &pool)
+        });
+        let speedup = sps / serial_sps.max(1e-12);
+        table.push_row(&[
+            threads.to_string(),
+            cell(serial_sps, 2),
+            cell(sps, 2),
+            cell(speedup, 3),
+            "true".into(),
+        ]);
+        rows_json.push(format!(
+            "    {{\"threads\": {threads}, \"parallel_samples_per_sec\": {sps:.3}, \
+             \"speedup\": {speedup:.3}, \"bit_identical\": true}}"
+        ));
+    }
+    print!("{}", table.to_csv());
+
+    let json = format!(
+        "{{\n  \"bench\": \"abu_speedup\",\n  \"protocol\": \"{}\",\n  \"mbps\": 100.0,\n  \
+         \"stations\": {},\n  \"samples\": {},\n  \"seed\": {},\n  \"iters_per_point\": {},\n  \
+         \"configured_threads\": {},\n  \"serial_samples_per_sec\": {:.3},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        reference.protocol,
+        opts.stations,
+        opts.samples,
+        opts.seed,
+        iters,
+        max_threads,
+        serial_sps,
+        rows_json.join(",\n"),
+    );
+    if let Err(e) = std::fs::write(OUT_PATH, &json) {
+        eprintln!("warning: could not write {OUT_PATH}: {e}");
+    } else {
+        println!();
+        println!("# wrote {OUT_PATH} (configured_threads={max_threads})");
+    }
+    println!("# every row is asserted bit-identical to the serial estimate; the speedup");
+    println!("# is pure scheduling, not numerical shortcuts. On a single-core host the");
+    println!("# ladder collapses to threads=1 and the speedup hovers around 1.0.");
+}
+
+/// Doubling ladder 1, 2, 4, … capped at — and always including — `max`.
+fn thread_ladder(max: usize) -> Vec<usize> {
+    let mut ladder = Vec::new();
+    let mut t = 1;
+    while t < max {
+        ladder.push(t);
+        t *= 2;
+    }
+    ladder.push(max.max(1));
+    ladder
+}
+
+/// Best observed throughput (samples/sec) over `iters` timed runs.
+fn best_samples_per_sec(
+    iters: usize,
+    samples: usize,
+    mut run: impl FnMut() -> BreakdownEstimate,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let est = run();
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(est.stats.count(), samples as u64);
+        best = best.min(elapsed);
+    }
+    samples as f64 / best.max(1e-9)
+}

@@ -70,7 +70,7 @@ fn main() {
     // FIG1 n=100 1 Mbps discussion in EXPERIMENTS.md).
     let stations = opts.stations.min(40);
     let frame = FrameFormat::paper_default();
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let pool = ringrt_exec::Pool::from_env();
 
     let mut table = Table::new(&[
         "population",
@@ -95,8 +95,8 @@ fn main() {
                 PdpVariant::Modified,
             );
             let ttp = TtpAnalyzer::with_defaults(RingConfig::fddi(stations, bw));
-            let e_pdp = estimator.estimate_parallel(&pdp, bw, opts.seed, threads);
-            let e_ttp = estimator.estimate_parallel(&ttp, bw, opts.seed, threads);
+            let e_pdp = estimator.estimate_parallel(&pdp, bw, opts.seed, &pool);
+            let e_ttp = estimator.estimate_parallel(&ttp, bw, opts.seed, &pool);
             let pdp_leads = e_pdp.mean > e_ttp.mean;
             if pdp_leads != expect_pdp {
                 violations += 1;

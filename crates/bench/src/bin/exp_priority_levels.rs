@@ -38,14 +38,14 @@ fn main() {
         1e-3
     }));
     let frame = FrameFormat::paper_default();
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let pool = ringrt_exec::Pool::from_env();
 
     let mut table = Table::new(&["bandwidth_mbps", "levels", "abu", "ci95", "vs_unlimited"]);
     for mbps in [2.0, 5.623, 16.0] {
         let bw = Bandwidth::from_mbps(mbps);
         let ring = RingConfig::ieee_802_5(opts.stations, bw);
         let base = PdpAnalyzer::new(ring, frame, PdpVariant::Modified);
-        let unlimited = estimator.estimate_parallel(&base, bw, opts.seed, threads);
+        let unlimited = estimator.estimate_parallel(&base, bw, opts.seed, &pool);
         table.push_row(&[
             cell(mbps, 3),
             "unlimited".into(),
@@ -55,7 +55,7 @@ fn main() {
         ]);
         for levels in [32usize, 8, 4, 2, 1] {
             let analyzer = base.with_priority_levels(levels);
-            let est = estimator.estimate_parallel(&analyzer, bw, opts.seed, threads);
+            let est = estimator.estimate_parallel(&analyzer, bw, opts.seed, &pool);
             table.push_row(&[
                 cell(mbps, 3),
                 levels.to_string(),

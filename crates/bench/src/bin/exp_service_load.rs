@@ -184,7 +184,7 @@ fn main() {
     let clients = if opts.quick { 4 } else { 8 };
     let per_client = opts.samples.max(10);
     let total = clients * per_client;
-    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let workers = ringrt_exec::configured_threads().max(4);
 
     let server = spawn(ServiceConfig {
         addr: "127.0.0.1:0".to_owned(),

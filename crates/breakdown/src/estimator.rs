@@ -2,9 +2,11 @@
 
 use core::fmt;
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use ringrt_core::SchedulabilityTest;
+use ringrt_exec::Pool;
 use ringrt_units::Bandwidth;
 use ringrt_workload::MessageSetGenerator;
 
@@ -77,102 +79,39 @@ impl BreakdownEstimator {
         &self.generator
     }
 
-    /// Runs the estimation for one protocol configuration.
-    ///
-    /// `bandwidth` is used to express sampled boundary utilizations (it
-    /// should match the analyzer's ring bandwidth). Sets for which no
-    /// positive load is schedulable contribute a **zero** utilization
-    /// sample — the protocol genuinely cannot guarantee that population
-    /// member — and are additionally counted in
-    /// [`BreakdownEstimate::infeasible_sets`].
-    pub fn estimate<T, R>(&self, test: &T, bandwidth: Bandwidth, rng: &mut R) -> BreakdownEstimate
+    /// The canonical per-sample seed stream: one word drawn from the
+    /// master RNG per sample, decorrelated through the SplitMix64
+    /// finalizer. Both the serial and the parallel estimation paths
+    /// consume **exactly** this stream, which is what makes them
+    /// bit-identical.
+    fn sample_seeds<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u64> {
+        (0..self.samples)
+            .map(|_| ringrt_exec::splitmix64(rng.next_u64()))
+            .collect()
+    }
+
+    /// Draws and saturates sample `k`: its own RNG stream from `seed`,
+    /// returning `(breakdown utilization, infeasible?)`.
+    fn run_sample<T>(&self, test: &T, bandwidth: Bandwidth, seed: u64) -> (f64, bool)
     where
         T: SchedulabilityTest + ?Sized,
-        R: Rng + ?Sized,
     {
-        let mut stats = SampleStats::new();
-        let mut infeasible = 0usize;
-        for _ in 0..self.samples {
-            let set = self.generator.generate(rng);
-            match self.search.saturate(test, &set, bandwidth) {
-                Some(sat) => stats.push(sat.utilization),
-                None => {
-                    infeasible += 1;
-                    stats.push(0.0);
-                }
-            }
-        }
-        BreakdownEstimate {
-            protocol: test.protocol_name(),
-            mean: stats.mean(),
-            ci95: stats.ci95_half_width(),
-            infeasible_sets: infeasible,
-            stats,
+        let mut rng = StdRng::seed_from_u64(seed);
+        let set = self.generator.generate(&mut rng);
+        match self.search.saturate(test, &set, bandwidth) {
+            Some(sat) => (sat.utilization, false),
+            None => (0.0, true),
         }
     }
 
-    /// Like [`BreakdownEstimator::estimate`], but scatters the samples over
-    /// `threads` worker threads.
-    ///
-    /// Deterministic regardless of thread count or interleaving: sample `k`
-    /// always uses its own RNG stream derived from `seed` and `k`, and the
-    /// partial statistics are merged in sample order. The result therefore
-    /// differs from the sequential [`BreakdownEstimator::estimate`] (which
-    /// draws all samples from one RNG stream) but is reproducible from
-    /// `seed` alone.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads` is zero.
-    pub fn estimate_parallel<T>(
-        &self,
-        test: &T,
-        bandwidth: Bandwidth,
-        seed: u64,
-        threads: usize,
-    ) -> BreakdownEstimate
+    /// Folds per-sample results (in sample order) into the estimate.
+    fn merge<T>(&self, test: &T, samples: &[(f64, bool)]) -> BreakdownEstimate
     where
-        T: SchedulabilityTest + Sync + ?Sized,
+        T: SchedulabilityTest + ?Sized,
     {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
-
-        assert!(threads > 0, "need at least one worker thread");
-        let threads = threads.min(self.samples);
-
-        let sample_seed = |k: usize| {
-            seed ^ (k as u64)
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add(1)
-        };
-        let run_sample = |k: usize| -> (f64, bool) {
-            let mut rng = StdRng::seed_from_u64(sample_seed(k));
-            let set = self.generator.generate(&mut rng);
-            match self.search.saturate(test, &set, bandwidth) {
-                Some(sat) => (sat.utilization, false),
-                None => (0.0, true),
-            }
-        };
-
-        // Static block partition: worker w takes samples [lo, hi).
-        let mut results: Vec<Vec<(f64, bool)>> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            let per = self.samples.div_ceil(threads);
-            for w in 0..threads {
-                let lo = w * per;
-                let hi = ((w + 1) * per).min(self.samples);
-                let run = &run_sample;
-                handles.push(scope.spawn(move || (lo..hi).map(run).collect::<Vec<_>>()));
-            }
-            for h in handles {
-                results.push(h.join().expect("estimator worker panicked"));
-            }
-        });
-
         let mut stats = SampleStats::new();
         let mut infeasible = 0usize;
-        for (u, inf) in results.into_iter().flatten() {
+        for &(u, inf) in samples {
             stats.push(u);
             if inf {
                 infeasible += 1;
@@ -185,6 +124,58 @@ impl BreakdownEstimator {
             infeasible_sets: infeasible,
             stats,
         }
+    }
+
+    /// Runs the estimation for one protocol configuration.
+    ///
+    /// `bandwidth` is used to express sampled boundary utilizations (it
+    /// should match the analyzer's ring bandwidth). Sets for which no
+    /// positive load is schedulable contribute a **zero** utilization
+    /// sample — the protocol genuinely cannot guarantee that population
+    /// member — and are additionally counted in
+    /// [`BreakdownEstimate::infeasible_sets`].
+    ///
+    /// Sample `k` runs on its own RNG stream seeded from the `k`-th word
+    /// of `rng` (SplitMix64-mixed), so
+    /// `estimate(&mut StdRng::seed_from_u64(s))` is **bit-identical** to
+    /// [`BreakdownEstimator::estimate_parallel`] with master seed `s` at
+    /// any thread count.
+    pub fn estimate<T, R>(&self, test: &T, bandwidth: Bandwidth, rng: &mut R) -> BreakdownEstimate
+    where
+        T: SchedulabilityTest + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let seeds = self.sample_seeds(rng);
+        let samples: Vec<(f64, bool)> = seeds
+            .iter()
+            .map(|&s| self.run_sample(test, bandwidth, s))
+            .collect();
+        self.merge(test, &samples)
+    }
+
+    /// Like [`BreakdownEstimator::estimate`], but scatters the samples
+    /// across `pool`'s worker threads.
+    ///
+    /// **Bit-identical to the serial path at any thread count**: the
+    /// per-sample seeds are the same SplitMix64-mixed stream a serial
+    /// `estimate(&mut StdRng::seed_from_u64(seed))` consumes, and the
+    /// pool returns sample results in index order, so the mean, CI, and
+    /// full sample statistics match byte for byte no matter how the
+    /// samples interleave across workers.
+    pub fn estimate_parallel<T>(
+        &self,
+        test: &T,
+        bandwidth: Bandwidth,
+        seed: u64,
+        pool: &Pool,
+    ) -> BreakdownEstimate
+    where
+        T: SchedulabilityTest + Sync + ?Sized,
+    {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let seeds = self.sample_seeds(&mut rng);
+        let samples = pool.map(self.samples, |k| self.run_sample(test, bandwidth, seeds[k]));
+        self.merge(test, &samples)
     }
 }
 
@@ -277,45 +268,32 @@ mod tests {
     }
 
     #[test]
-    fn parallel_matches_itself_across_thread_counts() {
+    fn parallel_is_bit_identical_across_thread_counts() {
         let ring = RingConfig::fddi(10, Bandwidth::from_mbps(100.0));
         let a = TtpAnalyzer::with_defaults(ring);
         let e = BreakdownEstimator::new(MessageSetGenerator::paper_population(10), 9)
             .with_search(SaturationSearch::with_tolerance(1e-3));
-        let one = e.estimate_parallel(&a, ring.bandwidth(), 42, 1);
-        let four = e.estimate_parallel(&a, ring.bandwidth(), 42, 4);
-        let many = e.estimate_parallel(&a, ring.bandwidth(), 42, 16);
+        let one = e.estimate_parallel(&a, ring.bandwidth(), 42, &Pool::serial());
+        let four = e.estimate_parallel(&a, ring.bandwidth(), 42, &Pool::new(4));
+        let many = e.estimate_parallel(&a, ring.bandwidth(), 42, &Pool::new(16));
         assert_eq!(one.stats.count(), 9);
-        assert!((one.mean - four.mean).abs() < 1e-12);
-        assert!((one.mean - many.mean).abs() < 1e-12);
+        assert_eq!(one, four);
+        assert_eq!(one, many);
         // A different seed gives a different (but valid) estimate.
-        let other = e.estimate_parallel(&a, ring.bandwidth(), 43, 4);
+        let other = e.estimate_parallel(&a, ring.bandwidth(), 43, &Pool::new(4));
         assert_ne!(one.mean, other.mean);
     }
 
     #[test]
-    fn parallel_agrees_with_sequential_statistically() {
+    fn parallel_is_bit_identical_to_serial_estimate() {
         let ring = RingConfig::fddi(10, Bandwidth::from_mbps(100.0));
         let a = TtpAnalyzer::with_defaults(ring);
         let e = BreakdownEstimator::new(MessageSetGenerator::paper_population(10), 16)
             .with_search(SaturationSearch::with_tolerance(1e-3));
         let seq = e.estimate(&a, ring.bandwidth(), &mut StdRng::seed_from_u64(7));
-        let par = e.estimate_parallel(&a, ring.bandwidth(), 7, 4);
-        // Different RNG streams, same population: means land close.
-        assert!(
-            (seq.mean - par.mean).abs() < 0.15,
-            "{} vs {}",
-            seq.mean,
-            par.mean
-        );
-    }
-
-    #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn zero_threads_rejected() {
-        let ring = RingConfig::fddi(4, Bandwidth::from_mbps(100.0));
-        let a = TtpAnalyzer::with_defaults(ring);
-        let _ = quick_estimator(4).estimate_parallel(&a, ring.bandwidth(), 1, 0);
+        let par = e.estimate_parallel(&a, ring.bandwidth(), 7, &Pool::new(4));
+        // Same canonical seed stream, merged in sample order: byte-equal.
+        assert_eq!(seq, par);
     }
 
     #[test]

@@ -1,8 +1,13 @@
 //! Scaling a message set to the schedulability boundary.
 
 use ringrt_core::SchedulabilityTest;
+use ringrt_exec::Pool;
 use ringrt_model::MessageSet;
 use ringrt_units::Bandwidth;
+
+/// Cap on concurrent probes per multisection round: beyond this the
+/// bracket shrinks slower per evaluation than it costs to fan out.
+const MAX_SECTIONS: usize = 8;
 
 /// Binary search for the saturation boundary of a message set under a
 /// schedulability test.
@@ -134,6 +139,108 @@ impl SaturationSearch {
             utilization,
         })
     }
+
+    /// Like [`SaturationSearch::saturate`], but fans the boundary probes
+    /// across `pool`'s workers: each bracket-expansion and refinement
+    /// round evaluates up to `min(pool.threads(), 8)` candidate scales
+    /// concurrently (a multisection search — `p` probes shrink the
+    /// bracket by `p + 1` per round instead of bisection's 2).
+    ///
+    /// The result honors the same contract as the serial search (returned
+    /// scale schedulable, bracket within tolerance) and is deterministic
+    /// for a fixed probe count; with a single-threaded pool it is
+    /// **identical** to [`SaturationSearch::saturate`]. Probe counts
+    /// differ in their final `α*` only within the search tolerance.
+    #[must_use]
+    pub fn saturate_with<T>(
+        &self,
+        test: &T,
+        set: &MessageSet,
+        bandwidth: Bandwidth,
+        pool: &Pool,
+    ) -> Option<SaturatedSet>
+    where
+        T: SchedulabilityTest + Sync + ?Sized,
+    {
+        let probes = pool.threads().min(MAX_SECTIONS);
+        if probes <= 1 {
+            return self.saturate(test, set, bandwidth);
+        }
+        let schedulable_at = |alpha: f64| test.is_schedulable(&set.with_scaled_lengths(alpha));
+        let batch = |alphas: &[f64]| pool.map_slice(alphas, |&a| schedulable_at(a));
+
+        // Establish a bracket [lo, hi] with schedulable(lo) ∧ ¬schedulable(hi),
+        // probing a whole geometric ladder per round.
+        let mut lo;
+        let mut hi;
+        if schedulable_at(1.0) {
+            lo = 1.0;
+            let mut rounds = 0;
+            loop {
+                let ladder: Vec<f64> = (1..=probes).map(|j| lo * 2f64.powi(j as i32)).collect();
+                let verdicts = batch(&ladder);
+                if let Some(j) = verdicts.iter().position(|ok| !ok) {
+                    if j > 0 {
+                        lo = ladder[j - 1];
+                    }
+                    hi = ladder[j];
+                    break;
+                }
+                lo = *ladder.last().expect("probes >= 2");
+                rounds += 1;
+                if rounds > self.max_iterations {
+                    // Pathological: the test accepts unbounded load.
+                    return None;
+                }
+            }
+        } else {
+            hi = 1.0;
+            let mut rounds = 0;
+            loop {
+                let ladder: Vec<f64> = (1..=probes).map(|j| hi * 0.5f64.powi(j as i32)).collect();
+                let verdicts = batch(&ladder);
+                if let Some(j) = verdicts.iter().position(|ok| *ok) {
+                    lo = ladder[j];
+                    if j > 0 {
+                        hi = ladder[j - 1];
+                    }
+                    break;
+                }
+                hi = *ladder.last().expect("probes >= 2");
+                rounds += 1;
+                if rounds > self.max_iterations || hi < 1e-12 {
+                    return None;
+                }
+            }
+        }
+
+        // Multisection refinement: p equispaced interior probes per round.
+        let mut rounds = 0;
+        while (hi - lo) / lo > self.tolerance && rounds < self.max_iterations {
+            let step = (hi - lo) / (probes + 1) as f64;
+            let xs: Vec<f64> = (1..=probes).map(|j| lo + step * j as f64).collect();
+            let verdicts = batch(&xs);
+            // Monotone in α: the largest schedulable probe raises lo, the
+            // first unschedulable one lowers hi.
+            match verdicts.iter().position(|ok| !ok) {
+                Some(0) => hi = xs[0],
+                Some(j) => {
+                    lo = xs[j - 1];
+                    hi = xs[j];
+                }
+                None => lo = *xs.last().expect("probes >= 2"),
+            }
+            rounds += 1;
+        }
+
+        let saturated = set.with_scaled_lengths(lo);
+        let utilization = saturated.utilization(bandwidth);
+        Some(SaturatedSet {
+            set: saturated,
+            scale: lo,
+            utilization,
+        })
+    }
 }
 
 /// A message set scaled to the schedulability boundary.
@@ -236,5 +343,71 @@ mod tests {
     #[should_panic(expected = "tolerance")]
     fn bad_tolerance_rejected() {
         let _ = SaturationSearch::with_tolerance(0.0);
+    }
+
+    #[test]
+    fn pooled_search_agrees_with_serial_within_tolerance() {
+        let ring = RingConfig::fddi(3, Bandwidth::from_mbps(100.0));
+        let a = TtpAnalyzer::with_defaults(ring);
+        let search = SaturationSearch::default();
+        let serial = search.saturate(&a, &base_set(), ring.bandwidth()).unwrap();
+        for threads in [2, 4, 8] {
+            let pool = Pool::new(threads);
+            let par = search
+                .saturate_with(&a, &base_set(), ring.bandwidth(), &pool)
+                .unwrap();
+            use ringrt_core::SchedulabilityTest;
+            assert!(a.is_schedulable(&par.set));
+            let above = par.set.with_scaled_lengths(1.0 + 10.0 * search.tolerance);
+            assert!(!a.is_schedulable(&above));
+            let rel = (par.scale - serial.scale).abs() / serial.scale;
+            assert!(
+                rel <= 2.0 * search.tolerance,
+                "threads={threads}: scale {par} vs serial {serial} (rel {rel})",
+                par = par.scale,
+                serial = serial.scale,
+            );
+        }
+    }
+
+    #[test]
+    fn pooled_search_scales_down_overloaded_sets() {
+        let ring = RingConfig::ieee_802_5(3, Bandwidth::from_mbps(4.0));
+        let a = PdpAnalyzer::new(ring, FrameFormat::paper_default(), PdpVariant::Modified);
+        let heavy = base_set().with_scaled_lengths(1_000.0);
+        let pool = Pool::new(4);
+        let serial = SaturationSearch::default()
+            .saturate(&a, &heavy, ring.bandwidth())
+            .unwrap();
+        let par = SaturationSearch::default()
+            .saturate_with(&a, &heavy, ring.bandwidth(), &pool)
+            .unwrap();
+        assert!(par.scale < 1.0);
+        let rel = (par.scale - serial.scale).abs() / serial.scale;
+        assert!(rel <= 2.0 * SaturationSearch::default().tolerance);
+    }
+
+    #[test]
+    fn serial_pool_delegates_exactly() {
+        let ring = RingConfig::fddi(3, Bandwidth::from_mbps(100.0));
+        let a = TtpAnalyzer::with_defaults(ring);
+        let search = SaturationSearch::default();
+        let serial = search.saturate(&a, &base_set(), ring.bandwidth()).unwrap();
+        let pooled = search
+            .saturate_with(&a, &base_set(), ring.bandwidth(), &Pool::serial())
+            .unwrap();
+        assert_eq!(serial, pooled);
+    }
+
+    #[test]
+    fn pooled_search_returns_none_for_impossible_configuration() {
+        use ringrt_core::ttp::TtrtPolicy;
+        let ring = RingConfig::fddi(3, Bandwidth::from_mbps(100.0));
+        let a = TtpAnalyzer::with_defaults(ring)
+            .with_ttrt_policy(TtrtPolicy::Fixed(Seconds::from_millis(500.0)));
+        let pool = Pool::new(4);
+        assert!(SaturationSearch::default()
+            .saturate_with(&a, &base_set(), ring.bandwidth(), &pool)
+            .is_none());
     }
 }

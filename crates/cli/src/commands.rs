@@ -357,9 +357,9 @@ fn abu<W: Write>(mbps: f64, stations: usize, samples: usize, seed: u64, out: &mu
             Box::new(TtpAnalyzer::with_defaults(RingConfig::fddi(stations, bw))),
         ),
     ];
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let pool = ringrt_exec::Pool::from_env();
     for (name, analyzer) in candidates {
-        let est = estimator.estimate_parallel(&*analyzer, bw, seed, threads);
+        let est = estimator.estimate_parallel(&*analyzer, bw, seed, &pool);
         let _ = writeln!(out, "  {name:<9} {:.4} ± {:.4}", est.mean, est.ci95);
     }
     ExitCode::Success

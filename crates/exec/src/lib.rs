@@ -1,0 +1,384 @@
+//! The shared parallel execution layer for ringrt's hot paths.
+//!
+//! Every compute-bound loop in the workspace — Monte-Carlo ABU sampling,
+//! saturation multisection, service `ABU` fan-out, experiment sweeps —
+//! runs on the same primitive: a **scoped, chunked, self-scheduling work
+//! pool** built from nothing but `std::thread::scope` and one atomic
+//! cursor. There is no persistent thread pool and no channel machinery:
+//! a [`Pool`] is just a thread-count policy, and each [`Pool::map`] call
+//! spawns scoped workers that race down a shared index, stealing one
+//! chunk of iterations at a time (classic self-scheduling, which is what
+//! "work stealing" degenerates to for a single flat range).
+//!
+//! # Determinism
+//!
+//! `map(n, f)` always returns `f(0), f(1), …, f(n-1)` **in index order**
+//! regardless of thread count or scheduling: workers collect
+//! `(start, results)` runs locally and the runs are merge-sorted by start
+//! index before returning. Combined with per-index seed derivation
+//! ([`splitmix64`]) this is what lets `BreakdownEstimator` promise
+//! bit-identical estimates at any thread count.
+//!
+//! # Thread-count policy
+//!
+//! [`Pool::from_env`] honors the `RINGRT_THREADS` environment variable
+//! (clamped to ≥ 1) and falls back to
+//! [`std::thread::available_parallelism`]. Set `RINGRT_THREADS=1` to force
+//! every parallel path through its serial fallback — CI runs the whole
+//! test suite once in that mode.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker thread count.
+pub const THREADS_ENV: &str = "RINGRT_THREADS";
+
+/// SplitMix64's finalizing mix: a bijective avalanche of all 64 bits.
+///
+/// Used to turn structured inputs (a master seed, a sample index, one word
+/// of a parent RNG stream) into decorrelated per-task seeds. The constants
+/// are Vigna's reference SplitMix64 — the same mixer the vendored
+/// `rand::rngs::StdRng` uses to expand its seed.
+#[must_use]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the `k`-th task seed from a master seed: the splitmix-style
+/// stream `splitmix64(master + k·GOLDEN)`, statistically independent
+/// across both `k` and nearby master seeds.
+#[must_use]
+pub fn derive_seed(master: u64, k: u64) -> u64 {
+    splitmix64(master ^ splitmix64(k))
+}
+
+/// Parses a thread-count override string: `Some(n ≥ 1)` for a valid
+/// positive integer, `None` otherwise (empty, garbage, or zero).
+#[must_use]
+pub fn parse_threads(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+/// The configured worker thread count: `RINGRT_THREADS` if set to a
+/// positive integer, else the machine's available parallelism, else 1.
+#[must_use]
+pub fn configured_threads() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .as_deref()
+        .and_then(parse_threads)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Cumulative counters for one pool: how much work ran and how it spread
+/// over workers. Cheap relaxed atomics, bumped once per chunk.
+#[derive(Debug, Default)]
+struct PoolCounters {
+    /// `map` invocations that actually spawned threads.
+    parallel_runs: AtomicU64,
+    /// `map` invocations served on the calling thread.
+    serial_runs: AtomicU64,
+    /// Total items processed.
+    items: AtomicU64,
+    /// Total chunks claimed by workers (parallel runs only).
+    chunks: AtomicU64,
+}
+
+/// A snapshot of a pool's lifetime counters (see [`Pool::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Configured worker thread count.
+    pub threads: usize,
+    /// `map` calls that fanned out across scoped threads.
+    pub parallel_runs: u64,
+    /// `map` calls answered serially (1 thread or ≤ 1 item).
+    pub serial_runs: u64,
+    /// Items processed across all calls.
+    pub items: u64,
+    /// Chunks claimed across all parallel calls.
+    pub chunks: u64,
+}
+
+/// A scoped work pool: a thread-count policy plus usage counters.
+///
+/// Cloning or sharing: the pool is `Sync`; one instance can serve any
+/// number of concurrent `map` calls (each call spawns its own scoped
+/// workers, so calls never contend beyond the atomic counters).
+///
+/// # Examples
+///
+/// ```
+/// use ringrt_exec::Pool;
+///
+/// let pool = Pool::new(4);
+/// let squares = pool.map(10, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+/// ```
+#[derive(Debug)]
+pub struct Pool {
+    threads: usize,
+    counters: PoolCounters,
+}
+
+impl Pool {
+    /// A pool running `threads` workers per `map` call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero — need at least one worker thread.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        Pool {
+            threads,
+            counters: PoolCounters::default(),
+        }
+    }
+
+    /// A single-threaded pool: every `map` runs inline on the caller.
+    #[must_use]
+    pub fn serial() -> Self {
+        Pool::new(1)
+    }
+
+    /// A pool sized by [`configured_threads`] (`RINGRT_THREADS` override,
+    /// else available parallelism).
+    #[must_use]
+    pub fn from_env() -> Self {
+        Pool::new(configured_threads())
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Lifetime usage counters.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            threads: self.threads,
+            parallel_runs: self.counters.parallel_runs.load(Ordering::Relaxed),
+            serial_runs: self.counters.serial_runs.load(Ordering::Relaxed),
+            items: self.counters.items.load(Ordering::Relaxed),
+            chunks: self.counters.chunks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Applies `f` to every index in `0..n` and returns the results in
+    /// index order, fanning the work across up to `self.threads()` scoped
+    /// worker threads.
+    ///
+    /// Work distribution is chunked self-scheduling: workers repeatedly
+    /// claim the next `chunk` indices from a shared atomic cursor, so a
+    /// slow item (a deep saturation search) cannot leave the other
+    /// workers idle behind a static partition. Results are reassembled in
+    /// index order, making the output independent of thread count and
+    /// scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f` (the surrounding scope re-raises it).
+    pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.threads.min(n);
+        self.counters.items.fetch_add(n as u64, Ordering::Relaxed);
+        if workers <= 1 {
+            self.counters.serial_runs.fetch_add(1, Ordering::Relaxed);
+            return (0..n).map(f).collect();
+        }
+        self.counters.parallel_runs.fetch_add(1, Ordering::Relaxed);
+
+        // Chunk size: every worker should get several claims (steals) so
+        // uneven item costs still balance, without hammering the cursor
+        // for trivial items. 4 claims per worker, at least 1 item each.
+        let chunk = (n / (4 * workers)).max(1);
+        let cursor = AtomicUsize::new(0);
+        let runs: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, Vec<T>)> = Vec::new();
+                    loop {
+                        let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if lo >= n {
+                            break;
+                        }
+                        let hi = (lo + chunk).min(n);
+                        self.counters.chunks.fetch_add(1, Ordering::Relaxed);
+                        local.push((lo, (lo..hi).map(&f).collect()));
+                    }
+                    if !local.is_empty() {
+                        runs.lock()
+                            .expect("exec result buffer poisoned")
+                            .extend(local);
+                    }
+                });
+            }
+        });
+        let mut runs = runs.into_inner().expect("exec result buffer poisoned");
+        runs.sort_unstable_by_key(|(lo, _)| *lo);
+        let mut out = Vec::with_capacity(n);
+        for (_, part) in runs {
+            out.extend(part);
+        }
+        debug_assert_eq!(out.len(), n);
+        out
+    }
+
+    /// Like [`Pool::map`] over an explicit slice of inputs: returns
+    /// `f(&items[0]), …` in order.
+    pub fn map_slice<'a, I, T, F>(&self, items: &'a [I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&'a I) -> T + Sync,
+    {
+        self.map(items.len(), |i| f(&items[i]))
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_index_order() {
+        let pool = Pool::new(8);
+        for n in [0usize, 1, 2, 7, 64, 1000] {
+            let out = pool.map(n, |i| i * 3);
+            assert_eq!(out, (0..n).map(|i| i * 3).collect::<Vec<_>>(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn map_matches_serial_for_any_thread_count() {
+        let serial = Pool::serial().map(123, |i| (i as u64).wrapping_mul(0x9E37));
+        for threads in [2, 3, 5, 16] {
+            let parallel = Pool::new(threads).map(123, |i| (i as u64).wrapping_mul(0x9E37));
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_actually_uses_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let pool = Pool::new(4);
+        let ids = Mutex::new(HashSet::new());
+        // Enough items that the four workers all claim at least one chunk;
+        // a short sleep keeps the first worker from draining the cursor
+        // before the others start.
+        pool.map(64, |_| {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            ids.lock().unwrap().insert(std::thread::current().id());
+        });
+        assert!(ids.lock().unwrap().len() > 1, "expected fan-out");
+    }
+
+    #[test]
+    fn uneven_item_costs_rebalance() {
+        // One pathologically slow item must not serialize the rest: with
+        // static partitioning, worker 0 would own all the slow indices.
+        let pool = Pool::new(4);
+        let out = pool.map(32, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            i
+        });
+        assert_eq!(out.len(), 32);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let pool = Pool::new(2);
+        let _ = pool.map(10, |i| i);
+        let _ = pool.map(0, |i| i);
+        let s = pool.stats();
+        assert_eq!(s.threads, 2);
+        assert_eq!(s.items, 10);
+        assert_eq!(s.parallel_runs + s.serial_runs, 2);
+    }
+
+    #[test]
+    fn serial_pool_runs_inline() {
+        let pool = Pool::serial();
+        let caller = std::thread::current().id();
+        let ran_on = pool.map(4, |_| std::thread::current().id());
+        assert!(ran_on.iter().all(|&id| id == caller));
+        assert_eq!(pool.stats().serial_runs, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let _ = Pool::new(0);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads(" 12 "), Some(12));
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads("-3"), None);
+        assert_eq!(parse_threads("four"), None);
+        assert_eq!(parse_threads(""), None);
+    }
+
+    #[test]
+    fn configured_threads_is_at_least_one() {
+        assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn splitmix_mixes_and_derive_decorrelates() {
+        // Bijective mixer: distinct inputs stay distinct.
+        let a = splitmix64(1);
+        let b = splitmix64(2);
+        assert_ne!(a, b);
+        // Neighboring (master, k) pairs land far apart.
+        let s: Vec<u64> = (0..4).map(|k| derive_seed(7, k)).collect();
+        for i in 0..s.len() {
+            for j in 0..i {
+                assert_ne!(s[i], s[j]);
+                assert!((s[i] ^ s[j]).count_ones() > 8, "weak mixing");
+            }
+        }
+        assert_ne!(derive_seed(7, 0), derive_seed(8, 0));
+    }
+
+    #[test]
+    fn map_slice_borrows_inputs() {
+        let words = ["alpha".to_owned(), "beta".to_owned()];
+        let lens = Pool::new(2).map_slice(&words, |w| w.len());
+        assert_eq!(lens, vec![5, 4]);
+    }
+
+    #[test]
+    fn panic_in_worker_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            Pool::new(2).map(8, |i| {
+                assert!(i != 5, "boom");
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+}

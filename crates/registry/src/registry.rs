@@ -18,6 +18,12 @@ struct RingEntry {
     state: RingState,
     /// Cached Theorem 5.1 terms (TTP rings only); rebuilt lazily.
     ttp_cache: Option<TtpCache>,
+    /// Mutation generation: the value of the registry-wide counter at this
+    /// ring's last mutation. Globally unique across rings *and* across
+    /// unregister/re-register cycles, so anything keyed by
+    /// `(ring, generation)` — the service's result cache, most notably —
+    /// can never confuse two distinct states of the same ring name.
+    generation: u64,
 }
 
 #[derive(Debug)]
@@ -25,6 +31,9 @@ struct Inner {
     rings: BTreeMap<String, RingEntry>,
     /// `None` for a purely in-memory registry (tests, ephemeral servers).
     store: Option<Store>,
+    /// Registry-wide mutation counter backing [`RingEntry::generation`];
+    /// bumped on **every** committed mutation, including `UNREGISTER`.
+    generation: u64,
 }
 
 /// Work counters proving the incremental path's savings; exposed via
@@ -109,6 +118,7 @@ impl RingRegistry {
             inner: Mutex::new(Inner {
                 rings: BTreeMap::new(),
                 store: None,
+                generation: 0,
             }),
             counters: Counters::default(),
             replay: None,
@@ -124,14 +134,19 @@ impl RingRegistry {
     /// journal replays inconsistently.
     pub fn open(dir: &Path) -> Result<Self, RegistryError> {
         let (store, rings, replay) = Store::open(dir)?;
+        // Replayed rings get fresh, distinct generations; the counter starts
+        // past them so post-recovery mutations never reuse one.
+        let mut generation = 0u64;
         let rings = rings
             .into_iter()
             .map(|(name, state)| {
+                generation += 1;
                 (
                     name,
                     RingEntry {
                         state,
                         ttp_cache: None,
+                        generation,
                     },
                 )
             })
@@ -140,6 +155,7 @@ impl RingRegistry {
             inner: Mutex::new(Inner {
                 rings,
                 store: Some(store),
+                generation,
             }),
             counters: Counters::default(),
             replay: Some(replay),
@@ -164,6 +180,8 @@ impl RingRegistry {
         if let Some(store) = inner.store.as_mut() {
             store.append(op)?;
         }
+        inner.generation += 1;
+        let generation = inner.generation;
         match op {
             JournalOp::Register { ring, spec } => {
                 inner.rings.insert(
@@ -174,12 +192,14 @@ impl RingRegistry {
                             streams: Vec::new(),
                         },
                         ttp_cache: None,
+                        generation,
                     },
                 );
             }
             JournalOp::Admit { ring, stream } => {
                 let entry = inner.rings.get_mut(ring).expect("caller validated ring");
                 entry.state.streams.push(stream.clone());
+                entry.generation = generation;
             }
             JournalOp::Remove { ring, stream } => {
                 let entry = inner.rings.get_mut(ring).expect("caller validated ring");
@@ -188,6 +208,7 @@ impl RingRegistry {
                     .stream_index(stream)
                     .expect("caller validated stream");
                 entry.state.streams.remove(idx);
+                entry.generation = generation;
             }
             JournalOp::Unregister { ring } => {
                 inner.rings.remove(ring);
@@ -416,10 +437,25 @@ impl RingRegistry {
     ///
     /// [`RegistryError::UnknownRing`].
     pub fn ring_state(&self, ring: &str) -> Result<RingState, RegistryError> {
+        self.ring_snapshot(ring).map(|(state, _)| state)
+    }
+
+    /// A snapshot of one ring's state together with its **mutation
+    /// generation** — a registry-wide counter value assigned at the ring's
+    /// last mutation (`REGISTER`/`ADMIT`/`REMOVE`). The generation changes
+    /// on every mutation and is never reused, not even by an
+    /// unregister/re-register cycle under the same name, so
+    /// `(ring, generation)` keys derived caches that go stale exactly when
+    /// the ring actually changed.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::UnknownRing`].
+    pub fn ring_snapshot(&self, ring: &str) -> Result<(RingState, u64), RegistryError> {
         self.lock()
             .rings
             .get(ring)
-            .map(|e| e.state.clone())
+            .map(|e| (e.state.clone(), e.generation))
             .ok_or_else(|| RegistryError::UnknownRing {
                 ring: ring.to_owned(),
             })
@@ -433,7 +469,7 @@ impl RingRegistry {
     /// Storage failures from the snapshot write or journal truncation.
     pub fn compact(&self) -> Result<(), RegistryError> {
         let mut inner = self.lock();
-        let Inner { rings, store } = &mut *inner;
+        let Inner { rings, store, .. } = &mut *inner;
         if let Some(store) = store.as_mut() {
             store.compact(rings.iter().map(|(name, entry)| (name, &entry.state)))?;
         }
@@ -573,6 +609,70 @@ mod tests {
         let reg = RingRegistry::open(&dir).unwrap();
         assert_eq!(reg.ring_state("lab").unwrap(), state);
         assert_eq!(reg.replay_stats().unwrap().records_applied, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn generation_bumps_on_every_mutation() {
+        let reg = RingRegistry::in_memory();
+        reg.register("r", fddi_spec()).unwrap();
+        let (_, g0) = reg.ring_snapshot("r").unwrap();
+        reg.admit("r", "a", stream(20.0, 100_000)).unwrap();
+        let (_, g1) = reg.ring_snapshot("r").unwrap();
+        assert!(g1 > g0);
+        reg.remove("r", "a").unwrap();
+        let (_, g2) = reg.ring_snapshot("r").unwrap();
+        assert!(g2 > g1);
+        // A rejected admit mutates nothing, so the generation holds still.
+        reg.admit("r", "hog", stream(100.0, 12_000_000)).unwrap();
+        reg.admit("r", "ok", stream(20.0, 100_000)).unwrap();
+        let hog = reg.admit("r", "hog2", stream(100.0, 12_000_000)).unwrap();
+        assert!(!hog.applied);
+        let (_, g3) = reg.ring_snapshot("r").unwrap();
+        reg.check_full("r").unwrap(); // reads don't bump either
+        assert_eq!(reg.ring_snapshot("r").unwrap().1, g3);
+    }
+
+    #[test]
+    fn generations_are_unique_across_rings_and_reregistration() {
+        let reg = RingRegistry::in_memory();
+        reg.register("a", fddi_spec()).unwrap();
+        reg.register("b", fddi_spec()).unwrap();
+        let (_, ga) = reg.ring_snapshot("a").unwrap();
+        let (_, gb) = reg.ring_snapshot("b").unwrap();
+        assert_ne!(ga, gb);
+        // Rebuilding the exact same ring under the same name must yield a
+        // fresh generation: stale (ring, generation) cache keys cannot
+        // resolve to the new incarnation.
+        reg.admit("a", "s", stream(20.0, 100_000)).unwrap();
+        let (_, g_old) = reg.ring_snapshot("a").unwrap();
+        reg.unregister("a").unwrap();
+        reg.register("a", fddi_spec()).unwrap();
+        reg.admit("a", "s", stream(20.0, 100_000)).unwrap();
+        let (state, g_new) = reg.ring_snapshot("a").unwrap();
+        assert_eq!(state.streams.len(), 1);
+        assert!(g_new > g_old);
+    }
+
+    #[test]
+    fn reopened_registry_assigns_fresh_generations() {
+        let dir = std::env::temp_dir().join(format!(
+            "ringrt-registry-gen-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let reg = RingRegistry::open(&dir).unwrap();
+            reg.register("lab", fddi_spec()).unwrap();
+            reg.admit("lab", "cam", stream(20.0, 100_000)).unwrap();
+        }
+        let reg = RingRegistry::open(&dir).unwrap();
+        let (_, g) = reg.ring_snapshot("lab").unwrap();
+        assert!(g > 0);
+        // Post-recovery mutations keep advancing past the replayed ones.
+        reg.admit("lab", "mic", stream(50.0, 200_000)).unwrap();
+        assert!(reg.ring_snapshot("lab").unwrap().1 > g);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -21,7 +21,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use crate::protocol::{AnalysisRequest, CommandKind, ProtocolKind};
+use crate::protocol::{AbuRequest, AnalysisRequest, CommandKind, ProtocolKind};
 
 /// Number of independently locked shards. Power of two, comfortably above
 /// any realistic worker count.
@@ -46,8 +46,16 @@ pub struct CacheKey {
     streams: Vec<(u64, u64)>,
     /// SIMULATE-only parameters; zeroed for the analytic commands so that
     /// e.g. a CHECK and a SATURATION of the same set stay distinct only
-    /// via `command`.
+    /// via `command`. `ABU` keys reuse the first two slots for
+    /// `(samples, seed)`.
     sim: (u64, u64, u64),
+    /// For stored-ring analyses: the ring's registry mutation generation at
+    /// lookup time. Generations are globally unique and bumped on every
+    /// `ADMIT`/`REMOVE`/`REGISTER`, so an entry tagged with one simply stops
+    /// being reachable the moment its ring mutates — no `EVICT` needed.
+    /// `None` for inline-set requests, whose key already *is* the full
+    /// input.
+    ring_generation: Option<u64>,
 }
 
 impl CommandKind {
@@ -83,7 +91,32 @@ impl CacheKey {
             stations: req.effective_stations(),
             streams,
             sim,
+            ring_generation: None,
         })
+    }
+
+    /// The canonical key for an `ABU` request. Always cacheable: the
+    /// parallel estimator's sample stream is bit-identical for a given
+    /// seed at any pool width, so the cached body is exact.
+    #[must_use]
+    pub fn for_abu(req: &AbuRequest) -> CacheKey {
+        CacheKey {
+            command: CommandKind::Abu,
+            protocol: req.protocol,
+            mbps_bits: req.mbps.to_bits(),
+            stations: req.stations,
+            streams: Vec::new(),
+            sim: (req.samples as u64, req.seed, 0),
+            ring_generation: None,
+        }
+    }
+
+    /// Tags this key with a ring's registry mutation generation, scoping it
+    /// to one exact incarnation of a stored ring's state.
+    #[must_use]
+    pub fn with_ring_generation(mut self, generation: u64) -> CacheKey {
+        self.ring_generation = Some(generation);
+        self
     }
 
     fn shard(&self) -> usize {
@@ -276,6 +309,42 @@ mod tests {
         let a = key_of("CHECK mbps=16 set=20,1000").unwrap();
         let b = key_of("CHECK mbps=16 set=20,1000 deadline_ms=5").unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ring_generation_distinguishes_incarnations() {
+        let base = key_of("SIMULATE mbps=16 set=20,1000 seed=1").unwrap();
+        let g1 = base.clone().with_ring_generation(1);
+        let g2 = base.clone().with_ring_generation(2);
+        assert_ne!(base, g1);
+        assert_ne!(g1, g2);
+        assert_eq!(g1, base.with_ring_generation(1));
+    }
+
+    #[test]
+    fn abu_keys_canonicalize_parameters() {
+        use crate::protocol::AbuRequest;
+        let req = |mbps: f64, stations, samples, seed| {
+            CacheKey::for_abu(&AbuRequest {
+                protocol: ProtocolKind::Fddi,
+                mbps,
+                stations,
+                samples,
+                seed,
+                deadline_ms: None,
+            })
+        };
+        let base = req(100.0, 16, 50, 1);
+        assert_eq!(base, req(100.0, 16, 50, 1));
+        assert_ne!(base, req(16.0, 16, 50, 1));
+        assert_ne!(base, req(100.0, 8, 50, 1));
+        assert_ne!(base, req(100.0, 16, 51, 1));
+        assert_ne!(base, req(100.0, 16, 50, 2));
+        // Distinct from an inline-set command with the same scalars.
+        assert_ne!(
+            base,
+            key_of("CHECK mbps=100 set=20,1000 stations=16").unwrap()
+        );
     }
 
     #[test]

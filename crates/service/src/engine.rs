@@ -7,15 +7,17 @@
 
 use std::fmt::Write as _;
 
-use ringrt_breakdown::SaturationSearch;
+use ringrt_breakdown::{BreakdownEstimator, SaturationSearch};
 use ringrt_core::pdp::{PdpAnalyzer, PdpVariant};
 use ringrt_core::ttp::TtpAnalyzer;
 use ringrt_core::SchedulabilityTest;
+use ringrt_exec::Pool;
 use ringrt_model::{FrameFormat, MessageSet, RingConfig};
 use ringrt_sim::{PdpSimulator, Phasing, SimConfig, TtpSimulator};
 use ringrt_units::{Bandwidth, Seconds};
+use ringrt_workload::MessageSetGenerator;
 
-use crate::protocol::{AnalysisRequest, CommandKind, ProtocolKind};
+use crate::protocol::{AbuRequest, AnalysisRequest, CommandKind, ProtocolKind};
 
 /// Hard cap on SIMULATE length; requests beyond it are rejected so a single
 /// client cannot pin a worker for minutes.
@@ -25,7 +27,7 @@ fn analyzer_for(
     protocol: ProtocolKind,
     stations: usize,
     bw: Bandwidth,
-) -> Box<dyn SchedulabilityTest> {
+) -> Box<dyn SchedulabilityTest + Sync> {
     match protocol {
         ProtocolKind::Ieee8025 => Box::new(PdpAnalyzer::new(
             RingConfig::ieee_802_5(stations, bw),
@@ -49,6 +51,15 @@ fn analyzer_for(
 /// sending.
 #[must_use]
 pub fn execute(req: &AnalysisRequest) -> String {
+    execute_with(req, &Pool::serial())
+}
+
+/// Like [`execute`], but fans parallelizable work — currently the
+/// `SATURATION` boundary search — across `pool`'s workers. With a
+/// single-threaded pool the result is identical to [`execute`]; wider
+/// pools agree within the search tolerance.
+#[must_use]
+pub fn execute_with(req: &AnalysisRequest, pool: &Pool) -> String {
     let bw = Bandwidth::from_mbps(req.mbps);
     let stations = req.effective_stations();
     let set = &req.set;
@@ -69,7 +80,7 @@ pub fn execute(req: &AnalysisRequest) -> String {
             let analyzer = analyzer_for(req.protocol, stations, bw);
             let verdict = analyzer.is_schedulable(set);
             let _ = write!(body, " schedulable={verdict}");
-            match SaturationSearch::default().saturate(analyzer.as_ref(), set, bw) {
+            match SaturationSearch::default().saturate_with(analyzer.as_ref(), set, bw, pool) {
                 Some(sat) => {
                     let _ = write!(
                         body,
@@ -86,9 +97,38 @@ pub fn execute(req: &AnalysisRequest) -> String {
             Ok(extra) => body.push_str(&extra),
             Err(msg) => return format!("ERR {msg}"),
         },
+        CommandKind::Abu => unreachable!("ABU has its own request type"),
         CommandKind::Sleep => unreachable!("SLEEP is not an analysis command"),
     }
     body
+}
+
+/// Runs one `ABU` request: Monte-Carlo average-breakdown-utilization
+/// estimation over the paper's population for the requested station count,
+/// with the samples fanned across `pool`. The response body is a pure
+/// function of the request — the per-sample seed-derivation scheme makes
+/// the estimate bit-identical at any pool width — so the server caches it.
+#[must_use]
+pub fn execute_abu(req: &AbuRequest, pool: &Pool) -> String {
+    let bw = Bandwidth::from_mbps(req.mbps);
+    let analyzer = analyzer_for(req.protocol, req.stations, bw);
+    let estimator = BreakdownEstimator::new(
+        MessageSetGenerator::paper_population(req.stations),
+        req.samples,
+    );
+    let est = estimator.estimate_parallel(analyzer.as_ref(), bw, req.seed, pool);
+    format!(
+        "OK cmd=abu protocol={} mbps={} stations={} samples={} seed={} \
+         abu_mean={:.6} abu_ci95={:.6} infeasible_sets={}",
+        req.protocol,
+        req.mbps,
+        req.stations,
+        req.samples,
+        req.seed,
+        est.mean,
+        est.ci95,
+        est.infeasible_sets,
+    )
 }
 
 fn simulate(
@@ -217,5 +257,49 @@ mod tests {
         // 120 % utilization at 1 Mbps: hopeless.
         let body = exec("CHECK mbps=1 set=10,60000;10,60000");
         assert!(body.contains("schedulable=false"), "{body}");
+    }
+
+    #[test]
+    fn pooled_saturation_matches_serial_within_tolerance() {
+        let req = match parse_request("SATURATION mbps=100 set=20,20000;50,60000 protocol=fddi")
+            .unwrap()
+        {
+            Request::Analysis(a) => a,
+            other => panic!("unexpected {other:?}"),
+        };
+        let scale_of = |body: &str| -> f64 {
+            body.split(" scale=")
+                .nth(1)
+                .unwrap()
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let serial = scale_of(&execute(&req));
+        let pooled = scale_of(&execute_with(&req, &Pool::new(4)));
+        assert!(
+            ((pooled - serial) / serial).abs() <= 2e-4,
+            "serial {serial} vs pooled {pooled}"
+        );
+    }
+
+    #[test]
+    fn abu_is_bit_identical_at_any_pool_width() {
+        let req = match parse_request("ABU mbps=100 stations=8 samples=20 seed=5 protocol=fddi")
+            .unwrap()
+        {
+            Request::Abu(a) => a,
+            other => panic!("unexpected {other:?}"),
+        };
+        let serial = execute_abu(&req, &Pool::serial());
+        assert!(serial.contains("cmd=abu"), "{serial}");
+        assert!(serial.contains(" abu_mean="), "{serial}");
+        assert_eq!(serial, execute_abu(&req, &Pool::new(4)));
+        assert_eq!(serial, execute_abu(&req, &Pool::new(8)));
+        // A different seed must produce a different sample stream.
+        let reseeded = AbuRequest { seed: 6, ..req };
+        assert_ne!(serial, execute_abu(&reseeded, &Pool::serial()));
     }
 }

@@ -56,6 +56,7 @@ pub mod server;
 
 pub use cache::{CacheKey, ResultCache};
 pub use protocol::{
-    parse_request, AnalysisRequest, CommandKind, ProtocolKind, Request, RingSpec, MAX_BATCH,
+    parse_request, AbuRequest, AnalysisRequest, CommandKind, ProtocolKind, Request, RingSpec,
+    DEFAULT_ABU_SAMPLES, MAX_ABU_SAMPLES, MAX_BATCH,
 };
 pub use server::{spawn, ServerHandle, ServiceConfig};

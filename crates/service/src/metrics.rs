@@ -31,6 +31,15 @@ struct CommandStats {
     histogram: Mutex<DurationHistogram>,
 }
 
+/// One worker thread's utilization record.
+#[derive(Debug, Default)]
+struct WorkerStats {
+    /// Jobs this worker completed.
+    jobs: AtomicU64,
+    /// Microseconds this worker spent executing jobs.
+    busy_us: AtomicU64,
+}
+
 /// All server counters and histograms.
 #[derive(Debug)]
 pub struct Metrics {
@@ -44,21 +53,77 @@ pub struct Metrics {
     pub busy: AtomicU64,
     /// Requests answered `ERR` because they overstayed their queue deadline.
     pub deadline_expired: AtomicU64,
+    /// Deepest the admission queue has ever been (high-water mark).
+    pub queue_peak: AtomicU64,
     per_command: [CommandStats; CommandKind::ALL.len()],
+    per_worker: Vec<WorkerStats>,
 }
 
 impl Metrics {
-    /// Creates zeroed metrics.
+    /// Creates zeroed metrics with no per-worker slots (unit tests; real
+    /// servers use [`Metrics::with_workers`]).
     #[must_use]
     pub fn new() -> Self {
+        Metrics::with_workers(0)
+    }
+
+    /// Creates zeroed metrics with one utilization slot per worker thread.
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Self {
         Metrics {
             requests: AtomicU64::new(0),
             ok: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             busy: AtomicU64::new(0),
             deadline_expired: AtomicU64::new(0),
+            queue_peak: AtomicU64::new(0),
             per_command: Default::default(),
+            per_worker: (0..workers).map(|_| WorkerStats::default()).collect(),
         }
+    }
+
+    /// Raises the queue high-water mark to `depth` if it is deeper than
+    /// anything seen so far.
+    pub fn note_queue_depth(&self, depth: usize) {
+        self.queue_peak.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Credits worker `index` with one completed job of the given busy time.
+    pub fn record_worker(&self, index: usize, busy: Duration) {
+        if let Some(w) = self.per_worker.get(index) {
+            w.jobs.fetch_add(1, Ordering::Relaxed);
+            w.busy_us
+                .fetch_add(busy.as_micros() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Appends `queue_peak`, `worker_jobs`, and `worker_busy_us` fields to a
+    /// `STATS` response body. The per-worker lists are comma-joined in
+    /// worker order so a skewed pool (one hot worker, the rest idle) is
+    /// visible at a glance.
+    pub fn render_workers(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            " queue_peak={}",
+            self.queue_peak.load(Ordering::Relaxed)
+        );
+        if self.per_worker.is_empty() {
+            return;
+        }
+        let join = |f: &dyn Fn(&WorkerStats) -> u64| {
+            self.per_worker
+                .iter()
+                .map(|w| f(w).to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let _ = write!(
+            out,
+            " worker_jobs={} worker_busy_us={}",
+            join(&|w| w.jobs.load(Ordering::Relaxed)),
+            join(&|w| w.busy_us.load(Ordering::Relaxed)),
+        );
     }
 
     /// Records a completed request's end-to-end latency.
@@ -139,6 +204,28 @@ mod tests {
         assert_eq!(m.ok.load(Ordering::Relaxed), 1);
         assert_eq!(m.errors.load(Ordering::Relaxed), 2);
         assert_eq!(m.busy.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn worker_fields_render() {
+        let m = Metrics::with_workers(3);
+        m.note_queue_depth(2);
+        m.note_queue_depth(7);
+        m.note_queue_depth(4); // peak must not regress
+        m.record_worker(0, Duration::from_micros(150));
+        m.record_worker(0, Duration::from_micros(50));
+        m.record_worker(2, Duration::from_micros(30));
+        m.record_worker(9, Duration::from_micros(1)); // out of range: ignored
+        let mut out = String::new();
+        m.render_workers(&mut out);
+        assert!(out.contains(" queue_peak=7"), "{out}");
+        assert!(out.contains(" worker_jobs=2,0,1"), "{out}");
+        assert!(out.contains(" worker_busy_us=200,0,30"), "{out}");
+        // Workerless metrics render the peak but omit the empty lists.
+        let mut bare = String::new();
+        Metrics::new().render_workers(&mut bare);
+        assert!(bare.contains(" queue_peak=0"), "{bare}");
+        assert!(!bare.contains("worker_jobs"), "{bare}");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! CHECK      ring=<name> [deadline_ms=<n>]          # stored-ring mode
 //! SATURATION mbps=<f64> set=<…> [protocol=<…>] [stations=<n>] [deadline_ms=<n>]   (or ring=<name>)
 //! SIMULATE   mbps=<f64> set=<…> [protocol=<…>] [stations=<n>] [seconds=<f64>] [async_load=<f64>] [seed=<n>] [deadline_ms=<n>]   (or ring=<name>)
+//! ABU        mbps=<f64> stations=<n> [samples=<n>] [seed=<n>] [protocol=<…>] [deadline_ms=<n>]
 //! REGISTER   ring=<name> protocol=<…> mbps=<f64> [stations=<n>]
 //! ADMIT      ring=<name> stream=<name> period_ms=<f64> bits=<u64> [deadline_ms=<f64>]
 //! REMOVE     ring=<name> stream=<name>
@@ -42,6 +43,13 @@ pub use ringrt_registry::{ProtocolKind, RingSpec};
 /// Largest pipelined batch a single `BATCH` header may announce.
 pub const MAX_BATCH: usize = 1024;
 
+/// Largest Monte-Carlo sample count a single `ABU` request may demand —
+/// it pins a worker (and fans over the execution pool) for the duration.
+pub const MAX_ABU_SAMPLES: usize = 5_000;
+
+/// `ABU` sample count when the request does not say.
+pub const DEFAULT_ABU_SAMPLES: usize = 100;
+
 /// Which analysis a queued request runs; indexes the per-command metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CommandKind {
@@ -51,16 +59,19 @@ pub enum CommandKind {
     Saturation,
     /// Bounded frame-level simulation.
     Simulate,
+    /// Monte-Carlo average-breakdown-utilization estimation.
+    Abu,
     /// Diagnostic worker occupation.
     Sleep,
 }
 
 impl CommandKind {
     /// All queued commands, in metrics order.
-    pub const ALL: [CommandKind; 4] = [
+    pub const ALL: [CommandKind; 5] = [
         CommandKind::Check,
         CommandKind::Saturation,
         CommandKind::Simulate,
+        CommandKind::Abu,
         CommandKind::Sleep,
     ];
 
@@ -71,7 +82,8 @@ impl CommandKind {
             CommandKind::Check => 0,
             CommandKind::Saturation => 1,
             CommandKind::Simulate => 2,
-            CommandKind::Sleep => 3,
+            CommandKind::Abu => 3,
+            CommandKind::Sleep => 4,
         }
     }
 
@@ -82,6 +94,7 @@ impl CommandKind {
             CommandKind::Check => "check",
             CommandKind::Saturation => "saturation",
             CommandKind::Simulate => "simulate",
+            CommandKind::Abu => "abu",
             CommandKind::Sleep => "sleep",
         }
     }
@@ -118,11 +131,34 @@ impl AnalysisRequest {
     }
 }
 
+/// Parameters of an `ABU` request: estimate the average breakdown
+/// utilization of the paper's Monte-Carlo population on a ring, fanning
+/// the samples across the server's execution pool. The sample stream is
+/// seed-deterministic and **bit-identical at any pool width**, which is
+/// what makes the result cacheable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbuRequest {
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Ring bandwidth in Mbps.
+    pub mbps: f64,
+    /// Stations on the ring (also the population's stream count).
+    pub stations: usize,
+    /// Monte-Carlo samples, `1..=`[`MAX_ABU_SAMPLES`].
+    pub samples: usize,
+    /// Master RNG seed for the sample stream.
+    pub seed: u64,
+    /// Per-request queue deadline override, milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// An analysis to run on the worker pool.
     Analysis(AnalysisRequest),
+    /// A Monte-Carlo ABU estimation on the worker pool.
+    Abu(AbuRequest),
     /// An analysis of a **stored ring**'s admitted set; the server resolves
     /// the ring before execution. `CHECK` is answered inline with a full
     /// (counted) re-analysis; the other commands queue like any analysis.
@@ -300,6 +336,43 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             return Ok(Request::Show {
                 ring: lookup(&pairs, "ring").map(str::to_owned),
             });
+        }
+        "ABU" => {
+            check_keys(
+                &pairs,
+                &[
+                    "mbps",
+                    "stations",
+                    "samples",
+                    "seed",
+                    "protocol",
+                    "deadline_ms",
+                ],
+            )?;
+            let mbps: f64 = required(&pairs, "mbps")?;
+            if !(mbps.is_finite() && mbps > 0.0) {
+                return Err(format!("mbps must be positive, got {mbps}"));
+            }
+            let stations: usize = required(&pairs, "stations")?;
+            if stations == 0 {
+                return Err("stations must be at least 1".to_owned());
+            }
+            let samples: usize = optional(&pairs, "samples")?.unwrap_or(DEFAULT_ABU_SAMPLES);
+            if samples == 0 || samples > MAX_ABU_SAMPLES {
+                return Err(format!("samples must be in 1..={MAX_ABU_SAMPLES}"));
+            }
+            let protocol = match lookup(&pairs, "protocol") {
+                Some(p) => ProtocolKind::parse(p)?,
+                None => ProtocolKind::default(),
+            };
+            return Ok(Request::Abu(AbuRequest {
+                protocol,
+                mbps,
+                stations,
+                samples,
+                seed: optional(&pairs, "seed")?.unwrap_or(1),
+                deadline_ms: optional(&pairs, "deadline_ms")?,
+            }));
         }
         "CHECK" => CommandKind::Check,
         "SATURATION" => CommandKind::Saturation,
@@ -555,6 +628,43 @@ mod tests {
         // ring= and set= are mutually exclusive.
         let err = parse_request("CHECK ring=lab mbps=16 set=20,1000").unwrap_err();
         assert!(err.contains("ring=…"), "{err}");
+    }
+
+    #[test]
+    fn parses_abu() {
+        match parse_request("ABU mbps=100 stations=16 samples=50 seed=9 protocol=fddi").unwrap() {
+            Request::Abu(a) => {
+                assert_eq!(a.protocol, ProtocolKind::Fddi);
+                assert_eq!(a.mbps, 100.0);
+                assert_eq!(a.stations, 16);
+                assert_eq!(a.samples, 50);
+                assert_eq!(a.seed, 9);
+                assert_eq!(a.deadline_ms, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_request("abu mbps=16 stations=8").unwrap() {
+            Request::Abu(a) => {
+                assert_eq!(a.samples, DEFAULT_ABU_SAMPLES);
+                assert_eq!(a.seed, 1);
+                assert_eq!(a.protocol, ProtocolKind::default());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_request("ABU stations=8")
+            .unwrap_err()
+            .contains("mbps"));
+        assert!(parse_request("ABU mbps=16")
+            .unwrap_err()
+            .contains("stations"));
+        assert!(parse_request("ABU mbps=16 stations=0").is_err());
+        assert!(parse_request("ABU mbps=16 stations=8 samples=0").is_err());
+        assert!(parse_request(&format!(
+            "ABU mbps=16 stations=8 samples={}",
+            MAX_ABU_SAMPLES + 1
+        ))
+        .is_err());
+        assert!(parse_request("ABU mbps=16 stations=8 set=20,1000").is_err());
     }
 
     #[test]

@@ -32,6 +32,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use ringrt_exec::Pool;
 use ringrt_registry::{AdmissionOutcome, RingRegistry, RingSpec, RingState};
 
 use crate::cache::{CacheKey, ResultCache};
@@ -63,6 +64,11 @@ pub struct ServiceConfig {
     pub state_dir: Option<PathBuf>,
     /// Total result-cache entry cap (LRU-evicted beyond it).
     pub cache_entries: usize,
+    /// Width of the shared execution pool that `SATURATION` and `ABU`
+    /// requests fan their inner work across; `None` reads the
+    /// `RINGRT_THREADS` override and falls back to the machine's
+    /// parallelism.
+    pub exec_threads: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -75,6 +81,7 @@ impl Default for ServiceConfig {
             max_sleep_ms: 10_000,
             state_dir: None,
             cache_entries: crate::cache::DEFAULT_CAPACITY,
+            exec_threads: None,
         }
     }
 }
@@ -96,6 +103,10 @@ struct Shared {
     metrics: Metrics,
     cache: ResultCache,
     registry: RingRegistry,
+    /// Execution pool for intra-request parallelism (`SATURATION`
+    /// multisection probes, `ABU` sample fan-out). Stateless between
+    /// calls, so all workers share one.
+    exec: Pool,
     shutdown: AtomicBool,
     inflight: AtomicU64,
     started: Instant,
@@ -111,18 +122,21 @@ impl Shared {
         self.queue_cv.notify_all();
     }
 
-    /// Pushes a job unless the queue is full; returns whether it was
-    /// admitted. Jobs are still accepted during shutdown drain so
+    /// Pushes a job unless the queue is full, handing the job back (boxed,
+    /// to keep the `Err` variant pointer-sized) so the caller can shed or
+    /// run it inline. Jobs are still accepted during shutdown drain so
     /// already-connected clients finish cleanly.
-    fn try_enqueue(&self, job: Job) -> bool {
+    fn try_enqueue(&self, job: Job) -> Result<(), Box<Job>> {
         let mut q = self.queue.lock().expect("job queue poisoned");
         if q.len() >= self.config.queue_depth {
-            return false;
+            return Err(Box::new(job));
         }
         q.push_back(job);
+        let depth = q.len();
         drop(q);
+        self.metrics.note_queue_depth(depth);
         self.queue_cv.notify_one();
-        true
+        Ok(())
     }
 
     fn queue_len(&self) -> usize {
@@ -169,12 +183,14 @@ impl Shared {
         );
         let _ = write!(
             out,
-            " workers={} queue_capacity={} queue_len={} inflight={}",
+            " workers={} queue_capacity={} queue_len={} inflight={} exec_threads={}",
             self.config.workers,
             self.config.queue_depth,
             self.queue_len(),
             self.inflight.load(Ordering::Relaxed),
+            self.exec.threads(),
         );
+        m.render_workers(&mut out);
         m.render_latencies(&mut out);
         out
     }
@@ -256,9 +272,12 @@ pub fn spawn(mut config: ServiceConfig) -> std::io::Result<ServerHandle> {
         config: config.clone(),
         queue: Mutex::new(VecDeque::new()),
         queue_cv: Condvar::new(),
-        metrics: Metrics::new(),
+        metrics: Metrics::with_workers(config.workers),
         cache: ResultCache::with_capacity(cache_entries),
         registry,
+        exec: config
+            .exec_threads
+            .map_or_else(Pool::from_env, |n| Pool::new(n.max(1))),
         shutdown: AtomicBool::new(false),
         inflight: AtomicU64::new(0),
         started: Instant::now(),
@@ -269,7 +288,7 @@ pub fn spawn(mut config: ServiceConfig) -> std::io::Result<ServerHandle> {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name(format!("ringrt-worker-{i}"))
-                .spawn(move || worker_loop(&shared))
+                .spawn(move || worker_loop(&shared, i))
                 .expect("spawn worker thread")
         })
         .collect();
@@ -369,10 +388,16 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
-/// Reads `count` pipelined request lines, answers each in arrival order,
-/// and flushes all responses with a **single** write — the syscall saving
-/// `BATCH` exists for (measured by `exp_service_load`). Returns whether
-/// the connection should stay open.
+/// Reads `count` pipelined request lines in two phases: a **submit** pass
+/// that handles each line at its arrival position (inline commands —
+/// registry mutations, PING, cache hits — execute right there, preserving
+/// ADMIT-then-CHECK pipeline semantics; queue-bound analyses are enqueued
+/// without waiting), and a **collect** pass that gathers worker replies in
+/// submission order. Independent analyses therefore overlap across the
+/// worker pool while the response order — and the single flushing write
+/// the syscall-saving `BATCH` exists for (measured by `exp_service_load`)
+/// — stays exactly as if they had run serially. Returns whether the
+/// connection should stay open.
 fn run_batch(
     count: usize,
     reader: &mut BufReader<TcpStream>,
@@ -380,29 +405,32 @@ fn run_batch(
     line: &mut String,
     shared: &Arc<Shared>,
 ) -> bool {
-    let mut out = String::new();
+    /// One batch position: already answered, or awaiting a worker reply.
+    enum Slot {
+        Ready(String),
+        Pending(Pending),
+    }
+    let mut slots: Vec<Slot> = Vec::with_capacity(count);
     let mut keep_open = true;
-    let mut handled = 0;
-    while handled < count {
+    while slots.len() < count {
         match reader.read_line(line) {
             Ok(0) => return false, // client closed mid-batch
             Ok(_) => {
-                let response = handle_line(line.trim_end(), shared);
-                line.clear();
-                let text = match response {
+                let slot = match handle_request(line.trim_end(), shared, true) {
                     // One framing level is enough; nesting would let a
                     // client demand unbounded buffering.
-                    Response::Batch(_) => "ERR nested BATCH is not allowed".to_owned(),
-                    Response::Close => {
-                        keep_open = false;
-                        Response::Close.into_text()
+                    Handled::Ready(Response::Batch(_)) => {
+                        Slot::Ready("ERR nested BATCH is not allowed".to_owned())
                     }
-                    Response::Line(text) => text,
+                    Handled::Ready(Response::Close) => {
+                        keep_open = false;
+                        Slot::Ready(Response::Close.into_text())
+                    }
+                    Handled::Ready(Response::Line(text)) => Slot::Ready(text),
+                    Handled::Pending(pending) => Slot::Pending(pending),
                 };
-                shared.metrics.count_response(&text);
-                out.push_str(&text);
-                out.push('\n');
-                handled += 1;
+                line.clear();
+                slots.push(slot);
             }
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
                 if shared.shutting_down() {
@@ -411,6 +439,18 @@ fn run_batch(
             }
             Err(_) => return false,
         }
+    }
+    // In-order reassembly: waiting on slot k never delays the *execution*
+    // of slot k+1 — it is already on a worker — only the reply pickup.
+    let mut out = String::new();
+    for slot in slots {
+        let text = match slot {
+            Slot::Ready(text) => text,
+            Slot::Pending(pending) => pending.collect(shared),
+        };
+        shared.metrics.count_response(&text);
+        out.push_str(&text);
+        out.push('\n');
     }
     writer
         .write_all(out.as_bytes())
@@ -437,22 +477,65 @@ impl Response {
     }
 }
 
+/// A job already on the worker queue whose reply has not been read yet.
+/// Produced by the batch submit phase; [`Pending::collect`] blocks for the
+/// reply and records the completed request's latency.
+struct Pending {
+    rx: mpsc::Receiver<String>,
+    command: CommandKind,
+    started: Instant,
+    wait: Duration,
+}
+
+impl Pending {
+    fn collect(self, shared: &Arc<Shared>) -> String {
+        let text = match self.rx.recv_timeout(self.wait) {
+            Ok(text) => text,
+            Err(_) => "ERR request lost (worker gave no reply)".to_owned(),
+        };
+        record_completed(shared, self.command, self.started, &text);
+        text
+    }
+}
+
+/// What handling one request line produced: an immediate response, or a
+/// queued job to collect later (batch submit phase only).
+enum Handled {
+    Ready(Response),
+    Pending(Pending),
+}
+
 fn handle_line(line: &str, shared: &Arc<Shared>) -> Response {
+    match handle_request(line, shared, false) {
+        Handled::Ready(response) => response,
+        Handled::Pending(pending) => Response::Line(pending.collect(shared)),
+    }
+}
+
+/// Handles one request line. With `defer` set (the batch submit phase),
+/// queue-bound requests come back as [`Handled::Pending`] instead of
+/// blocking on the worker's reply; everything answerable inline is
+/// answered inline either way.
+fn handle_request(line: &str, shared: &Arc<Shared>, defer: bool) -> Handled {
+    let ready = |response: Response| Handled::Ready(response);
     shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
     let request = match parse_request(line) {
         Ok(r) => r,
-        Err(msg) => return Response::Line(format!("ERR {msg}")),
+        Err(msg) => return ready(Response::Line(format!("ERR {msg}"))),
     };
     match request {
-        Request::Ping => Response::Line("OK cmd=ping".to_owned()),
-        Request::Stats => Response::Line(shared.render_stats()),
+        Request::Ping => ready(Response::Line("OK cmd=ping".to_owned())),
+        Request::Stats => ready(Response::Line(shared.render_stats())),
         Request::Shutdown => {
             shared.begin_shutdown();
-            Response::Close
+            ready(Response::Close)
         }
-        Request::Batch { count } => Response::Batch(count),
-        Request::Evict => Response::Line(format!("OK cmd=evict evicted={}", shared.cache.clear())),
-        Request::Compact => Response::Line(match shared.registry.compact() {
+        Request::Batch { count } => ready(Response::Batch(count)),
+        Request::Evict => ready(Response::Line(format!(
+            "OK cmd=evict evicted={}",
+            shared.cache.clear()
+        ))),
+        Request::Compact => ready(Response::Line(match shared.registry.compact() {
             Ok(()) => {
                 let m = shared.registry.metrics();
                 format!(
@@ -461,9 +544,9 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> Response {
                 )
             }
             Err(e) => format!("ERR {e}"),
-        }),
-        Request::Register { ring, spec } => {
-            Response::Line(match shared.registry.register(&ring, spec) {
+        })),
+        Request::Register { ring, spec } => ready(Response::Line(
+            match shared.registry.register(&ring, spec) {
                 Ok(()) => format!(
                     "OK cmd=register ring={ring} protocol={} mbps={} stations={}",
                     spec.protocol,
@@ -471,27 +554,31 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> Response {
                     fmt_stations(spec.stations),
                 ),
                 Err(e) => format!("ERR {e}"),
-            })
-        }
+            },
+        )),
         Request::Admit {
             ring,
             stream,
             candidate,
-        } => Response::Line(match shared.registry.admit(&ring, &stream, candidate) {
-            Ok(out) => render_admission("admit", &ring, &stream, &out),
-            Err(e) => format!("ERR {e}"),
-        }),
-        Request::Remove { ring, stream } => {
-            Response::Line(match shared.registry.remove(&ring, &stream) {
+        } => ready(Response::Line(
+            match shared.registry.admit(&ring, &stream, candidate) {
+                Ok(out) => render_admission("admit", &ring, &stream, &out),
+                Err(e) => format!("ERR {e}"),
+            },
+        )),
+        Request::Remove { ring, stream } => ready(Response::Line(
+            match shared.registry.remove(&ring, &stream) {
                 Ok(out) => render_admission("remove", &ring, &stream, &out),
                 Err(e) => format!("ERR {e}"),
-            })
+            },
+        )),
+        Request::Unregister { ring } => {
+            ready(Response::Line(match shared.registry.unregister(&ring) {
+                Ok(()) => format!("OK cmd=unregister ring={ring}"),
+                Err(e) => format!("ERR {e}"),
+            }))
         }
-        Request::Unregister { ring } => Response::Line(match shared.registry.unregister(&ring) {
-            Ok(()) => format!("OK cmd=unregister ring={ring}"),
-            Err(e) => format!("ERR {e}"),
-        }),
-        Request::Show { ring } => Response::Line(match ring {
+        Request::Show { ring } => ready(Response::Line(match ring {
             Some(ring) => match shared.registry.ring_state(&ring) {
                 Ok(state) => render_show(&ring, &state),
                 Err(e) => format!("ERR {e}"),
@@ -508,7 +595,7 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> Response {
                     }
                 )
             }
-        }),
+        })),
         Request::RingAnalysis {
             command: CommandKind::Check,
             ring,
@@ -532,7 +619,7 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> Response {
                 Err(e) => format!("ERR {e}"),
             };
             record_completed(shared, CommandKind::Check, started, &text);
-            Response::Line(text)
+            ready(Response::Line(text))
         }
         Request::RingAnalysis {
             command,
@@ -543,13 +630,17 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> Response {
             deadline_ms,
         } => {
             // Resolve the stored ring into a plain analysis request, then
-            // run it through the normal queue (with caching).
-            let state = match shared.registry.ring_state(&ring) {
+            // run it through the normal queue. Its cache key is scoped to
+            // the ring's mutation generation: any later ADMIT/REMOVE (or
+            // even an unregister/re-register cycle) bumps the generation
+            // and strands the entry, so stored-ring results can be cached
+            // without an EVICT protocol.
+            let (state, generation) = match shared.registry.ring_snapshot(&ring) {
                 Ok(s) => s,
-                Err(e) => return Response::Line(format!("ERR {e}")),
+                Err(e) => return ready(Response::Line(format!("ERR {e}"))),
             };
             let Some(set) = state.message_set() else {
-                return Response::Line(format!("ERR ring `{ring}` has no streams"));
+                return ready(Response::Line(format!("ERR ring `{ring}` has no streams")));
             };
             let req = AnalysisRequest {
                 command,
@@ -562,38 +653,70 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> Response {
                 seed,
                 deadline_ms,
             };
-            run_analysis(shared, req)
-        }
-        Request::Sleep { ms, deadline_ms } => {
-            let started = Instant::now();
-            let text = dispatch(
+            let key = CacheKey::for_request(&req).map(|k| k.with_ring_generation(generation));
+            let deadline_ms = req.deadline_ms;
+            run_cached(
                 shared,
-                Request::Sleep { ms, deadline_ms },
-                None,
+                Request::Analysis(req),
+                key,
+                command,
                 deadline_ms,
-            );
-            record_completed(shared, CommandKind::Sleep, started, &text);
-            Response::Line(text)
+                defer,
+            )
         }
-        Request::Analysis(req) => run_analysis(shared, req),
+        Request::Sleep { ms, deadline_ms } => submit(
+            shared,
+            Request::Sleep { ms, deadline_ms },
+            None,
+            CommandKind::Sleep,
+            deadline_ms,
+            defer,
+        ),
+        Request::Abu(req) => {
+            let key = Some(CacheKey::for_abu(&req));
+            let deadline_ms = req.deadline_ms;
+            run_cached(
+                shared,
+                Request::Abu(req),
+                key,
+                CommandKind::Abu,
+                deadline_ms,
+                defer,
+            )
+        }
+        Request::Analysis(req) => {
+            let key = CacheKey::for_request(&req);
+            let command = req.command;
+            let deadline_ms = req.deadline_ms;
+            run_cached(
+                shared,
+                Request::Analysis(req),
+                key,
+                command,
+                deadline_ms,
+                defer,
+            )
+        }
     }
 }
 
-/// Cache-checks and queues one analysis request.
-fn run_analysis(shared: &Arc<Shared>, req: AnalysisRequest) -> Response {
-    let started = Instant::now();
-    let command = req.command;
-    let deadline_ms = req.deadline_ms;
-    let key = CacheKey::for_request(&req);
+/// Cache-checks one queueable request, then submits it.
+fn run_cached(
+    shared: &Arc<Shared>,
+    request: Request,
+    key: Option<CacheKey>,
+    command: CommandKind,
+    deadline_ms: Option<u64>,
+    defer: bool,
+) -> Handled {
     if let Some(k) = &key {
+        let started = Instant::now();
         if let Some(body) = shared.cache.get(k) {
             shared.metrics.record_latency(command, started.elapsed());
-            return Response::Line(format!("{body} cached=true"));
+            return Handled::Ready(Response::Line(format!("{body} cached=true")));
         }
     }
-    let text = dispatch(shared, Request::Analysis(req), key, deadline_ms);
-    record_completed(shared, command, started, &text);
-    Response::Line(text)
+    submit(shared, request, key, command, deadline_ms, defer)
 }
 
 fn fmt_stations(stations: Option<usize>) -> String {
@@ -657,32 +780,59 @@ fn record_completed(shared: &Arc<Shared>, command: CommandKind, started: Instant
     }
 }
 
-/// Queues a job and waits for the worker's reply; sheds load when full.
-fn dispatch(
+/// Queues a job. When the queue accepts it, either blocks for the reply
+/// (`defer == false`, the single-request path) or hands back a [`Pending`]
+/// for the batch collect phase. A full queue sheds load with `BUSY` on the
+/// single-request path; during a batch it runs the job **inline on the
+/// connection thread** instead — a serially-submitted batch could never
+/// overflow the queue, and answering `BUSY` for a position the client
+/// already committed to would make batch semantics depend on worker
+/// timing.
+fn submit(
     shared: &Arc<Shared>,
     request: Request,
     cache_key: Option<CacheKey>,
+    command: CommandKind,
     deadline_ms: Option<u64>,
-) -> String {
+    defer: bool,
+) -> Handled {
+    let started = Instant::now();
     let deadline = Duration::from_millis(deadline_ms.unwrap_or(shared.config.default_deadline_ms));
     let (reply, rx) = mpsc::channel();
     let job = Job {
         request,
         cache_key,
         reply,
-        enqueued: Instant::now(),
+        enqueued: started,
         deadline,
     };
-    if !shared.try_enqueue(job) {
-        return format!("BUSY queue_capacity={}", shared.config.queue_depth);
-    }
-    match rx.recv_timeout(deadline + EXECUTION_GRACE) {
-        Ok(text) => text,
-        Err(_) => "ERR request lost (worker gave no reply)".to_owned(),
+    match shared.try_enqueue(job) {
+        Ok(()) => {
+            let pending = Pending {
+                rx,
+                command,
+                started,
+                wait: deadline + EXECUTION_GRACE,
+            };
+            if defer {
+                Handled::Pending(pending)
+            } else {
+                Handled::Ready(Response::Line(pending.collect(shared)))
+            }
+        }
+        Err(job) if defer => {
+            let text = execute_request(shared, &job.request, job.cache_key.as_ref());
+            record_completed(shared, command, started, &text);
+            Handled::Ready(Response::Line(text))
+        }
+        Err(_) => Handled::Ready(Response::Line(format!(
+            "BUSY queue_capacity={}",
+            shared.config.queue_depth
+        ))),
     }
 }
 
-fn worker_loop(shared: &Arc<Shared>) {
+fn worker_loop(shared: &Arc<Shared>, index: usize) {
     loop {
         let job = {
             let mut q = shared.queue.lock().expect("job queue poisoned");
@@ -708,31 +858,47 @@ fn worker_loop(shared: &Arc<Shared>) {
             continue;
         }
         shared.inflight.fetch_add(1, Ordering::Relaxed);
-        let text = run_job(&job, shared);
+        let busy = Instant::now();
+        let text = execute_request(shared, &job.request, job.cache_key.as_ref());
+        shared.metrics.record_worker(index, busy.elapsed());
         shared.inflight.fetch_sub(1, Ordering::Relaxed);
         let _ = job.reply.send(text);
     }
 }
 
-fn run_job(job: &Job, shared: &Arc<Shared>) -> String {
-    match &job.request {
+/// Executes one queueable request body. Called from workers and, for
+/// batch positions that found the queue full, from connection threads.
+fn execute_request(
+    shared: &Arc<Shared>,
+    request: &Request,
+    cache_key: Option<&CacheKey>,
+) -> String {
+    match request {
         Request::Sleep { ms, .. } => {
             let ms = (*ms).min(shared.config.max_sleep_ms);
             std::thread::sleep(Duration::from_millis(ms));
             format!("OK cmd=sleep ms={ms}")
         }
         Request::Analysis(req) => {
-            let body = engine::execute(req);
-            if !body.starts_with("OK") {
-                return body;
-            }
-            if let Some(key) = &job.cache_key {
-                shared.cache.insert(key.clone(), body.clone());
-            }
-            format!("{body} cached=false")
+            finish_cacheable(shared, engine::execute_with(req, &shared.exec), cache_key)
+        }
+        Request::Abu(req) => {
+            finish_cacheable(shared, engine::execute_abu(req, &shared.exec), cache_key)
         }
         other => format!("ERR internal: non-queueable request {other:?}"),
     }
+}
+
+/// Stores a successful body under its cache key and stamps the cache
+/// marker the client sees.
+fn finish_cacheable(shared: &Arc<Shared>, body: String, cache_key: Option<&CacheKey>) -> String {
+    if !body.starts_with("OK") {
+        return body;
+    }
+    if let Some(key) = cache_key {
+        shared.cache.insert(key.clone(), body.clone());
+    }
+    format!("{body} cached=false")
 }
 
 #[cfg(test)]
@@ -940,6 +1106,117 @@ mod tests {
         assert!(nested[0].starts_with("ERR nested BATCH"), "{}", nested[0]);
         assert_eq!(nested[1], "OK cmd=ping");
         assert_eq!(c.roundtrip("PING"), "OK cmd=ping");
+        server.join();
+    }
+
+    #[test]
+    fn batch_overlaps_sleeps_and_answers_in_submission_order() {
+        let server = test_server(4, 16);
+        let mut c = Client::connect(server.addr());
+        // Four 200 ms sleeps: serial execution would need ≥800 ms; the
+        // parallel batch path should finish in roughly one sleep.
+        let started = Instant::now();
+        c.writer
+            .write_all(b"BATCH 5\nSLEEP ms=200\nSLEEP ms=200\nPING\nSLEEP ms=200\nSLEEP ms=200\n")
+            .expect("send batch");
+        let mut responses = Vec::new();
+        for _ in 0..5 {
+            let mut r = String::new();
+            c.reader.read_line(&mut r).expect("recv");
+            responses.push(r.trim_end().to_owned());
+        }
+        let elapsed = started.elapsed();
+        assert_eq!(responses[0], "OK cmd=sleep ms=200");
+        assert_eq!(responses[1], "OK cmd=sleep ms=200");
+        assert_eq!(responses[2], "OK cmd=ping");
+        assert_eq!(responses[3], "OK cmd=sleep ms=200");
+        assert_eq!(responses[4], "OK cmd=sleep ms=200");
+        assert!(
+            elapsed < Duration::from_millis(700),
+            "batch took {elapsed:?}, sleeps did not overlap"
+        );
+        let stats = c.roundtrip("STATS");
+        assert!(stats.contains("queue_peak="), "{stats}");
+        assert!(stats.contains("worker_jobs="), "{stats}");
+        server.join();
+    }
+
+    #[test]
+    fn batch_runs_overflow_inline_instead_of_shedding() {
+        // One worker, one queue slot: a six-deep batch vastly overflows the
+        // queue, but batch positions must never answer BUSY — overflow runs
+        // inline on the connection thread.
+        let server = test_server(1, 1);
+        let mut c = Client::connect(server.addr());
+        let mut batch = String::from("BATCH 6\n");
+        for _ in 0..6 {
+            batch.push_str("SLEEP ms=10\n");
+        }
+        c.writer.write_all(batch.as_bytes()).expect("send batch");
+        for i in 0..6 {
+            let mut r = String::new();
+            c.reader.read_line(&mut r).expect("recv");
+            assert_eq!(r.trim_end(), "OK cmd=sleep ms=10", "position {i}");
+        }
+        let stats = c.roundtrip("STATS");
+        assert!(stats.contains(" busy=0"), "{stats}");
+        server.join();
+    }
+
+    #[test]
+    fn abu_roundtrip_is_cached_and_deterministic() {
+        let server = spawn(ServiceConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            queue_depth: 8,
+            exec_threads: Some(4),
+            ..ServiceConfig::default()
+        })
+        .expect("spawn server");
+        let mut c = Client::connect(server.addr());
+        let line = "ABU mbps=100 stations=8 samples=20 seed=5 protocol=fddi deadline_ms=30000";
+        let first = c.roundtrip(line);
+        assert!(first.starts_with("OK cmd=abu"), "{first}");
+        assert!(first.contains(" abu_mean="), "{first}");
+        assert!(first.ends_with("cached=false"), "{first}");
+        let second = c.roundtrip(line);
+        assert!(second.ends_with("cached=true"), "{second}");
+        // The cached body is the first body verbatim: pool-width
+        // determinism is what makes ABU cacheable at all.
+        assert_eq!(
+            first.trim_end_matches("cached=false"),
+            second.trim_end_matches("cached=true")
+        );
+        let other_seed = c
+            .roundtrip("ABU mbps=100 stations=8 samples=20 seed=6 protocol=fddi deadline_ms=30000");
+        assert!(other_seed.ends_with("cached=false"), "{other_seed}");
+        let stats = c.roundtrip("STATS");
+        assert!(stats.contains("exec_threads=4"), "{stats}");
+        // Two executed requests plus one cache hit, all latency-counted.
+        assert!(stats.contains("abu_count=3"), "{stats}");
+        server.join();
+    }
+
+    #[test]
+    fn ring_mutation_invalidates_cached_ring_analyses() {
+        let server = test_server(2, 8);
+        let mut c = Client::connect(server.addr());
+        c.roundtrip("REGISTER ring=r protocol=fddi mbps=100 stations=8");
+        c.roundtrip("ADMIT ring=r stream=a period_ms=20 bits=100000");
+        let first = c.roundtrip("SIMULATE ring=r seconds=0.1 seed=3");
+        assert!(first.ends_with("cached=false"), "{first}");
+        let hit = c.roundtrip("SIMULATE ring=r seconds=0.1 seed=3");
+        assert!(hit.ends_with("cached=true"), "{hit}");
+        // Remove and re-admit the *identical* stream: the set is unchanged
+        // but the ring's generation moved, so the entry must be stale —
+        // without any EVICT.
+        c.roundtrip("REMOVE ring=r stream=a");
+        c.roundtrip("ADMIT ring=r stream=a period_ms=20 bits=100000");
+        let after = c.roundtrip("SIMULATE ring=r seconds=0.1 seed=3");
+        assert!(after.ends_with("cached=false"), "{after}");
+        // Stability: the re-admitted state caches normally from here on.
+        let again = c.roundtrip("SIMULATE ring=r seconds=0.1 seed=3");
+        assert!(again.ends_with("cached=true"), "{again}");
         server.join();
     }
 

@@ -11,6 +11,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`units`] | `ringrt-units` | `Seconds`, `Bits`, `Bandwidth`, integer `SimTime` |
+//! | [`exec`] | `ringrt-exec` | scoped work pool, `RINGRT_THREADS`, SplitMix64 seed derivation |
 //! | [`model`] | `ringrt-model` | message sets, ring configuration, frame formats |
 //! | [`analysis`] | `ringrt-core` | Theorem 4.1 (PDP), Theorem 5.1 (TTP), RM machinery |
 //! | [`workload`] | `ringrt-workload` | random and scenario message-set generators |
@@ -53,6 +54,11 @@
 /// Strongly-typed physical units (re-export of `ringrt-units`).
 pub mod units {
     pub use ringrt_units::*;
+}
+
+/// Deterministic multi-core execution pool (re-export of `ringrt-exec`).
+pub mod exec {
+    pub use ringrt_exec::*;
 }
 
 /// Message-set and ring-network models (re-export of `ringrt-model`).
