@@ -132,6 +132,20 @@ pub enum Command {
         state_dir: Option<String>,
         /// Result-cache entry capacity (`None` = service default).
         cache_entries: Option<usize>,
+        /// Log requests slower than this many milliseconds to stderr
+        /// (`None` disables the slow-request log).
+        slow_ms: Option<u64>,
+        /// Whether the flight recorder captures spans (`--trace on|off`,
+        /// default on). Off, spans cost one atomic load and `TRACE`
+        /// returns an empty document.
+        trace: bool,
+    },
+    /// Drain a running server's flight recorder as Chrome trace JSON.
+    Trace {
+        /// Server address (`host:port`).
+        addr: String,
+        /// Maximum span events to drain.
+        events: usize,
     },
     /// Operate directly on a persistent ring-registry state directory.
     Registry {
@@ -204,7 +218,8 @@ USAGE:
   ringrt sweep    <set-file> --mbps <N>[,<N>...]
   ringrt abu      --mbps <N> [--stations N] [--samples N] [--seed N]
   ringrt serve    [--addr HOST:PORT] [--workers N] [--queue-depth N] [--deadline-ms N]
-                  [--state-dir DIR] [--cache-entries N]
+                  [--state-dir DIR] [--cache-entries N] [--slow-ms N] [--trace on|off]
+  ringrt trace    [--addr HOST:PORT] [--events N]
   ringrt registry register   <ring> --state-dir DIR --mbps <N>
                              [--protocol 802.5|modified|fddi] [--stations N]
   ringrt registry admit      <ring> <stream> --state-dir DIR --period-ms <N> --bits <N>
@@ -303,6 +318,23 @@ impl Cli {
                         deadline_ms: optional_u64(&flags, "--deadline-ms")?.unwrap_or(2_000),
                         state_dir: flag_value(&flags, "--state-dir").map(str::to_owned),
                         cache_entries: optional_usize(&flags, "--cache-entries")?,
+                        slow_ms: optional_u64(&flags, "--slow-ms")?,
+                        trace: optional_switch(&flags, "--trace")?.unwrap_or(true),
+                    },
+                })
+            }
+            "trace" => {
+                let flags = flags_only(&mut it)?;
+                let events = optional_usize(&flags, "--events")?.unwrap_or(256);
+                if events == 0 {
+                    return Err("--events must be at least 1".into());
+                }
+                Ok(Cli {
+                    command: Command::Trace {
+                        addr: flag_value(&flags, "--addr")
+                            .unwrap_or("127.0.0.1:7400")
+                            .to_owned(),
+                        events,
                     },
                 })
             }
@@ -486,6 +518,19 @@ fn optional_u64(flags: &Flags, name: &str) -> Result<Option<u64>, String> {
         .transpose()
 }
 
+/// Parses an `on`/`off` switch flag.
+fn optional_switch(flags: &Flags, name: &str) -> Result<Option<bool>, String> {
+    flag_value(flags, name)
+        .map(|v| match v.to_ascii_lowercase().as_str() {
+            "on" | "true" | "1" => Ok(true),
+            "off" | "false" | "0" => Ok(false),
+            other => Err(format!(
+                "invalid value `{other}` for {name} (expected on or off)"
+            )),
+        })
+        .transpose()
+}
+
 fn optional_usize(flags: &Flags, name: &str) -> Result<Option<usize>, String> {
     flag_value(flags, name)
         .map(|v| {
@@ -554,6 +599,8 @@ mod tests {
                 deadline_ms: 2_000,
                 state_dir: None,
                 cache_entries: None,
+                slow_ms: None,
+                trace: true,
             }
         );
         let cli = parse(&[
@@ -570,6 +617,10 @@ mod tests {
             "/tmp/rings",
             "--cache-entries",
             "128",
+            "--slow-ms",
+            "250",
+            "--trace",
+            "off",
         ])
         .unwrap();
         assert_eq!(
@@ -581,10 +632,35 @@ mod tests {
                 deadline_ms: 500,
                 state_dir: Some("/tmp/rings".into()),
                 cache_entries: Some(128),
+                slow_ms: Some(250),
+                trace: false,
             }
         );
         assert!(parse(&["serve", "--workers", "0"]).is_err());
         assert!(parse(&["serve", "stray"]).is_err());
+        assert!(parse(&["serve", "--trace", "maybe"]).is_err());
+    }
+
+    #[test]
+    fn trace_command() {
+        let cli = parse(&["trace"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Trace {
+                addr: "127.0.0.1:7400".into(),
+                events: 256,
+            }
+        );
+        let cli = parse(&["trace", "--addr", "10.0.0.1:7401", "--events", "64"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Trace {
+                addr: "10.0.0.1:7401".into(),
+                events: 64,
+            }
+        );
+        assert!(parse(&["trace", "--events", "0"]).is_err());
+        assert!(parse(&["trace", "stray"]).is_err());
     }
 
     #[test]

@@ -68,28 +68,50 @@ pub fn run<W: Write>(cli: &Cli, out: &mut W) -> ExitCode {
             deadline_ms,
             state_dir,
             cache_entries,
+            slow_ms,
+            trace,
         } => serve(
-            addr,
-            *workers,
-            *queue_depth,
-            *deadline_ms,
-            state_dir.as_deref(),
-            *cache_entries,
+            ServeOptions {
+                addr,
+                workers: *workers,
+                queue_depth: *queue_depth,
+                deadline_ms: *deadline_ms,
+                state_dir: state_dir.as_deref(),
+                cache_entries: *cache_entries,
+                slow_ms: *slow_ms,
+                trace: *trace,
+            },
             out,
         ),
+        Command::Trace { addr, events } => trace(addr, *events, out),
         Command::Registry { state_dir, action } => registry(state_dir, action, out),
     }
 }
 
-fn serve<W: Write>(
-    addr: &str,
+/// The `serve` parameters, bundled so the signature stays readable as
+/// flags accrete.
+struct ServeOptions<'a> {
+    addr: &'a str,
     workers: usize,
     queue_depth: usize,
     deadline_ms: u64,
-    state_dir: Option<&str>,
+    state_dir: Option<&'a str>,
     cache_entries: Option<usize>,
-    out: &mut W,
-) -> ExitCode {
+    slow_ms: Option<u64>,
+    trace: bool,
+}
+
+fn serve<W: Write>(opts: ServeOptions<'_>, out: &mut W) -> ExitCode {
+    let ServeOptions {
+        addr,
+        workers,
+        queue_depth,
+        deadline_ms,
+        state_dir,
+        cache_entries,
+        slow_ms,
+        trace,
+    } = opts;
     let defaults = ringrt_service::ServiceConfig::default();
     let config = ringrt_service::ServiceConfig {
         addr: addr.to_owned(),
@@ -98,6 +120,8 @@ fn serve<W: Write>(
         default_deadline_ms: deadline_ms,
         state_dir: state_dir.map(PathBuf::from),
         cache_entries: cache_entries.unwrap_or(defaults.cache_entries),
+        slow_ms,
+        trace_enabled: trace,
         ..defaults
     };
     let server = match ringrt_service::spawn(config) {
@@ -116,6 +140,46 @@ fn serve<W: Write>(
     let _ = out.flush();
     server.wait();
     let _ = writeln!(out, "shut down cleanly");
+    ExitCode::Success
+}
+
+/// Connects to a running server, drains up to `events` recent span events
+/// from its flight recorder, and prints the Chrome trace-event JSON
+/// document — redirect it to a file and load it in Perfetto or
+/// `chrome://tracing`.
+fn trace<W: Write>(addr: &str, events: usize, out: &mut W) -> ExitCode {
+    use std::io::{BufRead, BufReader};
+    let fail = |out: &mut W, msg: String| {
+        let _ = writeln!(out, "error: {msg}");
+        ExitCode::UsageError
+    };
+    let stream = match std::net::TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => return fail(out, format!("cannot connect to `{addr}`: {e}")),
+    };
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => return fail(out, format!("cannot clone connection: {e}")),
+    };
+    if let Err(e) = writer
+        .write_all(format!("TRACE {events}\n").as_bytes())
+        .and_then(|()| writer.flush())
+    {
+        return fail(out, format!("cannot send TRACE: {e}"));
+    }
+    let mut reader = BufReader::new(stream);
+    let mut header = String::new();
+    if let Err(e) = reader.read_line(&mut header) {
+        return fail(out, format!("cannot read TRACE response: {e}"));
+    }
+    if !header.starts_with("OK cmd=trace") {
+        return fail(out, format!("server refused TRACE: {}", header.trim_end()));
+    }
+    let mut json = String::new();
+    if let Err(e) = reader.read_line(&mut json) {
+        return fail(out, format!("cannot read trace document: {e}"));
+    }
+    let _ = writeln!(out, "{}", json.trim_end());
     ExitCode::Success
 }
 
@@ -751,6 +815,42 @@ mod tests {
         assert_eq!(handle.join().unwrap(), ExitCode::Success);
         let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
         assert!(text.contains("shut down cleanly"), "{text}");
+    }
+
+    #[test]
+    fn trace_cli_drains_a_running_server() {
+        use std::io::{BufRead, BufReader};
+        use std::net::TcpStream;
+
+        let server = ringrt_service::spawn(ringrt_service::ServiceConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 1,
+            queue_depth: 4,
+            ..Default::default()
+        })
+        .expect("spawn server");
+        let addr = server.addr().to_string();
+        // One uncached analysis so the recorder has lifecycle spans.
+        let stream = TcpStream::connect(&addr).expect("connect");
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writeln!(writer, "CHECK mbps=16 set=20,20000").unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        assert!(resp.contains("schedulable=true"), "{resp}");
+
+        let (code, out) = run_cli(&["trace", "--addr", &addr, "--events", "64"]);
+        assert_eq!(code, ExitCode::Success, "{out}");
+        let json = out.trim_end();
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        for stage in ["parse", "cache", "queue_wait", "execute"] {
+            assert!(json.contains(&format!("\"name\":\"{stage}\"")), "{json}");
+        }
+        server.join();
+        // Against a dead server the command fails with a usage error.
+        let (code, out) = run_cli(&["trace", "--addr", &addr]);
+        assert_eq!(code, ExitCode::UsageError, "{out}");
+        assert!(out.starts_with("error:"), "{out}");
     }
 
     #[test]

@@ -363,6 +363,37 @@ impl DurationHistogram {
         }
         self.total += other.total;
     }
+
+    /// Per-bucket sample counts; `bucket_counts()[k]` is the number of
+    /// samples whose duration fell in `[2^k, 2^(k+1))` picoseconds
+    /// (bucket 0 also holds zero-duration samples).
+    #[must_use]
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Inclusive upper edge of bucket `k` in picoseconds — the same edge
+    /// [`quantile`](Self::quantile) reports, so exporters (e.g. Prometheus
+    /// `le` labels) agree bit-for-bit with quantile output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= 64`.
+    #[must_use]
+    pub fn bucket_upper_bound_picos(k: usize) -> u64 {
+        assert!(k < 64, "bucket index {k} out of range");
+        if k >= 63 {
+            u64::MAX
+        } else {
+            (1u64 << (k + 1)) - 1
+        }
+    }
+
+    /// Resets the histogram to empty without reallocating.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+    }
 }
 
 impl Default for DurationHistogram {
@@ -442,5 +473,32 @@ mod histogram_tests {
     #[should_panic(expected = "quantile")]
     fn zero_q_rejected() {
         let _ = DurationHistogram::new().quantile(0.0);
+    }
+
+    #[test]
+    fn bucket_edges_match_quantile_edges() {
+        let mut h = DurationHistogram::new();
+        h.push(SimDuration::from_picos(1000)); // bucket 9
+        let k = h
+            .bucket_counts()
+            .iter()
+            .position(|&c| c > 0)
+            .expect("one bucket populated");
+        assert_eq!(k, 9);
+        assert_eq!(
+            DurationHistogram::bucket_upper_bound_picos(k),
+            h.quantile(1.0).unwrap().as_picos()
+        );
+        assert_eq!(DurationHistogram::bucket_upper_bound_picos(63), u64::MAX);
+    }
+
+    #[test]
+    fn clear_resets_counts() {
+        let mut h = DurationHistogram::new();
+        h.push(SimDuration::from_micros(3));
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert!(h.bucket_counts().iter().all(|&c| c == 0));
+        assert_eq!(h, DurationHistogram::new());
     }
 }

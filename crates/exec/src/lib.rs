@@ -31,7 +31,9 @@
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+use ringrt_obs::Recorder;
 
 /// Environment variable overriding the worker thread count.
 pub const THREADS_ENV: &str = "RINGRT_THREADS";
@@ -124,6 +126,7 @@ pub struct PoolStats {
 pub struct Pool {
     threads: usize,
     counters: PoolCounters,
+    recorder: Arc<Recorder>,
 }
 
 impl Pool {
@@ -138,7 +141,18 @@ impl Pool {
         Pool {
             threads,
             counters: PoolCounters::default(),
+            recorder: Arc::new(Recorder::disabled()),
         }
+    }
+
+    /// Attaches a flight recorder: subsequent [`Pool::map`] calls emit an
+    /// `exec`/`map` span per call and an `exec`/`chunk` span per claimed
+    /// chunk (parallel runs), so pool fan-out shows up alongside the
+    /// service and registry stages in `TRACE` output.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// A single-threaded pool: every `map` runs inline on the caller.
@@ -193,6 +207,7 @@ impl Pool {
     {
         let workers = self.threads.min(n);
         self.counters.items.fetch_add(n as u64, Ordering::Relaxed);
+        let _map_span = self.recorder.span("exec", "map");
         if workers <= 1 {
             self.counters.serial_runs.fetch_add(1, Ordering::Relaxed);
             return (0..n).map(f).collect();
@@ -216,6 +231,7 @@ impl Pool {
                         }
                         let hi = (lo + chunk).min(n);
                         self.counters.chunks.fetch_add(1, Ordering::Relaxed);
+                        let _chunk_span = self.recorder.span("exec", "chunk");
                         local.push((lo, (lo..hi).map(&f).collect()));
                     }
                     if !local.is_empty() {
@@ -369,6 +385,31 @@ mod tests {
         let words = ["alpha".to_owned(), "beta".to_owned()];
         let lens = Pool::new(2).map_slice(&words, |w| w.len());
         assert_eq!(lens, vec![5, 4]);
+    }
+
+    #[test]
+    fn attached_recorder_sees_map_and_chunk_spans() {
+        let rec = Arc::new(Recorder::new());
+        let pool = Pool::new(4).with_recorder(Arc::clone(&rec));
+        let _ = pool.map(64, |i| i);
+        let events = rec.drain(1024);
+        assert!(
+            events.iter().any(|e| e.cat == "exec" && e.name == "map"),
+            "{events:?}"
+        );
+        assert!(
+            events.iter().any(|e| e.cat == "exec" && e.name == "chunk"),
+            "{events:?}"
+        );
+    }
+
+    #[test]
+    fn default_pool_records_nothing() {
+        let pool = Pool::new(2);
+        let _ = pool.map(16, |i| i);
+        // The built-in recorder is disabled: no retained events.
+        assert!(!pool.recorder.is_enabled());
+        assert!(pool.recorder.drain(16).is_empty());
     }
 
     #[test]

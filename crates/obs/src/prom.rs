@@ -1,0 +1,423 @@
+//! Prometheus text exposition (version 0.0.4) rendering and parsing.
+//!
+//! [`PromWriter`] renders counters, gauges, and
+//! [`DurationHistogram`]-backed latency histograms. Histogram `le` edges
+//! are the histogram's own power-of-two picosecond bucket upper bounds
+//! (see [`DurationHistogram::bucket_upper_bound_picos`]) converted to
+//! seconds, so a quantile read off the exposition agrees bit-for-bit with
+//! `DurationHistogram::quantile`. `_sum` is intentionally omitted: the
+//! log₂ histogram keeps bucket counts only, and fabricating a sum from
+//! bucket edges would misstate it.
+//!
+//! [`parse_exposition`] is the matching reader used by the test suite to
+//! prove the output is machine-readable without external dependencies.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use ringrt_des::stats::DurationHistogram;
+
+/// Accumulates one exposition document.
+///
+/// # Examples
+///
+/// ```
+/// use ringrt_obs::prom::PromWriter;
+///
+/// let mut w = PromWriter::new();
+/// w.counter("ringrt_requests_total", "Requests accepted.", &[], 42.0);
+/// w.gauge("ringrt_queue_len", "Jobs queued.", &[("addr", "a")], 3.0);
+/// let text = w.finish();
+/// assert!(text.contains("ringrt_requests_total 42"));
+/// assert!(text.contains("ringrt_queue_len{addr=\"a\"} 3"));
+/// ```
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+    declared: BTreeSet<String>,
+}
+
+impl PromWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        PromWriter::default()
+    }
+
+    /// Emits one counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.header(name, help, "counter");
+        self.sample(name, "", labels, value);
+    }
+
+    /// Emits one gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.header(name, help, "gauge");
+        self.sample(name, "", labels, value);
+    }
+
+    /// Emits a full histogram series (`_bucket` lines with cumulative
+    /// counts, a `+Inf` bucket, and `_count`) for `hist`.
+    ///
+    /// Only the populated bucket range is emitted, bounding the output at
+    /// a few lines per histogram instead of 64.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        hist: &DurationHistogram,
+    ) {
+        self.header(name, help, "histogram");
+        let counts = hist.bucket_counts();
+        let first = counts.iter().position(|&c| c > 0);
+        let last = counts.iter().rposition(|&c| c > 0);
+        let mut cumulative = 0u64;
+        if let (Some(first), Some(last)) = (first, last) {
+            for (k, &c) in counts.iter().enumerate().take(last + 1).skip(first) {
+                cumulative += c;
+                let le = DurationHistogram::bucket_upper_bound_picos(k) as f64 * 1e-12;
+                self.bucket(name, labels, &format!("{le:e}"), cumulative);
+            }
+        }
+        self.bucket(name, labels, "+Inf", hist.count());
+        self.sample(name, "_count", labels, hist.count() as f64);
+    }
+
+    /// Finishes the document.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        debug_assert!(valid_metric_name(name), "bad metric name `{name}`");
+        if self.declared.insert(name.to_owned()) {
+            let help = help.replace('\\', "\\\\").replace('\n', "\\n");
+            let _ = writeln!(self.out, "# HELP {name} {help}");
+            let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        }
+    }
+
+    fn bucket(&mut self, name: &str, labels: &[(&str, &str)], le: &str, count: u64) {
+        let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+        with_le.push(("le", le));
+        self.sample(name, "_bucket", &with_le, count as f64);
+    }
+
+    fn sample(&mut self, name: &str, suffix: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        self.out.push_str(suffix);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                debug_assert!(valid_label_name(k), "bad label name `{k}`");
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let escaped = v
+                    .replace('\\', "\\\\")
+                    .replace('"', "\\\"")
+                    .replace('\n', "\\n");
+                let _ = write!(self.out, "{k}=\"{escaped}\"");
+            }
+            self.out.push('}');
+        }
+        let _ = writeln!(self.out, " {}", fmt_value(value));
+    }
+}
+
+/// Formats a sample value: integral values print without a fraction, and
+/// non-finite values use the exposition spellings `+Inf`/`-Inf`/`NaN`.
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_owned()
+    } else if v.fract() == 0.0 && v.abs() < 9_007_199_254_740_992.0 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Full metric name as written (including `_bucket`/`_count` suffixes).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    #[must_use]
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses a text exposition document into its sample lines, validating
+/// comment syntax, metric/label names, label-value quoting, and values.
+///
+/// # Errors
+///
+/// Returns `line number: problem` for the first malformed line.
+pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let n = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let rest = comment.trim_start();
+            if rest.starts_with("HELP ") || rest.starts_with("TYPE ") {
+                let mut words = rest.split_whitespace();
+                let kind = words.next().expect("checked prefix");
+                let name = words
+                    .next()
+                    .ok_or_else(|| format!("{n}: `# {kind}` without a metric name"))?;
+                if !valid_metric_name(name) {
+                    return Err(format!("{n}: invalid metric name `{name}`"));
+                }
+                if kind == "TYPE" {
+                    let t = words.next().unwrap_or("");
+                    if !matches!(t, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                        return Err(format!("{n}: invalid TYPE `{t}`"));
+                    }
+                }
+            }
+            continue;
+        }
+        samples.push(parse_sample(line).map_err(|e| format!("{n}: {e}"))?);
+    }
+    Ok(samples)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let name_end = line
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == ':'))
+        .unwrap_or(line.len());
+    let name = &line[..name_end];
+    if !valid_metric_name(name) {
+        return Err(format!("invalid metric name in `{line}`"));
+    }
+    let mut rest = &line[name_end..];
+    let mut labels = Vec::new();
+    if let Some(inner) = rest.strip_prefix('{') {
+        let close = find_label_close(inner).ok_or("unterminated label set")?;
+        parse_labels(&inner[..close], &mut labels)?;
+        rest = &inner[close + 1..];
+    }
+    let value_text = rest.trim();
+    let value_text = value_text
+        .split_whitespace()
+        .next()
+        .ok_or("missing sample value")?;
+    let value = match value_text {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        other => other
+            .parse::<f64>()
+            .map_err(|_| format!("bad value `{other}`"))?,
+    };
+    Ok(Sample {
+        name: name.to_owned(),
+        labels,
+        value,
+    })
+}
+
+/// Finds the `}` closing a label set, skipping quoted values.
+fn find_label_close(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut in_quotes = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_quotes => i += 1,
+            b'"' => in_quotes = !in_quotes,
+            b'}' if !in_quotes => return Some(i),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+fn parse_labels(s: &str, out: &mut Vec<(String, String)>) -> Result<(), String> {
+    let mut rest = s;
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or("label without `=`")?;
+        let key = rest[..eq].trim();
+        if !valid_label_name(key) {
+            return Err(format!("invalid label name `{key}`"));
+        }
+        let after = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or("label value not quoted")?;
+        let (value, consumed) = unescape_label_value(after)?;
+        out.push((key.to_owned(), value));
+        rest = after[consumed..].trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+        } else if !rest.is_empty() {
+            return Err(format!("junk after label value: `{rest}`"));
+        }
+    }
+    Ok(())
+}
+
+/// Reads a quoted label value body up to its closing quote, resolving the
+/// exposition escapes (`\\`, `\"`, `\n`). Returns the value and the byte
+/// count consumed including the closing quote.
+fn unescape_label_value(s: &str) -> Result<(String, usize), String> {
+    let mut value = String::new();
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((value, i + 1)),
+            '\\' => match chars.next() {
+                Some((_, '\\')) => value.push('\\'),
+                Some((_, '"')) => value.push('"'),
+                Some((_, 'n')) => value.push('\n'),
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            c => value.push(c),
+        }
+    }
+    Err("unterminated label value".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringrt_units::SimDuration;
+
+    #[test]
+    fn writer_output_parses_back() {
+        let mut w = PromWriter::new();
+        w.counter("ringrt_requests_total", "Total requests.", &[], 10.0);
+        w.gauge(
+            "ringrt_workers",
+            "Worker threads.",
+            &[("kind", "an\"no\\y\nance")],
+            4.0,
+        );
+        let text = w.finish();
+        let samples = parse_exposition(&text).unwrap();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].name, "ringrt_requests_total");
+        assert_eq!(samples[0].value, 10.0);
+        assert_eq!(samples[1].label("kind"), Some("an\"no\\y\nance"));
+    }
+
+    #[test]
+    fn help_and_type_emitted_once_per_name() {
+        let mut w = PromWriter::new();
+        for cmd in ["check", "abu"] {
+            w.counter("ringrt_x_total", "X.", &[("cmd", cmd)], 1.0);
+        }
+        let text = w.finish();
+        assert_eq!(text.matches("# HELP ringrt_x_total").count(), 1);
+        assert_eq!(text.matches("# TYPE ringrt_x_total counter").count(), 1);
+        assert_eq!(parse_exposition(&text).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_matching_edges() {
+        let mut h = DurationHistogram::new();
+        for us in [1u64, 1, 2, 1000] {
+            h.push(SimDuration::from_micros(us));
+        }
+        let mut w = PromWriter::new();
+        w.histogram("ringrt_lat_seconds", "Latency.", &[("cmd", "check")], &h);
+        let text = w.finish();
+        let samples = parse_exposition(&text).unwrap();
+
+        let buckets: Vec<&Sample> = samples
+            .iter()
+            .filter(|s| s.name == "ringrt_lat_seconds_bucket")
+            .collect();
+        assert!(buckets.len() >= 2, "{text}");
+        // Cumulative and monotone, ending at the +Inf bucket == count.
+        let mut prev = 0.0;
+        for b in &buckets {
+            assert!(b.value >= prev, "{text}");
+            prev = b.value;
+        }
+        assert_eq!(buckets.last().unwrap().label("le"), Some("+Inf"));
+        assert_eq!(buckets.last().unwrap().value, 4.0);
+        // Every finite le edge is one of the histogram's own bucket edges.
+        for b in &buckets[..buckets.len() - 1] {
+            let le: f64 = b.label("le").unwrap().parse().unwrap();
+            let matches_edge = (0..64).any(|k| {
+                (DurationHistogram::bucket_upper_bound_picos(k) as f64 * 1e-12 - le).abs() == 0.0
+            });
+            assert!(matches_edge, "le={le} is not a histogram edge\n{text}");
+        }
+        let count = samples
+            .iter()
+            .find(|s| s.name == "ringrt_lat_seconds_count")
+            .unwrap();
+        assert_eq!(count.value, 4.0);
+    }
+
+    #[test]
+    fn empty_histogram_renders_inf_bucket_only() {
+        let mut w = PromWriter::new();
+        w.histogram(
+            "ringrt_lat_seconds",
+            "Latency.",
+            &[],
+            &DurationHistogram::new(),
+        );
+        let samples = parse_exposition(&w.finish()).unwrap();
+        assert_eq!(samples.len(), 2, "{samples:?}");
+        assert_eq!(samples[0].label("le"), Some("+Inf"));
+        assert_eq!(samples[0].value, 0.0);
+        assert_eq!(samples[1].name, "ringrt_lat_seconds_count");
+    }
+
+    #[test]
+    fn special_values_roundtrip() {
+        let mut w = PromWriter::new();
+        w.gauge("g_inf", "Inf.", &[], f64::INFINITY);
+        w.gauge("g_nan", "NaN.", &[], f64::NAN);
+        w.gauge("g_frac", "Fraction.", &[], 0.125);
+        let samples = parse_exposition(&w.finish()).unwrap();
+        assert_eq!(samples[0].value, f64::INFINITY);
+        assert!(samples[1].value.is_nan());
+        assert_eq!(samples[2].value, 0.125);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_exposition("1bad_name 3").is_err());
+        assert!(parse_exposition("m{le=\"unterminated} 3").is_err());
+        assert!(parse_exposition("m{x=unquoted} 3").is_err());
+        assert!(parse_exposition("m{x=\"v\"}").is_err());
+        assert!(parse_exposition("m notanumber").is_err());
+        assert!(parse_exposition("# TYPE m sideways").is_err());
+    }
+}

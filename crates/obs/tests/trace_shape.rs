@@ -1,0 +1,49 @@
+//! End-to-end shape check: recorded spans drain into a trace-event JSON
+//! document that a strict reader accepts (the same invariants Perfetto /
+//! `chrome://tracing` rely on).
+
+use ringrt_obs::json::Json;
+use ringrt_obs::trace::{render_chrome_trace, validate_chrome_trace};
+use ringrt_obs::Recorder;
+
+#[test]
+fn recorded_spans_export_as_loadable_trace_json() {
+    let rec = Recorder::new();
+    {
+        let _outer = rec.span("service", "handle");
+        let _inner = rec.span("service", "parse");
+    }
+    {
+        let _exec = rec.span("exec", "map");
+    }
+    let events = rec.drain(16);
+    assert_eq!(events.len(), 3);
+
+    let text = render_chrome_trace(&events);
+    assert_eq!(validate_chrome_trace(&text), Ok(3), "{text}");
+
+    // The categories and stage names survive the export verbatim.
+    let doc = Json::parse(&text).unwrap();
+    let names: Vec<&str> = doc
+        .get("traceEvents")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|e| e.get("name").unwrap().as_str().unwrap())
+        .collect();
+    assert!(names.contains(&"parse"), "{names:?}");
+    assert!(names.contains(&"map"), "{names:?}");
+}
+
+#[test]
+fn drain_limit_keeps_most_recent_events() {
+    let rec = Recorder::new();
+    for _ in 0..10 {
+        let _s = rec.span("t", "tick");
+    }
+    let events = rec.drain(4);
+    assert_eq!(events.len(), 4);
+    let text = render_chrome_trace(&events);
+    assert_eq!(validate_chrome_trace(&text), Ok(4));
+}

@@ -33,10 +33,12 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ringrt_frames::crc::crc32;
 use ringrt_model::SyncStream;
+use ringrt_obs::Recorder;
 use ringrt_units::{Bits, Seconds};
 
 use crate::spec::{
@@ -387,6 +389,7 @@ pub struct Store {
     next_seq: u64,
     journal_bytes: u64,
     snapshot_bytes: u64,
+    recorder: Arc<Recorder>,
 }
 
 impl Store {
@@ -477,10 +480,19 @@ impl Store {
                 next_seq: max_seq + 1,
                 journal_bytes: good_end as u64,
                 snapshot_bytes,
+                recorder: Arc::new(Recorder::disabled()),
             },
             rings,
             stats,
         ))
+    }
+
+    /// Attaches a flight recorder: subsequent [`append`](Self::append) and
+    /// [`compact`](Self::compact) calls emit `registry` spans for the
+    /// journal append, the fsync, and each compaction phase (snapshot
+    /// write, publish rename, journal truncate).
+    pub fn set_recorder(&mut self, recorder: Arc<Recorder>) {
+        self.recorder = recorder;
     }
 
     /// Appends one record and syncs it to disk. Call *before* mutating the
@@ -490,13 +502,17 @@ impl Store {
     ///
     /// [`RegistryError::Storage`] if the write or sync fails.
     pub fn append(&mut self, op: &JournalOp) -> Result<(), RegistryError> {
+        let _append_span = self.recorder.span("registry", "journal_append");
         let record = encode_record(self.next_seq, op);
         self.journal
             .write_all(record.as_bytes())
             .map_err(|e| storage_err("append journal record", e))?;
-        self.journal
-            .sync_data()
-            .map_err(|e| storage_err("sync journal", e))?;
+        {
+            let _fsync_span = self.recorder.span("registry", "journal_fsync");
+            self.journal
+                .sync_data()
+                .map_err(|e| storage_err("sync journal", e))?;
+        }
         self.journal_bytes += record.len() as u64;
         self.next_seq += 1;
         Ok(())
@@ -513,18 +529,25 @@ impl Store {
     where
         I: Iterator<Item = (&'a String, &'a RingState)>,
     {
+        let _compact_span = self.recorder.span("registry", "compact");
         let seq = self.next_seq - 1; // highest sequence the snapshot covers
         let body = encode_snapshot(seq, rings);
         let tmp = self.dir.join(SNAPSHOT_TMP);
-        let mut f = File::create(&tmp).map_err(|e| storage_err("create snapshot.tmp", e))?;
-        f.write_all(body.as_bytes())
-            .map_err(|e| storage_err("write snapshot", e))?;
-        f.sync_all().map_err(|e| storage_err("sync snapshot", e))?;
-        drop(f);
-        fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))
-            .map_err(|e| storage_err("publish snapshot", e))?;
+        {
+            let _write_span = self.recorder.span("registry", "snapshot_write");
+            let mut f = File::create(&tmp).map_err(|e| storage_err("create snapshot.tmp", e))?;
+            f.write_all(body.as_bytes())
+                .map_err(|e| storage_err("write snapshot", e))?;
+            f.sync_all().map_err(|e| storage_err("sync snapshot", e))?;
+        }
+        {
+            let _publish_span = self.recorder.span("registry", "snapshot_publish");
+            fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))
+                .map_err(|e| storage_err("publish snapshot", e))?;
+        }
         self.snapshot_bytes = body.len() as u64;
         // Only now is it safe to drop the journal prefix the snapshot covers.
+        let _truncate_span = self.recorder.span("registry", "journal_truncate");
         self.journal
             .set_len(0)
             .map_err(|e| storage_err("truncate journal", e))?;
@@ -684,6 +707,38 @@ mod tests {
         // Any corruption invalidates the whole snapshot.
         let corrupt = body.replace("s1", "sX");
         assert!(load_snapshot(corrupt.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn attached_recorder_sees_journal_and_compaction_phases() {
+        let dir = std::env::temp_dir().join(format!(
+            "ringrt-journal-obs-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let rec = Arc::new(Recorder::new());
+        let (mut store, mut rings, _) = Store::open(&dir).unwrap();
+        store.set_recorder(Arc::clone(&rec));
+        let op = JournalOp::Register {
+            ring: "r".into(),
+            spec: spec(),
+        };
+        store.append(&op).unwrap();
+        apply(&mut rings, &op).unwrap();
+        store.compact(rings.iter()).unwrap();
+        let names: Vec<&str> = rec.drain(64).iter().map(|e| e.name).collect();
+        for expected in [
+            "journal_append",
+            "journal_fsync",
+            "compact",
+            "snapshot_write",
+            "snapshot_publish",
+            "journal_truncate",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}: {names:?}");
+        }
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

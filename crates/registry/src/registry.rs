@@ -168,6 +168,27 @@ impl RingRegistry {
         self.replay.as_ref()
     }
 
+    /// Attaches a flight recorder to the backing store (no-op for
+    /// in-memory registries): journal appends, fsyncs, and compaction
+    /// phases then emit `registry` spans.
+    pub fn attach_recorder(&self, recorder: std::sync::Arc<ringrt_obs::Recorder>) {
+        if let Some(store) = self.lock().store.as_mut() {
+            store.set_recorder(recorder);
+        }
+    }
+
+    /// Zeroes the incremental/full admission-test counters (the gauges —
+    /// ring, stream, and byte counts — are live state and are unaffected).
+    /// Backs the service's `STATS RESET` command.
+    pub fn reset_counters(&self) {
+        self.counters.incremental_tests.store(0, Ordering::Relaxed);
+        self.counters.full_tests.store(0, Ordering::Relaxed);
+        self.counters
+            .incremental_evaluations
+            .store(0, Ordering::Relaxed);
+        self.counters.full_evaluations.store(0, Ordering::Relaxed);
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
         self.inner
             .lock()
@@ -673,6 +694,45 @@ mod tests {
         // Post-recovery mutations keep advancing past the replayed ones.
         reg.admit("lab", "mic", stream(50.0, 200_000)).unwrap();
         assert!(reg.ring_snapshot("lab").unwrap().1 > g);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reset_counters_zeroes_work_counters_only() {
+        let reg = RingRegistry::in_memory();
+        reg.register("r", fddi_spec()).unwrap();
+        reg.admit("r", "s0", stream(20.0, 50_000)).unwrap();
+        reg.admit("r", "s1", stream(40.0, 50_000)).unwrap();
+        assert!(reg.metrics().full_tests + reg.metrics().incremental_tests > 0);
+        reg.reset_counters();
+        let m = reg.metrics();
+        assert_eq!(m.incremental_tests, 0);
+        assert_eq!(m.full_tests, 0);
+        assert_eq!(m.incremental_evaluations, 0);
+        assert_eq!(m.full_evaluations, 0);
+        // Gauges reflect live state and must survive the reset.
+        assert_eq!(m.rings, 1);
+        assert_eq!(m.streams, 2);
+    }
+
+    #[test]
+    fn attached_recorder_sees_journal_spans() {
+        let dir = std::env::temp_dir().join(format!(
+            "ringrt-registry-obs-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let rec = std::sync::Arc::new(ringrt_obs::Recorder::new());
+        let reg = RingRegistry::open(&dir).unwrap();
+        reg.attach_recorder(std::sync::Arc::clone(&rec));
+        reg.register("lab", fddi_spec()).unwrap();
+        reg.admit("lab", "cam", stream(20.0, 100_000)).unwrap();
+        reg.compact().unwrap();
+        let names: Vec<&str> = rec.drain(64).iter().map(|e| e.name).collect();
+        assert!(names.contains(&"journal_append"), "{names:?}");
+        assert!(names.contains(&"journal_fsync"), "{names:?}");
+        assert!(names.contains(&"compact"), "{names:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -226,6 +226,18 @@ impl ResultCache {
         removed
     }
 
+    /// Zeroes the hit/miss/eviction counters (the `STATS RESET` command).
+    ///
+    /// Stored entries are untouched — occupancy is a gauge, and dropping
+    /// warm entries on a stats reset would perturb the very latencies the
+    /// next measurement window wants to observe. Use [`ResultCache::clear`]
+    /// (the `EVICT` command) to drop entries.
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+
     /// Cache hits so far.
     #[must_use]
     pub fn hits(&self) -> u64 {
@@ -401,6 +413,23 @@ mod tests {
         cache.insert(key.clone(), "v2".into());
         assert_eq!(cache.evictions(), 0);
         assert_eq!(cache.get(&key).as_deref(), Some("v2"));
+    }
+
+    #[test]
+    fn reset_counters_keeps_entries() {
+        let cache = ResultCache::new();
+        let key = key_of("CHECK mbps=16 set=20,1000").unwrap();
+        assert_eq!(cache.get(&key), None);
+        cache.insert(key.clone(), "schedulable=true".into());
+        assert_eq!(cache.get(&key).as_deref(), Some("schedulable=true"));
+        cache.reset_counters();
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 0);
+        assert_eq!(cache.evictions(), 0);
+        // The warm entry survives: occupancy is a gauge, not a counter.
+        assert_eq!(cache.entries(), 1);
+        assert_eq!(cache.get(&key).as_deref(), Some("schedulable=true"));
+        assert_eq!(cache.hits(), 1);
     }
 
     #[test]

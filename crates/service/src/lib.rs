@@ -16,10 +16,14 @@
 //!   itself degrades predictably;
 //! * a **sharded, canonicalizing result cache** ([`cache`]) so repeated
 //!   verdict queries cost a hash lookup, not a re-analysis;
-//! * **observability** ([`metrics`]): request/outcome counters and
-//!   per-command latency histograms (reusing the simulator's log-bucket
+//! * **observability** ([`metrics`]): request/outcome counters,
+//!   per-command and per-stage (parse / cache / queue-wait / execute /
+//!   respond) latency histograms (reusing the simulator's log-bucket
 //!   [`DurationHistogram`](ringrt_des::stats::DurationHistogram)),
-//!   exported through the `STATS` request;
+//!   exported through `STATS` (plain text), `METRICS` (Prometheus text
+//!   exposition), and `TRACE` (recent `ringrt-obs` flight-recorder spans
+//!   as Chrome trace-event JSON); `STATS RESET` starts a fresh
+//!   measurement window without touching gauges or warm cache entries;
 //! * **graceful shutdown** that drains queued and in-flight work before
 //!   the threads exit.
 //!

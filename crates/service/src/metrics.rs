@@ -1,18 +1,25 @@
-//! Server observability: request/outcome counters and per-command latency
-//! histograms.
+//! Server observability: request/outcome counters, per-command latency
+//! histograms, and per-stage request timing.
 //!
 //! Latencies reuse [`ringrt_des::stats::DurationHistogram`] — the same
 //! log₂-bucketed structure the simulator uses for response times — so the
 //! `STATS` quantiles carry the identical "upper edge of the bucket"
-//! semantics documented there. Counters are lock-free atomics; each
-//! command's histogram sits behind its own mutex, touched once per
-//! completed request.
+//! semantics documented there, and the `METRICS` Prometheus exposition
+//! reuses the exact same bucket edges as its `le` labels. Counters are
+//! lock-free atomics; each histogram sits behind its own mutex, touched
+//! once per completed request (or stage).
+//!
+//! `queue_peak` is a **windowed** high-water mark: it tracks the deepest
+//! the admission queue has been since the last `STATS RESET` (or server
+//! start), not over the process lifetime, so load experiments can take
+//! clean per-window deltas.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
 use ringrt_des::stats::DurationHistogram;
+use ringrt_obs::prom::PromWriter;
 use ringrt_units::SimDuration;
 
 use crate::protocol::CommandKind;
@@ -29,6 +36,60 @@ pub fn sim_duration(d: Duration) -> SimDuration {
 #[derive(Debug, Default)]
 struct CommandStats {
     histogram: Mutex<DurationHistogram>,
+}
+
+/// A request-lifecycle stage timed by the server.
+///
+/// Every request passes through `parse → cache → queue_wait → execute →
+/// respond`; cache hits skip the queue and execute stages. Each stage has
+/// its own latency histogram so the `METRICS` exposition (and the `TRACE`
+/// flight recorder, which uses the same stage names as span names) can
+/// attribute end-to-end latency to a pipeline phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Request-line parsing (`parse_request`).
+    Parse,
+    /// Result-cache probe (hit or miss).
+    Cache,
+    /// Time spent queued before a worker claimed the job.
+    QueueWait,
+    /// Worker-side engine execution.
+    Execute,
+    /// Serializing and writing the response line.
+    Respond,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Parse,
+        Stage::Cache,
+        Stage::QueueWait,
+        Stage::Execute,
+        Stage::Respond,
+    ];
+
+    /// Stable lowercase token (metric label / span name).
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Cache => "cache",
+            Stage::QueueWait => "queue_wait",
+            Stage::Execute => "execute",
+            Stage::Respond => "respond",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Parse => 0,
+            Stage::Cache => 1,
+            Stage::QueueWait => 2,
+            Stage::Execute => 3,
+            Stage::Respond => 4,
+        }
+    }
 }
 
 /// One worker thread's utilization record.
@@ -53,9 +114,11 @@ pub struct Metrics {
     pub busy: AtomicU64,
     /// Requests answered `ERR` because they overstayed their queue deadline.
     pub deadline_expired: AtomicU64,
-    /// Deepest the admission queue has ever been (high-water mark).
+    /// Deepest the admission queue has been since the last `STATS RESET`
+    /// (windowed high-water mark).
     pub queue_peak: AtomicU64,
     per_command: [CommandStats; CommandKind::ALL.len()],
+    per_stage: [CommandStats; Stage::ALL.len()],
     per_worker: Vec<WorkerStats>,
 }
 
@@ -78,14 +141,60 @@ impl Metrics {
             deadline_expired: AtomicU64::new(0),
             queue_peak: AtomicU64::new(0),
             per_command: Default::default(),
+            per_stage: Default::default(),
             per_worker: (0..workers).map(|_| WorkerStats::default()).collect(),
         }
     }
 
     /// Raises the queue high-water mark to `depth` if it is deeper than
-    /// anything seen so far.
+    /// anything seen in the current measurement window.
     pub fn note_queue_depth(&self, depth: usize) {
         self.queue_peak.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Records one stage's elapsed time in that stage's histogram.
+    pub fn record_stage(&self, stage: Stage, elapsed: Duration) {
+        let mut h = self.per_stage[stage.index()]
+            .histogram
+            .lock()
+            .expect("metrics histogram poisoned");
+        h.push(sim_duration(elapsed));
+    }
+
+    /// Zeroes every counter and clears every histogram, starting a fresh
+    /// measurement window.
+    ///
+    /// This is the `STATS RESET` implementation: request/outcome counters,
+    /// per-command and per-stage latency histograms, per-worker job and
+    /// busy-time tallies, and the `queue_peak` high-water mark all return
+    /// to zero. Gauges owned by other components (live queue depth,
+    /// inflight connections, `exec_threads`, cache occupancy) are *not*
+    /// touched — they describe present state, not accumulated history.
+    /// The caller should immediately re-seed `queue_peak` with the current
+    /// queue depth via [`Metrics::note_queue_depth`] so the new window's
+    /// peak never reads below the live depth.
+    pub fn reset(&self) {
+        for c in [
+            &self.requests,
+            &self.ok,
+            &self.errors,
+            &self.busy,
+            &self.deadline_expired,
+            &self.queue_peak,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+        for stats in self.per_command.iter().chain(self.per_stage.iter()) {
+            stats
+                .histogram
+                .lock()
+                .expect("metrics histogram poisoned")
+                .clear();
+        }
+        for w in &self.per_worker {
+            w.jobs.store(0, Ordering::Relaxed);
+            w.busy_us.store(0, Ordering::Relaxed);
+        }
     }
 
     /// Credits worker `index` with one completed job of the given busy time.
@@ -171,6 +280,89 @@ impl Metrics {
             }
         }
     }
+
+    /// Emits every metric this struct owns into a Prometheus text
+    /// exposition writer.
+    ///
+    /// Counters get a `_total` suffix; the windowed `queue_peak` is a
+    /// gauge (it can fall back to zero on `STATS RESET`). Latency
+    /// histograms are labelled by command or stage and reuse the log₂
+    /// bucket edges of [`ringrt_des::stats::DurationHistogram`], expressed
+    /// in seconds. The caller (the server's `METRICS` handler) appends its
+    /// own gauges — live queue depth, cache occupancy, exec-pool width —
+    /// around this call.
+    pub fn render_prometheus(&self, w: &mut PromWriter) {
+        let c = |a: &AtomicU64| a.load(Ordering::Relaxed) as f64;
+        w.counter(
+            "ringrt_requests_total",
+            "Request lines received, including malformed ones.",
+            &[],
+            c(&self.requests),
+        );
+        for (status, counter) in [
+            ("ok", &self.ok),
+            ("err", &self.errors),
+            ("busy", &self.busy),
+        ] {
+            w.counter(
+                "ringrt_responses_total",
+                "Responses sent, by status line.",
+                &[("status", status)],
+                c(counter),
+            );
+        }
+        w.counter(
+            "ringrt_deadline_expired_total",
+            "Requests answered ERR because they overstayed their queue deadline.",
+            &[],
+            c(&self.deadline_expired),
+        );
+        w.gauge(
+            "ringrt_queue_peak",
+            "Deepest the admission queue has been since the last STATS RESET.",
+            &[],
+            c(&self.queue_peak),
+        );
+        for (i, worker) in self.per_worker.iter().enumerate() {
+            let id = i.to_string();
+            w.counter(
+                "ringrt_worker_jobs_total",
+                "Jobs completed, per worker thread.",
+                &[("worker", &id)],
+                c(&worker.jobs),
+            );
+            w.counter(
+                "ringrt_worker_busy_seconds_total",
+                "Time spent executing jobs, per worker thread.",
+                &[("worker", &id)],
+                c(&worker.busy_us) / 1e6,
+            );
+        }
+        for cmd in CommandKind::ALL {
+            let h = self.per_command[cmd.index()]
+                .histogram
+                .lock()
+                .expect("metrics histogram poisoned");
+            w.histogram(
+                "ringrt_request_latency_seconds",
+                "End-to-end request latency, by command.",
+                &[("command", cmd.token())],
+                &h,
+            );
+        }
+        for stage in Stage::ALL {
+            let h = self.per_stage[stage.index()]
+                .histogram
+                .lock()
+                .expect("metrics histogram poisoned");
+            w.histogram(
+                "ringrt_stage_latency_seconds",
+                "Per-stage request latency across the service pipeline.",
+                &[("stage", stage.token())],
+                &h,
+            );
+        }
+    }
 }
 
 impl Default for Metrics {
@@ -250,5 +442,69 @@ mod tests {
             .parse()
             .unwrap();
         assert!((100.0..=600.0).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn reset_zeroes_counters_histograms_and_peak() {
+        let m = Metrics::with_workers(2);
+        m.requests.fetch_add(5, Ordering::Relaxed);
+        m.count_response("OK cmd=ping");
+        m.count_response("BUSY queue_capacity=4");
+        m.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        m.note_queue_depth(9);
+        m.record_worker(1, Duration::from_micros(40));
+        m.record_latency(CommandKind::Check, Duration::from_micros(100));
+        m.record_stage(Stage::Parse, Duration::from_micros(3));
+        m.reset();
+        assert_eq!(m.requests.load(Ordering::Relaxed), 0);
+        assert_eq!(m.ok.load(Ordering::Relaxed), 0);
+        assert_eq!(m.busy.load(Ordering::Relaxed), 0);
+        assert_eq!(m.deadline_expired.load(Ordering::Relaxed), 0);
+        assert_eq!(m.queue_peak.load(Ordering::Relaxed), 0);
+        let mut out = String::new();
+        m.render_workers(&mut out);
+        m.render_latencies(&mut out);
+        assert!(out.contains(" queue_peak=0"), "{out}");
+        assert!(out.contains(" worker_jobs=0,0"), "{out}");
+        assert!(out.contains(" check_count=0"), "{out}");
+        // A new window accumulates from scratch.
+        m.note_queue_depth(3);
+        assert_eq!(m.queue_peak.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_parseable_and_complete() {
+        use ringrt_obs::prom::parse_exposition;
+        let m = Metrics::with_workers(2);
+        m.requests.fetch_add(4, Ordering::Relaxed);
+        m.count_response("OK cmd=check verdict=yes");
+        m.record_worker(0, Duration::from_micros(250));
+        m.record_latency(CommandKind::Check, Duration::from_micros(120));
+        m.record_stage(Stage::Execute, Duration::from_micros(80));
+        let mut w = PromWriter::new();
+        m.render_prometheus(&mut w);
+        let text = w.finish();
+        let samples = parse_exposition(&text).expect("exposition must parse");
+        let find = |name: &str| {
+            samples
+                .iter()
+                .filter(|s| s.name == name)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(find("ringrt_requests_total")[0].value, 4.0);
+        let responses = find("ringrt_responses_total");
+        assert_eq!(responses.len(), 3, "{text}");
+        assert!(responses
+            .iter()
+            .any(|s| s.label("status") == Some("ok") && s.value == 1.0));
+        assert_eq!(find("ringrt_worker_jobs_total").len(), 2);
+        // One histogram series per command and per stage.
+        let counts = find("ringrt_request_latency_seconds_count");
+        assert_eq!(counts.len(), CommandKind::ALL.len(), "{text}");
+        let stage_counts = find("ringrt_stage_latency_seconds_count");
+        assert_eq!(stage_counts.len(), Stage::ALL.len(), "{text}");
+        assert!(stage_counts
+            .iter()
+            .any(|s| s.label("stage") == Some("execute") && s.value == 1.0));
     }
 }

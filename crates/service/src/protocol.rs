@@ -16,7 +16,9 @@
 //! SHOW       [ring=<name>]
 //! BATCH      <n>                          # next n lines answered in one write
 //! SLEEP      ms=<n>                       # diagnostic: occupies a worker
-//! PING | STATS | EVICT | COMPACT | SHUTDOWN
+//! TRACE      [n]                          # drain ≤ n recent spans as trace JSON
+//! STATS RESET                             # zero counters and histograms
+//! PING | STATS | METRICS | EVICT | COMPACT | SHUTDOWN
 //! ```
 //!
 //! `set` carries the CLI's message-set records inline: the same
@@ -34,6 +36,12 @@
 //!
 //! One line per request: `OK key=value …`, `BUSY queue_capacity=<n>` when
 //! the admission queue is full (load shedding), or `ERR <message>`.
+//!
+//! Two commands answer with a framed multi-line body after the `OK` line:
+//! `METRICS` (`OK cmd=metrics lines=<n>` followed by `n` Prometheus text
+//! exposition lines) and `TRACE` (`OK cmd=trace events=<k>` followed by
+//! one line of Chrome trace-event JSON). The header tells a client exactly
+//! how many further lines to read.
 
 use ringrt_model::{MessageSet, SyncStream};
 use ringrt_units::{Bits, Seconds};
@@ -49,6 +57,12 @@ pub const MAX_ABU_SAMPLES: usize = 5_000;
 
 /// `ABU` sample count when the request does not say.
 pub const DEFAULT_ABU_SAMPLES: usize = 100;
+
+/// Largest event count a single `TRACE` request may drain.
+pub const MAX_TRACE_EVENTS: usize = 65_536;
+
+/// `TRACE` event count when the request does not say.
+pub const DEFAULT_TRACE_EVENTS: usize = 256;
 
 /// Which analysis a queued request runs; indexes the per-command metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -229,6 +243,19 @@ pub enum Request {
     Ping,
     /// Metrics snapshot, answered inline.
     Stats,
+    /// Zero the server's counters and latency histograms (gauges such as
+    /// `exec_threads` or the cache entry count reflect live state and are
+    /// untouched), so load experiments can take clean deltas.
+    StatsReset,
+    /// All counters, gauges, and latency histograms in Prometheus text
+    /// exposition format, answered inline.
+    Metrics,
+    /// Drain up to `count` recent flight-recorder spans as Chrome
+    /// trace-event JSON, answered inline.
+    Trace {
+        /// Maximum events to return (most recent first retained).
+        count: usize,
+    },
     /// Begin graceful shutdown.
     Shutdown,
 }
@@ -258,6 +285,42 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
         return Ok(Request::Batch { count });
     }
+    if cmd.eq_ignore_ascii_case("TRACE") {
+        // TRACE is positional like BATCH: `TRACE [n]`.
+        let count = match words.next() {
+            None => DEFAULT_TRACE_EVENTS,
+            Some(text) => {
+                if words.next().is_some() {
+                    return Err("TRACE takes at most one argument".to_owned());
+                }
+                let count: usize = text
+                    .parse()
+                    .map_err(|_| format!("invalid trace event count `{text}`"))?;
+                if count == 0 || count > MAX_TRACE_EVENTS {
+                    return Err(format!(
+                        "trace event count must be in 1..={MAX_TRACE_EVENTS}"
+                    ));
+                }
+                count
+            }
+        };
+        return Ok(Request::Trace { count });
+    }
+    if cmd.eq_ignore_ascii_case("STATS") {
+        // `STATS` alone is the snapshot; `STATS RESET` is the bare-word
+        // reset subcommand (no `=`, so it must bypass the key=value loop).
+        return match words.next() {
+            None => Ok(Request::Stats),
+            Some(sub) if sub.eq_ignore_ascii_case("RESET") => {
+                if words.next().is_some() {
+                    Err("STATS RESET takes no further arguments".to_owned())
+                } else {
+                    Ok(Request::StatsReset)
+                }
+            }
+            Some(other) => Err(format!("unknown STATS subcommand `{other}`")),
+        };
+    }
     let mut pairs: Vec<(&str, &str)> = Vec::new();
     for w in words {
         let (k, v) = w
@@ -267,7 +330,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     }
     let command = match cmd.to_ascii_uppercase().as_str() {
         "PING" => return reject_extras(pairs, Request::Ping),
-        "STATS" => return reject_extras(pairs, Request::Stats),
+        "METRICS" => return reject_extras(pairs, Request::Metrics),
         "SHUTDOWN" => return reject_extras(pairs, Request::Shutdown),
         "EVICT" => return reject_extras(pairs, Request::Evict),
         "COMPACT" => return reject_extras(pairs, Request::Compact),
@@ -665,6 +728,37 @@ mod tests {
         ))
         .is_err());
         assert!(parse_request("ABU mbps=16 stations=8 set=20,1000").is_err());
+    }
+
+    #[test]
+    fn parses_observability_commands() {
+        assert_eq!(parse_request("METRICS").unwrap(), Request::Metrics);
+        assert_eq!(parse_request("metrics").unwrap(), Request::Metrics);
+        assert!(parse_request("METRICS extra=1").is_err());
+
+        assert_eq!(
+            parse_request("TRACE").unwrap(),
+            Request::Trace {
+                count: DEFAULT_TRACE_EVENTS
+            }
+        );
+        assert_eq!(
+            parse_request("TRACE 16").unwrap(),
+            Request::Trace { count: 16 }
+        );
+        assert_eq!(
+            parse_request("trace 1000").unwrap(),
+            Request::Trace { count: 1000 }
+        );
+        assert!(parse_request("TRACE 0").is_err());
+        assert!(parse_request("TRACE twelve").is_err());
+        assert!(parse_request(&format!("TRACE {}", MAX_TRACE_EVENTS + 1)).is_err());
+        assert!(parse_request("TRACE 3 4").is_err());
+
+        assert_eq!(parse_request("STATS RESET").unwrap(), Request::StatsReset);
+        assert_eq!(parse_request("stats reset").unwrap(), Request::StatsReset);
+        assert!(parse_request("STATS RESET now").is_err());
+        assert!(parse_request("STATS FLIP").is_err());
     }
 
     #[test]

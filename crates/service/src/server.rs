@@ -33,11 +33,12 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ringrt_exec::Pool;
+use ringrt_obs::{prom::PromWriter, trace::render_chrome_trace, Measured, Recorder};
 use ringrt_registry::{AdmissionOutcome, RingRegistry, RingSpec, RingState};
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::engine;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, Stage};
 use crate::protocol::{parse_request, AnalysisRequest, CommandKind, Request};
 
 /// How often blocked reads and the acceptor wake to check for shutdown.
@@ -69,6 +70,18 @@ pub struct ServiceConfig {
     /// `RINGRT_THREADS` override and falls back to the machine's
     /// parallelism.
     pub exec_threads: Option<usize>,
+    /// Whether the flight recorder captures spans (the `TRACE` command
+    /// returns nothing when off). Per-span cost when on is two clock reads
+    /// and one nearly-uncontended mutex push; `exp_trace_overhead`
+    /// measures the end-to-end impact.
+    pub trace_enabled: bool,
+    /// Span events retained **per recorder shard** (16 shards); older
+    /// events are overwritten, never blocked on.
+    pub trace_capacity: usize,
+    /// Log any single-line request slower than this many milliseconds
+    /// (end-to-end, including the response write) to stderr. `None`
+    /// disables the log.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -82,6 +95,9 @@ impl Default for ServiceConfig {
             state_dir: None,
             cache_entries: crate::cache::DEFAULT_CAPACITY,
             exec_threads: None,
+            trace_enabled: true,
+            trace_capacity: ringrt_obs::DEFAULT_SHARD_CAPACITY,
+            slow_ms: None,
         }
     }
 }
@@ -107,6 +123,9 @@ struct Shared {
     /// multisection probes, `ABU` sample fan-out). Stateless between
     /// calls, so all workers share one.
     exec: Pool,
+    /// Flight recorder shared with the exec pool and the registry journal;
+    /// drained by the `TRACE` command.
+    recorder: Arc<Recorder>,
     shutdown: AtomicBool,
     inflight: AtomicU64,
     started: Instant,
@@ -194,6 +213,168 @@ impl Shared {
         m.render_latencies(&mut out);
         out
     }
+
+    /// Renders the complete Prometheus text exposition for the `METRICS`
+    /// command: the counters and latency histograms owned by [`Metrics`],
+    /// plus the live gauges owned by the server, result cache, ring
+    /// registry, and flight recorder.
+    fn render_metrics(&self) -> String {
+        let mut w = PromWriter::new();
+        self.metrics.render_prometheus(&mut w);
+        w.gauge(
+            "ringrt_uptime_seconds",
+            "Time since the server started.",
+            &[],
+            self.started.elapsed().as_secs_f64(),
+        );
+        w.gauge(
+            "ringrt_workers",
+            "Worker threads executing analyses.",
+            &[],
+            self.config.workers as f64,
+        );
+        w.gauge(
+            "ringrt_queue_capacity",
+            "Bounded admission-queue depth; overflow answers BUSY.",
+            &[],
+            self.config.queue_depth as f64,
+        );
+        w.gauge(
+            "ringrt_queue_len",
+            "Jobs currently waiting in the admission queue.",
+            &[],
+            self.queue_len() as f64,
+        );
+        w.gauge(
+            "ringrt_inflight",
+            "Jobs currently executing on workers.",
+            &[],
+            self.inflight.load(Ordering::Relaxed) as f64,
+        );
+        w.gauge(
+            "ringrt_exec_threads",
+            "Width of the shared intra-request execution pool.",
+            &[],
+            self.exec.threads() as f64,
+        );
+        for (name, help, value) in [
+            (
+                "ringrt_cache_hits_total",
+                "Result-cache hits.",
+                self.cache.hits(),
+            ),
+            (
+                "ringrt_cache_misses_total",
+                "Result-cache misses.",
+                self.cache.misses(),
+            ),
+            (
+                "ringrt_cache_evictions_total",
+                "Entries evicted by the LRU policy.",
+                self.cache.evictions(),
+            ),
+        ] {
+            w.counter(name, help, &[], value as f64);
+        }
+        w.gauge(
+            "ringrt_cache_entries",
+            "Distinct result-cache entries currently stored.",
+            &[],
+            self.cache.entries() as f64,
+        );
+        w.gauge(
+            "ringrt_cache_capacity",
+            "Total result-cache entry capacity.",
+            &[],
+            self.cache.capacity() as f64,
+        );
+        let r = self.registry.metrics();
+        w.gauge(
+            "ringrt_registry_rings",
+            "Rings currently registered.",
+            &[],
+            r.rings as f64,
+        );
+        w.gauge(
+            "ringrt_registry_streams",
+            "Streams admitted across all rings.",
+            &[],
+            r.streams as f64,
+        );
+        w.gauge(
+            "ringrt_registry_journal_bytes",
+            "Size of the registry's append-only journal.",
+            &[],
+            r.journal_bytes as f64,
+        );
+        w.gauge(
+            "ringrt_registry_snapshot_bytes",
+            "Size of the registry's last compaction snapshot.",
+            &[],
+            r.snapshot_bytes as f64,
+        );
+        for (kind, tests, evals) in [
+            (
+                "incremental",
+                r.incremental_tests,
+                r.incremental_evaluations,
+            ),
+            ("full", r.full_tests, r.full_evaluations),
+        ] {
+            w.counter(
+                "ringrt_registry_tests_total",
+                "Admission schedulability tests run, by strategy.",
+                &[("kind", kind)],
+                tests as f64,
+            );
+            w.counter(
+                "ringrt_registry_evaluations_total",
+                "Theorem evaluations performed by admission tests, by strategy.",
+                &[("kind", kind)],
+                evals as f64,
+            );
+        }
+        let t = self.recorder.stats();
+        w.gauge(
+            "ringrt_trace_enabled",
+            "Whether the flight recorder is capturing spans.",
+            &[],
+            if t.enabled { 1.0 } else { 0.0 },
+        );
+        w.gauge(
+            "ringrt_trace_capacity",
+            "Span events retained across all recorder shards.",
+            &[],
+            t.capacity as f64,
+        );
+        w.counter(
+            "ringrt_trace_spans_recorded_total",
+            "Span events written to the flight recorder.",
+            &[],
+            t.recorded as f64,
+        );
+        w.counter(
+            "ringrt_trace_spans_dropped_total",
+            "Span events overwritten before being drained.",
+            &[],
+            t.dropped as f64,
+        );
+        w.finish()
+    }
+
+    /// The `STATS RESET` implementation: zeroes every accumulated counter
+    /// and histogram across the metrics, cache, registry, and recorder,
+    /// then re-seeds the windowed `queue_peak` with the live queue depth
+    /// so the new window never reads below what is already queued. Gauges
+    /// (queue depth, cache occupancy, `exec_threads`, registry sizes) are
+    /// untouched.
+    fn reset_stats(&self) {
+        self.metrics.reset();
+        self.metrics.note_queue_depth(self.queue_len());
+        self.cache.reset_counters();
+        self.registry.reset_counters();
+        self.recorder.reset_stats();
+    }
 }
 
 /// A running server. Dropping the handle signals shutdown but does not
@@ -267,6 +448,12 @@ pub fn spawn(mut config: ServiceConfig) -> std::io::Result<ServerHandle> {
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
 
+    let recorder = Arc::new(if config.trace_enabled {
+        Recorder::with_shard_capacity(config.trace_capacity.max(1))
+    } else {
+        Recorder::disabled()
+    });
+    registry.attach_recorder(Arc::clone(&recorder));
     let cache_entries = config.cache_entries;
     let shared = Arc::new(Shared {
         config: config.clone(),
@@ -277,7 +464,9 @@ pub fn spawn(mut config: ServiceConfig) -> std::io::Result<ServerHandle> {
         registry,
         exec: config
             .exec_threads
-            .map_or_else(Pool::from_env, |n| Pool::new(n.max(1))),
+            .map_or_else(Pool::from_env, |n| Pool::new(n.max(1)))
+            .with_recorder(Arc::clone(&recorder)),
+        recorder,
         shutdown: AtomicBool::new(false),
         inflight: AtomicU64::new(0),
         started: Instant::now(),
@@ -356,6 +545,10 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
         match reader.read_line(&mut line) {
             Ok(0) => return, // client closed
             Ok(_) => {
+                let request_started = Instant::now();
+                // The request line is only copied when slow-request logging
+                // is on; the hot path stays allocation-free here.
+                let slow_line = shared.config.slow_ms.map(|_| line.trim_end().to_owned());
                 let response = handle_line(line.trim_end(), shared);
                 line.clear();
                 if let Response::Batch(count) = response {
@@ -367,14 +560,24 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
                 let stop = matches!(response, Response::Close);
                 let text = response.into_text();
                 shared.metrics.count_response(&text);
-                if writer
+                let respond_span = shared.recorder.span("request", "respond");
+                let write_ok = writer
                     .write_all(format!("{text}\n").as_bytes())
                     .and_then(|()| writer.flush())
-                    .is_err()
-                {
-                    return;
+                    .is_ok();
+                shared
+                    .metrics
+                    .record_stage(Stage::Respond, respond_span.finish());
+                if let (Some(limit_ms), Some(request)) = (shared.config.slow_ms, slow_line) {
+                    let elapsed = request_started.elapsed();
+                    if elapsed >= Duration::from_millis(limit_ms) {
+                        eprintln!(
+                            "ringrt-service: slow request ({} ms >= {limit_ms} ms): {request}",
+                            elapsed.as_millis()
+                        );
+                    }
                 }
-                if stop {
+                if !write_ok || stop {
                     return;
                 }
             }
@@ -452,11 +655,15 @@ fn run_batch(
         out.push_str(&text);
         out.push('\n');
     }
-    writer
+    let respond_span = shared.recorder.span("request", "respond");
+    let write_ok = writer
         .write_all(out.as_bytes())
         .and_then(|()| writer.flush())
-        .is_ok()
-        && keep_open
+        .is_ok();
+    shared
+        .metrics
+        .record_stage(Stage::Respond, respond_span.finish());
+    write_ok && keep_open
 }
 
 /// A response line, a connection-closing line, or a batch header asking
@@ -519,13 +726,38 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> Response {
 fn handle_request(line: &str, shared: &Arc<Shared>, defer: bool) -> Handled {
     let ready = |response: Response| Handled::Ready(response);
     shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
-    let request = match parse_request(line) {
+    let parse_span = shared.recorder.span("request", "parse");
+    let parsed = parse_request(line);
+    shared
+        .metrics
+        .record_stage(Stage::Parse, parse_span.finish());
+    let request = match parsed {
         Ok(r) => r,
         Err(msg) => return ready(Response::Line(format!("ERR {msg}"))),
     };
     match request {
         Request::Ping => ready(Response::Line("OK cmd=ping".to_owned())),
         Request::Stats => ready(Response::Line(shared.render_stats())),
+        Request::StatsReset => {
+            shared.reset_stats();
+            ready(Response::Line("OK cmd=stats_reset".to_owned()))
+        }
+        Request::Metrics => {
+            let body = shared.render_metrics();
+            let body = body.trim_end();
+            ready(Response::Line(format!(
+                "OK cmd=metrics lines={}\n{body}",
+                body.lines().count()
+            )))
+        }
+        Request::Trace { count } => {
+            let events = shared.recorder.drain(count);
+            let json = render_chrome_trace(&events);
+            ready(Response::Line(format!(
+                "OK cmd=trace events={}\n{json}",
+                events.len()
+            )))
+        }
         Request::Shutdown => {
             shared.begin_shutdown();
             ready(Response::Close)
@@ -711,7 +943,12 @@ fn run_cached(
 ) -> Handled {
     if let Some(k) = &key {
         let started = Instant::now();
-        if let Some(body) = shared.cache.get(k) {
+        let cache_span = shared.recorder.span("request", "cache");
+        let found = shared.cache.get(k);
+        shared
+            .metrics
+            .record_stage(Stage::Cache, cache_span.finish());
+        if let Some(body) = found {
             shared.metrics.record_latency(command, started.elapsed());
             return Handled::Ready(Response::Line(format!("{body} cached=true")));
         }
@@ -821,7 +1058,11 @@ fn submit(
             }
         }
         Err(job) if defer => {
+            let run_span = shared.recorder.span("request", "execute");
             let text = execute_request(shared, &job.request, job.cache_key.as_ref());
+            shared
+                .metrics
+                .record_stage(Stage::Execute, run_span.finish());
             record_completed(shared, command, started, &text);
             Handled::Ready(Response::Line(text))
         }
@@ -846,21 +1087,46 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
                 q = shared.queue_cv.wait(q).expect("job queue poisoned");
             }
         };
-        if job.enqueued.elapsed() > job.deadline {
+        // Every popped job's queue wait is recorded — expired jobs
+        // included, since their wait is exactly the signal the stage
+        // histogram exists to expose.
+        let waited = job.enqueued.elapsed();
+        shared.metrics.record_stage(Stage::QueueWait, waited);
+        if waited > job.deadline {
+            shared
+                .recorder
+                .record("request", "queue_wait", job.enqueued, waited);
             shared
                 .metrics
                 .deadline_expired
                 .fetch_add(1, Ordering::Relaxed);
             let _ = job.reply.send(format!(
                 "ERR deadline expired after {} ms in queue",
-                job.enqueued.elapsed().as_millis()
+                waited.as_millis()
             ));
             continue;
         }
         shared.inflight.fetch_add(1, Ordering::Relaxed);
-        let busy = Instant::now();
+        let exec_started = Instant::now();
         let text = execute_request(shared, &job.request, job.cache_key.as_ref());
-        shared.metrics.record_worker(index, busy.elapsed());
+        let busy = exec_started.elapsed();
+        // Both finished stages go into the recorder under one shard lock.
+        shared.recorder.record_many(&[
+            Measured {
+                cat: "request",
+                name: "queue_wait",
+                start: job.enqueued,
+                dur: waited,
+            },
+            Measured {
+                cat: "request",
+                name: "execute",
+                start: exec_started,
+                dur: busy,
+            },
+        ]);
+        shared.metrics.record_stage(Stage::Execute, busy);
+        shared.metrics.record_worker(index, busy);
         shared.inflight.fetch_sub(1, Ordering::Relaxed);
         let _ = job.reply.send(text);
     }

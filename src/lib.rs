@@ -21,6 +21,7 @@
 //! | [`frames`] | `ringrt-frames` | real 802.5/FDDI wire formats, CRC-32, access control |
 //! | [`service`] | `ringrt-service` | online admission-control TCP server with result cache |
 //! | [`registry`] | `ringrt-registry` | persistent named-ring registry, journaled state, incremental admission |
+//! | [`obs`] | `ringrt-obs` | flight-recorder tracing, Chrome trace JSON, Prometheus exposition |
 //!
 //! # Quickstart
 //!
@@ -106,6 +107,12 @@ pub mod service {
 /// admission re-analysis (re-export of `ringrt-registry`).
 pub mod registry {
     pub use ringrt_registry::*;
+}
+
+/// Flight-recorder tracing and metrics exposition (re-export of
+/// `ringrt-obs`).
+pub mod obs {
+    pub use ringrt_obs::*;
 }
 
 /// The most common imports in one place.
