@@ -1,0 +1,251 @@
+//! FAILOVER — warm-standby catch-up and promotion latency of the
+//! replicated admission-control service (engineering benchmark).
+//!
+//! An admission controller guarding a production ring must not become
+//! the availability bottleneck of the network it protects. This harness
+//! measures the two delays that matter for the replicated deployment
+//! (`ringrt serve --follow`):
+//!
+//! * **catch-up** — a cold standby attaches to a primary already holding
+//!   `--samples` journaled admissions and replays the shipped backlog
+//!   until its applied sequence reaches the primary's head (reported as
+//!   wall time and records/s);
+//! * **failover** — the primary is shut down, `PROMOTE` is sent to the
+//!   standby, and the clock runs until (a) the promotion — fenced epoch
+//!   durably published — is acknowledged and (b) the first *write*
+//!   (an `ADMIT`) commits on the new primary.
+//!
+//! Each trial uses fresh state directories; medians over all trials are
+//! reported. Besides the usual CSV on stdout, writes
+//! `BENCH_failover.json` to the current directory for CI artifact
+//! upload.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use ringrt_bench::{banner, ExpOptions};
+use ringrt_breakdown::table::{cell, Table};
+use ringrt_service::{spawn, ServerHandle, ServiceConfig};
+
+const OUT_PATH: &str = "BENCH_failover.json";
+
+/// Streams per ring; 50 streams on a 60-station, 100 Mbps ring admit
+/// comfortably under the modified PDP criterion.
+const RING_SIZE: usize = 50;
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone().expect("clone");
+        Client {
+            reader: BufReader::new(stream),
+            writer,
+        }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp).expect("recv");
+        resp.trim_end().to_owned()
+    }
+}
+
+fn field(resp: &str, key: &str) -> u64 {
+    resp.split_whitespace()
+        .find_map(|w| w.strip_prefix(&format!("{key}=")[..]))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no numeric field `{key}` in `{resp}`"))
+}
+
+fn server(dir: &Path, follow: Option<String>) -> ServerHandle {
+    spawn(ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        queue_depth: 256,
+        state_dir: Some(dir.to_path_buf()),
+        follow,
+        ..ServiceConfig::default()
+    })
+    .expect("spawn server")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("ringrt-exp-failover-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Registers rings and admits `streams` synchronous streams through
+/// `BATCH` frames on the primary.
+fn load_primary(c: &mut Client, streams: usize) {
+    let rings = streams.div_ceil(RING_SIZE);
+    for r in 0..rings {
+        let resp = c.roundtrip(&format!(
+            "REGISTER ring=load{r:03} protocol=modified mbps=100 stations={}",
+            RING_SIZE + 10
+        ));
+        assert!(resp.starts_with("OK"), "{resp}");
+    }
+    let mut frame = format!("BATCH {streams}\n");
+    for i in 0..streams {
+        frame.push_str(&format!(
+            "ADMIT ring=load{:03} stream=s{:03} period_ms={} bits={}\n",
+            i / RING_SIZE,
+            i % RING_SIZE,
+            20 + (i % 40),
+            1_000 + 16 * (i as u64 % 50),
+        ));
+    }
+    c.writer.write_all(frame.as_bytes()).expect("send batch");
+    for i in 0..streams {
+        let mut resp = String::new();
+        c.reader.read_line(&mut resp).expect("batch recv");
+        assert!(resp.contains("admitted=true"), "admit {i}: {resp}");
+    }
+}
+
+struct Trial {
+    records: u64,
+    catch_up_ms: f64,
+    promote_ms: f64,
+    first_write_ms: f64,
+}
+
+fn run_trial(trial: usize, streams: usize) -> Trial {
+    let pdir = temp_dir(&format!("p{trial}"));
+    let fdir = temp_dir(&format!("f{trial}"));
+    let primary = server(&pdir, None);
+    let mut p = Client::connect(primary.addr());
+    load_primary(&mut p, streams);
+    // One journal record per REGISTER and per applied ADMIT.
+    let head = (streams.div_ceil(RING_SIZE) + streams) as u64;
+
+    // Catch-up: attach a cold standby and poll its applied sequence.
+    let attach = Instant::now();
+    let standby = server(&fdir, Some(primary.addr().to_string()));
+    let mut f = Client::connect(standby.addr());
+    loop {
+        let repl = f.roundtrip("REPLICATION");
+        if field(&repl, "applied_seq") >= head {
+            break;
+        }
+        assert!(
+            attach.elapsed() < Duration::from_secs(60),
+            "standby never caught up: {repl}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let catch_up = attach.elapsed();
+
+    // Failover: kill the primary, promote, then commit the first write.
+    assert_eq!(p.roundtrip("SHUTDOWN"), "OK cmd=shutdown");
+    primary.join();
+    let started = Instant::now();
+    let resp = f.roundtrip("PROMOTE");
+    assert!(resp.starts_with("OK cmd=promote"), "{resp}");
+    let promote = started.elapsed();
+    let resp = f.roundtrip("ADMIT ring=load000 stream=post period_ms=90 bits=1000");
+    assert!(resp.contains("admitted=true"), "{resp}");
+    let first_write = started.elapsed();
+
+    assert_eq!(f.roundtrip("SHUTDOWN"), "OK cmd=shutdown");
+    standby.join();
+    for d in [pdir, fdir] {
+        let _ = std::fs::remove_dir_all(&d);
+    }
+    Trial {
+        records: head,
+        catch_up_ms: catch_up.as_secs_f64() * 1e3,
+        promote_ms: promote.as_secs_f64() * 1e3,
+        first_write_ms: first_write.as_secs_f64() * 1e3,
+    }
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mid = xs.len() / 2;
+    if xs.len() % 2 == 1 {
+        xs[mid]
+    } else {
+        (xs[mid - 1] + xs[mid]) / 2.0
+    }
+}
+
+fn main() {
+    let opts = ExpOptions::from_env();
+    banner(
+        "FAILOVER",
+        "warm-standby catch-up and promotion latency of the replicated service",
+        &opts,
+    );
+
+    let streams = opts.samples.clamp(50, 2_000);
+    let trials = if opts.quick { 3 } else { 5 };
+    println!("# {trials} trials, {streams} journaled admissions per primary");
+
+    let mut catch_up = Vec::new();
+    let mut promote = Vec::new();
+    let mut first_write = Vec::new();
+    let mut records = 0;
+    let mut table = Table::new(&[
+        "trial",
+        "records",
+        "catch_up_ms",
+        "ship_records_per_sec",
+        "promote_ms",
+        "first_write_ms",
+    ]);
+    for t in 0..trials {
+        let r = run_trial(t, streams);
+        table.push_row(&[
+            t.to_string(),
+            r.records.to_string(),
+            cell(r.catch_up_ms, 2),
+            cell(r.records as f64 / (r.catch_up_ms / 1e3).max(1e-9), 0),
+            cell(r.promote_ms, 2),
+            cell(r.first_write_ms, 2),
+        ]);
+        records = r.records;
+        catch_up.push(r.catch_up_ms);
+        promote.push(r.promote_ms);
+        first_write.push(r.first_write_ms);
+    }
+    print!("{}", table.to_csv());
+
+    let catch_up_ms = median(&mut catch_up);
+    let promote_ms = median(&mut promote);
+    let first_write_ms = median(&mut first_write);
+    println!();
+    println!(
+        "# medians: catch-up {catch_up_ms:.2} ms for {records} records \
+         ({:.0} records/s), promote {promote_ms:.2} ms, first write {first_write_ms:.2} ms",
+        records as f64 / (catch_up_ms / 1e3).max(1e-9)
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"failover\",\n  \"trials\": {trials},\n  \
+         \"streams\": {streams},\n  \"records\": {records},\n  \
+         \"catch_up_ms\": {catch_up_ms:.3},\n  \
+         \"ship_records_per_sec\": {:.1},\n  \
+         \"promote_ms\": {promote_ms:.3},\n  \
+         \"first_write_ms\": {first_write_ms:.3}\n}}\n",
+        records as f64 / (catch_up_ms / 1e3).max(1e-9),
+    );
+    if let Err(e) = std::fs::write(OUT_PATH, &json) {
+        eprintln!("warning: could not write {OUT_PATH}: {e}");
+    } else {
+        println!("# wrote {OUT_PATH}");
+    }
+}

@@ -139,6 +139,15 @@ pub enum Command {
         /// default on). Off, spans cost one atomic load and `TRACE`
         /// returns an empty document.
         trace: bool,
+        /// Run as a warm standby replicating the primary at this address
+        /// (requires `--state-dir`).
+        follow: Option<String>,
+        /// Journal segment rotation threshold in bytes (`None` = the
+        /// registry default).
+        segment_bytes: Option<u64>,
+        /// Auto-promote after the primary has been silent this long
+        /// (`None` = promote only on an explicit `PROMOTE`).
+        promote_timeout_ms: Option<u64>,
     },
     /// Drain a running server's flight recorder as Chrome trace JSON.
     Trace {
@@ -146,6 +155,16 @@ pub enum Command {
         addr: String,
         /// Maximum span events to drain.
         events: usize,
+    },
+    /// Promote a running follower to primary under a fresh epoch.
+    Promote {
+        /// Follower address (`host:port`).
+        addr: String,
+    },
+    /// Print a running server's one-line replication status.
+    Replication {
+        /// Server address (`host:port`).
+        addr: String,
     },
     /// Operate directly on a persistent ring-registry state directory.
     Registry {
@@ -219,7 +238,10 @@ USAGE:
   ringrt abu      --mbps <N> [--stations N] [--samples N] [--seed N]
   ringrt serve    [--addr HOST:PORT] [--workers N] [--queue-depth N] [--deadline-ms N]
                   [--state-dir DIR] [--cache-entries N] [--slow-ms N] [--trace on|off]
+                  [--segment-bytes N] [--follow HOST:PORT] [--promote-timeout-ms N]
   ringrt trace    [--addr HOST:PORT] [--events N]
+  ringrt promote     [--addr HOST:PORT]
+  ringrt replication [--addr HOST:PORT]
   ringrt registry register   <ring> --state-dir DIR --mbps <N>
                              [--protocol 802.5|modified|fddi] [--stations N]
   ringrt registry admit      <ring> <stream> --state-dir DIR --period-ms <N> --bits <N>
@@ -320,6 +342,9 @@ impl Cli {
                         cache_entries: optional_usize(&flags, "--cache-entries")?,
                         slow_ms: optional_u64(&flags, "--slow-ms")?,
                         trace: optional_switch(&flags, "--trace")?.unwrap_or(true),
+                        follow: flag_value(&flags, "--follow").map(str::to_owned),
+                        segment_bytes: optional_u64(&flags, "--segment-bytes")?,
+                        promote_timeout_ms: optional_u64(&flags, "--promote-timeout-ms")?,
                     },
                 })
             }
@@ -335,6 +360,19 @@ impl Cli {
                             .unwrap_or("127.0.0.1:7400")
                             .to_owned(),
                         events,
+                    },
+                })
+            }
+            "promote" | "replication" => {
+                let flags = flags_only(&mut it)?;
+                let addr = flag_value(&flags, "--addr")
+                    .unwrap_or("127.0.0.1:7400")
+                    .to_owned();
+                Ok(Cli {
+                    command: if sub == "promote" {
+                        Command::Promote { addr }
+                    } else {
+                        Command::Replication { addr }
                     },
                 })
             }
@@ -601,6 +639,9 @@ mod tests {
                 cache_entries: None,
                 slow_ms: None,
                 trace: true,
+                follow: None,
+                segment_bytes: None,
+                promote_timeout_ms: None,
             }
         );
         let cli = parse(&[
@@ -621,6 +662,12 @@ mod tests {
             "250",
             "--trace",
             "off",
+            "--follow",
+            "10.0.0.9:7400",
+            "--segment-bytes",
+            "65536",
+            "--promote-timeout-ms",
+            "3000",
         ])
         .unwrap();
         assert_eq!(
@@ -634,11 +681,41 @@ mod tests {
                 cache_entries: Some(128),
                 slow_ms: Some(250),
                 trace: false,
+                follow: Some("10.0.0.9:7400".into()),
+                segment_bytes: Some(65536),
+                promote_timeout_ms: Some(3000),
             }
         );
         assert!(parse(&["serve", "--workers", "0"]).is_err());
         assert!(parse(&["serve", "stray"]).is_err());
         assert!(parse(&["serve", "--trace", "maybe"]).is_err());
+    }
+
+    #[test]
+    fn promote_and_replication_commands() {
+        assert_eq!(
+            parse(&["promote"]).unwrap().command,
+            Command::Promote {
+                addr: "127.0.0.1:7400".into()
+            }
+        );
+        assert_eq!(
+            parse(&["promote", "--addr", "10.0.0.2:7401"])
+                .unwrap()
+                .command,
+            Command::Promote {
+                addr: "10.0.0.2:7401".into()
+            }
+        );
+        assert_eq!(
+            parse(&["replication", "--addr", "10.0.0.2:7401"])
+                .unwrap()
+                .command,
+            Command::Replication {
+                addr: "10.0.0.2:7401".into()
+            }
+        );
+        assert!(parse(&["promote", "stray"]).is_err());
     }
 
     #[test]

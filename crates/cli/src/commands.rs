@@ -70,6 +70,9 @@ pub fn run<W: Write>(cli: &Cli, out: &mut W) -> ExitCode {
             cache_entries,
             slow_ms,
             trace,
+            follow,
+            segment_bytes,
+            promote_timeout_ms,
         } => serve(
             ServeOptions {
                 addr,
@@ -80,10 +83,15 @@ pub fn run<W: Write>(cli: &Cli, out: &mut W) -> ExitCode {
                 cache_entries: *cache_entries,
                 slow_ms: *slow_ms,
                 trace: *trace,
+                follow: follow.as_deref(),
+                segment_bytes: *segment_bytes,
+                promote_timeout_ms: *promote_timeout_ms,
             },
             out,
         ),
         Command::Trace { addr, events } => trace(addr, *events, out),
+        Command::Promote { addr } => remote_line(addr, "PROMOTE", out),
+        Command::Replication { addr } => remote_line(addr, "REPLICATION", out),
         Command::Registry { state_dir, action } => registry(state_dir, action, out),
     }
 }
@@ -99,6 +107,9 @@ struct ServeOptions<'a> {
     cache_entries: Option<usize>,
     slow_ms: Option<u64>,
     trace: bool,
+    follow: Option<&'a str>,
+    segment_bytes: Option<u64>,
+    promote_timeout_ms: Option<u64>,
 }
 
 fn serve<W: Write>(opts: ServeOptions<'_>, out: &mut W) -> ExitCode {
@@ -111,6 +122,9 @@ fn serve<W: Write>(opts: ServeOptions<'_>, out: &mut W) -> ExitCode {
         cache_entries,
         slow_ms,
         trace,
+        follow,
+        segment_bytes,
+        promote_timeout_ms,
     } = opts;
     let defaults = ringrt_service::ServiceConfig::default();
     let config = ringrt_service::ServiceConfig {
@@ -122,6 +136,9 @@ fn serve<W: Write>(opts: ServeOptions<'_>, out: &mut W) -> ExitCode {
         cache_entries: cache_entries.unwrap_or(defaults.cache_entries),
         slow_ms,
         trace_enabled: trace,
+        follow: follow.map(str::to_owned),
+        segment_bytes,
+        promote_timeout_ms,
         ..defaults
     };
     let server = match ringrt_service::spawn(config) {
@@ -131,12 +148,20 @@ fn serve<W: Write>(opts: ServeOptions<'_>, out: &mut W) -> ExitCode {
             return ExitCode::UsageError;
         }
     };
-    let _ = writeln!(
-        out,
-        "listening on {} ({workers} workers, queue depth {queue_depth}); \
-         send SHUTDOWN to stop",
-        server.addr()
-    );
+    let _ = match follow {
+        Some(primary) => writeln!(
+            out,
+            "listening on {} as a standby of {primary} ({workers} workers, queue depth \
+             {queue_depth}); send PROMOTE to take over, SHUTDOWN to stop",
+            server.addr()
+        ),
+        None => writeln!(
+            out,
+            "listening on {} ({workers} workers, queue depth {queue_depth}); \
+             send SHUTDOWN to stop",
+            server.addr()
+        ),
+    };
     let _ = out.flush();
     server.wait();
     let _ = writeln!(out, "shut down cleanly");
@@ -181,6 +206,41 @@ fn trace<W: Write>(addr: &str, events: usize, out: &mut W) -> ExitCode {
     }
     let _ = writeln!(out, "{}", json.trim_end());
     ExitCode::Success
+}
+
+/// Sends one request line (`PROMOTE`, `REPLICATION`) to a running server
+/// and prints its one-line answer. Exit code follows the response status.
+fn remote_line<W: Write>(addr: &str, line: &str, out: &mut W) -> ExitCode {
+    use std::io::{BufRead, BufReader};
+    let fail = |out: &mut W, msg: String| {
+        let _ = writeln!(out, "error: {msg}");
+        ExitCode::UsageError
+    };
+    let stream = match std::net::TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => return fail(out, format!("cannot connect to `{addr}`: {e}")),
+    };
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => return fail(out, format!("cannot clone connection: {e}")),
+    };
+    if let Err(e) = writer
+        .write_all(format!("{line}\n").as_bytes())
+        .and_then(|()| writer.flush())
+    {
+        return fail(out, format!("cannot send {line}: {e}"));
+    }
+    let mut reply = String::new();
+    if let Err(e) = BufReader::new(stream).read_line(&mut reply) {
+        return fail(out, format!("cannot read {line} response: {e}"));
+    }
+    let reply = reply.trim_end();
+    let _ = writeln!(out, "{reply}");
+    if reply.starts_with("OK") {
+        ExitCode::Success
+    } else {
+        ExitCode::UsageError
+    }
 }
 
 /// The registry-side protocol enum for a CLI protocol choice.

@@ -1,0 +1,75 @@
+//! A windowed high-water mark: a lock-free gauge that remembers the
+//! largest value observed since the last reset.
+//!
+//! The service uses one for its worker-queue depth (`queue_peak`) and one
+//! for replication lag; both share `STATS RESET` windowed semantics —
+//! resetting starts a fresh measurement window rather than pretending the
+//! quantity itself went to zero, so a reset can re-seed the mark with the
+//! current level.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Largest value observed since the last [`reset`](HighWater::reset).
+///
+/// All operations are single relaxed-or-release atomics; `observe` on the
+/// hot path costs one `fetch_max`.
+#[derive(Debug, Default)]
+pub struct HighWater {
+    peak: AtomicU64,
+}
+
+impl HighWater {
+    /// A mark that has observed nothing (peak 0).
+    #[must_use]
+    pub fn new() -> Self {
+        HighWater::default()
+    }
+
+    /// Folds one observation into the mark.
+    pub fn observe(&self, value: u64) {
+        self.peak.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The largest value observed in the current window.
+    #[must_use]
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Starts a fresh window seeded with `current` — the level the
+    /// measured quantity holds *right now*, which the new window has, by
+    /// definition, already observed. Pass 0 for quantities that are
+    /// instantaneously empty between observations.
+    pub fn reset(&self, current: u64) {
+        self.peak.store(current, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_the_maximum() {
+        let hw = HighWater::new();
+        assert_eq!(hw.peak(), 0);
+        hw.observe(3);
+        hw.observe(7);
+        hw.observe(5);
+        assert_eq!(hw.peak(), 7);
+    }
+
+    #[test]
+    fn reset_reseeds_the_window() {
+        let hw = HighWater::new();
+        hw.observe(9);
+        hw.reset(2);
+        assert_eq!(hw.peak(), 2, "window restarts at the current level");
+        hw.observe(1);
+        assert_eq!(hw.peak(), 2);
+        hw.observe(4);
+        assert_eq!(hw.peak(), 4);
+        hw.reset(0);
+        assert_eq!(hw.peak(), 0);
+    }
+}

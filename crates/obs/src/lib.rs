@@ -22,9 +22,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod highwater;
 pub mod json;
 pub mod prom;
 mod recorder;
 pub mod trace;
 
+pub use highwater::HighWater;
 pub use recorder::{Measured, Recorder, RecorderStats, Span, SpanEvent, DEFAULT_SHARD_CAPACITY};

@@ -1,0 +1,295 @@
+//! Deterministic filesystem fault injection for the journaled store.
+//!
+//! Every durable operation the [`Store`](crate::Store) performs — file
+//! creation, record writes, fsyncs, renames, truncations, deletions — is
+//! routed through a [`FailpointFs`], which counts operations and can be
+//! armed with a [`FaultPlan`] to fail at an exact operation index,
+//! optionally after letting a torn prefix of the bytes land (modelling a
+//! crash mid-`write`). A test harness first dry-runs a workload to learn
+//! its operation count, then replays it once per index with the failure
+//! armed there, asserting after each schedule that recovery reconstructs
+//! exactly the state whose operations completed.
+//!
+//! The default `FailpointFs` is permanently disarmed and adds one relaxed
+//! atomic increment per operation, so production stores pay nothing
+//! measurable for the instrumentation.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::spec::RegistryError;
+
+/// Marker embedded in every injected error message so tests can tell an
+/// injected crash from a real I/O failure.
+const INJECTED_MARKER: &str = "failpoint: injected crash";
+
+/// When and how an armed [`FailpointFs`] fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// 1-based durable-operation index at which to fail. Operation
+    /// numbering restarts only when [`FailpointFs::reset_ops`] is called,
+    /// so a plan can target any point of a multi-step workload.
+    pub fail_at_op: u64,
+    /// For a failing *write* operation: how many bytes of the record to
+    /// let through before the error (a torn write). `None` fails before
+    /// any byte lands; non-write operations ignore the field and fail
+    /// without side effects.
+    pub torn_bytes: Option<usize>,
+}
+
+#[derive(Debug, Default)]
+struct FailState {
+    ops: AtomicU64,
+    plan: Mutex<Option<FaultPlan>>,
+}
+
+/// A cloneable handle to a shared fault-injection state; clones observe
+/// and trigger the same operation counter and plan.
+#[derive(Debug, Clone, Default)]
+pub struct FailpointFs {
+    state: Arc<FailState>,
+}
+
+impl FailpointFs {
+    /// A disarmed fault injector (the production default).
+    #[must_use]
+    pub fn new() -> Self {
+        FailpointFs::default()
+    }
+
+    /// Arms the injector: the `plan.fail_at_op`-th durable operation from
+    /// now on fails. Replaces any previous plan.
+    pub fn arm(&self, plan: FaultPlan) {
+        *self.lock_plan() = Some(plan);
+    }
+
+    /// Disarms the injector; subsequent operations succeed.
+    pub fn disarm(&self) {
+        *self.lock_plan() = None;
+    }
+
+    /// Durable operations counted so far (dry-run bookkeeping).
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.state.ops.load(Ordering::SeqCst)
+    }
+
+    /// Zeroes the operation counter so a fresh workload's indices start
+    /// at 1.
+    pub fn reset_ops(&self) {
+        self.state.ops.store(0, Ordering::SeqCst);
+    }
+
+    /// Whether `err` is an injected crash rather than a real I/O failure.
+    #[must_use]
+    pub fn is_injected(err: &RegistryError) -> bool {
+        err.to_string().contains(INJECTED_MARKER)
+    }
+
+    fn lock_plan(&self) -> std::sync::MutexGuard<'_, Option<FaultPlan>> {
+        self.state
+            .plan
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Counts one durable operation; returns the plan if this is the one
+    /// that must fail.
+    fn tick(&self) -> Option<FaultPlan> {
+        let op = self.state.ops.fetch_add(1, Ordering::SeqCst) + 1;
+        match *self.lock_plan() {
+            Some(plan) if plan.fail_at_op == op => Some(plan),
+            _ => None,
+        }
+    }
+
+    fn injected() -> io::Error {
+        io::Error::other(INJECTED_MARKER)
+    }
+
+    /// `File::create` (truncating).
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O error, or an injected crash.
+    pub fn create(&self, path: &Path) -> io::Result<File> {
+        if self.tick().is_some() {
+            return Err(Self::injected());
+        }
+        File::create(path)
+    }
+
+    /// Creates a file that must not already exist (fresh journal segment).
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O error, or an injected crash.
+    pub fn create_new(&self, path: &Path) -> io::Result<File> {
+        if self.tick().is_some() {
+            return Err(Self::injected());
+        }
+        OpenOptions::new().create_new(true).append(true).open(path)
+    }
+
+    /// Opens (creating if needed) a file for appending.
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O error, or an injected crash.
+    pub fn open_append(&self, path: &Path) -> io::Result<File> {
+        if self.tick().is_some() {
+            return Err(Self::injected());
+        }
+        OpenOptions::new().create(true).append(true).open(path)
+    }
+
+    /// Writes all of `bytes`; an injected crash with
+    /// [`FaultPlan::torn_bytes`] lands a torn prefix first.
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O error, or an injected crash.
+    pub fn write_all(&self, file: &mut File, bytes: &[u8]) -> io::Result<()> {
+        if let Some(plan) = self.tick() {
+            if let Some(torn) = plan.torn_bytes {
+                let torn = torn.min(bytes.len());
+                // A torn write is only observable after the OS flushes it;
+                // model the worst case where the prefix reaches disk.
+                file.write_all(&bytes[..torn])?;
+                let _ = file.sync_data();
+            }
+            return Err(Self::injected());
+        }
+        file.write_all(bytes)
+    }
+
+    /// `File::sync_data`.
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O error, or an injected crash.
+    pub fn sync_data(&self, file: &File) -> io::Result<()> {
+        if self.tick().is_some() {
+            return Err(Self::injected());
+        }
+        file.sync_data()
+    }
+
+    /// `File::sync_all`.
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O error, or an injected crash.
+    pub fn sync_all(&self, file: &File) -> io::Result<()> {
+        if self.tick().is_some() {
+            return Err(Self::injected());
+        }
+        file.sync_all()
+    }
+
+    /// `fs::rename` (snapshot / epoch publication).
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O error, or an injected crash.
+    pub fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        if self.tick().is_some() {
+            return Err(Self::injected());
+        }
+        fs::rename(from, to)
+    }
+
+    /// `fs::remove_file` (sealed-segment garbage collection).
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O error, or an injected crash.
+    pub fn remove_file(&self, path: &Path) -> io::Result<()> {
+        if self.tick().is_some() {
+            return Err(Self::injected());
+        }
+        fs::remove_file(path)
+    }
+
+    /// `File::set_len` (torn-tail truncation).
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O error, or an injected crash.
+    pub fn set_len(&self, file: &File, len: u64) -> io::Result<()> {
+        if self.tick().is_some() {
+            return Err(Self::injected());
+        }
+        file.set_len(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_operations_and_fails_at_the_armed_index() {
+        let dir = std::env::temp_dir().join(format!(
+            "ringrt-failpoint-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let fp = FailpointFs::new();
+        let path = dir.join("probe.log");
+        let mut f = fp.create(&path).unwrap();
+        fp.write_all(&mut f, b"hello\n").unwrap();
+        fp.sync_data(&f).unwrap();
+        assert_eq!(fp.ops(), 3);
+        // Arm the next write: it must fail without landing bytes.
+        fp.arm(FaultPlan {
+            fail_at_op: 4,
+            torn_bytes: None,
+        });
+        assert!(fp.write_all(&mut f, b"doomed\n").is_err());
+        assert_eq!(fs::read(&path).unwrap(), b"hello\n");
+        // Disarmed again, writes succeed.
+        fp.disarm();
+        fp.write_all(&mut f, b"world\n").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"hello\nworld\n");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_lands_a_prefix() {
+        let dir = std::env::temp_dir().join(format!(
+            "ringrt-failpoint-torn-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let fp = FailpointFs::new();
+        let path = dir.join("probe.log");
+        let mut f = fp.create(&path).unwrap();
+        fp.arm(FaultPlan {
+            fail_at_op: 2,
+            torn_bytes: Some(3),
+        });
+        assert!(fp.write_all(&mut f, b"abcdef").is_err());
+        assert_eq!(fs::read(&path).unwrap(), b"abc");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_errors_are_recognizable() {
+        let err = RegistryError::Storage {
+            reason: format!("append journal record: {INJECTED_MARKER}"),
+        };
+        assert!(FailpointFs::is_injected(&err));
+        let real = RegistryError::Storage {
+            reason: "disk on fire".to_owned(),
+        };
+        assert!(!FailpointFs::is_injected(&real));
+    }
+}

@@ -50,13 +50,20 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod failpoint;
 mod journal;
 mod registry;
 mod spec;
 
 pub use engine::CheckOutcome;
-pub use journal::{JournalOp, ReplayStats, Store};
-pub use registry::{AdmissionOutcome, RegistryMetrics, RingCheck, RingRegistry};
+pub use failpoint::{FailpointFs, FaultPlan};
+pub use journal::{
+    CompactionOutcome, CompactionPlan, JournalOp, ReplayStats, Store, StoreOptions,
+    DEFAULT_SEGMENT_BYTES,
+};
+pub use registry::{
+    AdmissionOutcome, RegistryMetrics, ReplicatedApply, RingCheck, RingRegistry, ShipSubscription,
+};
 pub use spec::{
     validate_name, NamedStream, ProtocolKind, RegistryError, RingSpec, RingState, Rings,
     MAX_NAME_LEN,

@@ -1,15 +1,16 @@
 //! The registry proper: a thread-safe named-ring store with journaled
-//! persistence and incremental admission control.
+//! persistence, incremental admission control, and journal-shipping
+//! replication hooks.
 
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Mutex};
 
 use ringrt_model::SyncStream;
 
 use crate::engine::{self, CheckOutcome, TtpCache};
-use crate::journal::{JournalOp, ReplayStats, Store};
+use crate::journal::{self, JournalOp, ReplayStats, Store, StoreOptions};
 use crate::spec::{validate_name, NamedStream, RegistryError, RingSpec, RingState};
 
 /// One ring plus the derived analysis state that never touches disk.
@@ -34,6 +35,9 @@ struct Inner {
     /// Registry-wide mutation counter backing [`RingEntry::generation`];
     /// bumped on **every** committed mutation, including `UNREGISTER`.
     generation: u64,
+    /// Live journal-shipping subscribers; every committed record line is
+    /// forwarded to each, and dead receivers are dropped on the next send.
+    subscribers: Vec<mpsc::Sender<String>>,
 }
 
 /// Work counters proving the incremental path's savings; exposed via
@@ -55,6 +59,10 @@ struct Counters {
 #[derive(Debug)]
 pub struct RingRegistry {
     inner: Mutex<Inner>,
+    /// Serializes compactions so two concurrent `COMPACT`s cannot
+    /// interleave their publish phases; held across the whole three-phase
+    /// protocol while `inner` is only held for begin/finish.
+    compact_guard: Mutex<()>,
     counters: Counters,
     replay: Option<ReplayStats>,
 }
@@ -92,7 +100,7 @@ pub struct RegistryMetrics {
     pub rings: usize,
     /// Admitted streams across all rings.
     pub streams: usize,
-    /// Current journal size in bytes.
+    /// Current journal size in bytes (all segments).
     pub journal_bytes: u64,
     /// Current snapshot size in bytes.
     pub snapshot_bytes: u64,
@@ -110,6 +118,56 @@ pub struct RegistryMetrics {
     pub full_evaluations: u64,
 }
 
+/// Everything a follower needs to catch up and stay caught up, captured
+/// atomically under the registry lock by [`RingRegistry::subscribe`]:
+/// no committed record can fall between `backlog` and `live`.
+#[derive(Debug)]
+pub struct ShipSubscription {
+    /// The primary's fencing epoch at subscription time.
+    pub epoch: u64,
+    /// Highest committed sequence number at subscription time.
+    pub head: u64,
+    /// Snapshot text and its covered sequence, when the requested start
+    /// lies at or below the snapshot floor (the journal no longer holds
+    /// those records).
+    pub snapshot: Option<(u64, String)>,
+    /// Record lines from the resume point (or just past the snapshot) to
+    /// the head.
+    pub backlog: Vec<String>,
+    /// Record lines committed after subscription, in commit order.
+    pub live: mpsc::Receiver<String>,
+}
+
+/// What applying one shipped record line did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicatedApply {
+    /// The record carried the next sequence and was journaled + applied.
+    Applied {
+        /// Its sequence number.
+        seq: u64,
+    },
+    /// The record was already applied (duplicate delivery); idempotently
+    /// ignored.
+    Duplicate {
+        /// Its sequence number.
+        seq: u64,
+    },
+    /// The record skips ahead of the journal (lost frames); the caller
+    /// must re-sync from `expected`.
+    Gap {
+        /// The sequence the journal needs next.
+        expected: u64,
+        /// The sequence the frame carried.
+        got: u64,
+    },
+}
+
+fn in_memory_err() -> RegistryError {
+    RegistryError::Storage {
+        reason: "operation requires a persistent state directory".to_owned(),
+    }
+}
+
 impl RingRegistry {
     /// A registry with no backing store; state dies with the process.
     #[must_use]
@@ -119,21 +177,33 @@ impl RingRegistry {
                 rings: BTreeMap::new(),
                 store: None,
                 generation: 0,
+                subscribers: Vec::new(),
             }),
+            compact_guard: Mutex::new(()),
             counters: Counters::default(),
             replay: None,
         }
     }
 
-    /// Opens (creating if needed) a journaled registry in `dir`, replaying
-    /// any persisted state.
+    /// Opens (creating if needed) a journaled registry in `dir` with the
+    /// default [`StoreOptions`], replaying any persisted state.
     ///
     /// # Errors
     ///
     /// [`RegistryError::Storage`] if the directory cannot be opened or the
     /// journal replays inconsistently.
     pub fn open(dir: &Path) -> Result<Self, RegistryError> {
-        let (store, rings, replay) = Store::open(dir)?;
+        Self::open_with(dir, StoreOptions::default())
+    }
+
+    /// [`open`](Self::open) with explicit segment size and fault
+    /// injection.
+    ///
+    /// # Errors
+    ///
+    /// As [`open`](Self::open).
+    pub fn open_with(dir: &Path, options: StoreOptions) -> Result<Self, RegistryError> {
+        let (store, rings, replay) = Store::open_with(dir, options)?;
         // Replayed rings get fresh, distinct generations; the counter starts
         // past them so post-recovery mutations never reuse one.
         let mut generation = 0u64;
@@ -156,7 +226,9 @@ impl RingRegistry {
                 rings,
                 store: Some(store),
                 generation,
+                subscribers: Vec::new(),
             }),
+            compact_guard: Mutex::new(()),
             counters: Counters::default(),
             replay: Some(replay),
         })
@@ -195,11 +267,13 @@ impl RingRegistry {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// Journals `op` (if persistent), then applies it to `rings`. The
+    /// Journals `op` (if persistent), applies it to `rings`, and forwards
+    /// the journaled record line to live shipping subscribers. The
     /// journal write happens first so memory never runs ahead of disk.
     fn commit(inner: &mut Inner, op: &JournalOp) -> Result<(), RegistryError> {
+        let mut frame = None;
         if let Some(store) = inner.store.as_mut() {
-            store.append(op)?;
+            frame = Some(store.append(op)?);
         }
         inner.generation += 1;
         let generation = inner.generation;
@@ -234,6 +308,11 @@ impl RingRegistry {
             JournalOp::Unregister { ring } => {
                 inner.rings.remove(ring);
             }
+        }
+        if let Some(frame) = frame {
+            inner
+                .subscribers
+                .retain(|tx| tx.send(frame.clone()).is_ok());
         }
         Ok(())
     }
@@ -482,19 +561,221 @@ impl RingRegistry {
             })
     }
 
-    /// Compacts the journal into a snapshot. A no-op for in-memory
-    /// registries.
+    /// The registry-wide mutation counter (also the highest generation any
+    /// ring carries).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.lock().generation
+    }
+
+    /// Compacts the journal into a snapshot without blocking writers: the
+    /// registry lock is held only to seal the tail segment (begin) and to
+    /// fold the bookkeeping back in (finish); the snapshot write, fsync,
+    /// rename, and sealed-segment GC all run with the lock dropped.
+    /// Concurrent compactions are serialized by a dedicated guard. A
+    /// no-op for in-memory registries.
     ///
     /// # Errors
     ///
-    /// Storage failures from the snapshot write or journal truncation.
+    /// Storage failures from any compaction phase.
     pub fn compact(&self) -> Result<(), RegistryError> {
-        let mut inner = self.lock();
-        let Inner { rings, store, .. } = &mut *inner;
-        if let Some(store) = store.as_mut() {
-            store.compact(rings.iter().map(|(name, entry)| (name, &entry.state)))?;
+        let _serialize = self
+            .compact_guard
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let plan = {
+            let mut inner = self.lock();
+            let Inner { rings, store, .. } = &mut *inner;
+            match store.as_mut() {
+                None => return Ok(()),
+                Some(store) => store
+                    .begin_compaction(rings.iter().map(|(name, entry)| (name, &entry.state)))?,
+            }
+        };
+        let outcome = plan.publish()?;
+        if let Some(store) = self.lock().store.as_mut() {
+            store.finish_compaction(outcome);
         }
         Ok(())
+    }
+
+    /// The persisted replication fencing epoch (0 for in-memory
+    /// registries and stores that never served).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.lock().store.as_ref().map_or(0, Store::epoch)
+    }
+
+    /// Persists a new fencing epoch (monotonic; see
+    /// [`Store::set_epoch`]).
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Storage`] for in-memory registries, an epoch
+    /// regression, or failed I/O.
+    pub fn set_epoch(&self, epoch: u64) -> Result<(), RegistryError> {
+        self.lock()
+            .store
+            .as_mut()
+            .ok_or_else(in_memory_err)?
+            .set_epoch(epoch)
+    }
+
+    /// Sequence number the next committed mutation will journal (0 for
+    /// in-memory registries).
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.lock().store.as_ref().map_or(0, Store::next_seq)
+    }
+
+    /// Subscribes to journal shipping, resuming from `from_seq`: captures
+    /// (atomically with respect to concurrent commits) the snapshot the
+    /// follower needs if the journal no longer reaches back to
+    /// `from_seq`, the backlog of records from there to the head, and a
+    /// live channel every later commit is forwarded to.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Storage`] for in-memory registries or unreadable
+    /// journal files.
+    pub fn subscribe(&self, from_seq: u64) -> Result<ShipSubscription, RegistryError> {
+        let mut inner = self.lock();
+        let Inner {
+            store, subscribers, ..
+        } = &mut *inner;
+        let store = store.as_mut().ok_or_else(in_memory_err)?;
+        let head = store.next_seq().saturating_sub(1);
+        let floor = store.snapshot_floor();
+        let (snapshot, backlog_from) = if from_seq <= floor && floor > 0 {
+            (store.snapshot_text()?, floor + 1)
+        } else {
+            (None, from_seq.max(1))
+        };
+        let backlog = store.records_from(backlog_from)?;
+        let (tx, rx) = mpsc::channel();
+        subscribers.push(tx);
+        Ok(ShipSubscription {
+            epoch: store.epoch(),
+            head,
+            snapshot,
+            backlog,
+            live: rx,
+        })
+    }
+
+    /// Applies one shipped record line: validates its checksum and
+    /// sequence, journals it (byte-identically — the encoding is
+    /// deterministic), and applies it to memory. Duplicates are ignored,
+    /// gaps are reported for re-sync, and a frame that violates registry
+    /// invariants is refused **before** it can reach the journal.
+    ///
+    /// The affected ring's Theorem 5.1 term cache is invalidated rather
+    /// than updated — a follower recomputes it on first read, exactly
+    /// like a freshly replayed registry, so cached sums can never drift
+    /// from what a full replay would produce.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Storage`] for in-memory registries, malformed
+    /// frames, or failed I/O; the usual registry errors for a frame whose
+    /// operation cannot apply to the current state.
+    pub fn apply_replicated(&self, line: &str) -> Result<ReplicatedApply, RegistryError> {
+        let (seq, op) = journal::decode_record(line).map_err(|reason| RegistryError::Storage {
+            reason: format!("shipped record malformed: {reason}"),
+        })?;
+        let mut inner = self.lock();
+        let next = inner.store.as_ref().ok_or_else(in_memory_err)?.next_seq();
+        if seq < next {
+            return Ok(ReplicatedApply::Duplicate { seq });
+        }
+        if seq > next {
+            return Ok(ReplicatedApply::Gap {
+                expected: next,
+                got: seq,
+            });
+        }
+        // Pre-validate: `commit` journals first and then applies with
+        // `expect`, so an invariant-violating frame must be refused here,
+        // before any byte lands in the journal.
+        match &op {
+            JournalOp::Register { ring, .. } => {
+                if inner.rings.contains_key(ring) {
+                    return Err(RegistryError::DuplicateRing { ring: ring.clone() });
+                }
+            }
+            JournalOp::Admit { ring, stream } => {
+                let entry = inner
+                    .rings
+                    .get(ring)
+                    .ok_or_else(|| RegistryError::UnknownRing { ring: ring.clone() })?;
+                if entry.state.stream_index(&stream.name).is_some() {
+                    return Err(RegistryError::DuplicateStream {
+                        ring: ring.clone(),
+                        stream: stream.name.clone(),
+                    });
+                }
+            }
+            JournalOp::Remove { ring, stream } => {
+                let entry = inner
+                    .rings
+                    .get(ring)
+                    .ok_or_else(|| RegistryError::UnknownRing { ring: ring.clone() })?;
+                if entry.state.stream_index(stream).is_none() {
+                    return Err(RegistryError::UnknownStream {
+                        ring: ring.clone(),
+                        stream: stream.clone(),
+                    });
+                }
+            }
+            JournalOp::Unregister { ring } => {
+                if !inner.rings.contains_key(ring) {
+                    return Err(RegistryError::UnknownRing { ring: ring.clone() });
+                }
+            }
+        }
+        Self::commit(&mut inner, &op)?;
+        // Replicated applies skip the admission engine, so any cached
+        // terms are stale; drop them and let the next read rebuild.
+        if let JournalOp::Admit { ring, .. } | JournalOp::Remove { ring, .. } = &op {
+            if let Some(entry) = inner.rings.get_mut(ring) {
+                entry.ttp_cache = None;
+            }
+        }
+        Ok(ReplicatedApply::Applied { seq })
+    }
+
+    /// Replaces the registry's entire state with a snapshot shipped from
+    /// a primary (see [`Store::install_snapshot`]); every ring receives a
+    /// fresh generation so stale cache keys cannot resolve.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Storage`] for in-memory registries, a corrupt
+    /// snapshot, or failed I/O.
+    pub fn install_snapshot(&self, text: &str) -> Result<u64, RegistryError> {
+        let mut inner = self.lock();
+        let Inner {
+            rings,
+            store,
+            generation,
+            ..
+        } = &mut *inner;
+        let store = store.as_mut().ok_or_else(in_memory_err)?;
+        let (seq, new_rings) = store.install_snapshot(text)?;
+        let mut entries = BTreeMap::new();
+        for (name, state) in new_rings {
+            *generation += 1;
+            entries.insert(
+                name,
+                RingEntry {
+                    state,
+                    ttp_cache: None,
+                    generation: *generation,
+                },
+            );
+        }
+        *rings = entries;
+        Ok(seq)
     }
 
     /// Current gauges and counters.
@@ -542,6 +823,16 @@ mod tests {
             mbps: 100.0,
             stations: Some(16),
         }
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ringrt-registry-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -604,12 +895,7 @@ mod tests {
 
     #[test]
     fn persistent_registry_survives_reopen() {
-        let dir = std::env::temp_dir().join(format!(
-            "ringrt-registry-test-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = temp_dir("reopen");
         {
             let reg = RingRegistry::open(&dir).unwrap();
             reg.register("lab", fddi_spec()).unwrap();
@@ -677,12 +963,7 @@ mod tests {
 
     #[test]
     fn reopened_registry_assigns_fresh_generations() {
-        let dir = std::env::temp_dir().join(format!(
-            "ringrt-registry-gen-test-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = temp_dir("gen");
         {
             let reg = RingRegistry::open(&dir).unwrap();
             reg.register("lab", fddi_spec()).unwrap();
@@ -717,12 +998,7 @@ mod tests {
 
     #[test]
     fn attached_recorder_sees_journal_spans() {
-        let dir = std::env::temp_dir().join(format!(
-            "ringrt-registry-obs-test-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = temp_dir("obs");
         let rec = std::sync::Arc::new(ringrt_obs::Recorder::new());
         let reg = RingRegistry::open(&dir).unwrap();
         reg.attach_recorder(std::sync::Arc::clone(&rec));
@@ -748,5 +1024,144 @@ mod tests {
             reg.check_full("ghost"),
             Err(RegistryError::UnknownRing { .. })
         ));
+    }
+
+    #[test]
+    fn subscribe_ships_backlog_and_live_records() {
+        let primary_dir = temp_dir("sub-primary");
+        let follower_dir = temp_dir("sub-follower");
+        let primary = RingRegistry::open(&primary_dir).unwrap();
+        primary.register("lab", fddi_spec()).unwrap();
+        primary.admit("lab", "cam", stream(20.0, 100_000)).unwrap();
+
+        let sub = primary.subscribe(1).unwrap();
+        assert_eq!(sub.head, 2);
+        assert!(sub.snapshot.is_none());
+        assert_eq!(sub.backlog.len(), 2);
+
+        // Live records flow through the channel after subscription.
+        primary.admit("lab", "mic", stream(50.0, 200_000)).unwrap();
+        let live = sub.live.try_recv().unwrap();
+
+        let follower = RingRegistry::open(&follower_dir).unwrap();
+        for frame in sub.backlog.iter().chain(std::iter::once(&live)) {
+            assert!(matches!(
+                follower.apply_replicated(frame).unwrap(),
+                ReplicatedApply::Applied { .. }
+            ));
+        }
+        assert_eq!(
+            follower.ring_state("lab").unwrap(),
+            primary.ring_state("lab").unwrap()
+        );
+        // Duplicate delivery is idempotent; a skipped frame reports a gap.
+        assert!(matches!(
+            follower.apply_replicated(&live).unwrap(),
+            ReplicatedApply::Duplicate { .. }
+        ));
+        primary.admit("lab", "aux1", stream(80.0, 50_000)).unwrap();
+        primary.admit("lab", "aux2", stream(90.0, 50_000)).unwrap();
+        let skipped = sub.live.try_recv().unwrap();
+        let ahead = sub.live.try_recv().unwrap();
+        let _ = skipped; // dropped frame
+        assert!(matches!(
+            follower.apply_replicated(&ahead).unwrap(),
+            ReplicatedApply::Gap { expected: 4, .. }
+        ));
+        let _ = std::fs::remove_dir_all(&primary_dir);
+        let _ = std::fs::remove_dir_all(&follower_dir);
+    }
+
+    #[test]
+    fn subscribe_from_compacted_history_ships_the_snapshot() {
+        let primary_dir = temp_dir("snap-primary");
+        let follower_dir = temp_dir("snap-follower");
+        let primary = RingRegistry::open(&primary_dir).unwrap();
+        primary.register("lab", fddi_spec()).unwrap();
+        primary.admit("lab", "cam", stream(20.0, 100_000)).unwrap();
+        primary.compact().unwrap();
+        primary.admit("lab", "mic", stream(50.0, 200_000)).unwrap();
+
+        // Records 1-2 are only in the snapshot now.
+        let sub = primary.subscribe(1).unwrap();
+        let (snap_seq, snap_text) = sub.snapshot.expect("history is compacted");
+        assert_eq!(snap_seq, 2);
+        assert_eq!(sub.backlog.len(), 1); // the post-snapshot admit
+
+        let follower = RingRegistry::open(&follower_dir).unwrap();
+        assert_eq!(follower.install_snapshot(&snap_text).unwrap(), 2);
+        for frame in &sub.backlog {
+            follower.apply_replicated(frame).unwrap();
+        }
+        assert_eq!(
+            follower.ring_state("lab").unwrap(),
+            primary.ring_state("lab").unwrap()
+        );
+        assert_eq!(follower.next_seq(), primary.next_seq());
+        let _ = std::fs::remove_dir_all(&primary_dir);
+        let _ = std::fs::remove_dir_all(&follower_dir);
+    }
+
+    #[test]
+    fn replicated_apply_refuses_invariant_violations_before_journaling() {
+        let primary_dir = temp_dir("bad-primary");
+        let follower_dir = temp_dir("bad-follower");
+        let primary = RingRegistry::open(&primary_dir).unwrap();
+        primary.register("lab", fddi_spec()).unwrap();
+        primary.admit("lab", "cam", stream(20.0, 100_000)).unwrap();
+        let frames = primary.subscribe(1).unwrap().backlog;
+
+        let follower = RingRegistry::open(&follower_dir).unwrap();
+        follower.apply_replicated(&frames[0]).unwrap();
+        follower.apply_replicated(&frames[1]).unwrap();
+        let before = follower.next_seq();
+        // Forge a frame at the right sequence whose op cannot apply: an
+        // admit into a ring that does not exist.
+        let forged = {
+            let reg2 = RingRegistry::open(&temp_dir("bad-forge")).unwrap();
+            reg2.register("ghost", fddi_spec()).unwrap();
+            reg2.register("lab", fddi_spec()).unwrap();
+            reg2.unregister("ghost").unwrap();
+            // Build a registry whose 3rd record admits into `ghost`…
+            let reg3_dir = temp_dir("bad-forge3");
+            let reg3 = RingRegistry::open(&reg3_dir).unwrap();
+            reg3.register("x1", fddi_spec()).unwrap();
+            reg3.register("ghost", fddi_spec()).unwrap();
+            reg3.admit("ghost", "s", stream(20.0, 100_000)).unwrap();
+            let frame = reg3.subscribe(3).unwrap().backlog[0].clone();
+            let _ = std::fs::remove_dir_all(&reg3_dir);
+            frame
+        };
+        let err = follower.apply_replicated(&forged).unwrap_err();
+        assert!(matches!(err, RegistryError::UnknownRing { .. }), "{err}");
+        // Nothing was journaled: the sequence did not advance and a
+        // reopen sees the same two records.
+        assert_eq!(follower.next_seq(), before);
+        drop(follower);
+        let reopened = RingRegistry::open(&follower_dir).unwrap();
+        assert_eq!(reopened.next_seq(), before);
+        // A corrupted frame is refused outright.
+        let mut corrupt = frames[0].clone();
+        corrupt.replace_range(0..1, "f");
+        assert!(reopened.apply_replicated(&corrupt).is_err());
+        let _ = std::fs::remove_dir_all(&primary_dir);
+        let _ = std::fs::remove_dir_all(&follower_dir);
+    }
+
+    #[test]
+    fn epoch_persists_through_registry() {
+        let dir = temp_dir("epoch");
+        {
+            let reg = RingRegistry::open(&dir).unwrap();
+            assert_eq!(reg.epoch(), 0);
+            reg.set_epoch(2).unwrap();
+        }
+        let reg = RingRegistry::open(&dir).unwrap();
+        assert_eq!(reg.epoch(), 2);
+        assert!(reg.set_epoch(1).is_err(), "epoch must not regress");
+        let mem = RingRegistry::in_memory();
+        assert_eq!(mem.epoch(), 0);
+        assert!(mem.set_epoch(1).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -7,7 +7,10 @@ use std::fs;
 use std::path::PathBuf;
 
 use ringrt_model::SyncStream;
-use ringrt_registry::{ProtocolKind, RingRegistry, RingSpec};
+use ringrt_registry::{
+    FailpointFs, FaultPlan, ProtocolKind, RegistryError, RingRegistry, RingSpec, RingState,
+    StoreOptions,
+};
 use ringrt_units::{Bits, Seconds};
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -54,7 +57,7 @@ fn truncated_last_record_drops_only_the_torn_write() {
         populate(&reg, "lab", 5);
     }
     // Simulate a crash mid-append: chop bytes off the journal's last record.
-    let journal = dir.join("journal.log");
+    let journal = dir.join("journal.000001.log");
     let bytes = fs::read(&journal).unwrap();
     fs::write(&journal, &bytes[..bytes.len() - 7]).unwrap();
 
@@ -89,7 +92,7 @@ fn corrupt_interior_record_truncates_the_rest() {
         populate(&reg, "lab", 5);
     }
     // Flip a byte inside the 4th record (register + 5 admits = 6 records).
-    let journal = dir.join("journal.log");
+    let journal = dir.join("journal.000001.log");
     let text = fs::read_to_string(&journal).unwrap();
     let corrupted: Vec<String> = text
         .lines()
@@ -230,7 +233,7 @@ fn kill_between_every_pair_of_compaction_steps_recovers() {
         let reg = RingRegistry::open(&dir).unwrap();
         populate(&reg, "lab", 4);
     }
-    let journal_before = fs::read(dir.join("journal.log")).unwrap();
+    let journal_before = fs::read(dir.join("journal.000001.log")).unwrap();
 
     // Full compaction for reference snapshot bytes.
     {
@@ -242,7 +245,7 @@ fn kill_between_every_pair_of_compaction_steps_recovers() {
     // State A: snapshot.tmp exists, journal intact, no snapshot.dat.
     let a = temp_dir("steps-a");
     fs::create_dir_all(&a).unwrap();
-    fs::write(a.join("journal.log"), &journal_before).unwrap();
+    fs::write(a.join("journal.000001.log"), &journal_before).unwrap();
     fs::write(a.join("snapshot.tmp"), &snapshot).unwrap();
     let reg = RingRegistry::open(&a).unwrap();
     assert_eq!(reg.ring_state("lab").unwrap().streams.len(), 4);
@@ -252,7 +255,7 @@ fn kill_between_every_pair_of_compaction_steps_recovers() {
     // must skip the journal records the snapshot already covers.
     let b = temp_dir("steps-b");
     fs::create_dir_all(&b).unwrap();
-    fs::write(b.join("journal.log"), &journal_before).unwrap();
+    fs::write(b.join("journal.000001.log"), &journal_before).unwrap();
     fs::write(b.join("snapshot.dat"), &snapshot).unwrap();
     let reg = RingRegistry::open(&b).unwrap();
     assert_eq!(reg.ring_state("lab").unwrap().streams.len(), 4);
@@ -265,5 +268,165 @@ fn kill_between_every_pair_of_compaction_steps_recovers() {
 
     for d in [a, b, dir] {
         let _ = fs::remove_dir_all(&d);
+    }
+}
+
+#[test]
+fn legacy_single_file_journal_migrates_on_open() {
+    let dir = temp_dir("legacy");
+    {
+        let reg = RingRegistry::open(&dir).unwrap();
+        populate(&reg, "lab", 3);
+    }
+    // Rewind the layout to the pre-segmentation era: one journal.log.
+    fs::rename(dir.join("journal.000001.log"), dir.join("journal.log")).unwrap();
+    let reg = RingRegistry::open(&dir).unwrap();
+    assert_eq!(reg.ring_state("lab").unwrap().streams.len(), 3);
+    assert!(dir.join("journal.000001.log").exists());
+    assert!(!dir.join("journal.log").exists());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Segmented kill matrix: enumerate EVERY durable filesystem operation a
+// churn workload performs — appends, fsyncs, segment seals/rotations,
+// snapshot writes/publishes, sealed-segment GC — and crash at each one
+// (clean and torn variants), asserting recovery lands on the pre-crash
+// state or, for a record that became durable before its ack was lost, the
+// state one committed operation later. Tiny segments force rotations
+// between nearly every pair of records so the matrix covers the rotation
+// and compaction machinery densely.
+// ---------------------------------------------------------------------------
+
+const TINY_SEGMENT: u64 = 128;
+
+type LogicalState = Vec<(String, RingState)>;
+
+fn logical_state(reg: &RingRegistry) -> LogicalState {
+    reg.ring_names()
+        .into_iter()
+        .map(|n| {
+            let state = reg.ring_state(&n).unwrap();
+            (n, state)
+        })
+        .collect()
+}
+
+type ChurnOp = Box<dyn Fn(&RingRegistry) -> Result<(), RegistryError>>;
+
+fn churn_ops() -> Vec<ChurnOp> {
+    let mut ops: Vec<ChurnOp> = Vec::new();
+    ops.push(Box::new(|r| r.register("a", spec())));
+    ops.push(Box::new(|r| r.register("b", spec())));
+    for i in 0..4u64 {
+        ops.push(Box::new(move |r| {
+            r.admit("a", &format!("a{i}"), stream(20.0 + i as f64, 1_000))
+                .map(|out| assert!(out.applied))
+        }));
+        ops.push(Box::new(move |r| {
+            r.admit("b", &format!("b{i}"), stream(25.0 + i as f64, 2_000))
+                .map(|out| assert!(out.applied))
+        }));
+    }
+    ops.push(Box::new(|r| r.compact()));
+    for i in 4..7u64 {
+        ops.push(Box::new(move |r| {
+            r.admit("a", &format!("a{i}"), stream(20.0 + i as f64, 1_000))
+                .map(|out| assert!(out.applied))
+        }));
+    }
+    ops.push(Box::new(|r| r.remove("a", "a1").map(|_| ())));
+    ops.push(Box::new(|r| r.remove("b", "b0").map(|_| ())));
+    ops.push(Box::new(|r| r.compact()));
+    ops.push(Box::new(|r| r.unregister("b")));
+    ops.push(Box::new(|r| {
+        r.admit("a", "tail", stream(40.0, 3_000))
+            .map(|out| assert!(out.applied))
+    }));
+    ops
+}
+
+/// Runs the churn until the first error; returns how many logical ops
+/// committed and the error, if any.
+fn run_churn(reg: &RingRegistry) -> (usize, Option<RegistryError>) {
+    let mut done = 0;
+    for op in churn_ops() {
+        match op(reg) {
+            Ok(()) => done += 1,
+            Err(e) => return (done, Some(e)),
+        }
+    }
+    (done, None)
+}
+
+#[test]
+fn kill_at_every_durable_op_during_segmented_churn_recovers() {
+    // Dry run: learn the total durable-op count and the logical state
+    // after each committed operation.
+    let dry = temp_dir("matrix-dry");
+    let probe = FailpointFs::new();
+    let reg = RingRegistry::open_with(
+        &dry,
+        StoreOptions {
+            segment_bytes: TINY_SEGMENT,
+            fs: probe.clone(),
+        },
+    )
+    .unwrap();
+    probe.reset_ops();
+    let mut states: Vec<LogicalState> = vec![logical_state(&reg)];
+    for op in churn_ops() {
+        op(&reg).unwrap();
+        states.push(logical_state(&reg));
+    }
+    let total_ops = probe.ops();
+    assert!(
+        reg.metrics().journal_bytes > 0 && total_ops > 30,
+        "workload too small to exercise the matrix: {total_ops} durable ops"
+    );
+    drop(reg);
+    let _ = fs::remove_dir_all(&dry);
+
+    for torn in [None, Some(0), Some(7)] {
+        for k in 1..=total_ops {
+            let dir = temp_dir(&format!("matrix-{k}-{}", torn.map_or(0, |t| t + 1)));
+            let fp = FailpointFs::new();
+            let reg = RingRegistry::open_with(
+                &dir,
+                StoreOptions {
+                    segment_bytes: TINY_SEGMENT,
+                    fs: fp.clone(),
+                },
+            )
+            .unwrap();
+            fp.reset_ops();
+            fp.arm(FaultPlan {
+                fail_at_op: k,
+                torn_bytes: torn,
+            });
+            let (done, err) = run_churn(&reg);
+            fp.disarm();
+            if let Some(err) = &err {
+                assert!(
+                    FailpointFs::is_injected(err),
+                    "op {k} torn {torn:?}: unexpected real error: {err}"
+                );
+            }
+            drop(reg);
+            let reopened = RingRegistry::open(&dir)
+                .unwrap_or_else(|e| panic!("op {k} torn {torn:?}: recovery failed: {e}"));
+            let recovered = logical_state(&reopened);
+            // Every acked op must survive. The op in flight at the crash
+            // may or may not have become durable before its ack was lost —
+            // both outcomes are consistent.
+            let acked = &states[done];
+            let in_flight = states.get(done + 1);
+            assert!(
+                recovered == *acked || Some(&recovered) == in_flight,
+                "op {k} torn {torn:?}: recovered state matches neither the \
+                 {done} acked ops nor the in-flight op"
+            );
+            let _ = fs::remove_dir_all(&dir);
+        }
     }
 }

@@ -56,6 +56,7 @@ pub mod cache;
 pub mod engine;
 pub mod metrics;
 pub mod protocol;
+pub mod replication;
 pub mod server;
 
 pub use cache::{CacheKey, ResultCache};
@@ -63,4 +64,5 @@ pub use protocol::{
     parse_request, AbuRequest, AnalysisRequest, CommandKind, ProtocolKind, Request, RingSpec,
     DEFAULT_ABU_SAMPLES, MAX_ABU_SAMPLES, MAX_BATCH,
 };
+pub use replication::{ReplicationState, Role};
 pub use server::{spawn, ServerHandle, ServiceConfig};

@@ -20,6 +20,7 @@ use std::time::Duration;
 
 use ringrt_des::stats::DurationHistogram;
 use ringrt_obs::prom::PromWriter;
+use ringrt_obs::HighWater;
 use ringrt_units::SimDuration;
 
 use crate::protocol::CommandKind;
@@ -112,11 +113,13 @@ pub struct Metrics {
     pub errors: AtomicU64,
     /// `BUSY` responses sent (queue full, load shed).
     pub busy: AtomicU64,
+    /// `READONLY` redirects sent (mutation against a follower).
+    pub readonly: AtomicU64,
     /// Requests answered `ERR` because they overstayed their queue deadline.
     pub deadline_expired: AtomicU64,
     /// Deepest the admission queue has been since the last `STATS RESET`
     /// (windowed high-water mark).
-    pub queue_peak: AtomicU64,
+    pub queue_peak: HighWater,
     per_command: [CommandStats; CommandKind::ALL.len()],
     per_stage: [CommandStats; Stage::ALL.len()],
     per_worker: Vec<WorkerStats>,
@@ -138,8 +141,9 @@ impl Metrics {
             ok: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             busy: AtomicU64::new(0),
+            readonly: AtomicU64::new(0),
             deadline_expired: AtomicU64::new(0),
-            queue_peak: AtomicU64::new(0),
+            queue_peak: HighWater::new(),
             per_command: Default::default(),
             per_stage: Default::default(),
             per_worker: (0..workers).map(|_| WorkerStats::default()).collect(),
@@ -149,7 +153,7 @@ impl Metrics {
     /// Raises the queue high-water mark to `depth` if it is deeper than
     /// anything seen in the current measurement window.
     pub fn note_queue_depth(&self, depth: usize) {
-        self.queue_peak.fetch_max(depth as u64, Ordering::Relaxed);
+        self.queue_peak.observe(depth as u64);
     }
 
     /// Records one stage's elapsed time in that stage's histogram.
@@ -179,11 +183,12 @@ impl Metrics {
             &self.ok,
             &self.errors,
             &self.busy,
+            &self.readonly,
             &self.deadline_expired,
-            &self.queue_peak,
         ] {
             c.store(0, Ordering::Relaxed);
         }
+        self.queue_peak.reset(0);
         for stats in self.per_command.iter().chain(self.per_stage.iter()) {
             stats
                 .histogram
@@ -212,11 +217,7 @@ impl Metrics {
     /// visible at a glance.
     pub fn render_workers(&self, out: &mut String) {
         use std::fmt::Write as _;
-        let _ = write!(
-            out,
-            " queue_peak={}",
-            self.queue_peak.load(Ordering::Relaxed)
-        );
+        let _ = write!(out, " queue_peak={}", self.queue_peak.peak());
         if self.per_worker.is_empty() {
             return;
         }
@@ -244,12 +245,14 @@ impl Metrics {
         h.push(sim_duration(elapsed));
     }
 
-    /// Classifies a response line into the ok/err/busy counters.
+    /// Classifies a response line into the ok/err/busy/readonly counters.
     pub fn count_response(&self, response: &str) {
         let counter = if response.starts_with("OK") {
             &self.ok
         } else if response.starts_with("BUSY") {
             &self.busy
+        } else if response.starts_with("READONLY") {
+            &self.readonly
         } else {
             &self.errors
         };
@@ -303,6 +306,7 @@ impl Metrics {
             ("ok", &self.ok),
             ("err", &self.errors),
             ("busy", &self.busy),
+            ("readonly", &self.readonly),
         ] {
             w.counter(
                 "ringrt_responses_total",
@@ -321,7 +325,7 @@ impl Metrics {
             "ringrt_queue_peak",
             "Deepest the admission queue has been since the last STATS RESET.",
             &[],
-            c(&self.queue_peak),
+            self.queue_peak.peak() as f64,
         );
         for (i, worker) in self.per_worker.iter().enumerate() {
             let id = i.to_string();
@@ -392,10 +396,12 @@ mod tests {
         m.count_response("OK cmd=ping");
         m.count_response("ERR nope");
         m.count_response("BUSY queue_capacity=4");
+        m.count_response("READONLY cmd=admit primary=127.0.0.1:7777 epoch=2");
         m.count_response("garbage");
         assert_eq!(m.ok.load(Ordering::Relaxed), 1);
         assert_eq!(m.errors.load(Ordering::Relaxed), 2);
         assert_eq!(m.busy.load(Ordering::Relaxed), 1);
+        assert_eq!(m.readonly.load(Ordering::Relaxed), 1);
     }
 
     #[test]
@@ -455,12 +461,14 @@ mod tests {
         m.record_worker(1, Duration::from_micros(40));
         m.record_latency(CommandKind::Check, Duration::from_micros(100));
         m.record_stage(Stage::Parse, Duration::from_micros(3));
+        m.count_response("READONLY cmd=admit primary=127.0.0.1:7777 epoch=2");
         m.reset();
         assert_eq!(m.requests.load(Ordering::Relaxed), 0);
         assert_eq!(m.ok.load(Ordering::Relaxed), 0);
         assert_eq!(m.busy.load(Ordering::Relaxed), 0);
+        assert_eq!(m.readonly.load(Ordering::Relaxed), 0);
         assert_eq!(m.deadline_expired.load(Ordering::Relaxed), 0);
-        assert_eq!(m.queue_peak.load(Ordering::Relaxed), 0);
+        assert_eq!(m.queue_peak.peak(), 0);
         let mut out = String::new();
         m.render_workers(&mut out);
         m.render_latencies(&mut out);
@@ -469,7 +477,7 @@ mod tests {
         assert!(out.contains(" check_count=0"), "{out}");
         // A new window accumulates from scratch.
         m.note_queue_depth(3);
-        assert_eq!(m.queue_peak.load(Ordering::Relaxed), 3);
+        assert_eq!(m.queue_peak.peak(), 3);
     }
 
     #[test]
@@ -493,7 +501,10 @@ mod tests {
         };
         assert_eq!(find("ringrt_requests_total")[0].value, 4.0);
         let responses = find("ringrt_responses_total");
-        assert_eq!(responses.len(), 3, "{text}");
+        assert_eq!(responses.len(), 4, "{text}");
+        assert!(responses
+            .iter()
+            .any(|s| s.label("status") == Some("readonly") && s.value == 0.0));
         assert!(responses
             .iter()
             .any(|s| s.label("status") == Some("ok") && s.value == 1.0));

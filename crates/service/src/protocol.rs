@@ -18,6 +18,9 @@
 //! SLEEP      ms=<n>                       # diagnostic: occupies a worker
 //! TRACE      [n]                          # drain ≤ n recent spans as trace JSON
 //! STATS RESET                             # zero counters and histograms
+//! SYNC       [epoch=<n>] [seq=<n>]        # subscribe to journal shipping (follower → primary)
+//! PROMOTE                                 # promote a follower to primary with a fresh epoch
+//! REPLICATION                             # one-line replication status
 //! PING | STATS | METRICS | EVICT | COMPACT | SHUTDOWN
 //! ```
 //!
@@ -42,6 +45,24 @@
 //! exposition lines) and `TRACE` (`OK cmd=trace events=<k>` followed by
 //! one line of Chrome trace-event JSON). The header tells a client exactly
 //! how many further lines to read.
+//!
+//! A server running as a warm standby (`serve --follow`) answers every
+//! mutation (`REGISTER`/`ADMIT`/`REMOVE`/`UNREGISTER`/`COMPACT`) with a
+//! structured redirect instead of an error:
+//! `READONLY cmd=<c> primary=<addr> epoch=<n>` — inside a `BATCH`, only
+//! the mutating frames are redirected; reads in the same batch answer
+//! normally.
+//!
+//! `SYNC` turns the connection into a one-way journal-shipping stream:
+//! after `OK cmd=sync epoch=<e> head=<h> snapshot=<0|1> backlog=<n>` the
+//! server sends `SHIP snapshot seq=<s> lines=<k>` (plus `k` raw snapshot
+//! lines) when the requested start predates the journal, then one
+//! `SHIP record <record-line>` per backlog and live journal record, with
+//! periodic `SHIP ping epoch=<e> head=<h>` keepalives. A `SYNC` whose
+//! nonzero `epoch` does not match the serving epoch is refused with the
+//! fencing error (`ERR cmd=sync fenced …`) so a revived stale primary and
+//! its orphans cannot split-brain; `epoch=0` means "fresh follower,
+//! adopt yours".
 
 use ringrt_model::{MessageSet, SyncStream};
 use ringrt_units::{Bits, Seconds};
@@ -256,6 +277,19 @@ pub enum Request {
         /// Maximum events to return (most recent first retained).
         count: usize,
     },
+    /// Subscribe this connection to journal shipping: the server streams
+    /// `SHIP` frames from `seq` onward until the connection drops.
+    Sync {
+        /// The epoch the requester last replicated under (0 = fresh
+        /// follower with no history; adopts the serving epoch).
+        epoch: u64,
+        /// First journal sequence number the requester still needs.
+        seq: u64,
+    },
+    /// Promote a follower to primary under a freshly fenced epoch.
+    Promote,
+    /// One-line replication status (role, epoch, lag, peers).
+    Replication,
     /// Begin graceful shutdown.
     Shutdown,
 }
@@ -334,6 +368,19 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "SHUTDOWN" => return reject_extras(pairs, Request::Shutdown),
         "EVICT" => return reject_extras(pairs, Request::Evict),
         "COMPACT" => return reject_extras(pairs, Request::Compact),
+        "PROMOTE" => return reject_extras(pairs, Request::Promote),
+        "REPLICATION" => return reject_extras(pairs, Request::Replication),
+        "SYNC" => {
+            check_keys(&pairs, &["epoch", "seq"])?;
+            let seq: u64 = optional(&pairs, "seq")?.unwrap_or(1);
+            if seq == 0 {
+                return Err("seq must be at least 1 (journal sequences start there)".to_owned());
+            }
+            return Ok(Request::Sync {
+                epoch: optional(&pairs, "epoch")?.unwrap_or(0),
+                seq,
+            });
+        }
         "SLEEP" => {
             check_keys(&pairs, &["ms", "deadline_ms"])?;
             return Ok(Request::Sleep {

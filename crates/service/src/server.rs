@@ -34,12 +34,16 @@ use std::time::{Duration, Instant};
 
 use ringrt_exec::Pool;
 use ringrt_obs::{prom::PromWriter, trace::render_chrome_trace, Measured, Recorder};
-use ringrt_registry::{AdmissionOutcome, RingRegistry, RingSpec, RingState};
+use ringrt_registry::{
+    AdmissionOutcome, FailpointFs, ReplicatedApply, RingRegistry, RingSpec, RingState,
+    ShipSubscription, StoreOptions, DEFAULT_SEGMENT_BYTES,
+};
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::engine;
 use crate::metrics::{Metrics, Stage};
 use crate::protocol::{parse_request, AnalysisRequest, CommandKind, Request};
+use crate::replication::{self, ReplicationState, ShipFrame};
 
 /// How often blocked reads and the acceptor wake to check for shutdown.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
@@ -82,6 +86,18 @@ pub struct ServiceConfig {
     /// (end-to-end, including the response write) to stderr. `None`
     /// disables the log.
     pub slow_ms: Option<u64>,
+    /// Run as a warm standby replicating the primary at this address:
+    /// replay its journal continuously, answer reads, redirect mutations
+    /// with `READONLY`, and promote on `PROMOTE` (or primary-loss
+    /// timeout). Requires `state_dir`.
+    pub follow: Option<String>,
+    /// Journal segment rotation threshold in bytes; `None` uses
+    /// [`DEFAULT_SEGMENT_BYTES`].
+    pub segment_bytes: Option<u64>,
+    /// A follower that has heard nothing from the primary for this long
+    /// promotes itself. `None` (the default) promotes only on an explicit
+    /// `PROMOTE`.
+    pub promote_timeout_ms: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -98,6 +114,9 @@ impl Default for ServiceConfig {
             trace_enabled: true,
             trace_capacity: ringrt_obs::DEFAULT_SHARD_CAPACITY,
             slow_ms: None,
+            follow: None,
+            segment_bytes: None,
+            promote_timeout_ms: None,
         }
     }
 }
@@ -126,6 +145,9 @@ struct Shared {
     /// Flight recorder shared with the exec pool and the registry journal;
     /// drained by the `TRACE` command.
     recorder: Arc<Recorder>,
+    /// Replication role, lag, and peer counters (`SYNC`/`PROMOTE`/
+    /// `REPLICATION`); the durable epoch itself lives in the registry.
+    replication: ReplicationState,
     shutdown: AtomicBool,
     inflight: AtomicU64,
     started: Instant,
@@ -166,12 +188,14 @@ impl Shared {
         use std::fmt::Write as _;
         let m = &self.metrics;
         let mut out = format!(
-            "OK cmd=stats uptime_ms={} requests={} ok={} errors={} busy={} deadline_expired={}",
+            "OK cmd=stats uptime_ms={} requests={} ok={} errors={} busy={} readonly={} \
+             deadline_expired={}",
             self.started.elapsed().as_millis(),
             m.requests.load(Ordering::Relaxed),
             m.ok.load(Ordering::Relaxed),
             m.errors.load(Ordering::Relaxed),
             m.busy.load(Ordering::Relaxed),
+            m.readonly.load(Ordering::Relaxed),
             m.deadline_expired.load(Ordering::Relaxed),
         );
         let _ = write!(
@@ -200,6 +224,7 @@ impl Shared {
             r.incremental_evaluations,
             r.full_evaluations,
         );
+        self.replication.render(self.registry.epoch(), &mut out);
         let _ = write!(
             out,
             " workers={} queue_capacity={} queue_len={} inflight={} exec_threads={}",
@@ -334,6 +359,8 @@ impl Shared {
                 evals as f64,
             );
         }
+        self.replication
+            .render_prometheus(self.registry.epoch(), &mut w);
         let t = self.recorder.stats();
         w.gauge(
             "ringrt_trace_enabled",
@@ -364,13 +391,15 @@ impl Shared {
 
     /// The `STATS RESET` implementation: zeroes every accumulated counter
     /// and histogram across the metrics, cache, registry, and recorder,
-    /// then re-seeds the windowed `queue_peak` with the live queue depth
-    /// so the new window never reads below what is already queued. Gauges
+    /// then re-seeds the windowed high-water marks — `queue_peak` with the
+    /// live queue depth, the replication-lag peak with the live lag — so a
+    /// new window never reads below the level it started at. Gauges
     /// (queue depth, cache occupancy, `exec_threads`, registry sizes) are
     /// untouched.
     fn reset_stats(&self) {
         self.metrics.reset();
         self.metrics.note_queue_depth(self.queue_len());
+        self.replication.reset_window();
         self.cache.reset_counters();
         self.registry.reset_counters();
         self.recorder.reset_stats();
@@ -440,10 +469,30 @@ impl Drop for ServerHandle {
 pub fn spawn(mut config: ServiceConfig) -> std::io::Result<ServerHandle> {
     config.workers = config.workers.max(1);
     config.queue_depth = config.queue_depth.max(1);
+    if config.follow.is_some() && config.state_dir.is_none() {
+        return Err(std::io::Error::other(
+            "--follow requires a state dir: the standby re-journals every shipped record",
+        ));
+    }
     let registry = match &config.state_dir {
-        Some(dir) => RingRegistry::open(dir).map_err(|e| std::io::Error::other(e.to_string()))?,
+        Some(dir) => {
+            let options = StoreOptions {
+                segment_bytes: config.segment_bytes.unwrap_or(DEFAULT_SEGMENT_BYTES).max(1),
+                fs: FailpointFs::new(),
+            };
+            RingRegistry::open_with(dir, options)
+                .map_err(|e| std::io::Error::other(e.to_string()))?
+        }
         None => RingRegistry::in_memory(),
     };
+    // A primary serves under a nonzero epoch from its first boot so that
+    // followers always have something to fence against. Followers adopt
+    // (and persist) the primary's epoch at SYNC time instead.
+    if config.state_dir.is_some() && config.follow.is_none() && registry.epoch() == 0 {
+        registry
+            .set_epoch(1)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+    }
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -467,12 +516,13 @@ pub fn spawn(mut config: ServiceConfig) -> std::io::Result<ServerHandle> {
             .map_or_else(Pool::from_env, |n| Pool::new(n.max(1)))
             .with_recorder(Arc::clone(&recorder)),
         recorder,
+        replication: ReplicationState::new(config.follow.clone()),
         shutdown: AtomicBool::new(false),
         inflight: AtomicU64::new(0),
         started: Instant::now(),
     });
 
-    let workers = (0..config.workers)
+    let mut workers: Vec<JoinHandle<()>> = (0..config.workers)
         .map(|i| {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -481,6 +531,15 @@ pub fn spawn(mut config: ServiceConfig) -> std::io::Result<ServerHandle> {
                 .expect("spawn worker thread")
         })
         .collect();
+    if config.follow.is_some() {
+        let shared = Arc::clone(&shared);
+        workers.push(
+            std::thread::Builder::new()
+                .name("ringrt-follower".to_owned())
+                .spawn(move || follower_loop(&shared))
+                .expect("spawn follower thread"),
+        );
+    }
 
     let connections = Arc::new(Mutex::new(Vec::new()));
     let acceptor = {
@@ -557,6 +616,12 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
                     }
                     continue;
                 }
+                if let Response::Ship(sub) = response {
+                    // The connection becomes a one-way ship stream until
+                    // the follower drops it or the server shuts down.
+                    serve_ship(&mut writer, *sub, shared);
+                    return;
+                }
                 let stop = matches!(response, Response::Close);
                 let text = response.into_text();
                 shared.metrics.count_response(&text);
@@ -625,6 +690,11 @@ fn run_batch(
                     Handled::Ready(Response::Batch(_)) => {
                         Slot::Ready("ERR nested BATCH is not allowed".to_owned())
                     }
+                    // A ship stream takes over the whole connection; it
+                    // cannot share one with framed batch replies.
+                    Handled::Ready(Response::Ship(_)) => {
+                        Slot::Ready("ERR SYNC is not allowed inside BATCH".to_owned())
+                    }
                     Handled::Ready(Response::Close) => {
                         keep_open = false;
                         Slot::Ready(Response::Close.into_text())
@@ -666,12 +736,14 @@ fn run_batch(
     write_ok && keep_open
 }
 
-/// A response line, a connection-closing line, or a batch header asking
-/// the connection loop to collect the next `n` responses into one write.
+/// A response line, a connection-closing line, a batch header asking the
+/// connection loop to collect the next `n` responses into one write, or a
+/// journal subscription turning the connection into a ship stream.
 enum Response {
     Line(String),
     Close,
     Batch(usize),
+    Ship(Box<ShipSubscription>),
 }
 
 impl Response {
@@ -680,6 +752,7 @@ impl Response {
             Response::Line(s) => s,
             Response::Close => "OK cmd=shutdown".to_owned(),
             Response::Batch(_) => unreachable!("batch headers are framed, not rendered"),
+            Response::Ship(_) => unreachable!("ship streams are served, not rendered"),
         }
     }
 }
@@ -735,6 +808,19 @@ fn handle_request(line: &str, shared: &Arc<Shared>, defer: bool) -> Handled {
         Ok(r) => r,
         Err(msg) => return ready(Response::Line(format!("ERR {msg}"))),
     };
+    // A warm standby redirects mutations instead of erroring: the client
+    // learns where the primary is and under which epoch it serves. Inside
+    // a BATCH this runs per frame, so only the mutating positions are
+    // redirected.
+    if shared.replication.is_follower() {
+        if let Some(cmd) = mutation_command(&request) {
+            return ready(Response::Line(format!(
+                "READONLY cmd={cmd} primary={} epoch={}",
+                shared.replication.source().unwrap_or("-"),
+                shared.registry.epoch(),
+            )));
+        }
+    }
     match request {
         Request::Ping => ready(Response::Line("OK cmd=ping".to_owned())),
         Request::Stats => ready(Response::Line(shared.render_stats())),
@@ -761,6 +847,13 @@ fn handle_request(line: &str, shared: &Arc<Shared>, defer: bool) -> Handled {
         Request::Shutdown => {
             shared.begin_shutdown();
             ready(Response::Close)
+        }
+        Request::Sync { epoch, seq } => ready(handle_sync(shared, epoch, seq)),
+        Request::Promote => ready(Response::Line(handle_promote(shared))),
+        Request::Replication => {
+            let mut out = "OK cmd=replication".to_owned();
+            shared.replication.render(shared.registry.epoch(), &mut out);
+            ready(Response::Line(out))
         }
         Request::Batch { count } => ready(Response::Batch(count)),
         Request::Evict => ready(Response::Line(format!(
@@ -1167,6 +1260,381 @@ fn finish_cacheable(shared: &Arc<Shared>, body: String, cache_key: Option<&Cache
     format!("{body} cached=false")
 }
 
+/// The command token of a state-mutating request, or `None` for reads.
+/// `COMPACT` counts as a mutation: a standby's journal is the primary's
+/// shipped history, and folding it locally would fork the layouts.
+fn mutation_command(request: &Request) -> Option<&'static str> {
+    match request {
+        Request::Register { .. } => Some("register"),
+        Request::Admit { .. } => Some("admit"),
+        Request::Remove { .. } => Some("remove"),
+        Request::Unregister { .. } => Some("unregister"),
+        Request::Compact => Some("compact"),
+        _ => None,
+    }
+}
+
+/// `SYNC epoch=<e> seq=<n>`: fence the requester's epoch against the
+/// serving epoch, then hand the connection a journal subscription.
+fn handle_sync(shared: &Arc<Shared>, epoch: u64, seq: u64) -> Response {
+    if shared.replication.is_follower() {
+        return Response::Line(
+            "ERR cmd=sync a follower does not ship its journal (SYNC the primary)".to_owned(),
+        );
+    }
+    let serving = shared.registry.epoch();
+    if serving == 0 {
+        return Response::Line(
+            "ERR cmd=sync journal shipping requires a persistent state dir".to_owned(),
+        );
+    }
+    // Epoch fencing: a nonzero requester epoch is a claim about whose
+    // history its journal extends. Lower means it replicated a superseded
+    // primary (its tail may diverge from ours); higher means *we* are the
+    // stale one. Either way shipping would risk split-brain, so refuse.
+    // Epoch 0 is a fresh follower with nothing to fence.
+    if epoch != 0 && epoch != serving {
+        return Response::Line(format!(
+            "ERR cmd=sync fenced requester_epoch={epoch} epoch={serving}"
+        ));
+    }
+    match shared.registry.subscribe(seq) {
+        Ok(sub) => Response::Ship(Box::new(sub)),
+        Err(e) => Response::Line(format!("ERR {e}")),
+    }
+}
+
+/// `PROMOTE`: flip a follower to primary under a freshly fenced epoch.
+fn handle_promote(shared: &Arc<Shared>) -> String {
+    if !shared.replication.is_follower() {
+        return format!(
+            "ERR cmd=promote already primary epoch={}",
+            shared.registry.epoch()
+        );
+    }
+    match promote_self(shared) {
+        Ok(epoch) => format!(
+            "OK cmd=promote epoch={epoch} applied_seq={}",
+            shared.registry.next_seq().saturating_sub(1)
+        ),
+        Err(e) => format!("ERR cmd=promote {e}"),
+    }
+}
+
+/// Durably publishes the next epoch, then flips the role. Epoch first:
+/// if the fence never hits disk the node must stay a follower, or a
+/// restart would resurrect it under the old primary's epoch.
+fn promote_self(shared: &Arc<Shared>) -> Result<u64, ringrt_registry::RegistryError> {
+    let epoch = shared.registry.epoch().saturating_add(1).max(2);
+    shared.registry.set_epoch(epoch)?;
+    shared.replication.promote();
+    Ok(epoch)
+}
+
+/// Serves one `SYNC` subscription: snapshot (if any) and backlog in one
+/// write, then live records as they commit, with periodic pings carrying
+/// the current head so the follower can measure its lag.
+fn serve_ship(writer: &mut TcpStream, sub: ShipSubscription, shared: &Arc<Shared>) {
+    let header = replication::sync_header(
+        sub.epoch,
+        sub.head,
+        sub.snapshot.is_some(),
+        sub.backlog.len(),
+    );
+    shared.metrics.count_response(&header);
+    let mut out = String::new();
+    out.push_str(&header);
+    out.push('\n');
+    if let Some((seq, text)) = &sub.snapshot {
+        out.push_str(&replication::render_snapshot(
+            *seq,
+            text.lines().count() as u64,
+        ));
+        out.push('\n');
+        for line in text.lines() {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    for record in &sub.backlog {
+        out.push_str(&replication::render_record(record));
+        out.push('\n');
+        shared.replication.note_shipped();
+    }
+    if writer
+        .write_all(out.as_bytes())
+        .and_then(|()| writer.flush())
+        .is_err()
+    {
+        return;
+    }
+    shared.replication.follower_attached();
+    let mut last_ping = Instant::now();
+    loop {
+        match sub.live.recv_timeout(POLL_INTERVAL * 10) {
+            Ok(record) => {
+                let ship_span = shared.recorder.span("registry", "journal_ship");
+                let ok = writer
+                    .write_all(format!("{}\n", replication::render_record(&record)).as_bytes())
+                    .and_then(|()| writer.flush())
+                    .is_ok();
+                drop(ship_span);
+                if !ok {
+                    break;
+                }
+                shared.replication.note_shipped();
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.shutting_down() {
+                    break;
+                }
+                if last_ping.elapsed() >= Duration::from_secs(1) {
+                    let ping = replication::render_ping(
+                        shared.registry.epoch(),
+                        shared.registry.next_seq().saturating_sub(1),
+                    );
+                    if writer
+                        .write_all(format!("{ping}\n").as_bytes())
+                        .and_then(|()| writer.flush())
+                        .is_err()
+                    {
+                        break;
+                    }
+                    last_ping = Instant::now();
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    shared.replication.follower_detached();
+}
+
+/// Why one follower connection attempt ended.
+enum FollowEnd {
+    /// Reconnect and resubscribe from the current `next_seq`.
+    Retry,
+    /// Stop following: shutdown, or this node is no longer a follower.
+    Stop,
+}
+
+/// The warm standby's replay thread: connect, `SYNC`, apply every `SHIP`
+/// frame through the registry, reconnect (resubscribing from the exact
+/// sequence it needs next) on any gap or stream loss, and auto-promote if
+/// the primary stays silent past `promote_timeout_ms`.
+fn follower_loop(shared: &Arc<Shared>) {
+    let Some(source) = shared.replication.source().map(str::to_owned) else {
+        return;
+    };
+    let promote_after = shared.config.promote_timeout_ms.map(Duration::from_millis);
+    let mut last_contact = Instant::now();
+    loop {
+        if stop_following(shared) {
+            return;
+        }
+        match follow_once(shared, &source, promote_after, &mut last_contact) {
+            FollowEnd::Stop => return,
+            FollowEnd::Retry => {
+                shared.replication.set_connected(false);
+                if promote_if_silent(shared, promote_after, last_contact) {
+                    return;
+                }
+                std::thread::sleep(POLL_INTERVAL);
+            }
+        }
+    }
+}
+
+fn stop_following(shared: &Arc<Shared>) -> bool {
+    shared.shutting_down() || !shared.replication.is_follower()
+}
+
+/// Fires the promote timeout if the primary has been silent too long.
+/// Returns true when this node just became primary.
+fn promote_if_silent(
+    shared: &Arc<Shared>,
+    promote_after: Option<Duration>,
+    last_contact: Instant,
+) -> bool {
+    let Some(after) = promote_after else {
+        return false;
+    };
+    if last_contact.elapsed() < after {
+        return false;
+    }
+    match promote_self(shared) {
+        Ok(epoch) => {
+            eprintln!(
+                "ringrt-service: primary silent for {} ms; promoted to epoch {epoch}",
+                last_contact.elapsed().as_millis()
+            );
+            true
+        }
+        Err(e) => {
+            eprintln!("ringrt-service: auto-promotion failed: {e}");
+            false
+        }
+    }
+}
+
+/// One connect → SYNC → replay cycle against the primary.
+fn follow_once(
+    shared: &Arc<Shared>,
+    source: &str,
+    promote_after: Option<Duration>,
+    last_contact: &mut Instant,
+) -> FollowEnd {
+    let Ok(stream) = TcpStream::connect(source) else {
+        return FollowEnd::Retry;
+    };
+    if stream.set_read_timeout(Some(POLL_INTERVAL * 10)).is_err() {
+        return FollowEnd::Retry;
+    }
+    let Ok(mut writer) = stream.try_clone() else {
+        return FollowEnd::Retry;
+    };
+    let hello =
+        replication::sync_request(shared.registry.epoch(), shared.registry.next_seq().max(1));
+    if writer
+        .write_all(format!("{hello}\n").as_bytes())
+        .and_then(|()| writer.flush())
+        .is_err()
+    {
+        return FollowEnd::Retry;
+    }
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    // Header first; everything after it is SHIP frames.
+    let mut synced = false;
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return FollowEnd::Retry,
+            Ok(_) => {
+                let frame = line.trim_end().to_owned();
+                line.clear();
+                *last_contact = Instant::now();
+                if !synced {
+                    match replication::parse_sync_header(&frame) {
+                        Ok(header) => {
+                            if header.epoch > shared.registry.epoch()
+                                && shared.registry.set_epoch(header.epoch).is_err()
+                            {
+                                return FollowEnd::Retry;
+                            }
+                            shared.replication.note_head(header.head);
+                            shared.replication.set_connected(true);
+                            synced = true;
+                        }
+                        Err(refusal) => {
+                            eprintln!("ringrt-service: SYNC refused by {source}: {refusal}");
+                            shared.replication.note_resync();
+                            return FollowEnd::Retry;
+                        }
+                    }
+                    continue;
+                }
+                match apply_ship_frame(shared, &frame, &mut reader) {
+                    Ok(()) => {}
+                    Err(()) => {
+                        shared.replication.note_resync();
+                        return FollowEnd::Retry;
+                    }
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if stop_following(shared) {
+                    return FollowEnd::Stop;
+                }
+                if promote_if_silent(shared, promote_after, *last_contact) {
+                    return FollowEnd::Stop;
+                }
+            }
+            Err(_) => return FollowEnd::Retry,
+        }
+    }
+}
+
+/// Applies one ship frame on the follower. `Err(())` forces a resync —
+/// the reconnect path resubscribes from exactly `next_seq`, so dropped,
+/// duplicated, and reordered frames all converge back to the primary's
+/// history.
+fn apply_ship_frame(
+    shared: &Arc<Shared>,
+    frame: &str,
+    reader: &mut BufReader<TcpStream>,
+) -> Result<(), ()> {
+    match replication::parse_ship_frame(frame) {
+        Ok(ShipFrame::Record(record)) => {
+            let replay_span = shared.recorder.span("registry", "journal_replay");
+            let outcome = shared.registry.apply_replicated(&record);
+            drop(replay_span);
+            match outcome {
+                Ok(ReplicatedApply::Applied { seq }) => {
+                    shared.replication.note_head(seq);
+                    shared.replication.note_applied(seq);
+                    Ok(())
+                }
+                // Replays after a reconnect overlap the tail we already
+                // hold; duplicates are the protocol working as designed.
+                Ok(ReplicatedApply::Duplicate { .. }) => Ok(()),
+                Ok(ReplicatedApply::Gap { .. }) | Err(_) => Err(()),
+            }
+        }
+        Ok(ShipFrame::Snapshot { seq, lines }) => {
+            let text = read_snapshot_body(shared, reader, lines).ok_or(())?;
+            match shared.registry.install_snapshot(&text) {
+                Ok(_) => {
+                    shared.replication.note_head(seq);
+                    shared.replication.note_snapshot(seq);
+                    Ok(())
+                }
+                Err(e) => {
+                    eprintln!("ringrt-service: shipped snapshot rejected: {e}");
+                    Err(())
+                }
+            }
+        }
+        Ok(ShipFrame::Ping { head, .. }) => {
+            shared.replication.note_head(head);
+            Ok(())
+        }
+        Err(e) => {
+            eprintln!("ringrt-service: unparseable ship frame: {e}");
+            Err(())
+        }
+    }
+}
+
+/// Reads the `lines` raw snapshot lines following a snapshot frame.
+fn read_snapshot_body(
+    shared: &Arc<Shared>,
+    reader: &mut BufReader<TcpStream>,
+    lines: u64,
+) -> Option<String> {
+    let mut text = String::new();
+    let mut line = String::new();
+    let mut got = 0u64;
+    while got < lines {
+        match reader.read_line(&mut line) {
+            Ok(0) => return None,
+            Ok(_) => {
+                text.push_str(&line);
+                if !line.ends_with('\n') {
+                    text.push('\n');
+                }
+                line.clear();
+                got += 1;
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.shutting_down() {
+                    return None;
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+    Some(text)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1515,6 +1983,192 @@ mod tests {
             .roundtrip("SATURATION ring=ghost")
             .starts_with("ERR unknown ring"));
         server.join();
+    }
+
+    fn temp_state_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ringrt-serve-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Spawns a persistent primary and a follower replicating it.
+    fn replicated_pair(tag: &str) -> (ServerHandle, ServerHandle, PathBuf, PathBuf) {
+        let primary_dir = temp_state_dir(&format!("{tag}-p"));
+        let follower_dir = temp_state_dir(&format!("{tag}-f"));
+        let primary = spawn(ServiceConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 1,
+            queue_depth: 8,
+            state_dir: Some(primary_dir.clone()),
+            ..ServiceConfig::default()
+        })
+        .expect("spawn primary");
+        let follower = spawn(ServiceConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 1,
+            queue_depth: 8,
+            state_dir: Some(follower_dir.clone()),
+            follow: Some(primary.addr().to_string()),
+            ..ServiceConfig::default()
+        })
+        .expect("spawn follower");
+        (primary, follower, primary_dir, follower_dir)
+    }
+
+    /// Polls `line` against the follower until `want` appears (replication
+    /// is asynchronous) or five seconds pass.
+    fn await_contains(c: &mut Client, line: &str, want: &str) -> String {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let got = c.roundtrip(line);
+            if got.contains(want) {
+                return got;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "timed out waiting for {want:?}; last answer: {got}"
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    #[test]
+    fn follower_redirects_mutations_and_answers_reads() {
+        let (primary, follower, pd, fd) = replicated_pair("redirect");
+        let mut p = Client::connect(primary.addr());
+        let mut f = Client::connect(follower.addr());
+        p.roundtrip("REGISTER ring=lab protocol=fddi mbps=100 stations=8");
+        p.roundtrip("ADMIT ring=lab stream=cam period_ms=20 bits=100000");
+        // The standby catches up and answers the same CHECK the primary does.
+        let on_follower = await_contains(&mut f, "CHECK ring=lab", "schedulable=true");
+        assert_eq!(on_follower, p.roundtrip("CHECK ring=lab"));
+        // A single mutation is redirected, not erred.
+        let redirect = f.roundtrip("ADMIT ring=lab stream=mic period_ms=50 bits=1000");
+        assert_eq!(
+            redirect,
+            format!("READONLY cmd=admit primary={} epoch=1", primary.addr())
+        );
+        // In a BATCH, only the mutating frame is redirected.
+        f.writer
+            .write_all(b"BATCH 3\nPING\nREMOVE ring=lab stream=cam\nSHOW ring=lab\n")
+            .expect("send batch");
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            let mut r = String::new();
+            f.reader.read_line(&mut r).expect("recv");
+            got.push(r.trim_end().to_owned());
+        }
+        assert_eq!(got[0], "OK cmd=ping");
+        assert!(
+            got[1].starts_with("READONLY cmd=remove primary="),
+            "{}",
+            got[1]
+        );
+        assert!(got[2].contains("set=cam:20,100000"), "{}", got[2]);
+        // The redirects are visible as their own counter, not as errors.
+        let stats = f.roundtrip("STATS");
+        assert!(stats.contains(" readonly=2"), "{stats}");
+        assert!(stats.contains(" role=follower"), "{stats}");
+        let rep = f.roundtrip("REPLICATION");
+        assert!(rep.contains("role=follower"), "{rep}");
+        assert!(rep.contains("epoch=1"), "{rep}");
+        // STATS RESET re-seeds the lag window with the live lag.
+        assert_eq!(f.roundtrip("STATS RESET"), "OK cmd=stats_reset");
+        let after = f.roundtrip("REPLICATION");
+        assert!(after.contains(" lag=0 lag_peak=0"), "{after}");
+        follower.join();
+        primary.join();
+        let _ = std::fs::remove_dir_all(pd);
+        let _ = std::fs::remove_dir_all(fd);
+    }
+
+    #[test]
+    fn sync_from_a_stale_epoch_is_fenced() {
+        let dir = temp_state_dir("fence");
+        let server = spawn(ServiceConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 1,
+            queue_depth: 4,
+            state_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        })
+        .expect("spawn server");
+        let mut c = Client::connect(server.addr());
+        // Serving epoch is 1 (first boot). A requester claiming any other
+        // nonzero epoch replicated some other history: refuse with the
+        // fencing error, naming both epochs.
+        assert_eq!(
+            c.roundtrip("SYNC epoch=99 seq=1"),
+            "ERR cmd=sync fenced requester_epoch=99 epoch=1"
+        );
+        // The connection stays usable after a refused SYNC.
+        assert_eq!(c.roundtrip("PING"), "OK cmd=ping");
+        // SYNC cannot hide inside a BATCH: the stream would swallow the
+        // remaining framed replies.
+        c.writer
+            .write_all(b"BATCH 2\nSYNC seq=1\nPING\n")
+            .expect("send batch");
+        let mut got = Vec::new();
+        for _ in 0..2 {
+            let mut r = String::new();
+            c.reader.read_line(&mut r).expect("recv");
+            got.push(r.trim_end().to_owned());
+        }
+        assert_eq!(got[0], "ERR SYNC is not allowed inside BATCH");
+        assert_eq!(got[1], "OK cmd=ping");
+        server.join();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn in_memory_server_refuses_sync_and_promote() {
+        let server = test_server(1, 4);
+        let mut c = Client::connect(server.addr());
+        assert_eq!(
+            c.roundtrip("SYNC seq=1"),
+            "ERR cmd=sync journal shipping requires a persistent state dir"
+        );
+        assert_eq!(
+            c.roundtrip("PROMOTE"),
+            "ERR cmd=promote already primary epoch=0"
+        );
+        let rep = c.roundtrip("REPLICATION");
+        assert!(rep.contains("role=primary"), "{rep}");
+        assert!(rep.contains("source=-"), "{rep}");
+        server.join();
+    }
+
+    #[test]
+    fn promote_fences_a_new_epoch_and_enables_mutations() {
+        let (primary, follower, pd, fd) = replicated_pair("promote");
+        let mut p = Client::connect(primary.addr());
+        p.roundtrip("REGISTER ring=ring protocol=fddi mbps=100 stations=8");
+        p.roundtrip("ADMIT ring=ring stream=a period_ms=20 bits=100000");
+        let mut f = Client::connect(follower.addr());
+        await_contains(&mut f, "SHOW ring=ring", "streams=1");
+        // Primary dies; the operator promotes the standby.
+        assert_eq!(p.roundtrip("SHUTDOWN"), "OK cmd=shutdown");
+        primary.join();
+        let promoted = f.roundtrip("PROMOTE");
+        assert_eq!(promoted, "OK cmd=promote epoch=2 applied_seq=2");
+        assert_eq!(
+            f.roundtrip("PROMOTE"),
+            "ERR cmd=promote already primary epoch=2"
+        );
+        // Mutations now apply locally instead of redirecting.
+        let admit = f.roundtrip("ADMIT ring=ring stream=b period_ms=50 bits=200000");
+        assert!(admit.contains("admitted=true"), "{admit}");
+        let rep = f.roundtrip("REPLICATION");
+        assert!(rep.contains("role=primary"), "{rep}");
+        assert!(rep.contains("epoch=2"), "{rep}");
+        assert!(rep.contains("promotions=1"), "{rep}");
+        follower.join();
+        let _ = std::fs::remove_dir_all(pd);
+        let _ = std::fs::remove_dir_all(fd);
     }
 
     #[test]

@@ -234,3 +234,86 @@ fn randomized_incremental_equals_full_across_protocols() {
         }
     }
 }
+
+/// A server with a tiny `--segment-bytes` budget must spread its journal
+/// over many `journal.NNNNNN.log` segments and still restart with
+/// byte-identical `SHOW` output — and keep only the post-compaction tail
+/// segments after a `COMPACT`.
+#[test]
+fn segmented_journal_survives_server_restart_byte_identically() {
+    let dir = temp_dir("segmented");
+    let spawn_segmented = |dir: &Path| {
+        spawn(ServiceConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            queue_depth: 64,
+            state_dir: Some(dir.to_path_buf()),
+            segment_bytes: Some(160),
+            ..ServiceConfig::default()
+        })
+        .expect("spawn service")
+    };
+    let srv = spawn_segmented(&dir);
+    let mut c = Client::connect(srv.addr());
+    assert!(c
+        .roundtrip("REGISTER ring=seg protocol=timed-token mbps=100 stations=32")
+        .starts_with("OK"));
+    for i in 0..12u64 {
+        let resp = c.roundtrip(&format!(
+            "ADMIT ring=seg stream=s{i:02} period_ms={} bits={}",
+            20 + i,
+            1_000 + 10 * i
+        ));
+        assert!(resp.contains("admitted=true"), "admit {i}: {resp}");
+    }
+    let before = c.roundtrip("SHOW ring=seg");
+    assert_eq!(c.roundtrip("SHUTDOWN"), "OK cmd=shutdown");
+    srv.join();
+
+    let segments = |dir: &Path| -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(dir)
+            .expect("read state dir")
+            .map(|e| {
+                e.expect("dir entry")
+                    .file_name()
+                    .to_string_lossy()
+                    .into_owned()
+            })
+            .filter(|n| n.starts_with("journal.") && n.ends_with(".log"))
+            .collect();
+        names.sort();
+        names
+    };
+    assert!(
+        segments(&dir).len() >= 3,
+        "160-byte budget must rotate: {:?}",
+        segments(&dir)
+    );
+
+    let srv = spawn_segmented(&dir);
+    let mut c = Client::connect(srv.addr());
+    assert_eq!(
+        before,
+        c.roundtrip("SHOW ring=seg"),
+        "SHOW diverged across a segmented restart"
+    );
+    assert!(c.roundtrip("COMPACT").starts_with("OK"));
+    assert_eq!(c.roundtrip("SHUTDOWN"), "OK cmd=shutdown");
+    srv.join();
+    assert_eq!(
+        segments(&dir).len(),
+        1,
+        "compaction must garbage-collect sealed segments"
+    );
+
+    let srv = spawn_segmented(&dir);
+    let mut c = Client::connect(srv.addr());
+    assert_eq!(
+        before,
+        c.roundtrip("SHOW ring=seg"),
+        "SHOW diverged after compaction"
+    );
+    assert_eq!(c.roundtrip("SHUTDOWN"), "OK cmd=shutdown");
+    srv.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

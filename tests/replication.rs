@@ -1,0 +1,671 @@
+//! Deterministic fault-injection harness for journal-shipping replication.
+//!
+//! A primary registry runs a churn workload; its journal frames are
+//! captured through [`RingRegistry::subscribe`] and delivered to a warm
+//! standby under every hostile schedule we can enumerate:
+//!
+//! * frames **dropped**, **duplicated**, and **reordered** at every
+//!   position (the standby must detect the gap and re-sync);
+//! * the standby **killed at every frame boundary** and resumed from its
+//!   own recovered sequence;
+//! * every **durable filesystem operation** of the standby's replay
+//!   failed via [`FailpointFs`] — clean and with torn tails — followed by
+//!   recovery and re-sync;
+//! * the **snapshot path**: a compacted primary whose journal no longer
+//!   reaches back to the standby's resume point must ship a snapshot.
+//!
+//! After *every* schedule the standby is promoted (fenced epoch bump) and
+//! its freshly reopened state is compared — ring set, per-ring state,
+//! generation counter, full Theorem 4.1/5.1 re-analysis, and the verdict
+//! on a known-inadmissible hog stream — against a fresh full replay of
+//! the primary's own journal. No schedule may ever leave the promoted
+//! standby willing to admit a message set the primary would have
+//! rejected.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use ringrt::model::SyncStream;
+use ringrt::registry::{
+    FailpointFs, FaultPlan, ProtocolKind, RegistryError, ReplicatedApply, RingCheck, RingRegistry,
+    RingSpec, RingState, StoreOptions,
+};
+use ringrt::units::{Bits, Seconds};
+
+/// Small enough that the workload rotates segments many times.
+const TINY_SEGMENT: u64 = 128;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ringrt-repl-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn stream(period_ms: f64, bits: u64) -> SyncStream {
+    SyncStream::new(Seconds::from_millis(period_ms), Bits::new(bits))
+}
+
+fn spec() -> RingSpec {
+    RingSpec {
+        protocol: ProtocolKind::Fddi,
+        mbps: 100.0,
+        stations: Some(64),
+    }
+}
+
+/// A stream no 100 Mbps ring can carry: it alone needs 100 ms of
+/// transmission every millisecond. Admitting it must fail everywhere,
+/// and a rejected admit is never journaled, so probing with it does not
+/// mutate the registry.
+fn hog() -> SyncStream {
+    stream(1.0, 10_000_000)
+}
+
+fn open_tiny(dir: &Path, fs: FailpointFs) -> RingRegistry {
+    RingRegistry::open_with(
+        dir,
+        StoreOptions {
+            segment_bytes: TINY_SEGMENT,
+            fs,
+        },
+    )
+    .unwrap()
+}
+
+/// Churn on the primary: registrations, admissions, a removal, an
+/// unregistration — every journal operation kind, spread over two rings
+/// so cross-ring ordering matters.
+fn primary_workload(reg: &RingRegistry) {
+    reg.register("alpha", spec()).unwrap();
+    reg.register("beta", spec()).unwrap();
+    for i in 0..5u64 {
+        assert!(
+            reg.admit(
+                "alpha",
+                &format!("a{i}"),
+                stream(20.0 + i as f64, 1_000 + 10 * i)
+            )
+            .unwrap()
+            .applied
+        );
+    }
+    for i in 0..3u64 {
+        assert!(
+            reg.admit("beta", &format!("b{i}"), stream(25.0 + i as f64, 2_000))
+                .unwrap()
+                .applied
+        );
+    }
+    reg.register("gamma", spec()).unwrap();
+    reg.remove("alpha", "a1").unwrap();
+    reg.unregister("gamma").unwrap();
+    assert!(
+        reg.admit("alpha", "a9", stream(40.0, 3_000))
+            .unwrap()
+            .applied
+    );
+}
+
+/// Everything that must be byte-identical between the promoted standby
+/// and a fresh full replay of the primary's journal.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    rings: Vec<(String, RingState)>,
+    checks: Vec<(String, RingCheck)>,
+    generation: u64,
+    next_seq: u64,
+}
+
+fn fingerprint(reg: &RingRegistry) -> Fingerprint {
+    let names = reg.ring_names();
+    let rings = names
+        .iter()
+        .map(|n| (n.clone(), reg.ring_state(n).unwrap()))
+        .collect();
+    let checks = names
+        .iter()
+        .map(|n| (n.clone(), reg.check_full(n).unwrap()))
+        .collect();
+    // The hog must be rejected by every ring — and a rejection is not
+    // journaled, so the probe leaves no trace.
+    for n in &names {
+        assert!(
+            !reg.admit(n, "hog", hog()).unwrap().applied,
+            "ring {n} admitted a stream that cannot be schedulable"
+        );
+    }
+    Fingerprint {
+        rings,
+        checks,
+        generation: reg.generation(),
+        next_seq: reg.next_seq(),
+    }
+}
+
+/// Builds the reference: runs the workload on a fresh primary, captures
+/// the shipped frames, then reopens the directory cold — the "fresh full
+/// replay of the primary's journal" every schedule is compared against.
+fn reference(tag: &str) -> (PathBuf, Vec<String>, Fingerprint, u64) {
+    let dir = temp_dir(tag);
+    let epoch;
+    let frames;
+    {
+        let primary = open_tiny(&dir, FailpointFs::new());
+        primary.set_epoch(1).unwrap();
+        primary_workload(&primary);
+        let sub = primary.subscribe(1).unwrap();
+        assert!(
+            sub.snapshot.is_none(),
+            "uncompacted journal ships records only"
+        );
+        assert_eq!(sub.epoch, 1);
+        frames = sub.backlog;
+        assert_eq!(sub.head as usize, frames.len());
+        epoch = primary.epoch();
+    }
+    let replayed = RingRegistry::open(&dir).unwrap();
+    let print = fingerprint(&replayed);
+    (dir, frames, print, epoch)
+}
+
+/// Re-sync: ask the primary's journal for everything from the standby's
+/// next sequence (exactly what the service's follower loop sends after a
+/// `Gap`). Installs a snapshot when the journal no longer reaches back.
+fn resync(follower: &RingRegistry, primary_dir: &Path) -> bool {
+    let primary = RingRegistry::open(primary_dir).unwrap();
+    let sub = primary.subscribe(follower.next_seq().max(1)).unwrap();
+    let snapshotted = if let Some((_, text)) = &sub.snapshot {
+        follower.install_snapshot(text).unwrap();
+        true
+    } else {
+        false
+    };
+    for line in &sub.backlog {
+        match follower.apply_replicated(line).unwrap() {
+            ReplicatedApply::Applied { .. } | ReplicatedApply::Duplicate { .. } => {}
+            ReplicatedApply::Gap { expected, got } => {
+                panic!("contiguous backlog cannot gap: expected {expected}, got {got}")
+            }
+        }
+    }
+    snapshotted
+}
+
+/// Applies a (possibly mangled) frame schedule the way the follower loop
+/// does: duplicates are ignored, a gap triggers a re-sync against the
+/// primary's journal, and a final re-sync models the head-advertising
+/// ping that reveals a dropped *last* frame.
+fn apply_schedule(follower: &RingRegistry, primary_dir: &Path, frames: &[String]) -> (u64, u64) {
+    let (mut resyncs, mut dups) = (0, 0);
+    for line in frames {
+        match follower.apply_replicated(line).unwrap() {
+            ReplicatedApply::Applied { .. } => {}
+            ReplicatedApply::Duplicate { .. } => dups += 1,
+            ReplicatedApply::Gap { .. } => {
+                resync(follower, primary_dir);
+                resyncs += 1;
+            }
+        }
+    }
+    resync(follower, primary_dir);
+    (resyncs, dups)
+}
+
+/// Promotes the standby (fenced epoch, durably published), reopens it
+/// cold, and asserts its replayed state is identical to the reference.
+fn assert_converged(follower_dir: &Path, reference: &Fingerprint, primary_epoch: u64, ctx: &str) {
+    {
+        let follower = RingRegistry::open(follower_dir).unwrap();
+        follower.set_epoch(primary_epoch + 1).unwrap();
+        // Fencing is monotonic: the dead primary's epoch can never be
+        // re-published over the promotion.
+        assert!(
+            follower.set_epoch(primary_epoch).is_err(),
+            "{ctx}: epoch regression must be refused"
+        );
+    }
+    let promoted = RingRegistry::open(follower_dir).unwrap();
+    assert_eq!(
+        promoted.epoch(),
+        primary_epoch + 1,
+        "{ctx}: promotion epoch must survive a restart"
+    );
+    let print = fingerprint(&promoted);
+    assert_eq!(
+        &print, reference,
+        "{ctx}: promoted standby diverged from a fresh replay"
+    );
+}
+
+/// Journal files of a directory, in replay order, with their bytes.
+fn journal_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap())
+        .filter(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            name.starts_with("journal.") && name.ends_with(".log")
+        })
+        .map(|e| {
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                fs::read(e.path()).unwrap(),
+            )
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn clean_shipping_reproduces_the_journal_byte_for_byte() {
+    let (pdir, frames, reference, epoch) = reference("clean");
+    let fdir = temp_dir("clean-f");
+    {
+        let follower = open_tiny(&fdir, FailpointFs::new());
+        let (resyncs, dups) = apply_schedule(&follower, &pdir, &frames);
+        assert_eq!((resyncs, dups), (0, 0), "clean schedule needs no repair");
+    }
+    // Same records, same segment budget ⇒ the standby's segmented journal
+    // is a byte-for-byte copy of the primary's, rotations included.
+    assert_eq!(journal_bytes(&fdir), journal_bytes(&pdir));
+    assert_converged(&fdir, &reference, epoch, "clean");
+    for d in [pdir, fdir] {
+        let _ = fs::remove_dir_all(&d);
+    }
+}
+
+#[test]
+fn every_single_frame_drop_is_repaired_by_resync() {
+    let (pdir, frames, reference, epoch) = reference("drop");
+    for i in 0..frames.len() {
+        let fdir = temp_dir(&format!("drop-f{i}"));
+        {
+            let follower = open_tiny(&fdir, FailpointFs::new());
+            let mangled: Vec<String> = frames
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, l)| l.clone())
+                .collect();
+            let (resyncs, _) = apply_schedule(&follower, &pdir, &mangled);
+            // Dropping the last frame is only visible to the final
+            // catch-up pass; any earlier drop must trigger a gap re-sync.
+            if i + 1 < frames.len() {
+                assert!(resyncs >= 1, "drop({i}) must be detected as a gap");
+            }
+        }
+        assert_converged(&fdir, &reference, epoch, &format!("drop({i})"));
+        let _ = fs::remove_dir_all(&fdir);
+    }
+    let _ = fs::remove_dir_all(&pdir);
+}
+
+#[test]
+fn every_single_frame_duplicate_is_ignored() {
+    let (pdir, frames, reference, epoch) = reference("dup");
+    for i in 0..frames.len() {
+        let fdir = temp_dir(&format!("dup-f{i}"));
+        {
+            let follower = open_tiny(&fdir, FailpointFs::new());
+            let mut mangled = frames.clone();
+            mangled.insert(i + 1, frames[i].clone());
+            let (resyncs, dups) = apply_schedule(&follower, &pdir, &mangled);
+            assert_eq!(resyncs, 0, "dup({i}) is not a gap");
+            assert_eq!(dups, 1, "dup({i}) must be idempotently ignored");
+        }
+        assert_converged(&fdir, &reference, epoch, &format!("dup({i})"));
+        let _ = fs::remove_dir_all(&fdir);
+    }
+    let _ = fs::remove_dir_all(&pdir);
+}
+
+#[test]
+fn every_adjacent_swap_and_a_full_reversal_converge() {
+    let (pdir, frames, reference, epoch) = reference("swap");
+    let mut schedules: Vec<(String, Vec<String>)> = (0..frames.len() - 1)
+        .map(|i| {
+            let mut m = frames.clone();
+            m.swap(i, i + 1);
+            (format!("swap({i},{})", i + 1), m)
+        })
+        .collect();
+    let mut reversed = frames.clone();
+    reversed.reverse();
+    schedules.push(("reversed".to_owned(), reversed));
+    for (case, (ctx, mangled)) in schedules.into_iter().enumerate() {
+        let fdir = temp_dir(&format!("swap-{case}"));
+        {
+            let follower = open_tiny(&fdir, FailpointFs::new());
+            let (resyncs, _) = apply_schedule(&follower, &pdir, &mangled);
+            assert!(resyncs >= 1, "{ctx}: reordering must force a re-sync");
+        }
+        assert_converged(&fdir, &reference, epoch, &ctx);
+        let _ = fs::remove_dir_all(&fdir);
+    }
+    let _ = fs::remove_dir_all(&pdir);
+}
+
+#[test]
+fn killing_the_standby_at_every_frame_boundary_resumes_cleanly() {
+    let (pdir, frames, reference, epoch) = reference("kill");
+    for i in 0..=frames.len() {
+        let fdir = temp_dir(&format!("kill-f{i}"));
+        {
+            let follower = open_tiny(&fdir, FailpointFs::new());
+            for line in &frames[..i] {
+                follower.apply_replicated(line).unwrap();
+            }
+            // The standby dies here; drop = the process is gone.
+        }
+        {
+            // Reborn standby resumes from whatever its own journal says.
+            let follower = open_tiny(&fdir, FailpointFs::new());
+            assert_eq!(follower.next_seq(), i as u64 + 1, "boundary {i}");
+            resync(&follower, &pdir);
+        }
+        assert_converged(&fdir, &reference, epoch, &format!("kill at frame {i}"));
+        let _ = fs::remove_dir_all(&fdir);
+    }
+    let _ = fs::remove_dir_all(&pdir);
+}
+
+#[test]
+fn killing_every_durable_op_of_the_standby_replay_recovers() {
+    let (pdir, frames, reference, epoch) = reference("fp");
+
+    // Dry run: count the durable filesystem operations a full replay of
+    // the shipped frames performs on the standby.
+    let dry = temp_dir("fp-dry");
+    let probe = FailpointFs::new();
+    {
+        let follower = open_tiny(&dry, probe.clone());
+        probe.reset_ops();
+        for line in &frames {
+            follower.apply_replicated(line).unwrap();
+        }
+    }
+    let total_ops = probe.ops();
+    assert!(
+        total_ops > frames.len() as u64,
+        "tiny segments must make replay rotate: {total_ops} ops for {} frames",
+        frames.len()
+    );
+    let _ = fs::remove_dir_all(&dry);
+
+    for torn in [None, Some(0), Some(7)] {
+        for k in 1..=total_ops {
+            let ctx = format!("durable op {k}, torn {torn:?}");
+            let fdir = temp_dir(&format!("fp-{k}-{}", torn.map_or(0, |t| t + 1)));
+            let fp = FailpointFs::new();
+            {
+                let follower = open_tiny(&fdir, fp.clone());
+                fp.reset_ops();
+                fp.arm(FaultPlan {
+                    fail_at_op: k,
+                    torn_bytes: torn,
+                });
+                let mut injected = false;
+                for line in &frames {
+                    match follower.apply_replicated(line) {
+                        Ok(_) => {}
+                        Err(e) => {
+                            assert!(
+                                FailpointFs::is_injected(&e),
+                                "{ctx}: unexpected real error: {e}"
+                            );
+                            injected = true;
+                            break;
+                        }
+                    }
+                }
+                fp.disarm();
+                assert!(injected, "{ctx}: the fault plan must fire during replay");
+            }
+            {
+                // Crash-recover the torn standby, then catch up from the
+                // primary's journal — the shipped encoding is
+                // deterministic, so recovery plus re-sync always lands on
+                // the same bytes.
+                let follower = RingRegistry::open(&fdir)
+                    .unwrap_or_else(|e| panic!("{ctx}: recovery failed: {e}"));
+                resync(&follower, &pdir);
+            }
+            assert_converged(&fdir, &reference, epoch, &ctx);
+            let _ = fs::remove_dir_all(&fdir);
+        }
+    }
+    let _ = fs::remove_dir_all(&pdir);
+}
+
+#[test]
+fn a_standby_behind_the_snapshot_floor_is_reseeded_by_snapshot() {
+    // Primary: workload, then compaction + more churn, so the journal no
+    // longer reaches back to sequence 1.
+    let pdir = temp_dir("snap");
+    let epoch;
+    let early: Vec<String>;
+    {
+        let primary = open_tiny(&pdir, FailpointFs::new());
+        primary.set_epoch(1).unwrap();
+        primary_workload(&primary);
+        early = primary.subscribe(1).unwrap().backlog;
+        primary.compact().unwrap();
+        assert!(
+            primary
+                .admit("beta", "late", stream(50.0, 4_000))
+                .unwrap()
+                .applied
+        );
+        primary.remove("beta", "b1").unwrap();
+        epoch = primary.epoch();
+    }
+    let reference = fingerprint(&RingRegistry::open(&pdir).unwrap());
+
+    // A brand-new standby asking for sequence 1 must be served a
+    // snapshot (the records are gone) plus the post-compaction tail.
+    let fresh = temp_dir("snap-fresh");
+    {
+        let follower = open_tiny(&fresh, FailpointFs::new());
+        assert!(
+            resync(&follower, &pdir),
+            "a fresh standby behind the floor needs a snapshot"
+        );
+    }
+    assert_converged(
+        &fresh,
+        &reference,
+        epoch,
+        "fresh standby vs compacted primary",
+    );
+    let _ = fs::remove_dir_all(&fresh);
+
+    // A standby that replicated part of the pre-compaction journal and
+    // then slept through the compaction must also be reseeded.
+    let stale = temp_dir("snap-stale");
+    {
+        let follower = open_tiny(&stale, FailpointFs::new());
+        for line in &early[..3] {
+            follower.apply_replicated(line).unwrap();
+        }
+        assert!(
+            resync(&follower, &pdir),
+            "a standby behind the floor needs a snapshot"
+        );
+    }
+    assert_converged(
+        &stale,
+        &reference,
+        epoch,
+        "stale standby vs compacted primary",
+    );
+    let _ = fs::remove_dir_all(&stale);
+    let _ = fs::remove_dir_all(&pdir);
+}
+
+#[test]
+fn a_frame_violating_registry_invariants_never_reaches_the_journal() {
+    let (pdir, frames, _, _) = reference("invariant");
+    let fdir = temp_dir("invariant-f");
+    let follower = open_tiny(&fdir, FailpointFs::new());
+    for line in &frames {
+        follower.apply_replicated(line).unwrap();
+    }
+    let before = journal_bytes(&fdir);
+    // Forge a record that carries the correct next sequence and a valid
+    // checksum, but an operation the state refuses (removing an unknown
+    // stream). The standby must reject it *before* journaling a byte.
+    let payload = format!("{} remove alpha no-such-stream", follower.next_seq());
+    let forged = format!(
+        "{:08x} {payload}",
+        ringrt::frames::crc::crc32(payload.as_bytes())
+    );
+    match follower.apply_replicated(&forged) {
+        Err(RegistryError::UnknownStream { .. }) => {}
+        other => panic!("forged frame must be refused: {other:?}"),
+    }
+    assert_eq!(
+        journal_bytes(&fdir),
+        before,
+        "refused frame leaked into the journal"
+    );
+    drop(follower);
+    for d in [pdir, fdir] {
+        let _ = fs::remove_dir_all(&d);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end failover over TCP: a primary and a warm standby as real
+// servers, journal shipping over the wire, primary killed, standby
+// promoted — verdicts must be indistinguishable from the dead primary's.
+// ---------------------------------------------------------------------------
+
+mod tcp {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{SocketAddr, TcpStream};
+    use std::path::Path;
+    use std::time::{Duration, Instant};
+
+    use ringrt::service::{spawn, ServerHandle, ServiceConfig};
+
+    use super::temp_dir;
+
+    struct Client {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).expect("connect");
+            let writer = stream.try_clone().expect("clone stream");
+            Client {
+                reader: BufReader::new(stream),
+                writer,
+            }
+        }
+
+        fn roundtrip(&mut self, line: &str) -> String {
+            self.writer
+                .write_all(format!("{line}\n").as_bytes())
+                .expect("send request");
+            let mut resp = String::new();
+            self.reader.read_line(&mut resp).expect("read response");
+            assert!(resp.ends_with('\n'), "truncated response: {resp:?}");
+            resp.trim_end().to_owned()
+        }
+    }
+
+    fn server(dir: &Path, follow: Option<String>) -> ServerHandle {
+        spawn(ServiceConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            queue_depth: 32,
+            state_dir: Some(dir.to_path_buf()),
+            segment_bytes: Some(160),
+            follow,
+            ..ServiceConfig::default()
+        })
+        .expect("spawn server")
+    }
+
+    /// Polls `line` on the standby until the answer contains `want` — the
+    /// ship stream is asynchronous, so catch-up takes a few frames.
+    fn await_contains(c: &mut Client, line: &str, want: &str) -> String {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let resp = c.roundtrip(line);
+            if resp.contains(want) {
+                return resp;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "standby never reached `{want}`: {resp}"
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    #[test]
+    fn failover_preserves_every_admission_verdict() {
+        let pdir = temp_dir("tcp-p");
+        let fdir = temp_dir("tcp-f");
+        let primary = server(&pdir, None);
+        let standby = server(&fdir, Some(primary.addr().to_string()));
+
+        let mut p = Client::connect(primary.addr());
+        assert!(p
+            .roundtrip("REGISTER ring=lab protocol=timed-token mbps=100 stations=16")
+            .starts_with("OK"));
+        for i in 0..6u64 {
+            let resp = p.roundtrip(&format!(
+                "ADMIT ring=lab stream=s{i} period_ms={} bits=2000",
+                20 + i
+            ));
+            assert!(resp.contains("admitted=true"), "admit {i}: {resp}");
+        }
+        // The hog is rejected by the primary; record both verdict lines.
+        let hog = "ADMIT ring=lab stream=hog period_ms=1 bits=10000000";
+        let hog_verdict = p.roundtrip(hog);
+        assert!(hog_verdict.contains("admitted=false"), "{hog_verdict}");
+        let check = p.roundtrip("CHECK ring=lab");
+        let show = p.roundtrip("SHOW ring=lab");
+
+        let mut f = Client::connect(standby.addr());
+        await_contains(&mut f, "CHECK ring=lab", "streams=6");
+        assert_eq!(
+            f.roundtrip("CHECK ring=lab"),
+            check,
+            "standby CHECK diverged"
+        );
+
+        // Kill the primary, promote the standby.
+        assert_eq!(p.roundtrip("SHUTDOWN"), "OK cmd=shutdown");
+        primary.join();
+        assert_eq!(
+            f.roundtrip("PROMOTE"),
+            "OK cmd=promote epoch=2 applied_seq=7",
+            "register + 6 admits = 7 shipped records"
+        );
+
+        // The promoted standby answers byte-identically to the dead
+        // primary — including rejecting exactly what it rejected.
+        assert_eq!(f.roundtrip("CHECK ring=lab"), check);
+        assert_eq!(f.roundtrip("SHOW ring=lab"), show);
+        assert_eq!(f.roundtrip(hog), hog_verdict);
+        // And it takes writes now.
+        let resp = f.roundtrip("ADMIT ring=lab stream=late period_ms=40 bits=2000");
+        assert!(resp.contains("admitted=true"), "{resp}");
+
+        assert_eq!(f.roundtrip("SHUTDOWN"), "OK cmd=shutdown");
+        standby.join();
+        for d in [pdir, fdir] {
+            let _ = std::fs::remove_dir_all(&d);
+        }
+    }
+}
