@@ -991,6 +991,37 @@ impl Store {
         Ok(records)
     }
 
+    /// The journal record line carrying exactly `seq`, if the journal
+    /// still holds it — what a follower compares a re-delivered ship
+    /// frame against to prove the shipped history is its own.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Storage`] if a segment cannot be read.
+    pub fn record_at(&self, seq: u64) -> Result<Option<String>, RegistryError> {
+        let indices: Vec<u64> = self
+            .sealed
+            .iter()
+            .map(|&(i, _)| i)
+            .chain(std::iter::once(self.tail_index))
+            .collect();
+        for index in indices {
+            let bytes = fs::read(self.dir.join(segment_file(index)))
+                .map_err(|e| storage_err("read journal segment", e))?;
+            let text =
+                std::str::from_utf8(&bytes).map_err(|e| storage_err("journal not UTF-8", e))?;
+            for line in text.lines() {
+                let Ok((got, _)) = decode_record(line) else {
+                    break; // torn tail; recovery truncates it
+                };
+                if got == seq {
+                    return Ok(Some(line.to_owned()));
+                }
+            }
+        }
+        Ok(None)
+    }
+
     /// The raw snapshot text and the sequence it covers, if a snapshot
     /// exists — what a primary ships to bootstrap a far-behind follower.
     ///

@@ -36,9 +36,18 @@ struct Inner {
     /// bumped on **every** committed mutation, including `UNREGISTER`.
     generation: u64,
     /// Live journal-shipping subscribers; every committed record line is
-    /// forwarded to each, and dead receivers are dropped on the next send.
-    subscribers: Vec<mpsc::Sender<String>>,
+    /// forwarded to each. A subscriber whose receiver is gone — or whose
+    /// queue is full ([`SHIP_SUBSCRIBER_CAP`], a stalled-but-connected
+    /// follower) — is dropped on the next send, closing its stream so the
+    /// follower reconnects and resyncs from its own `next_seq`.
+    subscribers: Vec<mpsc::SyncSender<String>>,
 }
+
+/// Cap on record lines queued to one shipping subscriber. Commits never
+/// block on a slow follower: a subscriber that falls this far behind is
+/// dropped instead, bounding primary memory, and the closed stream forces
+/// the follower through the normal resync path.
+const SHIP_SUBSCRIBER_CAP: usize = 1024;
 
 /// Work counters proving the incremental path's savings; exposed via
 /// `STATS` and [`RingRegistry::metrics`].
@@ -166,6 +175,23 @@ fn in_memory_err() -> RegistryError {
     RegistryError::Storage {
         reason: "operation requires a persistent state directory".to_owned(),
     }
+}
+
+/// Refuses a replicated apply whose stream was fenced off by a newer
+/// epoch (promotion). `None` skips the check (local/offline replays).
+fn check_epoch_fence(store: &Store, expected: Option<u64>) -> Result<(), RegistryError> {
+    let Some(expected) = expected else {
+        return Ok(());
+    };
+    let serving = store.epoch();
+    if serving != expected {
+        return Err(RegistryError::Storage {
+            reason: format!(
+                "replication stream fenced: stream epoch {expected}, local epoch {serving}"
+            ),
+        });
+    }
+    Ok(())
 }
 
 impl RingRegistry {
@@ -312,7 +338,7 @@ impl RingRegistry {
         if let Some(frame) = frame {
             inner
                 .subscribers
-                .retain(|tx| tx.send(frame.clone()).is_ok());
+                .retain(|tx| tx.try_send(frame.clone()).is_ok());
         }
         Ok(())
     }
@@ -639,6 +665,15 @@ impl RingRegistry {
     /// [`RegistryError::Storage`] for in-memory registries or unreadable
     /// journal files.
     pub fn subscribe(&self, from_seq: u64) -> Result<ShipSubscription, RegistryError> {
+        // Hold the compaction guard: `compact`'s publish phase deletes
+        // sealed segments and replaces the snapshot with `inner`
+        // deliberately dropped, so the inner lock alone cannot keep the
+        // files `snapshot_text`/`records_from` read from vanishing
+        // mid-subscription.
+        let _no_gc = self
+            .compact_guard
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut inner = self.lock();
         let Inner {
             store, subscribers, ..
@@ -652,7 +687,7 @@ impl RingRegistry {
             (None, from_seq.max(1))
         };
         let backlog = store.records_from(backlog_from)?;
-        let (tx, rx) = mpsc::channel();
+        let (tx, rx) = mpsc::sync_channel(SHIP_SUBSCRIBER_CAP);
         subscribers.push(tx);
         Ok(ShipSubscription {
             epoch: store.epoch(),
@@ -677,15 +712,76 @@ impl RingRegistry {
     /// # Errors
     ///
     /// [`RegistryError::Storage`] for in-memory registries, malformed
-    /// frames, or failed I/O; the usual registry errors for a frame whose
-    /// operation cannot apply to the current state.
+    /// frames, failed I/O, or a re-delivered sequence whose bytes differ
+    /// from the local journal's copy (diverged histories); the usual
+    /// registry errors for a frame whose operation cannot apply to the
+    /// current state.
     pub fn apply_replicated(&self, line: &str) -> Result<ReplicatedApply, RegistryError> {
+        self.apply_replicated_at(line, None)
+    }
+
+    /// [`apply_replicated`](Self::apply_replicated) fenced by epoch: the
+    /// frame is refused outright unless the registry's durable epoch
+    /// still equals `expected_epoch`. The check happens under the same
+    /// lock as the apply, so once a promotion publishes a new epoch
+    /// ([`set_epoch`](Self::set_epoch)) no frame from the superseded
+    /// stream can reach the journal — not even one already in flight.
+    /// The service's follower loop passes the epoch it synced under.
+    ///
+    /// # Errors
+    ///
+    /// As [`apply_replicated`](Self::apply_replicated), plus a fencing
+    /// [`RegistryError::Storage`] on epoch mismatch.
+    pub fn apply_replicated_fenced(
+        &self,
+        line: &str,
+        expected_epoch: u64,
+    ) -> Result<ReplicatedApply, RegistryError> {
+        self.apply_replicated_at(line, Some(expected_epoch))
+    }
+
+    fn apply_replicated_at(
+        &self,
+        line: &str,
+        expected_epoch: Option<u64>,
+    ) -> Result<ReplicatedApply, RegistryError> {
         let (seq, op) = journal::decode_record(line).map_err(|reason| RegistryError::Storage {
             reason: format!("shipped record malformed: {reason}"),
         })?;
         let mut inner = self.lock();
-        let next = inner.store.as_ref().ok_or_else(in_memory_err)?.next_seq();
+        let store = inner.store.as_ref().ok_or_else(in_memory_err)?;
+        check_epoch_fence(store, expected_epoch)?;
+        let next = store.next_seq();
         if seq < next {
+            // A sequence we claim to already hold must be byte-identical
+            // to our own journal's record: two independently bootstrapped
+            // histories can collide on sequence numbers, and swallowing
+            // the difference as a benign duplicate would fork state
+            // silently and permanently. Records at or below the snapshot
+            // floor are gone from the journal and cannot be compared —
+            // but the snapshot that replaced them came from the same
+            // stream that is now re-delivering, so they are safe to skip.
+            if seq > store.snapshot_floor() {
+                match store.record_at(seq)? {
+                    Some(local) if local == line => {}
+                    Some(local) => {
+                        return Err(RegistryError::Storage {
+                            reason: format!(
+                                "shipped history diverges at seq {seq}: \
+                                 local {local:?}, shipped {line:?}"
+                            ),
+                        });
+                    }
+                    None => {
+                        return Err(RegistryError::Storage {
+                            reason: format!(
+                                "local journal is missing seq {seq}; \
+                                 cannot verify re-delivered record"
+                            ),
+                        });
+                    }
+                }
+            }
             return Ok(ReplicatedApply::Duplicate { seq });
         }
         if seq > next {
@@ -753,6 +849,32 @@ impl RingRegistry {
     /// [`RegistryError::Storage`] for in-memory registries, a corrupt
     /// snapshot, or failed I/O.
     pub fn install_snapshot(&self, text: &str) -> Result<u64, RegistryError> {
+        self.install_snapshot_at(text, None)
+    }
+
+    /// [`install_snapshot`](Self::install_snapshot) fenced by epoch, with
+    /// the same semantics as
+    /// [`apply_replicated_fenced`](Self::apply_replicated_fenced): a
+    /// snapshot from a stream superseded by a local promotion must never
+    /// clobber the promoted state.
+    ///
+    /// # Errors
+    ///
+    /// As [`install_snapshot`](Self::install_snapshot), plus a fencing
+    /// [`RegistryError::Storage`] on epoch mismatch.
+    pub fn install_snapshot_fenced(
+        &self,
+        text: &str,
+        expected_epoch: u64,
+    ) -> Result<u64, RegistryError> {
+        self.install_snapshot_at(text, Some(expected_epoch))
+    }
+
+    fn install_snapshot_at(
+        &self,
+        text: &str,
+        expected_epoch: Option<u64>,
+    ) -> Result<u64, RegistryError> {
         let mut inner = self.lock();
         let Inner {
             rings,
@@ -761,6 +883,7 @@ impl RingRegistry {
             ..
         } = &mut *inner;
         let store = store.as_mut().ok_or_else(in_memory_err)?;
+        check_epoch_fence(store, expected_epoch)?;
         let (seq, new_rings) = store.install_snapshot(text)?;
         let mut entries = BTreeMap::new();
         for (name, state) in new_rings {
@@ -1146,6 +1269,146 @@ mod tests {
         assert!(reopened.apply_replicated(&corrupt).is_err());
         let _ = std::fs::remove_dir_all(&primary_dir);
         let _ = std::fs::remove_dir_all(&follower_dir);
+    }
+
+    #[test]
+    fn diverged_duplicate_is_refused_not_swallowed() {
+        // Two independently bootstrapped histories collide on sequence
+        // numbers; re-delivery of the foreign record must surface as a
+        // divergence error, never as a benign duplicate.
+        let a_dir = temp_dir("div-a");
+        let b_dir = temp_dir("div-b");
+        let a = RingRegistry::open(&a_dir).unwrap();
+        a.register("alpha", fddi_spec()).unwrap();
+        a.admit("alpha", "cam", stream(20.0, 100_000)).unwrap();
+        let shipped = a.subscribe(1).unwrap().backlog;
+
+        let b = RingRegistry::open(&b_dir).unwrap();
+        b.register("beta", fddi_spec()).unwrap(); // different record at seq 1
+        let err = b.apply_replicated(&shipped[0]).unwrap_err();
+        assert!(err.to_string().contains("diverges"), "{err}");
+        // B is untouched: its own ring survives, nothing was journaled.
+        assert_eq!(b.ring_names(), vec!["beta".to_owned()]);
+        assert_eq!(b.next_seq(), 2);
+        // A byte-identical re-delivery is still idempotently ignored.
+        let own = b.subscribe(1).unwrap().backlog;
+        assert!(matches!(
+            b.apply_replicated(&own[0]).unwrap(),
+            ReplicatedApply::Duplicate { seq: 1 }
+        ));
+        for d in [a_dir, b_dir] {
+            let _ = std::fs::remove_dir_all(&d);
+        }
+    }
+
+    #[test]
+    fn fenced_apply_refuses_a_superseded_stream() {
+        let p_dir = temp_dir("fence-p");
+        let f_dir = temp_dir("fence-f");
+        let p = RingRegistry::open(&p_dir).unwrap();
+        p.set_epoch(1).unwrap();
+        p.register("lab", fddi_spec()).unwrap();
+        p.admit("lab", "cam", stream(20.0, 100_000)).unwrap();
+        let frames = p.subscribe(1).unwrap().backlog;
+
+        let f = RingRegistry::open(&f_dir).unwrap();
+        f.set_epoch(1).unwrap();
+        assert!(matches!(
+            f.apply_replicated_fenced(&frames[0], 1).unwrap(),
+            ReplicatedApply::Applied { seq: 1 }
+        ));
+        // Promotion publishes a new epoch: the old stream's frames —
+        // including ones already in flight — are refused atomically.
+        f.set_epoch(2).unwrap();
+        let err = f.apply_replicated_fenced(&frames[1], 1).unwrap_err();
+        assert!(err.to_string().contains("fenced"), "{err}");
+        assert_eq!(f.next_seq(), 2, "fenced frame must not reach the journal");
+        // A fenced snapshot cannot clobber the promoted state either.
+        p.compact().unwrap();
+        let (_, text) = p.subscribe(1).unwrap().snapshot.expect("compacted");
+        let err = f.install_snapshot_fenced(&text, 1).unwrap_err();
+        assert!(err.to_string().contains("fenced"), "{err}");
+        assert_eq!(f.next_seq(), 2, "fenced snapshot must not install");
+        // Under the matching epoch the same frame and snapshot apply.
+        assert!(f.install_snapshot_fenced(&text, 2).is_ok());
+        for d in [p_dir, f_dir] {
+            let _ = std::fs::remove_dir_all(&d);
+        }
+    }
+
+    #[test]
+    fn a_stalled_subscriber_is_dropped_at_the_queue_cap() {
+        let dir = temp_dir("cap");
+        let reg = RingRegistry::open(&dir).unwrap();
+        reg.register("seed", fddi_spec()).unwrap();
+        let sub = reg.subscribe(1).unwrap();
+        assert_eq!(sub.backlog.len(), 1);
+        // Never drain `sub.live` — a stalled-but-connected follower.
+        // Commits past the cap must neither block nor grow the queue;
+        // they drop the subscriber instead.
+        for i in 0..SHIP_SUBSCRIBER_CAP + 8 {
+            reg.register(&format!("r{i}"), fddi_spec()).unwrap();
+        }
+        let mut drained = 0usize;
+        while sub.live.try_recv().is_ok() {
+            drained += 1;
+        }
+        assert_eq!(drained, SHIP_SUBSCRIBER_CAP, "queue must stop at the cap");
+        assert!(
+            matches!(sub.live.try_recv(), Err(mpsc::TryRecvError::Disconnected)),
+            "overflowing subscriber must be dropped, forcing a resync"
+        );
+        assert_eq!(
+            reg.next_seq() as usize,
+            SHIP_SUBSCRIBER_CAP + 10,
+            "commits must proceed regardless of the stalled subscriber"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn subscribe_races_compaction_without_storage_errors() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        // Tiny segments so every few admits seal a segment, and the
+        // compactor's publish phase has files to garbage-collect while
+        // subscribers read them.
+        let dir = temp_dir("race");
+        let reg = Arc::new(
+            RingRegistry::open_with(
+                &dir,
+                StoreOptions {
+                    segment_bytes: 96,
+                    ..StoreOptions::default()
+                },
+            )
+            .unwrap(),
+        );
+        reg.register("r", fddi_spec()).unwrap();
+        let done = Arc::new(AtomicBool::new(false));
+        let compactor = {
+            let reg = Arc::clone(&reg);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                for i in 0..40u64 {
+                    reg.admit("r", &format!("s{i}"), stream(20.0 + i as f64, 1_000))
+                        .unwrap();
+                    reg.compact().unwrap();
+                }
+                done.store(true, Ordering::Release);
+            })
+        };
+        while !done.load(Ordering::Acquire) {
+            // Must never observe a half-published compaction (deleted
+            // sealed segment, swapped snapshot).
+            let sub = reg
+                .subscribe(1)
+                .expect("subscribe raced compaction into a storage error");
+            drop(sub);
+        }
+        compactor.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

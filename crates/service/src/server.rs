@@ -1503,8 +1503,9 @@ fn follow_once(
     }
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
-    // Header first; everything after it is SHIP frames.
-    let mut synced = false;
+    // Header first; everything after it is SHIP frames applied under the
+    // epoch the header carried.
+    let mut stream_epoch: Option<u64> = None;
     loop {
         match reader.read_line(&mut line) {
             Ok(0) => return FollowEnd::Retry,
@@ -1512,9 +1513,31 @@ fn follow_once(
                 let frame = line.trim_end().to_owned();
                 line.clear();
                 *last_contact = Instant::now();
-                if !synced {
+                // A promotion (PROMOTE command or silence timeout) can
+                // land between frames; the moment this node stops being a
+                // follower, nothing further from the old primary may be
+                // applied.
+                if stop_following(shared) {
+                    return FollowEnd::Stop;
+                }
+                let Some(epoch) = stream_epoch else {
                     match replication::parse_sync_header(&frame) {
                         Ok(header) => {
+                            // A head behind our own journal means the
+                            // primary never produced records we hold:
+                            // diverged histories, not a lagging follower.
+                            // Refuse rather than let the overlap be
+                            // misread as duplicates.
+                            let next = shared.registry.next_seq();
+                            if header.head.saturating_add(1) < next {
+                                eprintln!(
+                                    "ringrt-service: {source} advertises head {} behind our \
+                                     journal (next_seq {next}); refusing divergent stream",
+                                    header.head
+                                );
+                                shared.replication.note_resync();
+                                return FollowEnd::Retry;
+                            }
                             if header.epoch > shared.registry.epoch()
                                 && shared.registry.set_epoch(header.epoch).is_err()
                             {
@@ -1522,7 +1545,7 @@ fn follow_once(
                             }
                             shared.replication.note_head(header.head);
                             shared.replication.set_connected(true);
-                            synced = true;
+                            stream_epoch = Some(header.epoch);
                         }
                         Err(refusal) => {
                             eprintln!("ringrt-service: SYNC refused by {source}: {refusal}");
@@ -1531,8 +1554,8 @@ fn follow_once(
                         }
                     }
                     continue;
-                }
-                match apply_ship_frame(shared, &frame, &mut reader) {
+                };
+                match apply_ship_frame(shared, &frame, epoch, &mut reader) {
                     Ok(()) => {}
                     Err(()) => {
                         shared.replication.note_resync();
@@ -1553,19 +1576,25 @@ fn follow_once(
     }
 }
 
-/// Applies one ship frame on the follower. `Err(())` forces a resync —
-/// the reconnect path resubscribes from exactly `next_seq`, so dropped,
-/// duplicated, and reordered frames all converge back to the primary's
-/// history.
+/// Applies one ship frame on the follower under the epoch the stream
+/// synced at. `Err(())` forces a resync — the reconnect path resubscribes
+/// from exactly `next_seq`, so dropped, duplicated, and reordered frames
+/// all converge back to the primary's history. Every apply is fenced by
+/// `stream_epoch` inside the registry lock, so a promotion racing with an
+/// in-flight frame can never let the superseded primary's record into the
+/// promoted journal.
 fn apply_ship_frame(
     shared: &Arc<Shared>,
     frame: &str,
+    stream_epoch: u64,
     reader: &mut BufReader<TcpStream>,
 ) -> Result<(), ()> {
     match replication::parse_ship_frame(frame) {
         Ok(ShipFrame::Record(record)) => {
             let replay_span = shared.recorder.span("registry", "journal_replay");
-            let outcome = shared.registry.apply_replicated(&record);
+            let outcome = shared
+                .registry
+                .apply_replicated_fenced(&record, stream_epoch);
             drop(replay_span);
             match outcome {
                 Ok(ReplicatedApply::Applied { seq }) => {
@@ -1576,12 +1605,16 @@ fn apply_ship_frame(
                 // Replays after a reconnect overlap the tail we already
                 // hold; duplicates are the protocol working as designed.
                 Ok(ReplicatedApply::Duplicate { .. }) => Ok(()),
-                Ok(ReplicatedApply::Gap { .. }) | Err(_) => Err(()),
+                Ok(ReplicatedApply::Gap { .. }) => Err(()),
+                Err(e) => {
+                    eprintln!("ringrt-service: shipped record refused: {e}");
+                    Err(())
+                }
             }
         }
         Ok(ShipFrame::Snapshot { seq, lines }) => {
             let text = read_snapshot_body(shared, reader, lines).ok_or(())?;
-            match shared.registry.install_snapshot(&text) {
+            match shared.registry.install_snapshot_fenced(&text, stream_epoch) {
                 Ok(_) => {
                     shared.replication.note_head(seq);
                     shared.replication.note_snapshot(seq);
@@ -1593,7 +1626,17 @@ fn apply_ship_frame(
                 }
             }
         }
-        Ok(ShipFrame::Ping { head, .. }) => {
+        Ok(ShipFrame::Ping { epoch, head }) => {
+            // A ping from a different epoch than the stream synced at
+            // means either side changed identity mid-stream; drop the
+            // connection and let the SYNC fence sort it out.
+            if epoch != stream_epoch {
+                eprintln!(
+                    "ringrt-service: ping epoch {epoch} does not match stream epoch \
+                     {stream_epoch}; dropping connection"
+                );
+                return Err(());
+            }
             shared.replication.note_head(head);
             Ok(())
         }

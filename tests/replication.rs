@@ -668,4 +668,73 @@ mod tcp {
             let _ = std::fs::remove_dir_all(&d);
         }
     }
+
+    /// Planned failover with the old primary still alive and mutating:
+    /// the promoted standby must fence out every frame the old primary
+    /// keeps shipping — interleaving them with the new primary's own
+    /// mutations is exactly the split-brain the epoch fence exists to
+    /// prevent.
+    #[test]
+    fn promoted_standby_ignores_the_live_old_primary() {
+        let pdir = temp_dir("tcp-split-p");
+        let fdir = temp_dir("tcp-split-f");
+        let primary = server(&pdir, None);
+        let standby = server(&fdir, Some(primary.addr().to_string()));
+
+        let mut p = Client::connect(primary.addr());
+        assert!(p
+            .roundtrip("REGISTER ring=lab protocol=timed-token mbps=100 stations=16")
+            .starts_with("OK"));
+        for i in 0..4u64 {
+            let resp = p.roundtrip(&format!(
+                "ADMIT ring=lab stream=s{i} period_ms={} bits=2000",
+                20 + i
+            ));
+            assert!(resp.contains("admitted=true"), "admit {i}: {resp}");
+        }
+        let mut f = Client::connect(standby.addr());
+        await_contains(&mut f, "CHECK ring=lab", "streams=4");
+        let show_at_promotion = f.roundtrip("SHOW ring=lab");
+
+        // Promote while the old primary is alive and keeps committing.
+        assert!(
+            f.roundtrip("PROMOTE").starts_with("OK cmd=promote epoch=2"),
+            "promotion must fence epoch 2"
+        );
+        for i in 0..4u64 {
+            let resp = p.roundtrip(&format!(
+                "ADMIT ring=lab stream=p{i} period_ms={} bits=2000",
+                30 + i
+            ));
+            assert!(
+                resp.contains("admitted=true"),
+                "old primary admit {i}: {resp}"
+            );
+        }
+        // The promoted node tears its replay stream down (every frame is
+        // epoch-fenced); wait until the old primary has lost it.
+        await_contains(&mut p, "REPLICATION", " followers=0");
+
+        // None of the old primary's post-promotion records leaked in.
+        let show = f.roundtrip("SHOW ring=lab");
+        assert_eq!(
+            show, show_at_promotion,
+            "promoted standby applied frames from the superseded primary"
+        );
+        assert!(!show.contains("p0"), "{show}");
+        let repl = f.roundtrip("REPLICATION");
+        assert!(repl.contains(" role=primary"), "{repl}");
+        assert!(repl.contains(" epoch=2"), "{repl}");
+        // And it takes its own writes under the new epoch.
+        let resp = f.roundtrip("ADMIT ring=lab stream=mine period_ms=40 bits=2000");
+        assert!(resp.contains("admitted=true"), "{resp}");
+
+        assert_eq!(p.roundtrip("SHUTDOWN"), "OK cmd=shutdown");
+        primary.join();
+        assert_eq!(f.roundtrip("SHUTDOWN"), "OK cmd=shutdown");
+        standby.join();
+        for d in [pdir, fdir] {
+            let _ = std::fs::remove_dir_all(&d);
+        }
+    }
 }
