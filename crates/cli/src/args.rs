@@ -3,6 +3,8 @@
 
 use core::fmt;
 
+use ringrt_service::Frontend;
+
 /// Which protocol a command targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ProtocolChoice {
@@ -148,6 +150,19 @@ pub enum Command {
         /// Auto-promote after the primary has been silent this long
         /// (`None` = promote only on an explicit `PROMOTE`).
         promote_timeout_ms: Option<u64>,
+        /// Connection front end: blocking thread-per-connection, or epoll
+        /// readiness loops (`--frontend threads|event`).
+        frontend: Frontend,
+        /// Open-connection cap; accepts beyond it answer `BUSY` (0 = off).
+        max_conns: usize,
+        /// Readiness loops for the event front end.
+        event_loops: usize,
+        /// Event front end: close connections idle this long (`None` keeps
+        /// idle clients forever).
+        idle_timeout_ms: Option<u64>,
+        /// Close connections stalled mid-line this long (slow-loris guard;
+        /// `None` = service default, 0 disables).
+        read_deadline_ms: Option<u64>,
     },
     /// Drain a running server's flight recorder as Chrome trace JSON.
     Trace {
@@ -239,6 +254,8 @@ USAGE:
   ringrt serve    [--addr HOST:PORT] [--workers N] [--queue-depth N] [--deadline-ms N]
                   [--state-dir DIR] [--cache-entries N] [--slow-ms N] [--trace on|off]
                   [--segment-bytes N] [--follow HOST:PORT] [--promote-timeout-ms N]
+                  [--frontend threads|event] [--event-loops N] [--max-conns N]
+                  [--idle-timeout-ms N] [--read-deadline-ms N]
   ringrt trace    [--addr HOST:PORT] [--events N]
   ringrt promote     [--addr HOST:PORT]
   ringrt replication [--addr HOST:PORT]
@@ -330,6 +347,14 @@ impl Cli {
                 if workers == 0 || queue_depth == 0 {
                     return Err("--workers and --queue-depth must be at least 1".into());
                 }
+                let frontend = match flag_value(&flags, "--frontend") {
+                    Some(raw) => raw.parse::<Frontend>()?,
+                    None => Frontend::default(),
+                };
+                let event_loops = optional_usize(&flags, "--event-loops")?.unwrap_or(1);
+                if event_loops == 0 {
+                    return Err("--event-loops must be at least 1".into());
+                }
                 Ok(Cli {
                     command: Command::Serve {
                         addr: flag_value(&flags, "--addr")
@@ -345,6 +370,11 @@ impl Cli {
                         follow: flag_value(&flags, "--follow").map(str::to_owned),
                         segment_bytes: optional_u64(&flags, "--segment-bytes")?,
                         promote_timeout_ms: optional_u64(&flags, "--promote-timeout-ms")?,
+                        frontend,
+                        max_conns: optional_usize(&flags, "--max-conns")?.unwrap_or(0),
+                        event_loops,
+                        idle_timeout_ms: optional_u64(&flags, "--idle-timeout-ms")?,
+                        read_deadline_ms: optional_u64(&flags, "--read-deadline-ms")?,
                     },
                 })
             }
@@ -642,6 +672,11 @@ mod tests {
                 follow: None,
                 segment_bytes: None,
                 promote_timeout_ms: None,
+                frontend: Frontend::Threads,
+                max_conns: 0,
+                event_loops: 1,
+                idle_timeout_ms: None,
+                read_deadline_ms: None,
             }
         );
         let cli = parse(&[
@@ -668,6 +703,16 @@ mod tests {
             "65536",
             "--promote-timeout-ms",
             "3000",
+            "--frontend",
+            "event",
+            "--max-conns",
+            "20000",
+            "--event-loops",
+            "2",
+            "--idle-timeout-ms",
+            "60000",
+            "--read-deadline-ms",
+            "5000",
         ])
         .unwrap();
         assert_eq!(
@@ -684,11 +729,18 @@ mod tests {
                 follow: Some("10.0.0.9:7400".into()),
                 segment_bytes: Some(65536),
                 promote_timeout_ms: Some(3000),
+                frontend: Frontend::Event,
+                max_conns: 20000,
+                event_loops: 2,
+                idle_timeout_ms: Some(60000),
+                read_deadline_ms: Some(5000),
             }
         );
         assert!(parse(&["serve", "--workers", "0"]).is_err());
         assert!(parse(&["serve", "stray"]).is_err());
         assert!(parse(&["serve", "--trace", "maybe"]).is_err());
+        assert!(parse(&["serve", "--frontend", "uring"]).is_err());
+        assert!(parse(&["serve", "--event-loops", "0"]).is_err());
     }
 
     #[test]

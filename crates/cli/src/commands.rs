@@ -73,6 +73,11 @@ pub fn run<W: Write>(cli: &Cli, out: &mut W) -> ExitCode {
             follow,
             segment_bytes,
             promote_timeout_ms,
+            frontend,
+            max_conns,
+            event_loops,
+            idle_timeout_ms,
+            read_deadline_ms,
         } => serve(
             ServeOptions {
                 addr,
@@ -86,6 +91,11 @@ pub fn run<W: Write>(cli: &Cli, out: &mut W) -> ExitCode {
                 follow: follow.as_deref(),
                 segment_bytes: *segment_bytes,
                 promote_timeout_ms: *promote_timeout_ms,
+                frontend: *frontend,
+                max_conns: *max_conns,
+                event_loops: *event_loops,
+                idle_timeout_ms: *idle_timeout_ms,
+                read_deadline_ms: *read_deadline_ms,
             },
             out,
         ),
@@ -110,6 +120,11 @@ struct ServeOptions<'a> {
     follow: Option<&'a str>,
     segment_bytes: Option<u64>,
     promote_timeout_ms: Option<u64>,
+    frontend: ringrt_service::Frontend,
+    max_conns: usize,
+    event_loops: usize,
+    idle_timeout_ms: Option<u64>,
+    read_deadline_ms: Option<u64>,
 }
 
 fn serve<W: Write>(opts: ServeOptions<'_>, out: &mut W) -> ExitCode {
@@ -125,6 +140,11 @@ fn serve<W: Write>(opts: ServeOptions<'_>, out: &mut W) -> ExitCode {
         follow,
         segment_bytes,
         promote_timeout_ms,
+        frontend,
+        max_conns,
+        event_loops,
+        idle_timeout_ms,
+        read_deadline_ms,
     } = opts;
     let defaults = ringrt_service::ServiceConfig::default();
     let config = ringrt_service::ServiceConfig {
@@ -139,6 +159,11 @@ fn serve<W: Write>(opts: ServeOptions<'_>, out: &mut W) -> ExitCode {
         follow: follow.map(str::to_owned),
         segment_bytes,
         promote_timeout_ms,
+        frontend,
+        max_conns,
+        event_loops,
+        idle_timeout_ms,
+        read_deadline_ms: read_deadline_ms.unwrap_or(defaults.read_deadline_ms),
         ..defaults
     };
     let server = match ringrt_service::spawn(config) {
@@ -157,9 +182,10 @@ fn serve<W: Write>(opts: ServeOptions<'_>, out: &mut W) -> ExitCode {
         ),
         None => writeln!(
             out,
-            "listening on {} ({workers} workers, queue depth {queue_depth}); \
+            "listening on {} ({} front end, {workers} workers, queue depth {queue_depth}); \
              send SHUTDOWN to stop",
-            server.addr()
+            server.addr(),
+            frontend.token()
         ),
     };
     let _ = out.flush();

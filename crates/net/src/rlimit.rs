@@ -1,0 +1,47 @@
+//! File-descriptor limit introspection and best-effort raising.
+//!
+//! Holding tens of thousands of connections needs tens of thousands of
+//! fds, and the default soft `RLIMIT_NOFILE` is often 1024 while the hard
+//! limit is much higher. [`raise_nofile_to_hard`] lifts the soft limit to
+//! the hard limit (the most an unprivileged process may do) so the
+//! connection-sweep benchmark and the server can scale to what the host
+//! actually allows — and callers size their targets from the returned
+//! value instead of failing at accept time.
+
+use crate::sys;
+use std::io;
+
+/// Returns `(soft, hard)` `RLIMIT_NOFILE` for this process.
+pub fn nofile_limits() -> io::Result<(u64, u64)> {
+    sys::nofile_limits()
+}
+
+/// Raises the soft fd limit to the hard limit, returning the soft limit
+/// now in effect. Best effort: if the raise is refused, the current soft
+/// limit is returned instead of an error.
+pub fn raise_nofile_to_hard() -> io::Result<u64> {
+    let (soft, hard) = sys::nofile_limits()?;
+    if soft >= hard {
+        return Ok(soft);
+    }
+    match sys::set_nofile_soft(hard) {
+        Ok(()) => Ok(hard),
+        Err(_) => Ok(soft),
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limits_are_sane_and_raise_is_monotonic() {
+        let (soft, hard) = nofile_limits().unwrap();
+        assert!(soft > 0 && hard >= soft);
+        let achieved = raise_nofile_to_hard().unwrap();
+        assert!(achieved >= soft);
+        let (soft_after, hard_after) = nofile_limits().unwrap();
+        assert_eq!(soft_after, achieved);
+        assert_eq!(hard_after, hard);
+    }
+}

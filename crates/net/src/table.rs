@@ -1,0 +1,188 @@
+//! Bounded slab of connections with generation-stamped tokens.
+//!
+//! Epoll keeps whatever `u64` was registered with an fd and keeps
+//! delivering it until the fd is deregistered or closed — including
+//! events already sitting in a drained batch when the loop closes the
+//! connection mid-iteration. Plain indices would then alias: slot 7 is
+//! freed, a new connection claims slot 7, and the stale event for the
+//! dead connection reads the new one's state. Tokens here pack the slot
+//! index in the low 32 bits and a per-slot generation counter in the high
+//! 32; the generation is bumped on every removal, so a stale token fails
+//! the [`ConnTable::get_mut`] lookup instead of touching the wrong
+//! connection.
+
+use crate::poller::Token;
+
+/// Packs `(index, generation)` into a poller token.
+fn pack(index: u32, generation: u32) -> Token {
+    Token((u64::from(generation) << 32) | u64::from(index))
+}
+
+/// The slot index half of a token.
+fn index_of(token: Token) -> u32 {
+    (token.0 & 0xFFFF_FFFF) as u32
+}
+
+/// The generation half of a token.
+fn generation_of(token: Token) -> u32 {
+    (token.0 >> 32) as u32
+}
+
+enum Slot<T> {
+    Vacant,
+    Occupied(T),
+}
+
+/// A bounded slab keyed by generation-checked [`Token`]s.
+pub struct ConnTable<T> {
+    slots: Vec<Slot<T>>,
+    generations: Vec<u32>,
+    free: Vec<u32>,
+    len: usize,
+    capacity: usize,
+}
+
+impl<T> ConnTable<T> {
+    /// A table admitting at most `capacity` simultaneous entries.
+    #[must_use]
+    pub fn new(capacity: usize) -> ConnTable<T> {
+        ConnTable {
+            slots: Vec::new(),
+            generations: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Current number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The admission bound this table was built with.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts a connection, returning its token, or `Err(value)` when the
+    /// table is full (the caller sheds the connection).
+    pub fn insert(&mut self, value: T) -> Result<Token, T> {
+        if self.len >= self.capacity {
+            return Err(value);
+        }
+        let index = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                let i = self.slots.len() as u32;
+                self.slots.push(Slot::Vacant);
+                self.generations.push(0);
+                i
+            }
+        };
+        self.slots[index as usize] = Slot::Occupied(value);
+        self.len += 1;
+        Ok(pack(index, self.generations[index as usize]))
+    }
+
+    /// Looks up a live entry; stale (freed or re-used) tokens miss.
+    pub fn get_mut(&mut self, token: Token) -> Option<&mut T> {
+        let idx = index_of(token) as usize;
+        if idx >= self.slots.len() || self.generations[idx] != generation_of(token) {
+            return None;
+        }
+        match &mut self.slots[idx] {
+            Slot::Occupied(v) => Some(v),
+            Slot::Vacant => None,
+        }
+    }
+
+    /// Removes and returns an entry, bumping the slot generation so any
+    /// outstanding copies of the token go stale.
+    pub fn remove(&mut self, token: Token) -> Option<T> {
+        let idx = index_of(token) as usize;
+        if idx >= self.slots.len() || self.generations[idx] != generation_of(token) {
+            return None;
+        }
+        match std::mem::replace(&mut self.slots[idx], Slot::Vacant) {
+            Slot::Occupied(v) => {
+                self.generations[idx] = self.generations[idx].wrapping_add(1);
+                self.free.push(idx as u32);
+                self.len -= 1;
+                Some(v)
+            }
+            Slot::Vacant => None,
+        }
+    }
+
+    /// Tokens of all live entries (for drain/shutdown sweeps).
+    #[must_use]
+    pub fn tokens(&self) -> Vec<Token> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Slot::Occupied(_) => Some(pack(i as u32, self.generations[i])),
+                Slot::Vacant => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut table = ConnTable::new(4);
+        let a = table.insert("a").unwrap();
+        let b = table.insert("b").unwrap();
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.get_mut(a).copied(), Some("a"));
+        assert_eq!(table.get_mut(b).copied(), Some("b"));
+        assert_eq!(table.remove(a), Some("a"));
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.remove(a), None, "double remove misses");
+    }
+
+    #[test]
+    fn stale_token_misses_after_slot_reuse() {
+        let mut table = ConnTable::new(2);
+        let first = table.insert(1u32).unwrap();
+        assert_eq!(table.remove(first), Some(1));
+        let second = table.insert(2u32).unwrap();
+        // Slot is re-used but the generation moved on.
+        assert_eq!(table.get_mut(first), None, "stale token must not alias");
+        assert_eq!(table.remove(first), None);
+        assert_eq!(table.get_mut(second).copied(), Some(2));
+    }
+
+    #[test]
+    fn capacity_bound_sheds_and_frees_restore_room() {
+        let mut table = ConnTable::new(2);
+        let a = table.insert(10).unwrap();
+        let _b = table.insert(11).unwrap();
+        assert_eq!(table.insert(12), Err(12), "full table sheds");
+        table.remove(a);
+        assert!(table.insert(13).is_ok(), "freed slot restores capacity");
+    }
+
+    #[test]
+    fn tokens_enumerates_live_entries() {
+        let mut table = ConnTable::new(8);
+        let a = table.insert("a").unwrap();
+        let b = table.insert("b").unwrap();
+        table.remove(a);
+        let tokens = table.tokens();
+        assert_eq!(tokens, vec![b]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Coarse hashed timer wheel for idle-timeout and read-deadline sweeps.
+//!
+//! The event loop needs "close this connection if nothing happens for N
+//! seconds" for tens of thousands of connections, where N is large and
+//! precision is irrelevant. A hashed wheel gives O(1) insertion and an
+//! O(due) sweep: [`IdleWheel::schedule`] drops a token into the slot its
+//! deadline hashes to, and [`IdleWheel::advance`] drains every slot the
+//! cursor passes.
+//!
+//! Re-arming is **lazy**: activity on a connection does not move its wheel
+//! entry (that would require per-entry bookkeeping). Instead the caller
+//! keeps the true deadline (e.g. `last_activity + idle_timeout`) on the
+//! connection and revalidates each candidate the wheel hands back,
+//! rescheduling entries that turn out not to be due yet. A connection
+//! therefore has at most one live wheel entry, and stale entries for
+//! closed connections are discarded by the same revalidation (the slab
+//! generation check makes the token dead).
+
+use std::time::{Duration, Instant};
+
+/// A fixed-granularity timer wheel over opaque `u64` tokens.
+#[derive(Debug)]
+pub struct IdleWheel {
+    slots: Vec<Vec<u64>>,
+    granularity: Duration,
+    /// Wheel time: everything strictly before `cursor` has been drained.
+    cursor: u64,
+    base: Instant,
+    len: usize,
+}
+
+impl IdleWheel {
+    /// A wheel of `slots` buckets, each `granularity` wide.
+    ///
+    /// The horizon is `slots * granularity`; deadlines beyond it are
+    /// clamped to the furthest slot and simply revalidate early.
+    #[must_use]
+    pub fn new(slots: usize, granularity: Duration, now: Instant) -> IdleWheel {
+        let slots = slots.max(2);
+        IdleWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            granularity: granularity.max(Duration::from_millis(1)),
+            cursor: 0,
+            base: now,
+            len: 0,
+        }
+    }
+
+    fn tick_of(&self, t: Instant) -> u64 {
+        let elapsed = t.saturating_duration_since(self.base);
+        (elapsed.as_nanos() / self.granularity.as_nanos().max(1)) as u64
+    }
+
+    /// Number of scheduled (possibly stale) entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedules `token` to surface at (or shortly after) `deadline`.
+    pub fn schedule(&mut self, token: u64, deadline: Instant) {
+        let tick = self.tick_of(deadline).max(self.cursor);
+        // Clamp beyond-horizon deadlines to one lap minus one, so they
+        // surface (and get rescheduled) instead of aliasing onto a slot
+        // the cursor is about to drain.
+        let horizon = self.slots.len() as u64 - 1;
+        let tick = tick.min(self.cursor + horizon);
+        let idx = (tick % self.slots.len() as u64) as usize;
+        self.slots[idx].push(token);
+        self.len += 1;
+    }
+
+    /// Advances wheel time to `now`, draining every due slot into `due`.
+    ///
+    /// Callers must revalidate each token: entries are candidates, not
+    /// verdicts (lazy re-arm means an entry may predate recent activity).
+    pub fn advance(&mut self, now: Instant, due: &mut Vec<u64>) {
+        let target = self.tick_of(now);
+        while self.cursor <= target {
+            let idx = (self.cursor % self.slots.len() as u64) as usize;
+            let drained = &mut self.slots[idx];
+            self.len -= drained.len();
+            due.append(drained);
+            if self.cursor == target {
+                break;
+            }
+            self.cursor += 1;
+        }
+    }
+
+    /// Time until the cursor next crosses a slot boundary — a good poll
+    /// timeout upper bound when timers are armed.
+    #[must_use]
+    pub fn next_tick_in(&self, now: Instant) -> Duration {
+        let next_boundary = self
+            .base
+            .checked_add(self.granularity.mul_f64((self.tick_of(now) + 1) as f64));
+        match next_boundary {
+            Some(b) => b
+                .saturating_duration_since(now)
+                .max(Duration::from_millis(1)),
+            None => self.granularity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn due_entries_surface_once_cursor_passes() {
+        let t0 = Instant::now();
+        let mut wheel = IdleWheel::new(8, Duration::from_millis(100), t0);
+        wheel.schedule(1, t0 + Duration::from_millis(150));
+        wheel.schedule(2, t0 + Duration::from_millis(450));
+        assert_eq!(wheel.len(), 2);
+
+        let mut due = Vec::new();
+        wheel.advance(t0 + Duration::from_millis(40), &mut due);
+        assert!(due.is_empty(), "nothing due inside the first slot");
+
+        wheel.advance(t0 + Duration::from_millis(210), &mut due);
+        assert_eq!(due, vec![1]);
+        due.clear();
+
+        wheel.advance(t0 + Duration::from_millis(900), &mut due);
+        assert_eq!(due, vec![2]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn beyond_horizon_deadline_surfaces_early_for_reschedule() {
+        let t0 = Instant::now();
+        let mut wheel = IdleWheel::new(4, Duration::from_millis(50), t0);
+        let far = t0 + Duration::from_secs(3600);
+        wheel.schedule(9, far);
+
+        let mut due = Vec::new();
+        wheel.advance(t0 + Duration::from_millis(400), &mut due);
+        assert_eq!(due, vec![9], "clamped entry surfaces within one lap");
+        // The caller's revalidation would now reschedule it; simulate one
+        // round and confirm it surfaces again rather than being lost.
+        wheel.schedule(9, far);
+        due.clear();
+        wheel.advance(t0 + Duration::from_millis(800), &mut due);
+        assert_eq!(due, vec![9]);
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_next_advance() {
+        let t0 = Instant::now();
+        let mut wheel = IdleWheel::new(8, Duration::from_millis(20), t0);
+        let mut due = Vec::new();
+        wheel.advance(t0 + Duration::from_millis(500), &mut due);
+        assert!(due.is_empty());
+
+        // Scheduling "in the past" (already-expired deadline) lands on the
+        // current cursor slot, not a drained one.
+        wheel.schedule(5, t0);
+        wheel.advance(t0 + Duration::from_millis(520), &mut due);
+        assert_eq!(due, vec![5]);
+    }
+
+    #[test]
+    fn next_tick_is_positive_and_bounded() {
+        let t0 = Instant::now();
+        let wheel = IdleWheel::new(8, Duration::from_millis(100), t0);
+        let d = wheel.next_tick_in(t0 + Duration::from_millis(30));
+        assert!(
+            d > Duration::ZERO && d <= Duration::from_millis(100),
+            "{d:?}"
+        );
+    }
+}

@@ -25,6 +25,12 @@
 //!   monotonic counter published atomically (tmp + rename). A promoted
 //!   standby bumps it past the old primary's epoch so a revived primary
 //!   presenting a stale epoch can be refused.
+//! * `cluster.dat` — the journal's **cluster identity**, a CRC-framed
+//!   nonzero random stamp published once (same tmp + rename discipline)
+//!   when a primary first serves this directory. Replication peers
+//!   exchange it at the `SYNC` handshake and refuse to ship frames
+//!   between journals whose identities differ — two unrelated journals
+//!   must never silently interleave.
 //!
 //! A legacy single-file `journal.log` (the pre-segmentation layout) is
 //! migrated on open by renaming it to `journal.000001.log`.
@@ -79,6 +85,8 @@ const SNAPSHOT_TMP: &str = "snapshot.tmp";
 const SNAPSHOT_HEADER: &str = "ringrt-registry-snapshot v1";
 const EPOCH_FILE: &str = "epoch.dat";
 const EPOCH_TMP: &str = "epoch.tmp";
+const CLUSTER_FILE: &str = "cluster.dat";
+const CLUSTER_TMP: &str = "cluster.tmp";
 
 /// Default segment rotation threshold (1 MiB).
 pub const DEFAULT_SEGMENT_BYTES: u64 = 1 << 20;
@@ -438,13 +446,16 @@ mod fmt_display {
     pub use core::fmt::Display;
 }
 
-fn encode_epoch(epoch: u64) -> String {
-    let payload = format!("epoch {epoch}");
+/// CRC-framed single-value stamp files (`epoch.dat`, `cluster.dat`):
+/// `"<crc8hex> <tag> <value>\n"`. Anything that fails the frame check
+/// degrades to 0 — "absent", never garbage.
+fn encode_stamp(tag: &str, value: u64) -> String {
+    let payload = format!("{tag} {value}");
     format!("{:08x} {payload}\n", crc32(payload.as_bytes()))
 }
 
-fn read_epoch(dir: &Path) -> u64 {
-    let Ok(bytes) = fs::read(dir.join(EPOCH_FILE)) else {
+fn read_stamp(dir: &Path, file: &str, tag: &str) -> u64 {
+    let Ok(bytes) = fs::read(dir.join(file)) else {
         return 0;
     };
     let Ok(text) = std::str::from_utf8(&bytes) else {
@@ -461,9 +472,18 @@ fn read_epoch(dir: &Path) -> u64 {
         return 0;
     }
     payload
-        .strip_prefix("epoch ")
+        .strip_prefix(tag)
+        .and_then(|rest| rest.strip_prefix(' '))
         .and_then(|n| n.parse().ok())
         .unwrap_or(0)
+}
+
+fn encode_epoch(epoch: u64) -> String {
+    encode_stamp("epoch", epoch)
+}
+
+fn read_epoch(dir: &Path) -> u64 {
+    read_stamp(dir, EPOCH_FILE, "epoch")
 }
 
 /// What startup replay found and how long it took.
@@ -579,6 +599,8 @@ pub struct Store {
     snapshot_seq: u64,
     snapshot_bytes: u64,
     epoch: u64,
+    /// Set-once journal identity (0 = not yet stamped); see `cluster.dat`.
+    cluster_id: u64,
     recorder: Arc<Recorder>,
 }
 
@@ -609,6 +631,7 @@ impl Store {
         let fsx = options.fs;
         fs::create_dir_all(dir).map_err(|e| storage_err("create state dir", e))?;
         let epoch = read_epoch(dir);
+        let cluster_id = read_stamp(dir, CLUSTER_FILE, "cluster");
 
         let mut rings = Rings::new();
         let mut snapshot_seq = 0u64;
@@ -725,6 +748,7 @@ impl Store {
                 snapshot_seq,
                 snapshot_bytes,
                 epoch,
+                cluster_id,
                 recorder: Arc::new(Recorder::disabled()),
             },
             rings,
@@ -954,6 +978,58 @@ impl Store {
             .rename(&tmp, &self.dir.join(EPOCH_FILE))
             .map_err(|e| storage_err("publish epoch", e))?;
         self.epoch = epoch;
+        Ok(())
+    }
+
+    /// The persisted journal cluster identity (0 = never stamped).
+    #[must_use]
+    pub fn cluster_id(&self) -> u64 {
+        self.cluster_id
+    }
+
+    /// Persists the journal's cluster identity (tmp + fsync + atomic
+    /// rename). The identity is **set-once**: stamping the same value
+    /// again is a no-op, stamping a different one over a nonzero identity
+    /// is refused — that is exactly the cross-journal shipping accident
+    /// the stamp exists to prevent.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Storage`] if `cluster_id` is zero, conflicts with
+    /// an existing identity, or any I/O step fails.
+    pub fn set_cluster_id(&mut self, cluster_id: u64) -> Result<(), RegistryError> {
+        if cluster_id == 0 {
+            return Err(storage_err(
+                "cluster identity must be nonzero",
+                "0 is the \"unstamped\" sentinel",
+            ));
+        }
+        if self.cluster_id == cluster_id {
+            return Ok(());
+        }
+        if self.cluster_id != 0 {
+            return Err(storage_err(
+                "cluster identity is set-once",
+                format!("current {:#x}, requested {cluster_id:#x}", self.cluster_id),
+            ));
+        }
+        let _span = self.recorder.span("registry", "cluster_publish");
+        let tmp = self.dir.join(CLUSTER_TMP);
+        let body = encode_stamp("cluster", cluster_id);
+        let mut f = self
+            .fs
+            .create(&tmp)
+            .map_err(|e| storage_err("create cluster.tmp", e))?;
+        self.fs
+            .write_all(&mut f, body.as_bytes())
+            .map_err(|e| storage_err("write cluster", e))?;
+        self.fs
+            .sync_all(&f)
+            .map_err(|e| storage_err("sync cluster", e))?;
+        self.fs
+            .rename(&tmp, &self.dir.join(CLUSTER_FILE))
+            .map_err(|e| storage_err("publish cluster", e))?;
+        self.cluster_id = cluster_id;
         Ok(())
     }
 
@@ -1379,6 +1455,32 @@ mod tests {
         drop(store);
         let (store, _, _) = Store::open(&dir).unwrap();
         assert_eq!(store.epoch(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cluster_identity_is_set_once_and_survives_reopen() {
+        let dir = temp_dir("cluster");
+        {
+            let (mut store, _, _) = Store::open(&dir).unwrap();
+            assert_eq!(store.cluster_id(), 0, "fresh journal has no identity");
+            assert!(store.set_cluster_id(0).is_err(), "0 is the sentinel");
+            store.set_cluster_id(0xfeed_beef).unwrap();
+            assert_eq!(store.cluster_id(), 0xfeed_beef);
+            // Restamping the same identity is a no-op ...
+            store.set_cluster_id(0xfeed_beef).unwrap();
+            // ... but a different one is the cross-journal accident.
+            let err = store.set_cluster_id(7).unwrap_err();
+            assert!(err.to_string().contains("set-once"), "{err}");
+            assert_eq!(store.cluster_id(), 0xfeed_beef);
+        }
+        let (store, _, _) = Store::open(&dir).unwrap();
+        assert_eq!(store.cluster_id(), 0xfeed_beef);
+        // A corrupt stamp degrades to "unstamped", never to garbage.
+        fs::write(dir.join(CLUSTER_FILE), "deadbeef cluster 99\n").unwrap();
+        drop(store);
+        let (store, _, _) = Store::open(&dir).unwrap();
+        assert_eq!(store.cluster_id(), 0);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -134,6 +134,8 @@ pub struct RegistryMetrics {
 pub struct ShipSubscription {
     /// The primary's fencing epoch at subscription time.
     pub epoch: u64,
+    /// The primary's journal cluster identity at subscription time.
+    pub cluster: u64,
     /// Highest committed sequence number at subscription time.
     pub head: u64,
     /// Snapshot text and its covered sequence, when the requested start
@@ -647,6 +649,28 @@ impl RingRegistry {
             .set_epoch(epoch)
     }
 
+    /// The persisted journal cluster identity (0 for in-memory registries
+    /// and journals never stamped).
+    #[must_use]
+    pub fn cluster_id(&self) -> u64 {
+        self.lock().store.as_ref().map_or(0, Store::cluster_id)
+    }
+
+    /// Persists the journal's set-once cluster identity (see
+    /// [`Store::set_cluster_id`]).
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Storage`] for in-memory registries, a zero or
+    /// conflicting identity, or failed I/O.
+    pub fn set_cluster_id(&self, cluster_id: u64) -> Result<(), RegistryError> {
+        self.lock()
+            .store
+            .as_mut()
+            .ok_or_else(in_memory_err)?
+            .set_cluster_id(cluster_id)
+    }
+
     /// Sequence number the next committed mutation will journal (0 for
     /// in-memory registries).
     #[must_use]
@@ -691,6 +715,7 @@ impl RingRegistry {
         subscribers.push(tx);
         Ok(ShipSubscription {
             epoch: store.epoch(),
+            cluster: store.cluster_id(),
             head,
             snapshot,
             backlog,
@@ -1425,6 +1450,28 @@ mod tests {
         let mem = RingRegistry::in_memory();
         assert_eq!(mem.epoch(), 0);
         assert!(mem.set_epoch(1).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cluster_identity_persists_and_rides_subscriptions() {
+        let dir = temp_dir("cluster-reg");
+        {
+            let reg = RingRegistry::open(&dir).unwrap();
+            assert_eq!(reg.cluster_id(), 0);
+            reg.set_cluster_id(0xabad_1dea).unwrap();
+            let sub = reg.subscribe(1).unwrap();
+            assert_eq!(sub.cluster, 0xabad_1dea, "handshake carries the stamp");
+        }
+        let reg = RingRegistry::open(&dir).unwrap();
+        assert_eq!(reg.cluster_id(), 0xabad_1dea);
+        assert!(
+            reg.set_cluster_id(1).is_err(),
+            "identity is set-once through the registry too"
+        );
+        let mem = RingRegistry::in_memory();
+        assert_eq!(mem.cluster_id(), 0);
+        assert!(mem.set_cluster_id(1).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -54,6 +54,7 @@
 
 pub mod cache;
 pub mod engine;
+mod event;
 pub mod metrics;
 pub mod protocol;
 pub mod replication;
@@ -62,7 +63,7 @@ pub mod server;
 pub use cache::{CacheKey, ResultCache};
 pub use protocol::{
     parse_request, AbuRequest, AnalysisRequest, CommandKind, ProtocolKind, Request, RingSpec,
-    DEFAULT_ABU_SAMPLES, MAX_ABU_SAMPLES, MAX_BATCH,
+    DEFAULT_ABU_SAMPLES, MAX_ABU_SAMPLES, MAX_BATCH, MAX_LINE_BYTES,
 };
 pub use replication::{ReplicationState, Role};
-pub use server::{spawn, ServerHandle, ServiceConfig};
+pub use server::{spawn, Frontend, ServerHandle, ServiceConfig};

@@ -102,6 +102,34 @@ struct WorkerStats {
     busy_us: AtomicU64,
 }
 
+/// Connection front-end counters shared by both front ends (the blocking
+/// thread-per-connection path and the epoll event loops).
+///
+/// `open` is a **gauge** — it tracks present state (currently connected
+/// clients) and therefore survives `STATS RESET`, unlike the accumulated
+/// counters around it.
+#[derive(Debug, Default)]
+pub struct ConnCounters {
+    /// Connections currently open (gauge; not reset).
+    pub open: AtomicU64,
+    /// Connections accepted since the last reset.
+    pub accepted: AtomicU64,
+    /// Connections shed at accept time by the `max_conns` guard.
+    pub accept_shed: AtomicU64,
+    /// Event-loop poll returns (wakeups), across all loops.
+    pub loop_wakeups: AtomicU64,
+    /// Readiness events delivered across all wakeups; divide by
+    /// `loop_wakeups` for the events-per-wakeup batching factor.
+    pub loop_ready_events: AtomicU64,
+    /// Connections closed for exceeding the idle timeout.
+    pub idle_closed: AtomicU64,
+    /// Connections closed for stalling mid-line past the read deadline
+    /// (the slow-loris guard).
+    pub read_deadline_closed: AtomicU64,
+    /// Request lines rejected for exceeding the line-length cap.
+    pub oversized_rejected: AtomicU64,
+}
+
 /// All server counters and histograms.
 #[derive(Debug)]
 pub struct Metrics {
@@ -120,6 +148,8 @@ pub struct Metrics {
     /// Deepest the admission queue has been since the last `STATS RESET`
     /// (windowed high-water mark).
     pub queue_peak: HighWater,
+    /// Accept-path and event-loop counters.
+    pub conns: ConnCounters,
     per_command: [CommandStats; CommandKind::ALL.len()],
     per_stage: [CommandStats; Stage::ALL.len()],
     per_worker: Vec<WorkerStats>,
@@ -144,6 +174,7 @@ impl Metrics {
             readonly: AtomicU64::new(0),
             deadline_expired: AtomicU64::new(0),
             queue_peak: HighWater::new(),
+            conns: ConnCounters::default(),
             per_command: Default::default(),
             per_stage: Default::default(),
             per_worker: (0..workers).map(|_| WorkerStats::default()).collect(),
@@ -185,6 +216,19 @@ impl Metrics {
             &self.busy,
             &self.readonly,
             &self.deadline_expired,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+        // Every accumulated connection counter restarts; `conns.open` is a
+        // gauge describing present state and is deliberately left alone.
+        for c in [
+            &self.conns.accepted,
+            &self.conns.accept_shed,
+            &self.conns.loop_wakeups,
+            &self.conns.loop_ready_events,
+            &self.conns.idle_closed,
+            &self.conns.read_deadline_closed,
+            &self.conns.oversized_rejected,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -233,6 +277,25 @@ impl Metrics {
             " worker_jobs={} worker_busy_us={}",
             join(&|w| w.jobs.load(Ordering::Relaxed)),
             join(&|w| w.busy_us.load(Ordering::Relaxed)),
+        );
+    }
+
+    /// Appends the connection front-end fields to a `STATS` response body.
+    pub fn render_conns(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let c = &self.conns;
+        let _ = write!(
+            out,
+            " connections_open={} connections_accepted={} accept_shed={} loop_wakeups={} \
+             loop_ready_events={} idle_closed={} read_deadline_closed={} oversized_rejected={}",
+            c.open.load(Ordering::Relaxed),
+            c.accepted.load(Ordering::Relaxed),
+            c.accept_shed.load(Ordering::Relaxed),
+            c.loop_wakeups.load(Ordering::Relaxed),
+            c.loop_ready_events.load(Ordering::Relaxed),
+            c.idle_closed.load(Ordering::Relaxed),
+            c.read_deadline_closed.load(Ordering::Relaxed),
+            c.oversized_rejected.load(Ordering::Relaxed),
         );
     }
 
@@ -326,6 +389,53 @@ impl Metrics {
             "Deepest the admission queue has been since the last STATS RESET.",
             &[],
             self.queue_peak.peak() as f64,
+        );
+        w.gauge(
+            "ringrt_connections_open",
+            "Client connections currently open across both front ends.",
+            &[],
+            c(&self.conns.open),
+        );
+        w.counter(
+            "ringrt_connections_accepted_total",
+            "Client connections accepted.",
+            &[],
+            c(&self.conns.accepted),
+        );
+        w.counter(
+            "ringrt_accept_shed_total",
+            "Connections shed at accept time by the max_conns guard.",
+            &[],
+            c(&self.conns.accept_shed),
+        );
+        w.counter(
+            "ringrt_loop_wakeups_total",
+            "Event-loop poll returns across all loops.",
+            &[],
+            c(&self.conns.loop_wakeups),
+        );
+        w.counter(
+            "ringrt_loop_ready_events_total",
+            "Readiness events delivered across all event-loop wakeups.",
+            &[],
+            c(&self.conns.loop_ready_events),
+        );
+        for (reason, counter) in [
+            ("idle", &self.conns.idle_closed),
+            ("read_deadline", &self.conns.read_deadline_closed),
+        ] {
+            w.counter(
+                "ringrt_connections_timed_out_total",
+                "Connections closed by a server-side timeout, by reason.",
+                &[("reason", reason)],
+                c(counter),
+            );
+        }
+        w.counter(
+            "ringrt_oversized_lines_total",
+            "Request lines rejected for exceeding the line-length cap.",
+            &[],
+            c(&self.conns.oversized_rejected),
         );
         for (i, worker) in self.per_worker.iter().enumerate() {
             let id = i.to_string();
@@ -478,6 +588,29 @@ mod tests {
         // A new window accumulates from scratch.
         m.note_queue_depth(3);
         assert_eq!(m.queue_peak.peak(), 3);
+    }
+
+    #[test]
+    fn connection_counters_render_and_open_gauge_survives_reset() {
+        let m = Metrics::new();
+        m.conns.open.store(3, Ordering::Relaxed);
+        m.conns.accepted.store(7, Ordering::Relaxed);
+        m.conns.accept_shed.store(2, Ordering::Relaxed);
+        m.conns.loop_wakeups.store(10, Ordering::Relaxed);
+        m.conns.loop_ready_events.store(25, Ordering::Relaxed);
+        let mut out = String::new();
+        m.render_conns(&mut out);
+        assert!(out.contains(" connections_open=3"), "{out}");
+        assert!(out.contains(" connections_accepted=7"), "{out}");
+        assert!(out.contains(" accept_shed=2"), "{out}");
+        assert!(out.contains(" loop_wakeups=10"), "{out}");
+        assert!(out.contains(" loop_ready_events=25"), "{out}");
+        m.reset();
+        // The gauge describes present state and survives; counters restart.
+        assert_eq!(m.conns.open.load(Ordering::Relaxed), 3);
+        assert_eq!(m.conns.accepted.load(Ordering::Relaxed), 0);
+        assert_eq!(m.conns.accept_shed.load(Ordering::Relaxed), 0);
+        assert_eq!(m.conns.loop_wakeups.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -72,6 +72,11 @@ pub use ringrt_registry::{ProtocolKind, RingSpec};
 /// Largest pipelined batch a single `BATCH` header may announce.
 pub const MAX_BATCH: usize = 1024;
 
+/// Largest request line (bytes, excluding the newline) either front end
+/// accepts. Longer lines are answered with an error and the connection is
+/// closed — an unbounded line is memory a client controls.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
 /// Largest Monte-Carlo sample count a single `ABU` request may demand —
 /// it pins a worker (and fans over the execution pool) for the duration.
 pub const MAX_ABU_SAMPLES: usize = 5_000;
@@ -285,6 +290,11 @@ pub enum Request {
         epoch: u64,
         /// First journal sequence number the requester still needs.
         seq: u64,
+        /// Cluster identity of the requester's journal (0 = fresh journal
+        /// with no identity yet; adopts the primary's). A nonzero mismatch
+        /// is refused — shipping frames between unrelated journals would
+        /// silently interleave two histories.
+        cluster: u64,
     },
     /// Promote a follower to primary under a freshly fenced epoch.
     Promote,
@@ -371,7 +381,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "PROMOTE" => return reject_extras(pairs, Request::Promote),
         "REPLICATION" => return reject_extras(pairs, Request::Replication),
         "SYNC" => {
-            check_keys(&pairs, &["epoch", "seq"])?;
+            check_keys(&pairs, &["epoch", "seq", "cluster"])?;
             let seq: u64 = optional(&pairs, "seq")?.unwrap_or(1);
             if seq == 0 {
                 return Err("seq must be at least 1 (journal sequences start there)".to_owned());
@@ -379,6 +389,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             return Ok(Request::Sync {
                 epoch: optional(&pairs, "epoch")?.unwrap_or(0),
                 seq,
+                cluster: optional(&pairs, "cluster")?.unwrap_or(0),
             });
         }
         "SLEEP" => {

@@ -307,17 +307,24 @@ impl ReplicationState {
     }
 }
 
-/// The follower→primary subscription line.
+/// The follower→primary subscription line. `cluster=0` means "my journal
+/// has no identity yet; I will adopt yours".
 #[must_use]
-pub(crate) fn sync_request(epoch: u64, seq: u64) -> String {
-    format!("SYNC epoch={epoch} seq={seq}")
+pub(crate) fn sync_request(epoch: u64, seq: u64, cluster: u64) -> String {
+    format!("SYNC epoch={epoch} seq={seq} cluster={cluster}")
 }
 
 /// The primary's `OK` header opening a ship stream.
 #[must_use]
-pub(crate) fn sync_header(epoch: u64, head: u64, snapshot: bool, backlog: usize) -> String {
+pub(crate) fn sync_header(
+    epoch: u64,
+    head: u64,
+    snapshot: bool,
+    backlog: usize,
+    cluster: u64,
+) -> String {
     format!(
-        "OK cmd=sync epoch={epoch} head={head} snapshot={} backlog={backlog}",
+        "OK cmd=sync epoch={epoch} head={head} snapshot={} backlog={backlog} cluster={cluster}",
         u8::from(snapshot)
     )
 }
@@ -329,6 +336,7 @@ pub(crate) struct SyncHeader {
     pub head: u64,
     pub snapshot: bool,
     pub backlog: u64,
+    pub cluster: u64,
 }
 
 fn field(line: &str, key: &str) -> Result<u64, String> {
@@ -340,8 +348,22 @@ fn field(line: &str, key: &str) -> Result<u64, String> {
         .map_err(|e| format!("sync header {key}= unparseable ({e}): {line:?}"))
 }
 
+/// Like [`field`], but a missing key yields `default` — used for keys
+/// added after the wire format first shipped, so a newer follower can
+/// still parse an older primary's header.
+fn field_or(line: &str, key: &str, default: u64) -> Result<u64, String> {
+    let tag = format!("{key}=");
+    match line.split_whitespace().find_map(|w| w.strip_prefix(&tag)) {
+        None => Ok(default),
+        Some(text) => text
+            .parse()
+            .map_err(|e| format!("sync header {key}= unparseable ({e}): {line:?}")),
+    }
+}
+
 /// Parses the primary's response to `SYNC`. A non-`OK` line (fencing
-/// refusal, follower refusing to ship, …) comes back as the error.
+/// refusal, cluster mismatch, follower refusing to ship, …) comes back as
+/// the error.
 pub(crate) fn parse_sync_header(line: &str) -> Result<SyncHeader, String> {
     if !line.starts_with("OK cmd=sync") {
         return Err(line.to_owned());
@@ -351,6 +373,7 @@ pub(crate) fn parse_sync_header(line: &str) -> Result<SyncHeader, String> {
         head: field(line, "head")?,
         snapshot: field(line, "snapshot")? != 0,
         backlog: field(line, "backlog")?,
+        cluster: field_or(line, "cluster", 0)?,
     })
 }
 
@@ -467,16 +490,20 @@ mod tests {
 
     #[test]
     fn sync_header_round_trips_and_rejects_refusals() {
-        let h = parse_sync_header(&sync_header(4, 17, true, 9)).unwrap();
+        let h = parse_sync_header(&sync_header(4, 17, true, 9, 0xfeed)).unwrap();
         assert_eq!(
             h,
             SyncHeader {
                 epoch: 4,
                 head: 17,
                 snapshot: true,
-                backlog: 9
+                backlog: 9,
+                cluster: 0xfeed
             }
         );
+        // A header from before cluster identity shipped still parses.
+        let legacy = parse_sync_header("OK cmd=sync epoch=1 head=2 snapshot=0 backlog=0").unwrap();
+        assert_eq!(legacy.cluster, 0);
         let refused = parse_sync_header("ERR cmd=sync fenced requester_epoch=1 epoch=2");
         assert!(refused.unwrap_err().contains("fenced"));
     }

@@ -1,29 +1,48 @@
-//! The TCP server: acceptor, connection readers, bounded admission queue,
-//! worker pool, and graceful shutdown.
+//! The TCP server: acceptor, connection front ends, bounded admission
+//! queue, worker pool, and graceful shutdown.
 //!
 //! # Threading model
 //!
+//! The server offers two connection **front ends** behind one listener
+//! and one worker pool ([`Frontend`], `serve --frontend=`):
+//!
 //! ```text
-//! acceptor ──spawns──▶ connection threads ──jobs──▶ bounded queue ──▶ workers
-//!                          │    ▲                                       │
-//!                          │    └──────────── mpsc reply ◀──────────────┘
-//!                          └─ inline: PING / STATS / SHUTDOWN / cache hits
+//! threads: acceptor ──spawns──▶ connection threads ──jobs──▶ queue ──▶ workers
+//!                                   │    ▲                               │
+//!                                   │    └──────── mpsc reply ◀──────────┘
+//!                                   └─ inline: PING / STATS / cache hits
+//!
+//! event:   acceptor ──injects──▶ event loops (epoll) ──jobs──▶ queue ──▶ workers
+//!                                   │    ▲                               │
+//!                                   │    └─ completions + waker ◀────────┘
+//!                                   └─ inline: PING / STATS / cache hits
 //! ```
 //!
-//! * Each connection gets a reader thread; cheap requests (PING, STATS,
-//!   SHUTDOWN, malformed lines, cache hits) are answered inline without
-//!   touching the queue.
-//! * Analysis work is pushed onto a bounded queue. A full queue sheds load
-//!   with an immediate `BUSY` line — the client is never left hanging.
+//! * The **threads** front end gives each connection a blocking reader
+//!   thread — simple, but a thread per client caps the population.
+//! * The **event** front end (`crate::event`, Linux only) multiplexes all
+//!   connections over one or two epoll readiness loops; workers hand
+//!   finished replies back through a completion queue and wake the loop
+//!   via a pipe. This is the shape that holds 10⁴–10⁵ idle clients.
+//! * Either way, cheap requests (PING, STATS, SHUTDOWN, malformed lines,
+//!   cache hits) are answered without touching the queue; analysis work
+//!   goes through the bounded queue, and a full queue sheds load with an
+//!   immediate `BUSY` line — the client is never left hanging.
+//! * Both front ends share the accept-time `--max-conns` guard: beyond
+//!   the cap a connection gets one `BUSY max_conns=…` line and is closed.
 //! * Workers pop jobs; a job that waited past its deadline is answered
 //!   `ERR deadline expired` without being executed.
+//! * The blocking path enforces [`MAX_LINE_BYTES`] *while reading* and a
+//!   read deadline on partially received lines, so a slow-loris client
+//!   dribbling bytes forever cannot pin a reader thread or grow its
+//!   buffer without bound.
 //! * Shutdown (`SHUTDOWN` request or [`ServerHandle::shutdown`]) stops the
 //!   acceptor, lets workers **drain** everything already queued, and closes
 //!   reader threads at their next poll tick — in-flight requests still get
 //!   their answers.
 
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -39,17 +58,57 @@ use ringrt_registry::{
     ShipSubscription, StoreOptions, DEFAULT_SEGMENT_BYTES,
 };
 
+use ringrt_net::{Token, Waker};
+
 use crate::cache::{CacheKey, ResultCache};
 use crate::engine;
+use crate::event;
 use crate::metrics::{Metrics, Stage};
-use crate::protocol::{parse_request, AnalysisRequest, CommandKind, Request};
+use crate::protocol::{parse_request, AnalysisRequest, CommandKind, Request, MAX_LINE_BYTES};
 use crate::replication::{self, ReplicationState, ShipFrame};
 
 /// How often blocked reads and the acceptor wake to check for shutdown.
-const POLL_INTERVAL: Duration = Duration::from_millis(25);
+pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(25);
 /// Extra execution time a client allows beyond the queue deadline before
 /// giving up on a reply.
-const EXECUTION_GRACE: Duration = Duration::from_secs(60);
+pub(crate) const EXECUTION_GRACE: Duration = Duration::from_secs(60);
+
+/// Which connection front end the acceptor hands new sockets to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Frontend {
+    /// One blocking reader thread per connection (the default).
+    #[default]
+    Threads,
+    /// Readiness event loops over epoll (`--frontend=event`, Linux only):
+    /// all connections multiplexed over [`ServiceConfig::event_loops`]
+    /// threads.
+    Event,
+}
+
+impl Frontend {
+    /// Stable lowercase token used in flags and status lines.
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            Frontend::Threads => "threads",
+            Frontend::Event => "event",
+        }
+    }
+}
+
+impl std::str::FromStr for Frontend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "threads" | "thread" => Ok(Frontend::Threads),
+            "event" | "epoll" => Ok(Frontend::Event),
+            other => Err(format!(
+                "unknown frontend `{other}` (expected `threads` or `event`)"
+            )),
+        }
+    }
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -98,6 +157,22 @@ pub struct ServiceConfig {
     /// promotes itself. `None` (the default) promotes only on an explicit
     /// `PROMOTE`.
     pub promote_timeout_ms: Option<u64>,
+    /// Which connection front end serves clients (see [`Frontend`]).
+    pub frontend: Frontend,
+    /// Open-connection cap shared by both front ends; an accept beyond it
+    /// is answered `BUSY max_conns=<n>` and closed. `0` means unlimited.
+    pub max_conns: usize,
+    /// Readiness loops the event front end runs (min 1; 1–2 is plenty —
+    /// parsing is cheap and the analyses run on the worker pool anyway).
+    pub event_loops: usize,
+    /// Event front end only: close a connection with no complete request
+    /// for this long. `None` (the default) keeps idle clients forever —
+    /// the population the event front end exists to hold cheaply.
+    pub idle_timeout_ms: Option<u64>,
+    /// Close a connection holding a *partial* request line (bytes but no
+    /// newline) for this long — the slow-loris guard, enforced by both
+    /// front ends. `0` disables it.
+    pub read_deadline_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -117,44 +192,117 @@ impl Default for ServiceConfig {
             follow: None,
             segment_bytes: None,
             promote_timeout_ms: None,
+            frontend: Frontend::Threads,
+            max_conns: 0,
+            event_loops: 1,
+            idle_timeout_ms: None,
+            read_deadline_ms: 30_000,
         }
     }
+}
+
+/// A finished reply on its way back to an event loop: which connection
+/// and which reply slot within it the text belongs to.
+pub(crate) struct Completion {
+    pub(crate) conn: Token,
+    pub(crate) slot: u64,
+    pub(crate) text: String,
+}
+
+/// Where a worker sends its reply.
+pub(crate) enum ReplyTo {
+    /// The blocking front end: the connection thread waits on the channel.
+    Channel(mpsc::Sender<String>),
+    /// The event front end: push a [`Completion`] onto the owning loop's
+    /// queue and wake it. The loop matches `conn`/`slot` back to the
+    /// waiting reply position (the token is generation-stamped, so a
+    /// completion for a connection that closed meanwhile is dropped).
+    Loop {
+        tx: mpsc::Sender<Completion>,
+        waker: Arc<Waker>,
+        conn: Token,
+        slot: u64,
+    },
+}
+
+impl ReplyTo {
+    fn send(&self, text: String) {
+        match self {
+            ReplyTo::Channel(tx) => {
+                let _ = tx.send(text);
+            }
+            ReplyTo::Loop {
+                tx,
+                waker,
+                conn,
+                slot,
+            } => {
+                let _ = tx.send(Completion {
+                    conn: *conn,
+                    slot: *slot,
+                    text,
+                });
+                waker.wake();
+            }
+        }
+    }
+}
+
+/// Everything [`ReplyTo::Loop`] needs except the slot, cloned per queued
+/// request by the event loop.
+pub(crate) struct QueueTicket {
+    pub(crate) tx: mpsc::Sender<Completion>,
+    pub(crate) waker: Arc<Waker>,
+    pub(crate) conn: Token,
+    pub(crate) slot: u64,
+}
+
+/// How [`handle_request`] should treat queue-bound work.
+#[derive(Clone, Copy)]
+pub(crate) enum SubmitMode<'a> {
+    /// Block on the worker's reply (the single-request blocking path).
+    Block,
+    /// Hand back a [`Handled::Pending`] to collect later (batch submit).
+    Defer,
+    /// Queue with a loop-completion reply and hand back
+    /// [`Handled::Queued`] immediately (the event front end never blocks).
+    Queue(&'a QueueTicket),
 }
 
 /// One queued unit of work.
 struct Job {
     request: Request,
     cache_key: Option<CacheKey>,
-    reply: mpsc::Sender<String>,
+    reply: ReplyTo,
     enqueued: Instant,
     deadline: Duration,
 }
 
 /// State shared by every thread of one server instance.
-struct Shared {
-    config: ServiceConfig,
+pub(crate) struct Shared {
+    pub(crate) config: ServiceConfig,
     queue: Mutex<VecDeque<Job>>,
     queue_cv: Condvar,
-    metrics: Metrics,
+    pub(crate) metrics: Metrics,
     cache: ResultCache,
-    registry: RingRegistry,
+    pub(crate) registry: RingRegistry,
     /// Execution pool for intra-request parallelism (`SATURATION`
     /// multisection probes, `ABU` sample fan-out). Stateless between
     /// calls, so all workers share one.
     exec: Pool,
     /// Flight recorder shared with the exec pool and the registry journal;
     /// drained by the `TRACE` command.
-    recorder: Arc<Recorder>,
+    pub(crate) recorder: Arc<Recorder>,
     /// Replication role, lag, and peer counters (`SYNC`/`PROMOTE`/
     /// `REPLICATION`); the durable epoch itself lives in the registry.
-    replication: ReplicationState,
+    pub(crate) replication: ReplicationState,
     shutdown: AtomicBool,
     inflight: AtomicU64,
     started: Instant,
 }
 
 impl Shared {
-    fn shutting_down(&self) -> bool {
+    pub(crate) fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
     }
 
@@ -234,6 +382,14 @@ impl Shared {
             self.inflight.load(Ordering::Relaxed),
             self.exec.threads(),
         );
+        let _ = write!(
+            out,
+            " frontend={} max_conns={} cluster={}",
+            self.config.frontend.token(),
+            self.config.max_conns,
+            self.registry.cluster_id(),
+        );
+        m.render_conns(&mut out);
         m.render_workers(&mut out);
         m.render_latencies(&mut out);
         out
@@ -414,6 +570,7 @@ pub struct ServerHandle {
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    loops: Vec<event::LoopHandle>,
 }
 
 impl ServerHandle {
@@ -443,7 +600,14 @@ impl ServerHandle {
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
         }
-        // The acceptor has exited, so no new connection threads appear.
+        // The acceptor has exited, so no new connection threads appear and
+        // no further sockets reach the event loops. Loops drain their
+        // connections (waiting for in-flight worker replies) before the
+        // workers themselves are joined — workers keep popping the queue
+        // until it is empty, so every completion a loop waits on arrives.
+        for l in std::mem::take(&mut self.loops) {
+            l.join();
+        }
         let conns =
             std::mem::take(&mut *self.connections.lock().expect("connection list poisoned"));
         for c in conns {
@@ -469,6 +633,7 @@ impl Drop for ServerHandle {
 pub fn spawn(mut config: ServiceConfig) -> std::io::Result<ServerHandle> {
     config.workers = config.workers.max(1);
     config.queue_depth = config.queue_depth.max(1);
+    config.event_loops = config.event_loops.clamp(1, 8);
     if config.follow.is_some() && config.state_dir.is_none() {
         return Err(std::io::Error::other(
             "--follow requires a state dir: the standby re-journals every shipped record",
@@ -491,6 +656,15 @@ pub fn spawn(mut config: ServiceConfig) -> std::io::Result<ServerHandle> {
     if config.state_dir.is_some() && config.follow.is_none() && registry.epoch() == 0 {
         registry
             .set_epoch(1)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+    }
+    // A primary stamps its journal with a cluster identity on first boot;
+    // followers adopt the primary's at SYNC time instead. The stamp is
+    // what lets the SYNC handshake refuse shipping between unrelated
+    // journals (see `handle_sync`).
+    if config.state_dir.is_some() && config.follow.is_none() && registry.cluster_id() == 0 {
+        registry
+            .set_cluster_id(generate_cluster_id())
             .map_err(|e| std::io::Error::other(e.to_string()))?;
     }
     let listener = TcpListener::bind(&config.addr)?;
@@ -542,12 +716,27 @@ pub fn spawn(mut config: ServiceConfig) -> std::io::Result<ServerHandle> {
     }
 
     let connections = Arc::new(Mutex::new(Vec::new()));
+    // The event loops are created (epoll instance, wakeup pipe) on this
+    // thread so an unsupported platform surfaces as a bind-time error
+    // instead of a dead acceptor.
+    let loops = match config.frontend {
+        Frontend::Threads => Vec::new(),
+        Frontend::Event => event::spawn_loops(&shared, config.event_loops, &connections)?,
+    };
     let acceptor = {
         let shared = Arc::clone(&shared);
-        let connections = Arc::clone(&connections);
+        let dispatch = match config.frontend {
+            Frontend::Threads => Dispatch::Threads {
+                connections: Arc::clone(&connections),
+            },
+            Frontend::Event => Dispatch::Event {
+                injectors: loops.iter().map(event::LoopHandle::injector).collect(),
+                next: 0,
+            },
+        };
         std::thread::Builder::new()
             .name("ringrt-acceptor".to_owned())
-            .spawn(move || accept_loop(&listener, &shared, &connections))
+            .spawn(move || accept_loop(&listener, &shared, dispatch))
             .expect("spawn acceptor thread")
     };
 
@@ -557,34 +746,94 @@ pub fn spawn(mut config: ServiceConfig) -> std::io::Result<ServerHandle> {
         acceptor: Some(acceptor),
         workers,
         connections,
+        loops,
     })
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    shared: &Arc<Shared>,
-    connections: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
+/// A 32-bit, nonzero journal identity for a never-stamped primary. Only
+/// uniqueness across independently bootstrapped clusters matters, so
+/// clock nanoseconds xor'd with the pid are entropy enough — no RNG
+/// dependency needed.
+fn generate_cluster_id() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.subsec_nanos() as u64 ^ d.as_secs());
+    let mixed = (nanos ^ (u64::from(std::process::id()).rotate_left(17))) & 0xffff_ffff;
+    mixed.max(1)
+}
+
+/// Where the acceptor sends a connection that survived the shed check.
+enum Dispatch {
+    /// Spawn a blocking reader thread, tracked for join-at-shutdown.
+    Threads {
+        connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    },
+    /// Round-robin the socket to an event loop's injection queue.
+    Event {
+        injectors: Vec<event::Injector>,
+        next: usize,
+    },
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, mut dispatch: Dispatch) {
     let mut next_id = 0u64;
     while !shared.shutting_down() {
         match listener.accept() {
-            Ok((stream, _peer)) => {
-                let shared = Arc::clone(shared);
-                let handle = std::thread::Builder::new()
-                    .name(format!("ringrt-conn-{next_id}"))
-                    .spawn(move || connection_loop(stream, &shared))
-                    .expect("spawn connection thread");
-                next_id += 1;
-                connections
-                    .lock()
-                    .expect("connection list poisoned")
-                    .push(handle);
+            Ok((mut stream, _peer)) => {
+                let conns = &shared.metrics.conns;
+                conns.accepted.fetch_add(1, Ordering::Relaxed);
+                // Accept-time shedding, shared by both front ends: beyond
+                // the cap the client gets one definite BUSY line instead
+                // of a connection that silently degrades everyone else.
+                let open = conns.open.load(Ordering::Relaxed);
+                if shared.config.max_conns > 0 && open as usize >= shared.config.max_conns {
+                    conns.accept_shed.fetch_add(1, Ordering::Relaxed);
+                    let _ = stream.write_all(
+                        format!("BUSY max_conns={}\n", shared.config.max_conns).as_bytes(),
+                    );
+                    continue; // drop the stream
+                }
+                conns.open.fetch_add(1, Ordering::Relaxed);
+                match &mut dispatch {
+                    Dispatch::Threads { connections } => {
+                        let shared = Arc::clone(shared);
+                        let handle = std::thread::Builder::new()
+                            .name(format!("ringrt-conn-{next_id}"))
+                            .spawn(move || {
+                                let _guard = OpenConnGuard(Arc::clone(&shared));
+                                connection_loop(stream, &shared);
+                            })
+                            .expect("spawn connection thread");
+                        next_id += 1;
+                        connections
+                            .lock()
+                            .expect("connection list poisoned")
+                            .push(handle);
+                    }
+                    Dispatch::Event { injectors, next } => {
+                        *next = (*next + 1) % injectors.len();
+                        if !injectors[*next].send(stream) {
+                            // Loop gone (shutdown race): undo the gauge.
+                            shared.metrics.conns.open.fetch_sub(1, Ordering::Relaxed);
+                        }
+                    }
+                }
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 std::thread::sleep(POLL_INTERVAL);
             }
             Err(_) => std::thread::sleep(POLL_INTERVAL),
         }
+    }
+}
+
+/// Decrements the open-connection gauge when a blocking reader exits,
+/// whatever the exit path.
+struct OpenConnGuard(Arc<Shared>);
+
+impl Drop for OpenConnGuard {
+    fn drop(&mut self) {
+        self.0.metrics.conns.open.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -598,61 +847,139 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
     };
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
+    let mut partial_since: Option<Instant> = None;
     loop {
-        // `read_line` keeps partially read bytes in `line` across timeouts,
-        // so clearing only after a complete line preserves slow writers.
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client closed
-            Ok(_) => {
-                let request_started = Instant::now();
-                // The request line is only copied when slow-request logging
-                // is on; the hot path stays allocation-free here.
-                let slow_line = shared.config.slow_ms.map(|_| line.trim_end().to_owned());
-                let response = handle_line(line.trim_end(), shared);
-                line.clear();
-                if let Response::Batch(count) = response {
-                    if !run_batch(count, &mut reader, &mut writer, &mut line, shared) {
-                        return;
-                    }
-                    continue;
-                }
-                if let Response::Ship(sub) = response {
-                    // The connection becomes a one-way ship stream until
-                    // the follower drops it or the server shuts down.
-                    serve_ship(&mut writer, *sub, shared);
-                    return;
-                }
-                let stop = matches!(response, Response::Close);
-                let text = response.into_text();
-                shared.metrics.count_response(&text);
-                let respond_span = shared.recorder.span("request", "respond");
-                let write_ok = writer
-                    .write_all(format!("{text}\n").as_bytes())
-                    .and_then(|()| writer.flush())
-                    .is_ok();
-                shared
-                    .metrics
-                    .record_stage(Stage::Respond, respond_span.finish());
-                if let (Some(limit_ms), Some(request)) = (shared.config.slow_ms, slow_line) {
-                    let elapsed = request_started.elapsed();
-                    if elapsed >= Duration::from_millis(limit_ms) {
-                        eprintln!(
-                            "ringrt-service: slow request ({} ms >= {limit_ms} ms): {request}",
-                            elapsed.as_millis()
-                        );
-                    }
-                }
-                if !write_ok || stop {
-                    return;
-                }
-            }
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+        // The bounded read keeps partially received bytes in `line` across
+        // timeouts, so clearing only after a complete line preserves slow
+        // writers — up to the line cap and the partial-line read deadline.
+        match read_request_line(
+            &mut reader,
+            &mut writer,
+            &mut line,
+            &mut partial_since,
+            shared,
+        ) {
+            LineRead::Closed => return,
+            LineRead::Pending => {
                 if shared.shutting_down() {
                     return;
                 }
+                continue;
             }
-            Err(_) => return,
+            LineRead::Line => {}
         }
+        let request_started = Instant::now();
+        // The request line is only copied when slow-request logging
+        // is on; the hot path stays allocation-free here.
+        let slow_line = shared.config.slow_ms.map(|_| line.trim_end().to_owned());
+        let response = handle_line(line.trim_end(), shared);
+        line.clear();
+        if let Response::Batch(count) = response {
+            if !run_batch(count, &mut reader, &mut writer, &mut line, shared) {
+                return;
+            }
+            continue;
+        }
+        if let Response::Ship(sub) = response {
+            // The connection becomes a one-way ship stream until
+            // the follower drops it or the server shuts down.
+            serve_ship(&mut writer, *sub, shared);
+            return;
+        }
+        let stop = matches!(response, Response::Close);
+        let text = response.into_text();
+        shared.metrics.count_response(&text);
+        let respond_span = shared.recorder.span("request", "respond");
+        let write_ok = writer
+            .write_all(format!("{text}\n").as_bytes())
+            .and_then(|()| writer.flush())
+            .is_ok();
+        shared
+            .metrics
+            .record_stage(Stage::Respond, respond_span.finish());
+        if let (Some(limit_ms), Some(request)) = (shared.config.slow_ms, slow_line) {
+            let elapsed = request_started.elapsed();
+            if elapsed >= Duration::from_millis(limit_ms) {
+                eprintln!(
+                    "ringrt-service: slow request ({} ms >= {limit_ms} ms): {request}",
+                    elapsed.as_millis()
+                );
+            }
+        }
+        if !write_ok || stop {
+            return;
+        }
+    }
+}
+
+/// What one bounded read attempt on the blocking front end produced.
+enum LineRead {
+    /// A complete newline-terminated request line sits in the buffer.
+    Line,
+    /// No complete line yet (poll-interval timeout); partial bytes stay
+    /// buffered for the next attempt.
+    Pending,
+    /// The connection is finished: EOF, I/O error, an oversized line, or
+    /// a partial line older than the read deadline (the slow-loris guard
+    /// — both rejections are answered with an `ERR` line first).
+    Closed,
+}
+
+/// Reads one request line with [`MAX_LINE_BYTES`] enforced *while
+/// reading*: the `take` adapter bounds how many bytes a client can make
+/// this thread buffer, so "never send a newline" cannot grow memory, and
+/// `partial_since` bounds how long it can hold the bytes it has started.
+fn read_request_line(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    line: &mut String,
+    partial_since: &mut Option<Instant>,
+    shared: &Arc<Shared>,
+) -> LineRead {
+    // +2 so a line of exactly MAX_LINE_BYTES plus "\r\n" still completes;
+    // anything longer trips the cap below.
+    let budget = (MAX_LINE_BYTES + 2).saturating_sub(line.len()) as u64;
+    match reader.by_ref().take(budget).read_line(line) {
+        Ok(0) => LineRead::Closed, // client closed (possibly mid-line)
+        Ok(_) if line.ends_with('\n') => {
+            *partial_since = None;
+            LineRead::Line
+        }
+        Ok(_) => {
+            if line.len() > MAX_LINE_BYTES {
+                shared
+                    .metrics
+                    .conns
+                    .oversized_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = writer
+                    .write_all(format!("ERR line exceeds {MAX_LINE_BYTES} bytes\n").as_bytes())
+                    .and_then(|()| writer.flush());
+            }
+            LineRead::Closed // oversized, or EOF with a dangling partial
+        }
+        Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+            let deadline = shared.config.read_deadline_ms;
+            if !line.is_empty() && deadline > 0 {
+                let since = *partial_since.get_or_insert_with(Instant::now);
+                if since.elapsed() >= Duration::from_millis(deadline) {
+                    shared
+                        .metrics
+                        .conns
+                        .read_deadline_closed
+                        .fetch_add(1, Ordering::Relaxed);
+                    let _ = writer
+                        .write_all(
+                            format!("ERR read deadline: partial line idle for {deadline} ms\n")
+                                .as_bytes(),
+                        )
+                        .and_then(|()| writer.flush());
+                    return LineRead::Closed;
+                }
+            }
+            LineRead::Pending
+        }
+        Err(_) => LineRead::Closed,
     }
 }
 
@@ -680,38 +1007,41 @@ fn run_batch(
     }
     let mut slots: Vec<Slot> = Vec::with_capacity(count);
     let mut keep_open = true;
+    let mut partial_since: Option<Instant> = None;
     while slots.len() < count {
-        match reader.read_line(line) {
-            Ok(0) => return false, // client closed mid-batch
-            Ok(_) => {
-                let slot = match handle_request(line.trim_end(), shared, true) {
-                    // One framing level is enough; nesting would let a
-                    // client demand unbounded buffering.
-                    Handled::Ready(Response::Batch(_)) => {
-                        Slot::Ready("ERR nested BATCH is not allowed".to_owned())
-                    }
-                    // A ship stream takes over the whole connection; it
-                    // cannot share one with framed batch replies.
-                    Handled::Ready(Response::Ship(_)) => {
-                        Slot::Ready("ERR SYNC is not allowed inside BATCH".to_owned())
-                    }
-                    Handled::Ready(Response::Close) => {
-                        keep_open = false;
-                        Slot::Ready(Response::Close.into_text())
-                    }
-                    Handled::Ready(Response::Line(text)) => Slot::Ready(text),
-                    Handled::Pending(pending) => Slot::Pending(pending),
-                };
-                line.clear();
-                slots.push(slot);
-            }
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+        match read_request_line(reader, writer, line, &mut partial_since, shared) {
+            LineRead::Closed => return false, // client closed mid-batch
+            LineRead::Pending => {
                 if shared.shutting_down() {
                     return false;
                 }
+                continue;
             }
-            Err(_) => return false,
+            LineRead::Line => {}
         }
+        let slot = match handle_request(line.trim_end(), shared, SubmitMode::Defer) {
+            // One framing level is enough; nesting would let a
+            // client demand unbounded buffering.
+            Handled::Ready(Response::Batch(_)) => {
+                Slot::Ready("ERR nested BATCH is not allowed".to_owned())
+            }
+            // A ship stream takes over the whole connection; it
+            // cannot share one with framed batch replies.
+            Handled::Ready(Response::Ship(_)) => {
+                Slot::Ready("ERR SYNC is not allowed inside BATCH".to_owned())
+            }
+            Handled::Ready(Response::Close) => {
+                keep_open = false;
+                Slot::Ready(Response::Close.into_text())
+            }
+            Handled::Ready(Response::Line(text)) => Slot::Ready(text),
+            Handled::Pending(pending) => Slot::Pending(pending),
+            Handled::Queued { .. } => {
+                unreachable!("SubmitMode::Defer never yields Handled::Queued")
+            }
+        };
+        line.clear();
+        slots.push(slot);
     }
     // In-order reassembly: waiting on slot k never delays the *execution*
     // of slot k+1 — it is already on a worker — only the reply pickup.
@@ -739,7 +1069,7 @@ fn run_batch(
 /// A response line, a connection-closing line, a batch header asking the
 /// connection loop to collect the next `n` responses into one write, or a
 /// journal subscription turning the connection into a ship stream.
-enum Response {
+pub(crate) enum Response {
     Line(String),
     Close,
     Batch(usize),
@@ -747,7 +1077,7 @@ enum Response {
 }
 
 impl Response {
-    fn into_text(self) -> String {
+    pub(crate) fn into_text(self) -> String {
         match self {
             Response::Line(s) => s,
             Response::Close => "OK cmd=shutdown".to_owned(),
@@ -760,7 +1090,7 @@ impl Response {
 /// A job already on the worker queue whose reply has not been read yet.
 /// Produced by the batch submit phase; [`Pending::collect`] blocks for the
 /// reply and records the completed request's latency.
-struct Pending {
+pub(crate) struct Pending {
     rx: mpsc::Receiver<String>,
     command: CommandKind,
     started: Instant,
@@ -768,7 +1098,7 @@ struct Pending {
 }
 
 impl Pending {
-    fn collect(self, shared: &Arc<Shared>) -> String {
+    pub(crate) fn collect(self, shared: &Arc<Shared>) -> String {
         let text = match self.rx.recv_timeout(self.wait) {
             Ok(text) => text,
             Err(_) => "ERR request lost (worker gave no reply)".to_owned(),
@@ -778,25 +1108,34 @@ impl Pending {
     }
 }
 
-/// What handling one request line produced: an immediate response, or a
-/// queued job to collect later (batch submit phase only).
-enum Handled {
+/// What handling one request line produced: an immediate response, a
+/// queued job to collect later (batch submit phase), or a job queued with
+/// a loop-completion reply (event front end).
+pub(crate) enum Handled {
     Ready(Response),
     Pending(Pending),
+    /// The job is on the queue; its reply will arrive as a [`Completion`]
+    /// for the ticket's `conn`/`slot`. Carries what the loop needs to
+    /// record the latency when the reply lands.
+    Queued {
+        command: CommandKind,
+        started: Instant,
+    },
 }
 
 fn handle_line(line: &str, shared: &Arc<Shared>) -> Response {
-    match handle_request(line, shared, false) {
+    match handle_request(line, shared, SubmitMode::Block) {
         Handled::Ready(response) => response,
         Handled::Pending(pending) => Response::Line(pending.collect(shared)),
+        Handled::Queued { .. } => unreachable!("SubmitMode::Block never yields Handled::Queued"),
     }
 }
 
-/// Handles one request line. With `defer` set (the batch submit phase),
-/// queue-bound requests come back as [`Handled::Pending`] instead of
-/// blocking on the worker's reply; everything answerable inline is
-/// answered inline either way.
-fn handle_request(line: &str, shared: &Arc<Shared>, defer: bool) -> Handled {
+/// Handles one request line. `mode` controls what happens to queue-bound
+/// requests — block for the reply, defer collection (batch submit phase),
+/// or queue with a loop-completion ticket (event front end); everything
+/// answerable inline is answered inline either way.
+pub(crate) fn handle_request(line: &str, shared: &Arc<Shared>, mode: SubmitMode) -> Handled {
     let ready = |response: Response| Handled::Ready(response);
     shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
     let parse_span = shared.recorder.span("request", "parse");
@@ -848,7 +1187,11 @@ fn handle_request(line: &str, shared: &Arc<Shared>, defer: bool) -> Handled {
             shared.begin_shutdown();
             ready(Response::Close)
         }
-        Request::Sync { epoch, seq } => ready(handle_sync(shared, epoch, seq)),
+        Request::Sync {
+            epoch,
+            seq,
+            cluster,
+        } => ready(handle_sync(shared, epoch, seq, cluster)),
         Request::Promote => ready(Response::Line(handle_promote(shared))),
         Request::Replication => {
             let mut out = "OK cmd=replication".to_owned();
@@ -986,7 +1329,7 @@ fn handle_request(line: &str, shared: &Arc<Shared>, defer: bool) -> Handled {
                 key,
                 command,
                 deadline_ms,
-                defer,
+                mode,
             )
         }
         Request::Sleep { ms, deadline_ms } => submit(
@@ -995,7 +1338,7 @@ fn handle_request(line: &str, shared: &Arc<Shared>, defer: bool) -> Handled {
             None,
             CommandKind::Sleep,
             deadline_ms,
-            defer,
+            mode,
         ),
         Request::Abu(req) => {
             let key = Some(CacheKey::for_abu(&req));
@@ -1006,7 +1349,7 @@ fn handle_request(line: &str, shared: &Arc<Shared>, defer: bool) -> Handled {
                 key,
                 CommandKind::Abu,
                 deadline_ms,
-                defer,
+                mode,
             )
         }
         Request::Analysis(req) => {
@@ -1019,7 +1362,7 @@ fn handle_request(line: &str, shared: &Arc<Shared>, defer: bool) -> Handled {
                 key,
                 command,
                 deadline_ms,
-                defer,
+                mode,
             )
         }
     }
@@ -1032,7 +1375,7 @@ fn run_cached(
     key: Option<CacheKey>,
     command: CommandKind,
     deadline_ms: Option<u64>,
-    defer: bool,
+    mode: SubmitMode,
 ) -> Handled {
     if let Some(k) = &key {
         let started = Instant::now();
@@ -1046,7 +1389,7 @@ fn run_cached(
             return Handled::Ready(Response::Line(format!("{body} cached=true")));
         }
     }
-    submit(shared, request, key, command, deadline_ms, defer)
+    submit(shared, request, key, command, deadline_ms, mode)
 }
 
 fn fmt_stations(stations: Option<usize>) -> String {
@@ -1104,31 +1447,54 @@ fn render_show(ring: &str, state: &RingState) -> String {
 
 /// Records latency only for completed (`OK`) requests, so BUSY fast-rejects
 /// and errors do not skew the per-command histograms.
-fn record_completed(shared: &Arc<Shared>, command: CommandKind, started: Instant, text: &str) {
+pub(crate) fn record_completed(
+    shared: &Arc<Shared>,
+    command: CommandKind,
+    started: Instant,
+    text: &str,
+) {
     if text.starts_with("OK") {
         shared.metrics.record_latency(command, started.elapsed());
     }
 }
 
-/// Queues a job. When the queue accepts it, either blocks for the reply
-/// (`defer == false`, the single-request path) or hands back a [`Pending`]
-/// for the batch collect phase. A full queue sheds load with `BUSY` on the
-/// single-request path; during a batch it runs the job **inline on the
-/// connection thread** instead — a serially-submitted batch could never
-/// overflow the queue, and answering `BUSY` for a position the client
-/// already committed to would make batch semantics depend on worker
-/// timing.
+/// Queues a job. When the queue accepts it: [`SubmitMode::Block`] waits
+/// for the reply right here, [`SubmitMode::Defer`] hands back a
+/// [`Pending`] for the batch collect phase, and [`SubmitMode::Queue`]
+/// wires the reply to the event loop's completion queue and returns
+/// [`Handled::Queued`] without waiting. A full queue sheds load with
+/// `BUSY` on the Block and Queue paths; during a blocking batch (`Defer`)
+/// it runs the job **inline on the connection thread** instead — a
+/// serially-submitted batch could never overflow the queue, and answering
+/// `BUSY` for a position the client already committed to would make batch
+/// semantics depend on worker timing. (The event front end has no
+/// dedicated thread to burn, so its batches do shed with `BUSY`; the
+/// divergence is documented in DESIGN.md §5g.)
 fn submit(
     shared: &Arc<Shared>,
     request: Request,
     cache_key: Option<CacheKey>,
     command: CommandKind,
     deadline_ms: Option<u64>,
-    defer: bool,
+    mode: SubmitMode,
 ) -> Handled {
     let started = Instant::now();
     let deadline = Duration::from_millis(deadline_ms.unwrap_or(shared.config.default_deadline_ms));
-    let (reply, rx) = mpsc::channel();
+    let (reply, rx) = match mode {
+        SubmitMode::Queue(ticket) => (
+            ReplyTo::Loop {
+                tx: ticket.tx.clone(),
+                waker: Arc::clone(&ticket.waker),
+                conn: ticket.conn,
+                slot: ticket.slot,
+            },
+            None,
+        ),
+        SubmitMode::Block | SubmitMode::Defer => {
+            let (tx, rx) = mpsc::channel();
+            (ReplyTo::Channel(tx), Some(rx))
+        }
+    };
     let job = Job {
         request,
         cache_key,
@@ -1137,20 +1503,23 @@ fn submit(
         deadline,
     };
     match shared.try_enqueue(job) {
-        Ok(()) => {
-            let pending = Pending {
-                rx,
-                command,
-                started,
-                wait: deadline + EXECUTION_GRACE,
-            };
-            if defer {
-                Handled::Pending(pending)
-            } else {
-                Handled::Ready(Response::Line(pending.collect(shared)))
+        Ok(()) => match mode {
+            SubmitMode::Queue(_) => Handled::Queued { command, started },
+            SubmitMode::Block | SubmitMode::Defer => {
+                let pending = Pending {
+                    rx: rx.expect("blocking submit always has a reply channel"),
+                    command,
+                    started,
+                    wait: deadline + EXECUTION_GRACE,
+                };
+                if matches!(mode, SubmitMode::Defer) {
+                    Handled::Pending(pending)
+                } else {
+                    Handled::Ready(Response::Line(pending.collect(shared)))
+                }
             }
-        }
-        Err(job) if defer => {
+        },
+        Err(job) if matches!(mode, SubmitMode::Defer) => {
             let run_span = shared.recorder.span("request", "execute");
             let text = execute_request(shared, &job.request, job.cache_key.as_ref());
             shared
@@ -1193,7 +1562,7 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
                 .metrics
                 .deadline_expired
                 .fetch_add(1, Ordering::Relaxed);
-            let _ = job.reply.send(format!(
+            job.reply.send(format!(
                 "ERR deadline expired after {} ms in queue",
                 waited.as_millis()
             ));
@@ -1221,7 +1590,7 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
         shared.metrics.record_stage(Stage::Execute, busy);
         shared.metrics.record_worker(index, busy);
         shared.inflight.fetch_sub(1, Ordering::Relaxed);
-        let _ = job.reply.send(text);
+        job.reply.send(text);
     }
 }
 
@@ -1274,9 +1643,10 @@ fn mutation_command(request: &Request) -> Option<&'static str> {
     }
 }
 
-/// `SYNC epoch=<e> seq=<n>`: fence the requester's epoch against the
-/// serving epoch, then hand the connection a journal subscription.
-fn handle_sync(shared: &Arc<Shared>, epoch: u64, seq: u64) -> Response {
+/// `SYNC epoch=<e> seq=<n> cluster=<c>`: fence the requester's epoch and
+/// journal identity against ours, then hand the connection a journal
+/// subscription.
+fn handle_sync(shared: &Arc<Shared>, epoch: u64, seq: u64, cluster: u64) -> Response {
     if shared.replication.is_follower() {
         return Response::Line(
             "ERR cmd=sync a follower does not ship its journal (SYNC the primary)".to_owned(),
@@ -1287,6 +1657,17 @@ fn handle_sync(shared: &Arc<Shared>, epoch: u64, seq: u64) -> Response {
         return Response::Line(
             "ERR cmd=sync journal shipping requires a persistent state dir".to_owned(),
         );
+    }
+    // Cluster fencing: a nonzero requester identity names the journal
+    // lineage its history belongs to. A mismatch means the follower
+    // replicated a *different* cluster — epochs and sequence numbers from
+    // unrelated histories collide freely, so shipping would interleave
+    // two journals. Identity 0 is a fresh journal that adopts ours.
+    let ours = shared.registry.cluster_id();
+    if cluster != 0 && cluster != ours {
+        return Response::Line(format!(
+            "ERR cmd=sync cluster mismatch requester_cluster={cluster} cluster={ours}"
+        ));
     }
     // Epoch fencing: a nonzero requester epoch is a claim about whose
     // history its journal extends. Lower means it replicated a superseded
@@ -1334,12 +1715,13 @@ fn promote_self(shared: &Arc<Shared>) -> Result<u64, ringrt_registry::RegistryEr
 /// Serves one `SYNC` subscription: snapshot (if any) and backlog in one
 /// write, then live records as they commit, with periodic pings carrying
 /// the current head so the follower can measure its lag.
-fn serve_ship(writer: &mut TcpStream, sub: ShipSubscription, shared: &Arc<Shared>) {
+pub(crate) fn serve_ship(writer: &mut TcpStream, sub: ShipSubscription, shared: &Arc<Shared>) {
     let header = replication::sync_header(
         sub.epoch,
         sub.head,
         sub.snapshot.is_some(),
         sub.backlog.len(),
+        sub.cluster,
     );
     shared.metrics.count_response(&header);
     let mut out = String::new();
@@ -1492,8 +1874,11 @@ fn follow_once(
     let Ok(mut writer) = stream.try_clone() else {
         return FollowEnd::Retry;
     };
-    let hello =
-        replication::sync_request(shared.registry.epoch(), shared.registry.next_seq().max(1));
+    let hello = replication::sync_request(
+        shared.registry.epoch(),
+        shared.registry.next_seq().max(1),
+        shared.registry.cluster_id(),
+    );
     if writer
         .write_all(format!("{hello}\n").as_bytes())
         .and_then(|()| writer.flush())
@@ -1536,6 +1921,28 @@ fn follow_once(
                                     header.head
                                 );
                                 shared.replication.note_resync();
+                                return FollowEnd::Retry;
+                            }
+                            // Adopt the primary's journal identity on
+                            // first contact; refuse a stream whose
+                            // identity conflicts with the one we already
+                            // replicated under (the primary should have
+                            // fenced us, but an old primary may not know
+                            // the cluster= key).
+                            let local_cluster = shared.registry.cluster_id();
+                            if header.cluster != 0 && local_cluster != 0 {
+                                if header.cluster != local_cluster {
+                                    eprintln!(
+                                        "ringrt-service: {source} ships cluster {} but this \
+                                         journal belongs to cluster {local_cluster}; refusing",
+                                        header.cluster
+                                    );
+                                    shared.replication.note_resync();
+                                    return FollowEnd::Retry;
+                                }
+                            } else if header.cluster != 0
+                                && shared.registry.set_cluster_id(header.cluster).is_err()
+                            {
                                 return FollowEnd::Retry;
                             }
                             if header.epoch > shared.registry.epoch()
@@ -2212,6 +2619,318 @@ mod tests {
         follower.join();
         let _ = std::fs::remove_dir_all(pd);
         let _ = std::fs::remove_dir_all(fd);
+    }
+
+    /// Spawns a server with arbitrary config tweaks on top of the test
+    /// defaults (two workers, queue depth 8, ephemeral port).
+    fn custom_server(mutate: impl FnOnce(&mut ServiceConfig)) -> ServerHandle {
+        let mut config = ServiceConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            queue_depth: 8,
+            ..ServiceConfig::default()
+        };
+        mutate(&mut config);
+        spawn(config).expect("spawn server")
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn event_front_roundtrips_inline_and_queued_requests() {
+        let server = custom_server(|c| {
+            c.frontend = Frontend::Event;
+            c.event_loops = 2;
+        });
+        let mut c = Client::connect(server.addr());
+        assert_eq!(c.roundtrip("PING"), "OK cmd=ping");
+        let first = c.roundtrip("CHECK mbps=16 set=20,20000;50,60000");
+        assert!(first.contains("schedulable=true"), "{first}");
+        assert!(first.ends_with("cached=false"), "{first}");
+        let second = c.roundtrip("CHECK mbps=16 set=50,60000;20,20000");
+        assert!(second.ends_with("cached=true"), "{second}");
+        // Registry mutations run inline on the loop, same as the blocking
+        // front end runs them on the connection thread.
+        assert_eq!(
+            c.roundtrip("REGISTER ring=ev protocol=fddi mbps=100 stations=8"),
+            "OK cmd=register ring=ev protocol=fddi mbps=100 stations=8"
+        );
+        let admit = c.roundtrip("ADMIT ring=ev stream=a period_ms=20 bits=100000");
+        assert!(admit.contains("admitted=true"), "{admit}");
+        let stats = c.roundtrip("STATS");
+        assert!(stats.contains("frontend=event"), "{stats}");
+        assert!(stats.contains("connections_open=1"), "{stats}");
+        assert!(stats.contains("loop_wakeups="), "{stats}");
+        server.join();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn event_front_pipelines_in_order() {
+        let server = custom_server(|c| c.frontend = Frontend::Event);
+        let mut c = Client::connect(server.addr());
+        // Two queue-bound analyses and an inline PING in one write: the
+        // replies must come back in submission order even though the
+        // analyses overlap on the worker pool.
+        c.writer
+            .write_all(b"CHECK mbps=16 set=20,20000\nPING\nCHECK mbps=16 set=50,60000\n")
+            .expect("send pipeline");
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            let mut r = String::new();
+            c.reader.read_line(&mut r).expect("recv");
+            got.push(r.trim_end().to_owned());
+        }
+        assert!(got[0].starts_with("OK cmd=check"), "{}", got[0]);
+        assert_eq!(got[1], "OK cmd=ping");
+        assert!(got[2].starts_with("OK cmd=check"), "{}", got[2]);
+        server.join();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn event_front_batch_is_one_entry_answered_in_order() {
+        let server = custom_server(|c| c.frontend = Frontend::Event);
+        let mut c = Client::connect(server.addr());
+        c.writer
+            .write_all(b"BATCH 3\nSLEEP ms=80\nPING\nCHECK mbps=16 set=20,20000\n")
+            .expect("send batch");
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            let mut r = String::new();
+            c.reader.read_line(&mut r).expect("recv");
+            got.push(r.trim_end().to_owned());
+        }
+        assert_eq!(got[0], "OK cmd=sleep ms=80");
+        assert_eq!(got[1], "OK cmd=ping");
+        assert!(got[2].starts_with("OK cmd=check"), "{}", got[2]);
+        // Nested framing is refused per-position, like the blocking front.
+        c.writer
+            .write_all(b"BATCH 2\nBATCH 2\nPING\n")
+            .expect("send nested");
+        let mut got = Vec::new();
+        for _ in 0..2 {
+            let mut r = String::new();
+            c.reader.read_line(&mut r).expect("recv");
+            got.push(r.trim_end().to_owned());
+        }
+        assert_eq!(got[0], "ERR nested BATCH is not allowed");
+        assert_eq!(got[1], "OK cmd=ping");
+        server.join();
+    }
+
+    fn assert_sheds_past_max_conns(server: &ServerHandle) {
+        let mut first = Client::connect(server.addr());
+        assert_eq!(first.roundtrip("PING"), "OK cmd=ping");
+        // The shed connection gets one definite BUSY line, then EOF.
+        let shed = TcpStream::connect(server.addr()).expect("connect");
+        let mut reader = BufReader::new(shed);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read BUSY line");
+        assert_eq!(line.trim_end(), "BUSY max_conns=1");
+        line.clear();
+        let n = reader.read_line(&mut line).expect("read EOF");
+        assert_eq!(n, 0, "shed connection must be closed, got {line:?}");
+        // The stats record the shed and still count one open connection.
+        drop(reader);
+        std::thread::sleep(Duration::from_millis(50));
+        let stats = first.roundtrip("STATS");
+        assert!(stats.contains(" max_conns=1"), "{stats}");
+        assert!(stats.contains("accept_shed=1"), "{stats}");
+        assert!(stats.contains("connections_open=1"), "{stats}");
+    }
+
+    #[test]
+    fn threads_front_sheds_beyond_max_conns() {
+        let server = custom_server(|c| c.max_conns = 1);
+        assert_sheds_past_max_conns(&server);
+        server.join();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn event_front_sheds_beyond_max_conns() {
+        let server = custom_server(|c| {
+            c.max_conns = 1;
+            c.frontend = Frontend::Event;
+        });
+        assert_sheds_past_max_conns(&server);
+        server.join();
+    }
+
+    fn assert_read_deadline_closes(server: &ServerHandle) {
+        let stream = TcpStream::connect(server.addr()).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        // A slow loris: bytes trickle in but the newline never comes.
+        writer.write_all(b"CHE").expect("partial write");
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read ERR line");
+        assert_eq!(
+            line.trim_end(),
+            "ERR read deadline: partial line idle for 100 ms"
+        );
+        line.clear();
+        let n = reader.read_line(&mut line).expect("read EOF");
+        assert_eq!(n, 0, "stalled connection must be closed");
+    }
+
+    #[test]
+    fn threads_front_closes_partial_line_at_read_deadline() {
+        let server = custom_server(|c| c.read_deadline_ms = 100);
+        assert_read_deadline_closes(&server);
+        server.join();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn event_front_closes_partial_line_at_read_deadline() {
+        let server = custom_server(|c| {
+            c.read_deadline_ms = 100;
+            c.frontend = Frontend::Event;
+        });
+        assert_read_deadline_closes(&server);
+        let mut c = Client::connect(server.addr());
+        let stats = c.roundtrip("STATS");
+        assert!(stats.contains("read_deadline_closed=1"), "{stats}");
+        server.join();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn event_front_closes_idle_connections() {
+        let server = custom_server(|c| {
+            c.idle_timeout_ms = Some(100);
+            c.frontend = Frontend::Event;
+        });
+        let idle = TcpStream::connect(server.addr()).expect("connect");
+        let mut reader = BufReader::new(idle);
+        let mut line = String::new();
+        // No request ever sent: the idle wheel reaps the connection.
+        let n = reader.read_line(&mut line).expect("read EOF");
+        assert_eq!(n, 0, "idle connection must be closed, got {line:?}");
+        let mut c = Client::connect(server.addr());
+        let stats = c.roundtrip("STATS");
+        assert!(stats.contains("idle_closed=1"), "{stats}");
+        server.join();
+    }
+
+    fn assert_oversized_line_rejected(server: &ServerHandle) {
+        let stream = TcpStream::connect(server.addr()).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let blob = vec![b'A'; MAX_LINE_BYTES + 64];
+        writer.write_all(&blob).expect("send oversized");
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read ERR line");
+        assert_eq!(
+            line.trim_end(),
+            format!("ERR line exceeds {MAX_LINE_BYTES} bytes")
+        );
+        line.clear();
+        let n = reader.read_line(&mut line).expect("read EOF");
+        assert_eq!(n, 0, "oversized-line connection must be closed");
+    }
+
+    #[test]
+    fn threads_front_rejects_oversized_lines() {
+        let server = test_server(1, 4);
+        assert_oversized_line_rejected(&server);
+        server.join();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn event_front_rejects_oversized_lines() {
+        let server = custom_server(|c| c.frontend = Frontend::Event);
+        assert_oversized_line_rejected(&server);
+        let mut c = Client::connect(server.addr());
+        let stats = c.roundtrip("STATS");
+        assert!(stats.contains("oversized_rejected=1"), "{stats}");
+        server.join();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn event_front_graceful_shutdown_answers_in_flight_work() {
+        let server = custom_server(|c| c.frontend = Frontend::Event);
+        let addr = server.addr();
+        let inflight = std::thread::spawn(move || {
+            let mut c = Client::connect(addr);
+            c.roundtrip("SLEEP ms=300")
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        server.shutdown();
+        assert_eq!(inflight.join().unwrap(), "OK cmd=sleep ms=300");
+        server.join();
+    }
+
+    #[test]
+    fn sync_refuses_a_mismatched_cluster_identity() {
+        let dir = temp_state_dir("cluster-mismatch");
+        let server = spawn(ServiceConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 1,
+            queue_depth: 4,
+            state_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        })
+        .expect("spawn server");
+        let mut c = Client::connect(server.addr());
+        // The primary stamped its journal at boot; STATS exposes the id.
+        let stats = c.roundtrip("STATS");
+        let cluster: u64 = stats
+            .split_whitespace()
+            .find_map(|f| f.strip_prefix("cluster="))
+            .expect("cluster= field in STATS")
+            .parse()
+            .expect("numeric cluster id");
+        assert_ne!(cluster, 0, "primary must stamp a nonzero cluster id");
+        // A requester whose journal carries a different identity is
+        // replicating some other cluster's history: refuse to ship.
+        let other = cluster ^ 1;
+        assert_eq!(
+            c.roundtrip(&format!("SYNC epoch=1 seq=1 cluster={other}")),
+            format!("ERR cmd=sync cluster mismatch requester_cluster={other} cluster={cluster}")
+        );
+        // The connection survives the refusal.
+        assert_eq!(c.roundtrip("PING"), "OK cmd=ping");
+        // A fresh journal (cluster=0, also the pre-cluster wire default)
+        // is allowed in and learns the identity from the header.
+        let mut f = Client::connect(server.addr());
+        let header = f.roundtrip("SYNC epoch=1 seq=1 cluster=0");
+        assert!(header.starts_with("OK cmd=sync"), "{header}");
+        assert!(header.contains(&format!("cluster={cluster}")), "{header}");
+        drop(f);
+        server.join();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn event_front_serves_sync_by_detaching_a_ship_thread() {
+        let dir = temp_state_dir("event-sync");
+        let server = spawn(ServiceConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 1,
+            queue_depth: 4,
+            state_dir: Some(dir.clone()),
+            frontend: Frontend::Event,
+            ..ServiceConfig::default()
+        })
+        .expect("spawn server");
+        let mut c = Client::connect(server.addr());
+        c.roundtrip("REGISTER ring=s protocol=fddi mbps=100 stations=8");
+        let mut f = Client::connect(server.addr());
+        let header = f.roundtrip("SYNC epoch=1 seq=1");
+        assert!(header.starts_with("OK cmd=sync epoch=1"), "{header}");
+        assert!(header.contains("cluster="), "{header}");
+        // The stream now ships the snapshot the registry journaled.
+        let mut frame = String::new();
+        f.reader.read_line(&mut frame).expect("first ship frame");
+        assert!(frame.starts_with("SHIP"), "{frame}");
+        drop(f);
+        server.join();
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | [`des`] | `ringrt-des` | deterministic discrete-event engine |
 //! | [`sim`] | `ringrt-sim` | frame-level 802.5 and FDDI simulators |
 //! | [`frames`] | `ringrt-frames` | real 802.5/FDDI wire formats, CRC-32, access control |
+//! | [`net`] | `ringrt-net` | epoll readiness loop, framing buffers, idle wheel, connection slab |
 //! | [`service`] | `ringrt-service` | online admission-control TCP server with result cache |
 //! | [`registry`] | `ringrt-registry` | persistent named-ring registry, journaled state, incremental admission |
 //! | [`obs`] | `ringrt-obs` | flight-recorder tracing, Chrome trace JSON, Prometheus exposition |
@@ -96,6 +97,12 @@ pub mod sim {
 /// Wire formats of both MACs (re-export of `ringrt-frames`).
 pub mod frames {
     pub use ringrt_frames::*;
+}
+
+/// Readiness event-loop primitives — epoll poller, wakeup pipe, newline
+/// framing, idle wheel, connection slab (re-export of `ringrt-net`).
+pub mod net {
+    pub use ringrt_net::*;
 }
 
 /// Online admission-control server (re-export of `ringrt-service`).
