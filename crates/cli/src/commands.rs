@@ -409,16 +409,16 @@ fn registry<W: Write>(state_dir: &str, action: &RegistryAction, out: &mut W) -> 
                         .spec
                         .stations
                         .map_or("-".to_owned(), |s| s.to_string()),
-                    state.streams.len(),
+                    state.len(),
                 );
-                for named in &state.streams {
+                for (name, stream) in state.iter() {
                     let _ = writeln!(
                         out,
                         "  {}: period_ms={} bits={} deadline_ms={}",
-                        named.name,
-                        named.stream.period().as_millis(),
-                        named.stream.length_bits().as_u64(),
-                        named.stream.relative_deadline().as_millis(),
+                        name,
+                        stream.period().as_millis(),
+                        stream.length_bits().as_u64(),
+                        stream.relative_deadline().as_millis(),
                     );
                 }
                 if let Ok(check) = reg.check_full(ring) {
@@ -445,7 +445,7 @@ fn registry<W: Write>(state_dir: &str, action: &RegistryAction, out: &mut W) -> 
                         "  {name}: protocol={} mbps={} streams={}",
                         state.spec.protocol.token(),
                         state.spec.mbps,
-                        state.streams.len(),
+                        state.len(),
                     );
                 }
             }

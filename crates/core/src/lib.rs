@@ -58,3 +58,4 @@ pub mod ttp;
 mod protocol;
 
 pub use protocol::{Protocol, SchedulabilityTest};
+pub use ringrt_model::SetView;

@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use ringrt_model::{FrameFormat, MessageSet, RingConfig, StreamId};
+use ringrt_model::{FrameFormat, MessageSet, RingConfig, SetView, StreamId};
 use ringrt_units::Seconds;
 
 use crate::rm::{self, RmTask};
@@ -211,12 +211,43 @@ impl PdpAnalyzer {
     /// ranks, so partial re-tests would be unsound).
     #[must_use]
     pub fn check_from_rank(&self, set: &MessageSet, from_rank: usize) -> CountedCheck {
+        assert!(from_rank < set.len(), "from_rank out of range");
+        let (tasks, _) = self.rm_view(set);
+        self.check_tasks_from_rank(tasks, from_rank)
+    }
+
+    /// [`PdpAnalyzer::check_from_rank`] over a [`SetView`], without
+    /// materializing a `MessageSet`. Bit-identical to the set path when the
+    /// view iterates the same streams: the tasks are built from
+    /// [`SetView::dm_streams`] (the same deadline-monotonic order
+    /// `rm_view` sorts into), so the utilization quick-check and every
+    /// fixed-point iteration perform the same float operations in the same
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`PdpAnalyzer::check_from_rank`].
+    #[must_use]
+    pub fn check_from_rank_view(&self, view: &dyn SetView, from_rank: usize) -> CountedCheck {
+        assert!(from_rank < view.view_len(), "from_rank out of range");
+        let tasks: Vec<RmTask> = view
+            .dm_streams()
+            .map(|s| {
+                RmTask::with_deadline(
+                    augmented_length(&s, &self.ring, &self.frame, self.variant),
+                    s.period(),
+                    s.relative_deadline(),
+                )
+            })
+            .collect();
+        self.check_tasks_from_rank(tasks, from_rank)
+    }
+
+    fn check_tasks_from_rank(&self, tasks: Vec<RmTask>, from_rank: usize) -> CountedCheck {
         assert!(
             self.priority_levels.is_none(),
             "counted partial checks require the unquantized analyzer"
         );
-        assert!(from_rank < set.len(), "from_rank out of range");
-        let (tasks, _) = self.rm_view(set);
         // Same quick necessary condition as `rm::is_schedulable_rta`: the
         // lowest-priority task (always within any suffix) diverges when
         // utilization exceeds 1.

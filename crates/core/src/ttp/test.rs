@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use ringrt_model::{MessageSet, RingConfig, StreamId, SyncStream};
+use ringrt_model::{MessageSet, RingConfig, SetView, StreamId, SyncStream};
 use ringrt_units::{Bits, Seconds};
 
 use crate::SchedulabilityTest;
@@ -136,6 +136,18 @@ impl TtpAnalyzer {
     pub fn ttrt_for(&self, set: &MessageSet) -> Seconds {
         self.ttrt_policy.select(
             set,
+            self.theta_prime(),
+            self.frame_overhead_time(),
+            self.ring.bandwidth(),
+        )
+    }
+
+    /// [`TtpAnalyzer::ttrt_for`] over a [`SetView`] — bit-identical to the
+    /// `MessageSet` path (both delegate to [`TtrtPolicy::select_view`]).
+    #[must_use]
+    pub fn ttrt_for_view(&self, view: &dyn SetView) -> Seconds {
+        self.ttrt_policy.select_view(
+            view,
             self.theta_prime(),
             self.frame_overhead_time(),
             self.ring.bandwidth(),

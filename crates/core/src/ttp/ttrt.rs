@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use ringrt_model::MessageSet;
+use ringrt_model::{MessageSet, SetView};
 use ringrt_units::Seconds;
 
 use super::visit_count;
@@ -63,7 +63,26 @@ impl TtrtPolicy {
         frame_overhead_time: Seconds,
         bandwidth: ringrt_units::Bandwidth,
     ) -> Seconds {
-        let p_min = set.min_deadline();
+        self.select_view(set, theta_prime, frame_overhead_time, bandwidth)
+    }
+
+    /// [`TtrtPolicy::select`] over a [`SetView`]. The `MessageSet` version
+    /// delegates here, so both paths are one implementation: any view whose
+    /// extrema and station order match `MessageSet`'s yields a bit-identical
+    /// TTRT.
+    #[must_use]
+    pub fn select_view(
+        &self,
+        view: &dyn SetView,
+        theta_prime: Seconds,
+        frame_overhead_time: Seconds,
+        bandwidth: ringrt_units::Bandwidth,
+    ) -> Seconds {
+        // An empty set folds to +∞ in `MessageSet::min_deadline`; preserve
+        // that here so the degenerate cases keep their historical answers.
+        let p_min = view
+            .min_deadline_view()
+            .unwrap_or(Seconds::new(f64::INFINITY));
         let half_p_min = p_min / 2.0;
         match *self {
             TtrtPolicy::SqrtHeuristic => {
@@ -79,8 +98,8 @@ impl TtrtPolicy {
                 let hi = half_p_min.as_secs_f64();
                 if lo >= hi {
                     // Degenerate range: overheads swamp the shortest period.
-                    return TtrtPolicy::SqrtHeuristic.select(
-                        set,
+                    return TtrtPolicy::SqrtHeuristic.select_view(
+                        view,
                         theta_prime,
                         frame_overhead_time,
                         bandwidth,
@@ -91,7 +110,7 @@ impl TtrtPolicy {
                     let frac = j as f64 / (points - 1) as f64;
                     let t = Seconds::new(lo * (hi / lo).powf(frac));
                     if let Some(slack) =
-                        theorem_5_1_slack(set, t, theta_prime, frame_overhead_time, bandwidth)
+                        theorem_5_1_slack_view(view, t, theta_prime, frame_overhead_time, bandwidth)
                     {
                         match best {
                             Some((s, _)) if s >= slack => {}
@@ -100,8 +119,8 @@ impl TtrtPolicy {
                     }
                 }
                 best.map(|(_, t)| t).unwrap_or_else(|| {
-                    TtrtPolicy::SqrtHeuristic.select(
-                        set,
+                    TtrtPolicy::SqrtHeuristic.select_view(
+                        view,
                         theta_prime,
                         frame_overhead_time,
                         bandwidth,
@@ -123,8 +142,21 @@ pub(crate) fn theorem_5_1_slack(
     frame_overhead_time: Seconds,
     bandwidth: ringrt_units::Bandwidth,
 ) -> Option<f64> {
+    theorem_5_1_slack_view(set, ttrt, theta_prime, frame_overhead_time, bandwidth)
+}
+
+/// [`theorem_5_1_slack`] over a [`SetView`]: the per-stream terms are summed
+/// left to right in station order, exactly as the `MessageSet` loop does.
+#[must_use]
+pub(crate) fn theorem_5_1_slack_view(
+    view: &dyn SetView,
+    ttrt: Seconds,
+    theta_prime: Seconds,
+    frame_overhead_time: Seconds,
+    bandwidth: ringrt_units::Bandwidth,
+) -> Option<f64> {
     let mut lhs = Seconds::ZERO;
-    for s in set {
+    for s in view.stations() {
         // Visits guaranteed within the message's *deadline* window (= the
         // period in the paper's model).
         let q = visit_count(s.relative_deadline(), ttrt);

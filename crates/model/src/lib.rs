@@ -42,9 +42,11 @@ mod frame;
 mod network;
 pub mod setfmt;
 mod stream;
+mod view;
 
 pub use error::ModelError;
 pub use frame::{FrameFormat, FrameSplit};
 pub use network::{RingConfig, RingConfigBuilder, SPEED_OF_LIGHT_M_S};
 pub use setfmt::{parse_message_set, ParseSetError};
 pub use stream::{MessageSet, StreamId, SyncStream};
+pub use view::SetView;

@@ -1,0 +1,100 @@
+//! A read-only view of a synchronous message set.
+//!
+//! The schedulability analyzers historically consumed a materialized
+//! [`MessageSet`]. At registry scale (10^5+ streams per ring) building that
+//! vector — and sorting it into deadline-monotonic order — on every ADMIT
+//! dominates the cost of the analysis itself. [`SetView`] abstracts the
+//! two iteration orders and the extrema the theorems actually need, so an
+//! indexed store can feed the analyzers directly from its maintained
+//! indexes while `MessageSet` keeps working unchanged.
+//!
+//! Implementations must guarantee **bit-identical** behavior between the
+//! two paths: [`SetView::stations`] yields streams in station (admission)
+//! order exactly as `MessageSet::iter`, and [`SetView::dm_streams`] yields
+//! the same sequence as iterating `MessageSet::dm_order` — shortest
+//! relative deadline first, ties by period, then by station index.
+
+use ringrt_units::Seconds;
+
+use crate::stream::{MessageSet, StreamId, SyncStream};
+
+/// Read-only iteration view over a synchronous message set.
+pub trait SetView {
+    /// Number of streams in the set, `n`.
+    fn view_len(&self) -> usize;
+
+    /// Streams in station (admission) order — the order Theorem 5.1 sums
+    /// its per-stream terms in.
+    fn stations(&self) -> Box<dyn Iterator<Item = SyncStream> + '_>;
+
+    /// Streams in deadline-monotonic priority order (shortest relative
+    /// deadline first; ties by period, then station index) — the order
+    /// Theorem 4.1 runs its response-time levels in.
+    fn dm_streams(&self) -> Box<dyn Iterator<Item = SyncStream> + '_>;
+
+    /// The shortest relative deadline `D_min`, or `None` for an empty set.
+    fn min_deadline_view(&self) -> Option<Seconds>;
+
+    /// The shortest period `P_min`, or `None` for an empty set.
+    fn min_period_view(&self) -> Option<Seconds>;
+}
+
+impl SetView for MessageSet {
+    fn view_len(&self) -> usize {
+        self.len()
+    }
+
+    fn stations(&self) -> Box<dyn Iterator<Item = SyncStream> + '_> {
+        Box::new(self.iter().copied())
+    }
+
+    fn dm_streams(&self) -> Box<dyn Iterator<Item = SyncStream> + '_> {
+        let order = self.dm_order();
+        Box::new(order.into_iter().map(move |i| *self.stream(StreamId(i))))
+    }
+
+    fn min_deadline_view(&self) -> Option<Seconds> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.min_deadline())
+        }
+    }
+
+    fn min_period_view(&self) -> Option<Seconds> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.min_period())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ringrt_units::Bits;
+
+    #[test]
+    fn message_set_view_matches_direct_queries() {
+        let set = MessageSet::new(vec![
+            SyncStream::new(Seconds::from_millis(30.0), Bits::new(100)),
+            SyncStream::new(Seconds::from_millis(50.0), Bits::new(200))
+                .with_relative_deadline(Seconds::from_millis(10.0)),
+            SyncStream::new(Seconds::from_millis(20.0), Bits::new(300)),
+        ])
+        .unwrap();
+        assert_eq!(set.view_len(), 3);
+        let stations: Vec<SyncStream> = set.stations().collect();
+        assert_eq!(stations, set.as_slice());
+        let dm: Vec<SyncStream> = set.dm_streams().collect();
+        let expect: Vec<SyncStream> = set
+            .dm_order()
+            .into_iter()
+            .map(|i| *set.stream(StreamId(i)))
+            .collect();
+        assert_eq!(dm, expect);
+        assert_eq!(set.min_deadline_view(), Some(set.min_deadline()));
+        assert_eq!(set.min_period_view(), Some(set.min_period()));
+    }
+}

@@ -164,37 +164,33 @@ pub(crate) fn apply(rings: &mut Rings, op: &JournalOp) -> Result<(), RegistryErr
             if rings.contains_key(ring) {
                 return Err(RegistryError::DuplicateRing { ring: ring.clone() });
             }
-            rings.insert(
-                ring.clone(),
-                RingState {
-                    spec: *spec,
-                    streams: Vec::new(),
-                },
-            );
+            rings.insert(ring.clone(), RingState::new(*spec));
         }
         JournalOp::Admit { ring, stream } => {
             let state = rings
                 .get_mut(ring)
                 .ok_or_else(|| RegistryError::UnknownRing { ring: ring.clone() })?;
-            if state.stream_index(&stream.name).is_some() {
+            if state.store.contains(&stream.name) {
                 return Err(RegistryError::DuplicateStream {
                     ring: ring.clone(),
                     stream: stream.name.clone(),
                 });
             }
-            state.streams.push(stream.clone());
+            state.store.admit(&stream.name, stream.stream);
         }
         JournalOp::Remove { ring, stream } => {
             let state = rings
                 .get_mut(ring)
                 .ok_or_else(|| RegistryError::UnknownRing { ring: ring.clone() })?;
-            let index = state
-                .stream_index(stream)
+            // O(log n) index maintenance — replaying a churn-heavy journal
+            // used to pay an O(n) `Vec::remove` shift per removal.
+            state
+                .store
+                .remove(stream)
                 .ok_or_else(|| RegistryError::UnknownStream {
                     ring: ring.clone(),
                     stream: stream.clone(),
                 })?;
-            state.streams.remove(index);
         }
         JournalOp::Unregister { ring } => {
             rings
@@ -376,13 +372,14 @@ where
             state.spec.mbps,
             fmt_stations(state.spec.stations),
         ));
-        for ns in &state.streams {
+        // Serialize straight off the store's admission-order columns; the
+        // byte format is unchanged from the Vec-backed state.
+        for (stream_name, stream) in state.iter() {
             body.push_str(&format!(
-                "stream {name} {} period_s={} bits={} deadline_s={}\n",
-                ns.name,
-                ns.stream.period().as_secs_f64(),
-                ns.stream.length_bits().as_u64(),
-                fmt_deadline(&ns.stream),
+                "stream {name} {stream_name} period_s={} bits={} deadline_s={}\n",
+                stream.period().as_secs_f64(),
+                stream.length_bits().as_u64(),
+                fmt_deadline(&stream),
             ));
         }
     }
@@ -730,7 +727,7 @@ impl Store {
         let stats = ReplayStats {
             snapshot_seq: (snapshot_seq > 0).then_some(snapshot_seq),
             records_applied,
-            streams_restored: rings.values().map(|r| r.streams.len()).sum(),
+            streams_restored: rings.values().map(RingState::len).sum(),
             truncated_tail,
             segments: sealed.len() + 1,
             replay: started.elapsed(),
@@ -1373,7 +1370,7 @@ mod tests {
         assert_eq!(stats.records_applied, 3);
         assert_eq!(stats.streams_restored, 2);
         assert!(!stats.truncated_tail);
-        assert_eq!(rings["r"].streams.len(), 2);
+        assert_eq!(rings["r"].len(), 2);
         // Compaction: snapshot lands, sealed segments vanish, state
         // survives (the fresh tail is empty).
         store.compact(rings.iter()).unwrap();
@@ -1411,7 +1408,7 @@ mod tests {
         }
         let (store, rings, stats) = Store::open_with(&dir, tiny_segments()).unwrap();
         assert_eq!(stats.records_applied, 9);
-        assert_eq!(rings["r"].streams.len(), 8);
+        assert_eq!(rings["r"].len(), 8);
         assert!(stats.segments > 1);
         assert_eq!(store.next_seq(), 10);
         let _ = fs::remove_dir_all(&dir);
@@ -1431,7 +1428,7 @@ mod tests {
         fs::write(dir.join(LEGACY_JOURNAL_FILE), body).unwrap();
         let (store, rings, stats) = Store::open(&dir).unwrap();
         assert_eq!(stats.records_applied, 2);
-        assert_eq!(rings["old"].streams.len(), 1);
+        assert_eq!(rings["old"].len(), 1);
         assert_eq!(store.next_seq(), 3);
         assert!(!dir.join(LEGACY_JOURNAL_FILE).exists());
         assert!(dir.join(segment_file(1)).exists());

@@ -62,8 +62,10 @@ pub use journal::{
     DEFAULT_SEGMENT_BYTES,
 };
 pub use registry::{
-    AdmissionOutcome, RegistryMetrics, ReplicatedApply, RingCheck, RingRegistry, ShipSubscription,
+    AdmissionOutcome, RegistryMetrics, ReplicatedApply, RingCheck, RingPage, RingRegistry,
+    ShipSubscription,
 };
+pub use ringrt_store::{StoreStats, StreamHandle, StreamStore};
 pub use spec::{
     validate_name, NamedStream, ProtocolKind, RegistryError, RingSpec, RingState, Rings,
     MAX_NAME_LEN,

@@ -125,6 +125,25 @@ pub struct RegistryMetrics {
     pub incremental_evaluations: u64,
     /// Evaluations spent on full checks.
     pub full_evaluations: u64,
+    /// Approximate resident bytes of all ring stream stores (columns plus
+    /// indexes).
+    pub store_bytes: u64,
+    /// Sequence-domain index compactions performed across all stores.
+    pub index_rebuilds: u64,
+}
+
+/// One page of a ring's admission-order stream listing, with the header
+/// gauges `SHOW` renders. Produced by [`RingRegistry::ring_page`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingPage {
+    /// The ring's spec.
+    pub spec: RingSpec,
+    /// Total admitted streams in the ring (not just this page).
+    pub streams: usize,
+    /// Station index of the first stream in `page`.
+    pub offset: usize,
+    /// The listed streams, `(name, stream)` in admission order.
+    pub page: Vec<(String, SyncStream)>,
 }
 
 /// Everything a follower needs to catch up and stay caught up, captured
@@ -310,10 +329,7 @@ impl RingRegistry {
                 inner.rings.insert(
                     ring.clone(),
                     RingEntry {
-                        state: RingState {
-                            spec: *spec,
-                            streams: Vec::new(),
-                        },
+                        state: RingState::new(*spec),
                         ttp_cache: None,
                         generation,
                     },
@@ -321,16 +337,16 @@ impl RingRegistry {
             }
             JournalOp::Admit { ring, stream } => {
                 let entry = inner.rings.get_mut(ring).expect("caller validated ring");
-                entry.state.streams.push(stream.clone());
+                entry.state.store.admit(&stream.name, stream.stream);
                 entry.generation = generation;
             }
             JournalOp::Remove { ring, stream } => {
                 let entry = inner.rings.get_mut(ring).expect("caller validated ring");
-                let idx = entry
+                entry
                     .state
-                    .stream_index(stream)
+                    .store
+                    .remove(stream)
                     .expect("caller validated stream");
-                entry.state.streams.remove(idx);
                 entry.generation = generation;
             }
             JournalOp::Unregister { ring } => {
@@ -423,26 +439,33 @@ impl RingRegistry {
         let mut inner = self.lock();
         let entry = inner
             .rings
-            .get(ring)
+            .get_mut(ring)
             .ok_or_else(|| RegistryError::UnknownRing {
                 ring: ring.to_owned(),
             })?;
-        if entry.state.stream_index(name).is_some() {
+        if entry.state.store.contains(name) {
             return Err(RegistryError::DuplicateStream {
                 ring: ring.to_owned(),
                 stream: name.to_owned(),
             });
         }
-        let old_len = entry.state.streams.len();
-        let mut candidate = entry.state.clone();
-        candidate.streams.push(NamedStream {
-            name: name.to_owned(),
-            stream,
-        });
-        let new_set = candidate.message_set().expect("set has the candidate");
-        let (check, new_cache) =
-            engine::admit_check(&candidate.spec, entry.ttp_cache.as_ref(), old_len, &new_set);
+        let old_len = entry.state.len();
+        // Tentatively admit in place: the candidate becomes the store's
+        // newest admission and the engine analyzes straight off the
+        // maintained indexes — no cloned state, no rebuilt `MessageSet`.
+        let handle = entry.state.store.admit(name, stream);
+        let (check, cache_update) = engine::admit_check(
+            &entry.state.spec,
+            entry.ttp_cache.as_ref(),
+            &entry.state.store,
+            name,
+            &stream,
+        );
         self.record(&check);
+        // Roll back before journaling either way: `commit` re-applies the
+        // op through the same code path replay uses, so live state and
+        // crash recovery can never drift apart.
+        entry.state.store.rollback_admit(handle);
         if !check.schedulable {
             return Ok(AdmissionOutcome {
                 check,
@@ -461,7 +484,7 @@ impl RingRegistry {
             },
         )?;
         let entry = inner.rings.get_mut(ring).expect("just committed");
-        entry.ttp_cache = new_cache;
+        cache_update.apply(&mut entry.ttp_cache);
         Ok(AdmissionOutcome {
             check,
             applied: true,
@@ -491,18 +514,11 @@ impl RingRegistry {
                 ring: ring.to_owned(),
                 stream: name.to_owned(),
             })?;
-        let old_len = entry.state.streams.len();
-        let mut remaining = entry.state.clone();
-        remaining.streams.remove(index);
-        let new_set = remaining.message_set();
-        let (check, new_cache) = engine::remove_check(
-            &remaining.spec,
-            entry.ttp_cache.as_ref(),
-            index,
-            old_len,
-            new_set.as_ref(),
-        );
-        self.record(&check);
+        let old_len = entry.state.len();
+        // Journal + apply first (removals are never rejected, so the
+        // verdict does not gate the commit), then judge the remaining set
+        // in place: O(log n) index maintenance instead of cloning the ring
+        // and shifting a vector.
         Self::commit(
             &mut inner,
             &JournalOp::Remove {
@@ -511,7 +527,15 @@ impl RingRegistry {
             },
         )?;
         let entry = inner.rings.get_mut(ring).expect("just committed");
-        entry.ttp_cache = new_cache;
+        let (check, cache_update) = engine::remove_check(
+            &entry.state.spec,
+            entry.ttp_cache.as_ref(),
+            index,
+            old_len,
+            &entry.state.store,
+        );
+        cache_update.apply(&mut entry.ttp_cache);
+        self.record(&check);
         Ok(AdmissionOutcome {
             check,
             applied: true,
@@ -534,13 +558,12 @@ impl RingRegistry {
             .ok_or_else(|| RegistryError::UnknownRing {
                 ring: ring.to_owned(),
             })?;
-        let set = entry
-            .state
-            .message_set()
-            .ok_or_else(|| RegistryError::EmptyRing {
+        if entry.state.is_empty() {
+            return Err(RegistryError::EmptyRing {
                 ring: ring.to_owned(),
-            })?;
-        let (check, cache) = engine::full_check(&entry.state.spec, &set);
+            });
+        }
+        let (check, cache) = engine::full_check(&entry.state.spec, &entry.state.store);
         entry.ttp_cache = cache;
         self.record(&check);
         let spec = entry.state.spec;
@@ -548,8 +571,8 @@ impl RingRegistry {
             schedulable: check.schedulable,
             evaluations: check.evaluations,
             spec,
-            streams: set.len(),
-            utilization: set.utilization(spec.bandwidth()),
+            streams: entry.state.len(),
+            utilization: entry.state.store.utilization(spec.bandwidth()),
         })
     }
 
@@ -587,6 +610,40 @@ impl RingRegistry {
             .ok_or_else(|| RegistryError::UnknownRing {
                 ring: ring.to_owned(),
             })
+    }
+
+    /// One page of a ring's admission-order stream listing: up to `limit`
+    /// streams starting at station index `offset`, plus the header gauges
+    /// `SHOW` renders. O(log n + page) — the paged `SHOW` path never
+    /// clones a large ring's state to print a few lines of it.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::UnknownRing`].
+    pub fn ring_page(
+        &self,
+        ring: &str,
+        offset: usize,
+        limit: usize,
+    ) -> Result<RingPage, RegistryError> {
+        let inner = self.lock();
+        let entry = inner
+            .rings
+            .get(ring)
+            .ok_or_else(|| RegistryError::UnknownRing {
+                ring: ring.to_owned(),
+            })?;
+        Ok(RingPage {
+            spec: entry.state.spec,
+            streams: entry.state.len(),
+            offset,
+            page: entry
+                .state
+                .store
+                .page(offset, limit)
+                .map(|(name, stream)| (name.to_owned(), stream))
+                .collect(),
+        })
     }
 
     /// The registry-wide mutation counter (also the highest generation any
@@ -829,7 +886,7 @@ impl RingRegistry {
                     .rings
                     .get(ring)
                     .ok_or_else(|| RegistryError::UnknownRing { ring: ring.clone() })?;
-                if entry.state.stream_index(&stream.name).is_some() {
+                if entry.state.store.contains(&stream.name) {
                     return Err(RegistryError::DuplicateStream {
                         ring: ring.clone(),
                         stream: stream.name.clone(),
@@ -841,7 +898,7 @@ impl RingRegistry {
                     .rings
                     .get(ring)
                     .ok_or_else(|| RegistryError::UnknownRing { ring: ring.clone() })?;
-                if entry.state.stream_index(stream).is_none() {
+                if !entry.state.store.contains(stream) {
                     return Err(RegistryError::UnknownStream {
                         ring: ring.clone(),
                         stream: stream.clone(),
@@ -936,7 +993,7 @@ impl RingRegistry {
             .map_or((0, 0), |s| (s.journal_bytes(), s.snapshot_bytes()));
         RegistryMetrics {
             rings: inner.rings.len(),
-            streams: inner.rings.values().map(|e| e.state.streams.len()).sum(),
+            streams: inner.rings.values().map(|e| e.state.len()).sum(),
             journal_bytes,
             snapshot_bytes,
             replay_ms: self
@@ -951,6 +1008,16 @@ impl RingRegistry {
                 .incremental_evaluations
                 .load(Ordering::Relaxed),
             full_evaluations: self.counters.full_evaluations.load(Ordering::Relaxed),
+            store_bytes: inner
+                .rings
+                .values()
+                .map(|e| e.state.store.approx_bytes() as u64)
+                .sum(),
+            index_rebuilds: inner
+                .rings
+                .values()
+                .map(|e| e.state.store.index_rebuilds())
+                .sum(),
         }
     }
 }
@@ -1054,7 +1121,7 @@ mod tests {
         }
         let reg = RingRegistry::open(&dir).unwrap();
         let state = reg.ring_state("lab").unwrap();
-        assert_eq!(state.streams.len(), 2);
+        assert_eq!(state.len(), 2);
         assert!(state.stream_index("hog").is_none());
         let stats = reg.replay_stats().unwrap();
         assert_eq!(stats.streams_restored, 2);
@@ -1105,7 +1172,7 @@ mod tests {
         reg.register("a", fddi_spec()).unwrap();
         reg.admit("a", "s", stream(20.0, 100_000)).unwrap();
         let (state, g_new) = reg.ring_snapshot("a").unwrap();
-        assert_eq!(state.streams.len(), 1);
+        assert_eq!(state.len(), 1);
         assert!(g_new > g_old);
     }
 

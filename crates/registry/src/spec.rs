@@ -5,6 +5,7 @@ use core::fmt;
 use std::collections::BTreeMap;
 
 use ringrt_model::{MessageSet, SyncStream};
+use ringrt_store::StreamStore;
 use ringrt_units::Bandwidth;
 
 /// Protocol selector shared by the registry, the admission service's wire
@@ -120,34 +121,61 @@ pub struct NamedStream {
     pub stream: SyncStream,
 }
 
-/// The replayable state of one ring: its spec plus the admitted streams in
-/// admission (= station) order.
+/// The replayable state of one ring: its spec plus the admitted streams,
+/// held in a columnar [`StreamStore`] whose admission order *is* station
+/// order.
+///
+/// Equality compares the spec and the `(name, stream)` sequence in
+/// admission order — physical row placement and sequence numbering inside
+/// the store are ignored, so a journal-replayed state equals the live one.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RingState {
     /// The ring's configuration.
     pub spec: RingSpec,
-    /// Admitted streams, in admission order.
-    pub streams: Vec<NamedStream>,
+    /// Admitted streams, columnar with maintained indexes.
+    pub store: StreamStore,
 }
 
 impl RingState {
+    /// An empty ring with the given spec.
+    #[must_use]
+    pub fn new(spec: RingSpec) -> Self {
+        RingState {
+            spec,
+            store: StreamStore::new(),
+        }
+    }
+
+    /// Number of admitted streams.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// `true` while the ring holds no streams.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Streams as `(name, stream)` pairs in admission (= station) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, SyncStream)> + '_ {
+        self.store.iter().map(|(_, name, stream)| (name, stream))
+    }
+
     /// The admitted streams as a [`MessageSet`] (station order = admission
     /// order), or `None` while the ring is empty.
     #[must_use]
     pub fn message_set(&self) -> Option<MessageSet> {
-        if self.streams.is_empty() {
-            return None;
-        }
-        Some(
-            MessageSet::new(self.streams.iter().map(|ns| ns.stream).collect())
-                .expect("admitted streams are individually validated"),
-        )
+        self.store
+            .message_set()
+            .expect("admitted streams are individually validated")
     }
 
-    /// Index of the named stream, if present.
+    /// Station index of the named stream, if present (O(log n)).
     #[must_use]
     pub fn stream_index(&self, name: &str) -> Option<usize> {
-        self.streams.iter().position(|ns| ns.name == name)
+        self.store.station_index(name)
     }
 }
 
@@ -333,27 +361,28 @@ mod tests {
 
     #[test]
     fn ring_state_set_and_lookup() {
-        let mut st = RingState {
-            spec: RingSpec {
-                protocol: ProtocolKind::Modified,
-                mbps: 16.0,
-                stations: Some(4),
-            },
-            streams: Vec::new(),
-        };
+        let mut st = RingState::new(RingSpec {
+            protocol: ProtocolKind::Modified,
+            mbps: 16.0,
+            stations: Some(4),
+        });
         assert!(st.message_set().is_none());
-        st.streams.push(NamedStream {
-            name: "a".into(),
-            stream: SyncStream::new(Seconds::from_millis(20.0), Bits::new(1_000)),
-        });
-        st.streams.push(NamedStream {
-            name: "b".into(),
-            stream: SyncStream::new(Seconds::from_millis(40.0), Bits::new(2_000)),
-        });
+        assert!(st.is_empty());
+        st.store.admit(
+            "a",
+            SyncStream::new(Seconds::from_millis(20.0), Bits::new(1_000)),
+        );
+        st.store.admit(
+            "b",
+            SyncStream::new(Seconds::from_millis(40.0), Bits::new(2_000)),
+        );
         let set = st.message_set().unwrap();
         assert_eq!(set.len(), 2);
+        assert_eq!(st.len(), 2);
         assert_eq!(st.stream_index("b"), Some(1));
         assert_eq!(st.stream_index("c"), None);
+        let names: Vec<&str> = st.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["a", "b"]);
     }
 
     #[test]

@@ -67,7 +67,7 @@ fn truncated_last_record_drops_only_the_torn_write() {
     // Exactly one record (the torn one) is lost.
     assert_eq!(stats.streams_restored, 4);
     let state = reg.ring_state("lab").unwrap();
-    assert_eq!(state.streams.len(), 4);
+    assert_eq!(state.len(), 4);
     assert!(state.stream_index("s004").is_none());
 
     // The registry keeps working after truncation: the same stream can be
@@ -79,7 +79,7 @@ fn truncated_last_record_drops_only_the_torn_write() {
     );
     drop(reg);
     let reg = RingRegistry::open(&dir).unwrap();
-    assert_eq!(reg.ring_state("lab").unwrap().streams.len(), 5);
+    assert_eq!(reg.ring_state("lab").unwrap().len(), 5);
     assert!(!reg.replay_stats().unwrap().truncated_tail);
     let _ = fs::remove_dir_all(&dir);
 }
@@ -112,7 +112,7 @@ fn corrupt_interior_record_truncates_the_rest() {
     assert!(stats.truncated_tail);
     // Records after the corruption are gone too — a WAL never replays
     // past a hole.
-    assert_eq!(reg.ring_state("lab").unwrap().streams.len(), 2);
+    assert_eq!(reg.ring_state("lab").unwrap().len(), 2);
     let _ = fs::remove_dir_all(&dir);
 }
 
@@ -131,7 +131,7 @@ fn crash_mid_compaction_leaves_tmp_snapshot_ignored() {
     )
     .unwrap();
     let reg = RingRegistry::open(&dir).unwrap();
-    assert_eq!(reg.ring_state("lab").unwrap().streams.len(), 8);
+    assert_eq!(reg.ring_state("lab").unwrap().len(), 8);
     assert_eq!(reg.replay_stats().unwrap().snapshot_seq, None);
     let _ = fs::remove_dir_all(&dir);
 }
@@ -185,7 +185,7 @@ fn snapshot_plus_journal_precedence() {
         "only post-snapshot records replay"
     );
     let state = reg.ring_state("lab").unwrap();
-    assert_eq!(state.streams.len(), 5);
+    assert_eq!(state.len(), 5);
     assert!(state.stream_index("late-b").is_some());
     assert!(state.stream_index("s001").is_none());
     let _ = fs::remove_dir_all(&dir);
@@ -199,24 +199,24 @@ fn fifty_streams_survive_restart_byte_identically() {
         let reg = RingRegistry::open(&dir).unwrap();
         populate(&reg, "big", 50);
         before = reg.ring_state("big").unwrap();
-        assert_eq!(before.streams.len(), 50);
+        assert_eq!(before.len(), 50);
     }
     let reg = RingRegistry::open(&dir).unwrap();
     let after = reg.ring_state("big").unwrap();
     assert_eq!(reg.replay_stats().unwrap().streams_restored, 50);
     // Bit-exact equality of every persisted float, not approximate.
-    assert_eq!(before.streams.len(), after.streams.len());
-    for (b, a) in before.streams.iter().zip(&after.streams) {
-        assert_eq!(b.name, a.name);
+    assert_eq!(before.len(), after.len());
+    for ((b_name, b), (a_name, a)) in before.iter().zip(after.iter()) {
+        assert_eq!(b_name, a_name);
         assert_eq!(
-            b.stream.period().as_secs_f64().to_bits(),
-            a.stream.period().as_secs_f64().to_bits()
+            b.period().as_secs_f64().to_bits(),
+            a.period().as_secs_f64().to_bits()
         );
         assert_eq!(
-            b.stream.relative_deadline().as_secs_f64().to_bits(),
-            a.stream.relative_deadline().as_secs_f64().to_bits()
+            b.relative_deadline().as_secs_f64().to_bits(),
+            a.relative_deadline().as_secs_f64().to_bits()
         );
-        assert_eq!(b.stream.length_bits(), a.stream.length_bits());
+        assert_eq!(b.length_bits(), a.length_bits());
     }
     assert_eq!(before, after);
     let _ = fs::remove_dir_all(&dir);
@@ -248,7 +248,7 @@ fn kill_between_every_pair_of_compaction_steps_recovers() {
     fs::write(a.join("journal.000001.log"), &journal_before).unwrap();
     fs::write(a.join("snapshot.tmp"), &snapshot).unwrap();
     let reg = RingRegistry::open(&a).unwrap();
-    assert_eq!(reg.ring_state("lab").unwrap().streams.len(), 4);
+    assert_eq!(reg.ring_state("lab").unwrap().len(), 4);
     drop(reg);
 
     // State B: snapshot.dat published, journal NOT yet truncated — replay
@@ -258,13 +258,13 @@ fn kill_between_every_pair_of_compaction_steps_recovers() {
     fs::write(b.join("journal.000001.log"), &journal_before).unwrap();
     fs::write(b.join("snapshot.dat"), &snapshot).unwrap();
     let reg = RingRegistry::open(&b).unwrap();
-    assert_eq!(reg.ring_state("lab").unwrap().streams.len(), 4);
+    assert_eq!(reg.ring_state("lab").unwrap().len(), 4);
     assert_eq!(reg.replay_stats().unwrap().records_applied, 0);
     drop(reg);
 
     // State C: the completed compaction (snapshot + empty journal).
     let reg = RingRegistry::open(&dir).unwrap();
-    assert_eq!(reg.ring_state("lab").unwrap().streams.len(), 4);
+    assert_eq!(reg.ring_state("lab").unwrap().len(), 4);
 
     for d in [a, b, dir] {
         let _ = fs::remove_dir_all(&d);
@@ -281,7 +281,7 @@ fn legacy_single_file_journal_migrates_on_open() {
     // Rewind the layout to the pre-segmentation era: one journal.log.
     fs::rename(dir.join("journal.000001.log"), dir.join("journal.log")).unwrap();
     let reg = RingRegistry::open(&dir).unwrap();
-    assert_eq!(reg.ring_state("lab").unwrap().streams.len(), 3);
+    assert_eq!(reg.ring_state("lab").unwrap().len(), 3);
     assert!(dir.join("journal.000001.log").exists());
     assert!(!dir.join("journal.log").exists());
     let _ = fs::remove_dir_all(&dir);

@@ -103,8 +103,8 @@ fn full_state(reg: &RingRegistry) -> Vec<(String, RingState)> {
 fn scratch_admit_agrees(ring: &str, state: &RingState, name: &str, candidate: SyncStream) -> bool {
     let scratch = RingRegistry::in_memory();
     scratch.register(ring, state.spec).unwrap();
-    for named in &state.streams {
-        let out = scratch.admit(ring, &named.name, named.stream).unwrap();
+    for (stream_name, stream) in state.iter() {
+        let out = scratch.admit(ring, stream_name, stream).unwrap();
         assert!(out.applied, "previously admitted stream must re-admit");
     }
     scratch.admit(ring, name, candidate).unwrap().applied

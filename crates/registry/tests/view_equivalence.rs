@@ -1,0 +1,111 @@
+//! Property harness: analyzer results computed through the [`SetView`]
+//! trait over a (churned) columnar [`StreamStore`] must be bit-identical
+//! to the legacy [`MessageSet`] path.
+//!
+//! The engine's `debug_assert!`s check the same thing on every live
+//! admission, but only in debug builds and only along the paths a run
+//! happens to take; this sweep drives both analyzers over randomly
+//! churned stores — admits interleaved with removals, so internal
+//! sequence numbers are scattered and rebuilds fire — and compares
+//! `(schedulable, evaluations)` for **every** PDP starting rank and the
+//! negotiated TTRT plus each Theorem 5.1 term bit-for-bit.
+
+use proptest::prelude::*;
+use ringrt_core::pdp::{PdpAnalyzer, PdpVariant};
+use ringrt_core::ttp::TtpAnalyzer;
+use ringrt_core::SetView;
+use ringrt_model::{FrameFormat, MessageSet, RingConfig, SyncStream};
+use ringrt_store::StreamStore;
+use ringrt_units::{Bandwidth, Bits, Seconds};
+
+fn stream(period_sel: u64, bits_sel: u64) -> SyncStream {
+    // Collision-heavy periods (DM ties) and a load spread that produces
+    // both schedulable and unschedulable sets.
+    let period = Seconds::from_millis(15.0 * (1 + period_sel % 6) as f64);
+    let s = SyncStream::new(period, Bits::new(20_000 + 60_000 * (bits_sel % 8)));
+    if period_sel.is_multiple_of(3) {
+        s.with_relative_deadline(Seconds::new(period.as_secs_f64() * 0.75))
+    } else {
+        s
+    }
+}
+
+/// Builds a store churned by the op list (admit / remove), so live rows
+/// and sequence numbers are scattered rather than dense.
+fn churned_store(ops: &[(u8, u64, u64)]) -> StreamStore {
+    let mut store = StreamStore::new();
+    for &(kind, name_sel, bits_sel) in ops {
+        let name = format!("s{name_sel}");
+        if kind == 0 {
+            store.remove(&name);
+        } else if !store.contains(&name) {
+            store.admit(&name, stream(name_sel, bits_sel));
+        }
+    }
+    store
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// PDP: `check_from_rank_view` over the store equals `check_from_rank`
+    /// over the materialized set for every starting rank and both paper
+    /// variants.
+    #[test]
+    fn pdp_view_matches_message_set_path(
+        ops in prop::collection::vec((0u8..4, 0u64..10, 0u64..8), 1..30),
+    ) {
+        let store = churned_store(&ops);
+        prop_assume!(!store.is_empty());
+        let set: MessageSet = store.message_set().unwrap().unwrap();
+        for variant in [PdpVariant::Standard, PdpVariant::Modified] {
+            let analyzer = PdpAnalyzer::new(
+                RingConfig::ieee_802_5(store.len(), Bandwidth::from_mbps(16.0)),
+                FrameFormat::paper_default(),
+                variant,
+            );
+            for rank in 0..store.len() {
+                let via_view = analyzer.check_from_rank_view(&store, rank);
+                let via_set = analyzer.check_from_rank(&set, rank);
+                prop_assert_eq!(
+                    (via_view.schedulable, via_view.evaluations),
+                    (via_set.schedulable, via_set.evaluations),
+                    "PDP {:?} diverged at rank {}", variant, rank
+                );
+            }
+        }
+    }
+
+    /// TTP: the negotiated TTRT and every Theorem 5.1 term computed through
+    /// the view equal the `MessageSet` path bit-for-bit.
+    #[test]
+    fn ttp_view_matches_message_set_path(
+        ops in prop::collection::vec((0u8..4, 0u64..10, 0u64..8), 1..30),
+    ) {
+        let store = churned_store(&ops);
+        prop_assume!(!store.is_empty());
+        let set: MessageSet = store.message_set().unwrap().unwrap();
+        let analyzer = TtpAnalyzer::with_defaults(
+            RingConfig::fddi(store.len(), Bandwidth::from_mbps(100.0)),
+        );
+        let via_view = analyzer.ttrt_for_view(&store);
+        let via_set = analyzer.ttrt_for(&set);
+        prop_assert_eq!(
+            via_view.as_secs_f64().to_bits(),
+            via_set.as_secs_f64().to_bits(),
+            "negotiated TTRT diverged"
+        );
+        // Terms fold over the same stream order: the view's station order
+        // is the set's index order by construction.
+        let view_streams: Vec<SyncStream> = store.stations().collect();
+        for (i, s) in set.iter().enumerate() {
+            let a = analyzer.stream_term(&view_streams[i], via_view);
+            let b = analyzer.stream_term(s, via_set);
+            prop_assert_eq!(
+                a.map(|t| t.as_secs_f64().to_bits()),
+                b.map(|t| t.as_secs_f64().to_bits()),
+                "term {} diverged", i
+            );
+        }
+    }
+}

@@ -248,6 +248,10 @@ pub enum Request {
     Show {
         /// `None` lists ring names; `Some` dumps that ring.
         ring: Option<String>,
+        /// Page size: dump at most this many streams (requires `ring`).
+        limit: Option<usize>,
+        /// Skip this many streams in admission order before the page.
+        offset: Option<usize>,
     },
     /// Answer the next `count` request lines in one write.
     Batch {
@@ -453,9 +457,17 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             });
         }
         "SHOW" => {
-            check_keys(&pairs, &["ring"])?;
+            check_keys(&pairs, &["ring", "limit", "offset"])?;
+            let ring = lookup(&pairs, "ring").map(str::to_owned);
+            let limit = optional::<usize>(&pairs, "limit")?;
+            let offset = optional::<usize>(&pairs, "offset")?;
+            if ring.is_none() && (limit.is_some() || offset.is_some()) {
+                return Err("limit/offset require ring=".into());
+            }
             return Ok(Request::Show {
-                ring: lookup(&pairs, "ring").map(str::to_owned),
+                ring,
+                limit,
+                offset,
             });
         }
         "ABU" => {
@@ -715,13 +727,32 @@ mod tests {
             parse_request("UNREGISTER ring=lab").unwrap(),
             Request::Unregister { ring: "lab".into() }
         );
-        assert_eq!(parse_request("SHOW").unwrap(), Request::Show { ring: None });
+        assert_eq!(
+            parse_request("SHOW").unwrap(),
+            Request::Show {
+                ring: None,
+                limit: None,
+                offset: None
+            }
+        );
         assert_eq!(
             parse_request("SHOW ring=lab").unwrap(),
             Request::Show {
-                ring: Some("lab".into())
+                ring: Some("lab".into()),
+                limit: None,
+                offset: None
             }
         );
+        assert_eq!(
+            parse_request("SHOW ring=lab limit=10 offset=30").unwrap(),
+            Request::Show {
+                ring: Some("lab".into()),
+                limit: Some(10),
+                offset: Some(30)
+            }
+        );
+        assert!(parse_request("SHOW limit=10").is_err());
+        assert!(parse_request("SHOW ring=lab limit=x").is_err());
     }
 
     #[test]

@@ -360,7 +360,7 @@ impl Shared {
             out,
             " rings={} registry_streams={} journal_bytes={} snapshot_bytes={} replay_ms={:.3} \
              replayed_streams={} incremental_tests={} full_tests={} incremental_evaluations={} \
-             full_evaluations={}",
+             full_evaluations={} streams_total={} index_rebuilds={} store_bytes={}",
             r.rings,
             r.streams,
             r.journal_bytes,
@@ -371,6 +371,9 @@ impl Shared {
             r.full_tests,
             r.incremental_evaluations,
             r.full_evaluations,
+            r.streams,
+            r.index_rebuilds,
+            r.store_bytes,
         );
         self.replication.render(self.registry.epoch(), &mut out);
         let _ = write!(
@@ -493,6 +496,24 @@ impl Shared {
             "Size of the registry's last compaction snapshot.",
             &[],
             r.snapshot_bytes as f64,
+        );
+        w.gauge(
+            "ringrt_store_streams_total",
+            "Live streams held by the columnar stream stores.",
+            &[],
+            r.streams as f64,
+        );
+        w.gauge(
+            "ringrt_store_index_rebuilds",
+            "Sequence-domain index rebuilds performed by the stream stores.",
+            &[],
+            r.index_rebuilds as f64,
+        );
+        w.gauge(
+            "ringrt_store_bytes",
+            "Approximate resident bytes of the columnar stream stores.",
+            &[],
+            r.store_bytes as f64,
         );
         for (kind, tests, evals) in [
             (
@@ -1246,7 +1267,19 @@ pub(crate) fn handle_request(line: &str, shared: &Arc<Shared>, mode: SubmitMode)
                 Err(e) => format!("ERR {e}"),
             }))
         }
-        Request::Show { ring } => ready(Response::Line(match ring {
+        Request::Show {
+            ring,
+            limit,
+            offset,
+        } => ready(Response::Line(match ring {
+            Some(ring) if limit.is_some() || offset.is_some() => {
+                let offset = offset.unwrap_or(0);
+                let limit = limit.unwrap_or(usize::MAX);
+                match shared.registry.ring_page(&ring, offset, limit) {
+                    Ok(page) => render_show_page(&ring, &page),
+                    Err(e) => format!("ERR {e}"),
+                }
+            }
             Some(ring) => match shared.registry.ring_state(&ring) {
                 Ok(state) => render_show(&ring, &state),
                 Err(e) => format!("ERR {e}"),
@@ -1413,34 +1446,69 @@ fn render_admission(cmd: &str, ring: &str, stream: &str, out: &AdmissionOutcome)
 /// formatting, so the output is identical before and after a server
 /// restart — the property the persistence integration test pins down.
 fn render_show(ring: &str, state: &RingState) -> String {
-    use std::fmt::Write as _;
     let spec: &RingSpec = &state.spec;
     let mut out = format!(
         "OK cmd=show ring={ring} protocol={} mbps={} stations={} streams={}",
         spec.protocol,
         spec.mbps,
         fmt_stations(spec.stations),
-        state.streams.len(),
+        state.len(),
     );
     out.push_str(" set=");
-    if state.streams.is_empty() {
+    if state.is_empty() {
         out.push('-');
         return out;
     }
-    for (i, ns) in state.streams.iter().enumerate() {
+    for (i, (name, stream)) in state.iter().enumerate() {
         if i > 0 {
             out.push(';');
         }
-        let _ = write!(
-            out,
-            "{}:{},{}",
-            ns.name,
-            ns.stream.period().as_millis(),
-            ns.stream.length_bits().as_u64(),
-        );
-        if !ns.stream.has_implicit_deadline() {
-            let _ = write!(out, ",{}", ns.stream.relative_deadline().as_millis());
+        push_stream(&mut out, name, &stream);
+    }
+    out
+}
+
+/// One `name:period_ms,bits[,deadline_ms]` entry — the `set=` grammar
+/// shared by the unpaged and paged SHOW renderers.
+fn push_stream(out: &mut String, name: &str, stream: &ringrt_model::SyncStream) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "{}:{},{}",
+        name,
+        stream.period().as_millis(),
+        stream.length_bits().as_u64(),
+    );
+    if !stream.has_implicit_deadline() {
+        let _ = write!(out, ",{}", stream.relative_deadline().as_millis());
+    }
+}
+
+/// Renders one page of a ring's admitted set. Same `set=` grammar as
+/// [`render_show`], but the header carries the page window (`shown=`,
+/// `offset=`) alongside the ring-wide stream count, so clients can walk
+/// a 100k-stream ring without ever receiving a 100k-entry line.
+fn render_show_page(ring: &str, page: &ringrt_registry::RingPage) -> String {
+    let spec: &RingSpec = &page.spec;
+    let mut out = format!(
+        "OK cmd=show ring={ring} protocol={} mbps={} stations={} streams={} shown={} offset={}",
+        spec.protocol,
+        spec.mbps,
+        fmt_stations(spec.stations),
+        page.streams,
+        page.page.len(),
+        page.offset,
+    );
+    out.push_str(" set=");
+    if page.page.is_empty() {
+        out.push('-');
+        return out;
+    }
+    for (i, (name, stream)) in page.page.iter().enumerate() {
+        if i > 0 {
+            out.push(';');
         }
+        push_stream(&mut out, name, stream);
     }
     out
 }

@@ -1,0 +1,139 @@
+//! A binary indexed tree over the admission-sequence domain.
+//!
+//! Each position holds a 0/1 occupancy bit: 1 while the stream admitted
+//! with that sequence number is still live. Prefix sums then answer "what
+//! station index does sequence `s` occupy?" in O(log n), and the inverse
+//! descent answers "which sequence is the k-th live stream?" in O(log n) —
+//! the two queries that make admission-order ranking and `SHOW` paging
+//! sub-linear on large rings.
+
+/// Fenwick (binary indexed) tree of occupancy counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct Fenwick {
+    /// 1-based implicit tree; `tree[i - 1]` covers `(i - lowbit(i), i]`.
+    tree: Vec<u32>,
+}
+
+impl Fenwick {
+    /// Domain size (admission sequences `0..len`).
+    pub(crate) fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Extends the domain by one position holding count zero.
+    pub(crate) fn push_zero(&mut self) {
+        // A fresh node starts at zero; because every position it covers was
+        // already counted by lower nodes when they were added, its running
+        // total is maintained incrementally by `add` alone.
+        let i = self.tree.len() + 1;
+        let lowbit = i & i.wrapping_neg();
+        // Node i covers (i - lowbit, i]; fold in the sums of the sibling
+        // nodes it subsumes so prefix queries stay correct.
+        let mut value = 0u32;
+        let mut j = i - 1;
+        let stop = i - lowbit;
+        while j > stop {
+            value += self.tree[j - 1];
+            j -= j & j.wrapping_neg();
+        }
+        self.tree.push(value);
+    }
+
+    /// Shrinks the domain to `len` positions (used by admission rollback,
+    /// which always retracts the newest sequence).
+    pub(crate) fn truncate(&mut self, len: usize) {
+        self.tree.truncate(len);
+    }
+
+    /// Adds `delta` (+1 admit, -1 remove) to position `i`.
+    pub(crate) fn add(&mut self, i: usize, delta: i32) {
+        let mut i = i + 1;
+        while i <= self.tree.len() {
+            let node = &mut self.tree[i - 1];
+            *node = node.wrapping_add(delta as u32);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Number of live positions strictly below `i` — the station index of
+    /// the stream admitted with sequence `i`.
+    pub(crate) fn prefix(&self, i: usize) -> usize {
+        let mut i = i.min(self.tree.len());
+        let mut sum = 0usize;
+        while i > 0 {
+            sum += self.tree[i - 1] as usize;
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// The position of the `(k + 1)`-th live entry (0-based rank `k`), or
+    /// `None` if fewer than `k + 1` positions are live.
+    pub(crate) fn select(&self, k: usize) -> Option<usize> {
+        if k >= self.prefix(self.tree.len()) {
+            return None;
+        }
+        let mut remaining = k + 1;
+        let mut pos = 0usize;
+        let mut mask = self.tree.len().next_power_of_two();
+        while mask > 0 {
+            let next = pos + mask;
+            if next <= self.tree.len() && (self.tree[next - 1] as usize) < remaining {
+                remaining -= self.tree[next - 1] as usize;
+                pos = next;
+            }
+            mask >>= 1;
+        }
+        Some(pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(bits: &[bool]) -> Fenwick {
+        let mut f = Fenwick::default();
+        for &b in bits {
+            f.push_zero();
+            if b {
+                f.add(f.len() - 1, 1);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn prefix_and_select_agree_with_scan() {
+        let bits = [
+            true, false, true, true, false, false, true, true, true, false, true,
+        ];
+        let f = naive(&bits);
+        for i in 0..=bits.len() {
+            let expect: usize = bits[..i].iter().filter(|&&b| b).count();
+            assert_eq!(f.prefix(i), expect, "prefix({i})");
+        }
+        let live: Vec<usize> = (0..bits.len()).filter(|&i| bits[i]).collect();
+        for (k, &pos) in live.iter().enumerate() {
+            assert_eq!(f.select(k), Some(pos), "select({k})");
+        }
+        assert_eq!(f.select(live.len()), None);
+    }
+
+    #[test]
+    fn add_and_truncate_roundtrip() {
+        let mut f = naive(&[true; 8]);
+        f.add(3, -1);
+        assert_eq!(f.prefix(8), 7);
+        assert_eq!(f.select(3), Some(4));
+        // Rollback of the newest position: clear then shrink the domain.
+        f.add(7, -1);
+        f.truncate(7);
+        assert_eq!(f.len(), 7);
+        assert_eq!(f.prefix(7), 6);
+        // Regrowing after a truncate keeps prefix sums consistent.
+        f.push_zero();
+        f.add(7, 1);
+        assert_eq!(f.prefix(8), 7);
+    }
+}

@@ -1,0 +1,225 @@
+//! Property harness: the columnar store's maintained secondary indexes
+//! must agree with a naive `Vec` model that rescans on every query.
+//!
+//! Random interleavings of ADMIT / REMOVE / rejected-ADMIT (admit then
+//! `rollback_admit`) drive both representations; after every operation
+//! the store's O(1)/O(log n) answers — station index, DM order, paging,
+//! min deadline/period, utilization — are compared against the model's
+//! O(n)/O(n log n) recomputation, bit-for-bit where floats are involved.
+
+use proptest::prelude::*;
+use ringrt_model::{SetView, SyncStream};
+use ringrt_store::StreamStore;
+use ringrt_units::{Bandwidth, Bits, Seconds};
+
+/// The naive reference: admission-order `(name, stream)` pairs, every
+/// index recomputed by rescanning.
+#[derive(Default)]
+struct NaiveStore {
+    rows: Vec<(String, SyncStream)>,
+}
+
+impl NaiveStore {
+    fn admit(&mut self, name: &str, stream: SyncStream) {
+        assert!(self.station_index(name).is_none(), "duplicate admit");
+        self.rows.push((name.to_owned(), stream));
+    }
+
+    fn remove(&mut self, name: &str) -> bool {
+        match self.station_index(name) {
+            Some(i) => {
+                self.rows.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn station_index(&self, name: &str) -> Option<usize> {
+        self.rows.iter().position(|(n, _)| n == name)
+    }
+
+    /// DM order by full rescan: stable sort on (deadline, period) under
+    /// IEEE total order, admission order breaking remaining ties — the
+    /// contract `StreamStore::dm_iter` promises to match.
+    fn dm_names(&self) -> Vec<String> {
+        let mut order: Vec<usize> = (0..self.rows.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (sa, sb) = (&self.rows[a].1, &self.rows[b].1);
+            sa.relative_deadline()
+                .as_secs_f64()
+                .total_cmp(&sb.relative_deadline().as_secs_f64())
+                .then(
+                    sa.period()
+                        .as_secs_f64()
+                        .total_cmp(&sb.period().as_secs_f64()),
+                )
+                .then(a.cmp(&b))
+        });
+        order.into_iter().map(|i| self.rows[i].0.clone()).collect()
+    }
+
+    fn min_deadline_bits(&self) -> Option<u64> {
+        self.rows
+            .iter()
+            .map(|(_, s)| s.relative_deadline().as_secs_f64())
+            .min_by(f64::total_cmp)
+            .map(f64::to_bits)
+    }
+
+    fn min_period_bits(&self) -> Option<u64> {
+        self.rows
+            .iter()
+            .map(|(_, s)| s.period().as_secs_f64())
+            .min_by(f64::total_cmp)
+            .map(f64::to_bits)
+    }
+}
+
+fn stream(period_sel: u64, bits_sel: u64, deadline_sel: u64) -> SyncStream {
+    // Deliberately collision-heavy: few distinct periods so DM ties are
+    // common and the seq-based tie-break actually gets exercised.
+    let period = Seconds::from_millis(10.0 * (1 + period_sel % 5) as f64);
+    let s = SyncStream::new(period, Bits::new(1_000 + 500 * (bits_sel % 7)));
+    if deadline_sel.is_multiple_of(3) {
+        let d = period.as_secs_f64() * (0.5 + 0.1 * (deadline_sel % 5) as f64);
+        s.with_relative_deadline(Seconds::new(d))
+    } else {
+        s
+    }
+}
+
+fn assert_equivalent(store: &StreamStore, model: &NaiveStore) {
+    assert_eq!(store.len(), model.rows.len());
+    assert_eq!(store.is_empty(), model.rows.is_empty());
+
+    // Admission order and per-name station index / handle lookups.
+    let names: Vec<&str> = store.iter().map(|(_, n, _)| n).collect();
+    let model_names: Vec<&str> = model.rows.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, model_names, "admission order diverged");
+    for (i, (name, stream)) in model.rows.iter().enumerate() {
+        assert_eq!(store.station_index(name), Some(i));
+        assert!(store.contains(name));
+        let handle = store.handle_of(name).expect("live stream has a handle");
+        let (got_name, got) = store.get(handle).expect("handle resolves");
+        assert_eq!(got_name, name);
+        assert_eq!(
+            got.period().as_secs_f64().to_bits(),
+            stream.period().as_secs_f64().to_bits()
+        );
+        assert_eq!(got.length_bits(), stream.length_bits());
+        // DM rank via the Fenwick/BTree indexes vs the rescan rank.
+        let seq = store.seq_of(name).expect("live stream has a seq");
+        let rank = store.dm_rank_of(seq);
+        assert_eq!(model.dm_names()[rank], *name, "dm_rank_of diverged");
+    }
+
+    // Full DM order.
+    let dm: Vec<String> = store
+        .dm_iter()
+        .map(|(seq, _)| {
+            let (name, _) = store
+                .get(store.handle_of(&names_by_seq(store, seq)).unwrap())
+                .unwrap();
+            name.to_owned()
+        })
+        .collect();
+    assert_eq!(dm, model.dm_names(), "dm_iter order diverged");
+
+    // Index-backed mins vs rescan mins, bit-for-bit.
+    assert_eq!(
+        store.min_deadline().map(|d| d.as_secs_f64().to_bits()),
+        model.min_deadline_bits()
+    );
+    assert_eq!(
+        store.min_period().map(|p| p.as_secs_f64().to_bits()),
+        model.min_period_bits()
+    );
+    // The SetView mins must agree with the index-backed ones.
+    assert_eq!(
+        store.min_deadline_view().map(|d| d.as_secs_f64().to_bits()),
+        model.min_deadline_bits()
+    );
+    assert_eq!(
+        store.min_period_view().map(|p| p.as_secs_f64().to_bits()),
+        model.min_period_bits()
+    );
+
+    // Paging: every (offset, limit) window is a slice of admission order.
+    for offset in 0..=model.rows.len() {
+        for limit in [0usize, 1, 2, model.rows.len()] {
+            let page: Vec<&str> = store.page(offset, limit).map(|(n, _)| n).collect();
+            let end = (offset + limit).min(model.rows.len());
+            let want: Vec<&str> = model_names[offset.min(model.rows.len())..end].to_vec();
+            assert_eq!(page, want, "page(offset={offset}, limit={limit}) diverged");
+        }
+    }
+
+    // Utilization folds in the same (admission) order.
+    let bw = Bandwidth::from_mbps(100.0);
+    let naive_util: f64 = model.rows.iter().map(|(_, s)| s.utilization(bw)).sum();
+    assert_eq!(store.utilization(bw).to_bits(), naive_util.to_bits());
+}
+
+/// Resolves a live sequence number back to its name via the public API.
+fn names_by_seq(store: &StreamStore, seq: u64) -> String {
+    store
+        .iter()
+        .find(|&(s, _, _)| s == seq)
+        .map(|(_, n, _)| n.to_owned())
+        .expect("dm_iter yielded a dead seq")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Indexes agree with the naive rescan after every operation in a
+    /// random admit/remove/rollback interleaving.
+    #[test]
+    fn indexes_agree_with_naive_rescan(
+        ops in prop::collection::vec((0u8..4, 0u64..12, 0u64..9, 0u64..9), 1..60),
+    ) {
+        let mut store = StreamStore::new();
+        let mut model = NaiveStore::default();
+        for &(kind, name_sel, period_sel, bits_sel) in &ops {
+            let name = format!("s{name_sel}");
+            match kind {
+                // Admit a fresh name (skip duplicates — admit panics on them
+                // by contract, and the registry never calls it with one).
+                0 | 1 => {
+                    if !store.contains(&name) {
+                        let s = stream(period_sel, bits_sel, name_sel + period_sel);
+                        store.admit(&name, s);
+                        model.admit(&name, s);
+                    }
+                }
+                // Remove (possibly absent: both sides must agree it's a miss).
+                2 => {
+                    let removed = store.remove(&name).is_some();
+                    assert_eq!(removed, model.remove(&name), "remove disagreed");
+                }
+                // Rejected admission: tentative admit rolled back must leave
+                // every index exactly as before (the registry's reject path).
+                _ => {
+                    if !store.contains(&name) {
+                        let before = store.clone();
+                        let s = stream(period_sel, bits_sel, name_sel);
+                        let handle = store.admit(&name, s);
+                        store.rollback_admit(handle);
+                        prop_assert_eq!(&store, &before, "rollback not a no-op");
+                    }
+                }
+            }
+            assert_equivalent(&store, &model);
+        }
+
+        // PartialEq ignores internal sequence numbering: a store rebuilt
+        // from scratch in the surviving admission order must compare equal
+        // even though the churned store's seqs are scattered.
+        let mut rebuilt = StreamStore::new();
+        for (name, s) in &model.rows {
+            rebuilt.admit(name, *s);
+        }
+        prop_assert_eq!(&store, &rebuilt, "PartialEq depends on seq numbering");
+    }
+}
