@@ -13,8 +13,10 @@
 //!   target applies to.
 //! * **cachehit** — one warm request list replayed, so every answer is a
 //!   cache hit. These are the *cheapest* requests the server can answer,
-//!   making the fixed per-span cost maximally visible; the phase is
-//!   reported as the adversarial upper bound, not held to the target.
+//!   making any fixed per-request recorder cost maximally visible. Hits
+//!   travel the zero-span fast path (pre-aggregated sharded counters +
+//!   one sampled span per 64 hits — see `run_cached`), so this phase is
+//!   held to its own **< 0.5 %** overhead target.
 //!
 //! Shared machines drift: CPU steal and frequency ramps swing wall-clock
 //! throughput by tens of percent over hundreds of milliseconds, which
@@ -224,7 +226,10 @@ fn main() {
     // `SLICE` requests.
     let total = (opts.samples * 240).max(4_000).div_ceil(SLICE) * SLICE;
     // Odd round counts so the median is an actual observed round.
-    let rounds = if opts.quick { 5 } else { 9 };
+    // Quick mode keeps the shorter request list but not fewer rounds:
+    // the cache-hit phase is gated at 0.5 %, which sits near the noise
+    // floor of a 5-round median on a busy host — 9 rounds tighten it.
+    let rounds = 9;
 
     let on_server = spawn_server(true, 4 * SLICE);
     let off_server = spawn_server(false, 4 * SLICE);
@@ -278,35 +283,41 @@ fn main() {
     }
     print!("{}", table.to_csv());
 
+    // `rps_delta_pct` is the signed throughput delta of recorder-on vs
+    // recorder-off (positive = faster with the recorder, i.e. overhead
+    // below jitter); `overhead_pct` is its negation, kept for the CI gate.
     let json = format!(
         "{{\n  \"bench\": \"trace_overhead\",\n  \"requests_per_round\": {total},\n  \
-         \"rounds\": {rounds},\n  \"slice\": {SLICE},\n  \
-         \"target_overhead_pct\": 2.0,\n  \"phases\": [\n    \
+         \"rounds\": {rounds},\n  \"slice\": {SLICE},\n  \"phases\": [\n    \
          {{\"phase\": \"analysis\", \"rps_recorder_on\": {:.3}, \"rps_recorder_off\": {:.3}, \
-         \"overhead_pct\": {:.3}, \"target_applies\": true}},\n    \
+         \"overhead_pct\": {:.3}, \"rps_delta_pct\": {:.3}, \
+         \"target_overhead_pct\": 2.0, \"target_applies\": true}},\n    \
          {{\"phase\": \"cachehit\", \"rps_recorder_on\": {:.3}, \"rps_recorder_off\": {:.3}, \
-         \"overhead_pct\": {:.3}, \"target_applies\": false}}\n  ]\n}}\n",
+         \"overhead_pct\": {:.3}, \"rps_delta_pct\": {:.3}, \
+         \"target_overhead_pct\": 0.5, \"target_applies\": true}}\n  ]\n}}\n",
         analysis.median_on,
         analysis.median_off,
         analysis.overhead_pct,
+        -analysis.overhead_pct,
         cachehit.median_on,
         cachehit.median_off,
         cachehit.overhead_pct,
+        -cachehit.overhead_pct,
     );
     if let Err(e) = std::fs::write(OUT_PATH, &json) {
         eprintln!("warning: could not write {OUT_PATH}: {e}");
     } else {
         println!();
         println!(
-            "# wrote {OUT_PATH} (analysis overhead {:.2}% vs 2% target; cache-hit worst case \
-             {:.2}%)",
+            "# wrote {OUT_PATH} (analysis overhead {:.2}% vs 2% target; cache-hit \
+             {:.2}% vs 0.5% target)",
             analysis.overhead_pct, cachehit.overhead_pct
         );
     }
     println!("# overheads are medians over slice-interleaved same-workload rounds; a small");
     println!("# negative value means the recorder cost sits below residual timing jitter.");
-    println!("# cache-hit requests are the cheapest the server answers, so that phase");
-    println!("# bounds the per-span cost from above rather than tracking the target.");
+    println!("# cache-hit requests are the cheapest the server answers; their zero-span");
+    println!("# fast path (sharded counters + 1-in-64 sampled spans) is held to <0.5%.");
 
     drop(on);
     drop(off);

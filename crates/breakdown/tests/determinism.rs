@@ -7,7 +7,9 @@
 //! cacheable in `ringrt-service` regardless of `RINGRT_THREADS`. Randomize
 //! over master seeds, population sizes, and sample counts, and compare the
 //! full `BreakdownEstimate` (mean, CI, extremes, infeasible count) across
-//! pool widths 1, 2, and 8.
+//! pool widths 1, 2, 4, and 8 — including a pool with forced work
+//! stealing on every round, the most schedule-hostile configuration the
+//! sharded pool supports.
 
 use proptest::prelude::*;
 
@@ -32,6 +34,7 @@ proptest! {
         seed in any::<u64>(),
         stations in 4usize..16,
         samples in 2usize..8,
+        chunk in 1usize..5,
     ) {
         let ring = RingConfig::fddi(stations, Bandwidth::from_mbps(100.0));
         let analyzer = TtpAnalyzer::with_defaults(ring);
@@ -40,14 +43,24 @@ proptest! {
                 .with_search(SaturationSearch::with_tolerance(1e-3));
         let serial =
             estimator.estimate(&analyzer, ring.bandwidth(), &mut StdRng::seed_from_u64(seed));
-        for threads in [1, 2, 8] {
-            let pooled =
-                estimator.estimate_parallel(&analyzer, ring.bandwidth(), seed, &Pool::new(threads));
-            prop_assert_eq!(
-                &serial, &pooled,
-                "seed {} stations {} samples {} threads {}",
-                seed, stations, samples, threads
-            );
+        for threads in [1, 2, 4, 8] {
+            // Plain pool at the randomized chunk size, then the same pool
+            // with a steal forced on every odd worker's every round.
+            let pools = [
+                Pool::new(threads).with_chunk_size(chunk),
+                Pool::new(threads)
+                    .with_chunk_size(chunk)
+                    .with_steal_injection(|worker, _round| worker % 2 == 1),
+            ];
+            for pool in &pools {
+                let pooled =
+                    estimator.estimate_parallel(&analyzer, ring.bandwidth(), seed, pool);
+                prop_assert_eq!(
+                    &serial, &pooled,
+                    "seed {} stations {} samples {} threads {} chunk {}",
+                    seed, stations, samples, threads, chunk
+                );
+            }
         }
     }
 
@@ -57,6 +70,7 @@ proptest! {
         seed in any::<u64>(),
         stations in 4usize..12,
         samples in 2usize..6,
+        chunk in 1usize..5,
     ) {
         let ring = RingConfig::ieee_802_5(stations, Bandwidth::from_mbps(16.0));
         let analyzer =
@@ -66,14 +80,22 @@ proptest! {
                 .with_search(SaturationSearch::with_tolerance(1e-3));
         let serial =
             estimator.estimate(&analyzer, ring.bandwidth(), &mut StdRng::seed_from_u64(seed));
-        for threads in [1, 2, 8] {
-            let pooled =
-                estimator.estimate_parallel(&analyzer, ring.bandwidth(), seed, &Pool::new(threads));
-            prop_assert_eq!(
-                &serial, &pooled,
-                "seed {} stations {} samples {} threads {}",
-                seed, stations, samples, threads
-            );
+        for threads in [1, 2, 4, 8] {
+            let pools = [
+                Pool::new(threads).with_chunk_size(chunk),
+                Pool::new(threads)
+                    .with_chunk_size(chunk)
+                    .with_steal_injection(|worker, _round| worker % 2 == 1),
+            ];
+            for pool in &pools {
+                let pooled =
+                    estimator.estimate_parallel(&analyzer, ring.bandwidth(), seed, pool);
+                prop_assert_eq!(
+                    &serial, &pooled,
+                    "seed {} stations {} samples {} threads {} chunk {}",
+                    seed, stations, samples, threads, chunk
+                );
+            }
         }
     }
 }

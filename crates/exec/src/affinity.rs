@@ -1,0 +1,96 @@
+//! Best-effort CPU affinity for pool workers.
+//!
+//! Mirrors `ringrt-net`'s `sys.rs` vendoring discipline: the workspace
+//! builds offline with no external crates, so the one syscall we need —
+//! `sched_setaffinity(2)` — is declared directly against the C library
+//! that `std` already links. **All `unsafe` in `ringrt-exec` lives in
+//! this file**; the rest of the crate sees only the safe
+//! [`pin_current_thread`] wrapper.
+//!
+//! On non-Linux targets the entry point exists but returns
+//! [`std::io::ErrorKind::Unsupported`]; the pool treats any error as
+//! "run unpinned", so affinity is strictly best-effort everywhere.
+
+use std::io;
+
+/// Bits in the affinity mask we pass to the kernel (16 × 64 = 1024,
+/// matching glibc's default `cpu_set_t` width).
+const MASK_WORDS: usize = 16;
+const MASK_BITS: usize = MASK_WORDS * 64;
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::{io, MASK_BITS, MASK_WORDS};
+    use std::os::raw::c_int;
+
+    extern "C" {
+        /// `pid` 0 means the calling thread.
+        fn sched_setaffinity(pid: c_int, cpusetsize: usize, mask: *const u64) -> c_int;
+    }
+
+    pub fn pin_current_thread(cpu: usize) -> io::Result<()> {
+        if cpu >= MASK_BITS {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "cpu index beyond affinity mask width",
+            ));
+        }
+        let mut mask = [0u64; MASK_WORDS];
+        mask[cpu / 64] |= 1u64 << (cpu % 64);
+        // SAFETY: `mask` is a live, readable buffer of exactly
+        // `MASK_WORDS * 8` bytes, which is the size we pass; the kernel
+        // only reads it.
+        let ret = unsafe { sched_setaffinity(0, MASK_WORDS * 8, mask.as_ptr()) };
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::io;
+
+    pub fn pin_current_thread(_cpu: usize) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "thread affinity requires Linux sched_setaffinity",
+        ))
+    }
+}
+
+/// Pins the calling thread to `cpu` (best effort). Errors mean "the
+/// scheduler keeps placing this thread"; callers ignore them.
+pub(crate) use imp::pin_current_thread;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_is_best_effort() {
+        // On Linux pinning to CPU 0 must succeed (every machine has one);
+        // elsewhere the call reports Unsupported. Either way it never
+        // panics — that is the whole contract.
+        match pin_current_thread(0) {
+            Ok(()) => {
+                let on_linux = cfg!(target_os = "linux");
+                assert!(on_linux, "only the Linux shim can succeed");
+            }
+            Err(e) => assert_ne!(e.kind(), io::ErrorKind::InvalidInput),
+        }
+    }
+
+    #[test]
+    fn out_of_range_cpu_is_rejected_not_undefined() {
+        let err = pin_current_thread(MASK_BITS + 1).unwrap_err();
+        let expected = if cfg!(target_os = "linux") {
+            io::ErrorKind::InvalidInput
+        } else {
+            io::ErrorKind::Unsupported
+        };
+        assert_eq!(err.kind(), expected);
+    }
+}

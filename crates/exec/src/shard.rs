@@ -1,0 +1,168 @@
+//! The per-worker range shard: a lock-free deque of *indices*.
+//!
+//! Each worker group owns one [`RangeShard`] — a half-open index range
+//! `[lo, hi)` packed into a single `AtomicU64` (`lo` in the high 32 bits,
+//! `hi` in the low 32). Because the whole range lives in one word, the
+//! owner's take-from-front and a thief's steal-from-back are both plain
+//! compare-exchange loops on that word: the two sides can never hand out
+//! overlapping indices, and there is no ABA hazard because ranges only
+//! ever shrink between a `put` (owner-only, empty-only) and exhaustion.
+//!
+//! This is the degenerate-but-sufficient form of a Chase–Lev deque for
+//! flat index ranges: the owner pops small chunks off the `lo` end
+//! (LIFO with respect to its own banked steals — the most recently
+//! banked range is the one it is draining), while thieves split off the
+//! `hi` end (FIFO with respect to index order). See DESIGN.md §5i for
+//! why that split direction keeps the ordered merge cheap.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[inline]
+fn pack(lo: u32, hi: u32) -> u64 {
+    (u64::from(lo) << 32) | u64::from(hi)
+}
+
+#[inline]
+fn unpack(word: u64) -> (u32, u32) {
+    ((word >> 32) as u32, word as u32)
+}
+
+/// A half-open index range `[lo, hi)` in one atomic word.
+///
+/// Concurrency contract:
+/// - any thread may [`take`](RangeShard::take) or
+///   [`steal_half`](RangeShard::steal_half) (CAS loops);
+/// - only the shard's owner may [`put`](RangeShard::put), and only while
+///   the shard is empty (a plain store — safe because an empty shard is
+///   inert: every concurrent `take`/`steal_half` observes `lo == hi` and
+///   returns `None` without writing).
+#[derive(Debug)]
+pub(crate) struct RangeShard {
+    word: AtomicU64,
+}
+
+impl RangeShard {
+    pub(crate) fn new(lo: usize, hi: usize) -> Self {
+        debug_assert!(lo <= hi);
+        debug_assert!(hi <= u32::MAX as usize);
+        RangeShard {
+            word: AtomicU64::new(pack(lo as u32, hi as u32)),
+        }
+    }
+
+    /// Items not yet claimed. A racy-but-monotone hint: shards only
+    /// shrink while non-empty, so a `0` observed by a thief is final
+    /// until the owner banks a new steal into it.
+    pub(crate) fn remaining(&self) -> usize {
+        let (lo, hi) = unpack(self.word.load(Ordering::Acquire));
+        (hi - lo) as usize
+    }
+
+    /// Claims up to `chunk` indices off the **front** (`lo` end).
+    pub(crate) fn take(&self, chunk: usize) -> Option<(usize, usize)> {
+        let chunk = chunk.max(1) as u32;
+        let mut cur = self.word.load(Ordering::Acquire);
+        loop {
+            let (lo, hi) = unpack(cur);
+            if lo >= hi {
+                return None;
+            }
+            let new_lo = lo.saturating_add(chunk).min(hi);
+            match self.word.compare_exchange_weak(
+                cur,
+                pack(new_lo, hi),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((lo as usize, new_lo as usize)),
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+
+    /// Splits off the upper half (rounded up, so a 1-item shard is still
+    /// stealable) from the **back** (`hi` end).
+    pub(crate) fn steal_half(&self) -> Option<(usize, usize)> {
+        let mut cur = self.word.load(Ordering::Acquire);
+        loop {
+            let (lo, hi) = unpack(cur);
+            if lo >= hi {
+                return None;
+            }
+            let amount = (hi - lo).div_ceil(2);
+            let new_hi = hi - amount;
+            match self.word.compare_exchange_weak(
+                cur,
+                pack(lo, new_hi),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((new_hi as usize, hi as usize)),
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+
+    /// Installs a freshly stolen range into this (empty, owner-held)
+    /// shard so other idle workers can re-steal from it.
+    pub(crate) fn put(&self, lo: usize, hi: usize) {
+        debug_assert_eq!(self.remaining(), 0, "put requires an empty shard");
+        debug_assert!(lo <= hi && hi <= u32::MAX as usize);
+        self.word
+            .store(pack(lo as u32, hi as u32), Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_walks_the_front() {
+        let s = RangeShard::new(0, 10);
+        assert_eq!(s.take(4), Some((0, 4)));
+        assert_eq!(s.take(4), Some((4, 8)));
+        assert_eq!(s.take(4), Some((8, 10)));
+        assert_eq!(s.take(4), None);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn steal_half_splits_the_back() {
+        let s = RangeShard::new(0, 8);
+        assert_eq!(s.steal_half(), Some((4, 8)));
+        assert_eq!(s.steal_half(), Some((2, 4)));
+        assert_eq!(s.steal_half(), Some((1, 2)));
+        // A single remaining item is still stealable (half rounds up).
+        assert_eq!(s.steal_half(), Some((0, 1)));
+        assert_eq!(s.steal_half(), None);
+    }
+
+    #[test]
+    fn take_and_steal_partition_without_overlap() {
+        let s = RangeShard::new(0, 100);
+        let mut seen = [false; 100];
+        let mut alternate = false;
+        loop {
+            let claim = if alternate { s.steal_half() } else { s.take(7) };
+            alternate = !alternate;
+            let Some((lo, hi)) = claim else { break };
+            for flag in &mut seen[lo..hi] {
+                assert!(!*flag, "index claimed twice in [{lo}, {hi})");
+                *flag = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "every index claimed exactly once");
+    }
+
+    #[test]
+    fn put_rearms_an_empty_shard() {
+        let s = RangeShard::new(0, 0);
+        assert_eq!(s.take(1), None);
+        s.put(10, 14);
+        assert_eq!(s.remaining(), 4);
+        assert_eq!(s.take(2), Some((10, 12)));
+        assert_eq!(s.steal_half(), Some((13, 14)));
+        assert_eq!(s.take(2), Some((12, 13)));
+    }
+}

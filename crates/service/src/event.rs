@@ -457,7 +457,7 @@ impl EventLoop {
                     conn.closing = true;
                     Part::Ready(Response::Close.into_text())
                 }
-                Handled::Ready(Response::Line(text)) => Part::Ready(text),
+                Handled::Ready(Response::Line(text) | Response::Hit(text)) => Part::Ready(text),
                 Handled::Pending(_) => {
                     unreachable!("SubmitMode::Queue never yields Handled::Pending")
                 }
@@ -497,7 +497,7 @@ impl EventLoop {
                         .push_back(Entry::Single(Part::Ready(Response::Close.into_text())));
                     conn.closing = true;
                 }
-                Handled::Ready(Response::Line(text)) => {
+                Handled::Ready(Response::Line(text) | Response::Hit(text)) => {
                     conn.queue.push_back(Entry::Single(Part::Ready(text)));
                 }
                 Handled::Pending(_) => {

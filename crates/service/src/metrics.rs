@@ -20,7 +20,7 @@ use std::time::Duration;
 
 use ringrt_des::stats::DurationHistogram;
 use ringrt_obs::prom::PromWriter;
-use ringrt_obs::HighWater;
+use ringrt_obs::{HighWater, ShardedCounter};
 use ringrt_units::SimDuration;
 
 use crate::protocol::CommandKind;
@@ -39,10 +39,18 @@ struct CommandStats {
     histogram: Mutex<DurationHistogram>,
 }
 
+/// One fast-path hit span is sampled per this many hits (per counter
+/// shard): enough to keep hits visible in `TRACE` output while the
+/// recorder's per-event cost disappears into the noise (<0.5% instead
+/// of the ~2% a span per hit would cost on a ~2 µs hit).
+pub const HIT_SPAN_SAMPLE: u64 = 64;
+
 /// A request-lifecycle stage timed by the server.
 ///
 /// Every request passes through `parse → cache → queue_wait → execute →
-/// respond`; cache hits skip the queue and execute stages. Each stage has
+/// respond`; cache hits skip the queue and execute stages — and skip
+/// per-stage recording entirely: the hit fast path aggregates into
+/// [`Metrics::note_hit`]'s sharded counters instead. Each stage has
 /// its own latency histogram so the `METRICS` exposition (and the `TRACE`
 /// flight recorder, which uses the same stage names as span names) can
 /// attribute end-to-end latency to a pipeline phase.
@@ -150,6 +158,11 @@ pub struct Metrics {
     pub queue_peak: HighWater,
     /// Accept-path and event-loop counters.
     pub conns: ConnCounters,
+    /// Cache hits answered on the zero-span fast path (pre-aggregated
+    /// sharded counter; see [`Metrics::note_hit`]).
+    hit_fast: ShardedCounter,
+    /// Cumulative fast-path hit latency (parse→reply), microseconds.
+    hit_fast_us: ShardedCounter,
     per_command: [CommandStats; CommandKind::ALL.len()],
     per_stage: [CommandStats; Stage::ALL.len()],
     per_worker: Vec<WorkerStats>,
@@ -175,6 +188,8 @@ impl Metrics {
             deadline_expired: AtomicU64::new(0),
             queue_peak: HighWater::new(),
             conns: ConnCounters::default(),
+            hit_fast: ShardedCounter::new(),
+            hit_fast_us: ShardedCounter::new(),
             per_command: Default::default(),
             per_stage: Default::default(),
             per_worker: (0..workers).map(|_| WorkerStats::default()).collect(),
@@ -185,6 +200,24 @@ impl Metrics {
     /// anything seen in the current measurement window.
     pub fn note_queue_depth(&self, depth: usize) {
         self.queue_peak.observe(depth as u64);
+    }
+
+    /// Records one zero-span fast-path cache hit: two relaxed sharded
+    /// adds (count and parse→reply microseconds), no clock reads, no
+    /// locks. Returns `true` roughly once per [`HIT_SPAN_SAMPLE`] hits
+    /// per counter shard — the caller's cue to emit the *one* sampled
+    /// `request`/`hit` span that keeps hits visible in `TRACE` output.
+    pub fn note_hit(&self, elapsed: Duration) -> bool {
+        self.hit_fast_us
+            .add(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+        self.hit_fast.add(1).is_multiple_of(HIT_SPAN_SAMPLE)
+    }
+
+    /// Fast-path hit totals: `(hits, cumulative_micros)`, each summed
+    /// across counter shards in one pass.
+    #[must_use]
+    pub fn hit_fast_totals(&self) -> (u64, u64) {
+        (self.hit_fast.sum(), self.hit_fast_us.sum())
     }
 
     /// Records one stage's elapsed time in that stage's histogram.
@@ -233,6 +266,8 @@ impl Metrics {
             c.store(0, Ordering::Relaxed);
         }
         self.queue_peak.reset(0);
+        self.hit_fast.reset();
+        self.hit_fast_us.reset();
         for stats in self.per_command.iter().chain(self.per_stage.iter()) {
             stats
                 .histogram
@@ -259,24 +294,40 @@ impl Metrics {
     /// `STATS` response body. The per-worker lists are comma-joined in
     /// worker order so a skewed pool (one hot worker, the rest idle) is
     /// visible at a glance.
+    ///
+    /// Every worker's `(jobs, busy_us)` pair is sampled in **one pass**
+    /// before any formatting, so the two rendered lists describe the
+    /// same instant. (The old two-sweep rendering could show a worker's
+    /// busy time from milliseconds after its job count — a torn gauge
+    /// under load.)
     pub fn render_workers(&self, out: &mut String) {
         use std::fmt::Write as _;
         let _ = write!(out, " queue_peak={}", self.queue_peak.peak());
         if self.per_worker.is_empty() {
             return;
         }
-        let join = |f: &dyn Fn(&WorkerStats) -> u64| {
-            self.per_worker
+        let snapshot: Vec<(u64, u64)> = self
+            .per_worker
+            .iter()
+            .map(|w| {
+                (
+                    w.jobs.load(Ordering::Relaxed),
+                    w.busy_us.load(Ordering::Relaxed),
+                )
+            })
+            .collect();
+        let join = |f: &dyn Fn(&(u64, u64)) -> u64| {
+            snapshot
                 .iter()
-                .map(|w| f(w).to_string())
+                .map(|pair| f(pair).to_string())
                 .collect::<Vec<_>>()
                 .join(",")
         };
         let _ = write!(
             out,
             " worker_jobs={} worker_busy_us={}",
-            join(&|w| w.jobs.load(Ordering::Relaxed)),
-            join(&|w| w.busy_us.load(Ordering::Relaxed)),
+            join(&|&(jobs, _)| jobs),
+            join(&|&(_, busy_us)| busy_us),
         );
     }
 
@@ -436,6 +487,19 @@ impl Metrics {
             "Request lines rejected for exceeding the line-length cap.",
             &[],
             c(&self.conns.oversized_rejected),
+        );
+        let (hits, hit_us) = self.hit_fast_totals();
+        w.counter(
+            "ringrt_hit_fastpath_total",
+            "Cache hits answered on the zero-span fast path.",
+            &[],
+            hits as f64,
+        );
+        w.counter(
+            "ringrt_hit_fastpath_seconds_total",
+            "Cumulative parse-to-reply time of fast-path cache hits.",
+            &[],
+            hit_us as f64 / 1e6,
         );
         for (i, worker) in self.per_worker.iter().enumerate() {
             let id = i.to_string();

@@ -355,6 +355,8 @@ impl Shared {
             self.cache.evictions(),
             self.cache.capacity(),
         );
+        let (hit_fast, hit_fast_us) = m.hit_fast_totals();
+        let _ = write!(out, " hit_fast={hit_fast} hit_fast_us={hit_fast_us}");
         let r = self.registry.metrics();
         let _ = write!(
             out,
@@ -384,6 +386,19 @@ impl Shared {
             self.queue_len(),
             self.inflight.load(Ordering::Relaxed),
             self.exec.threads(),
+        );
+        let e = self.exec.stats();
+        let _ = write!(
+            out,
+            " exec_parallel_runs={} exec_serial_runs={} exec_items={} exec_chunks={} \
+             exec_steal_attempts={} exec_steals_ok={} exec_nested_splits={}",
+            e.parallel_runs,
+            e.serial_runs,
+            e.items,
+            e.chunks,
+            e.steal_attempts,
+            e.steals_ok,
+            e.nested_splits,
         );
         let _ = write!(
             out,
@@ -441,6 +456,46 @@ impl Shared {
             &[],
             self.exec.threads() as f64,
         );
+        let e = self.exec.stats();
+        for (name, help, value) in [
+            (
+                "ringrt_exec_parallel_runs_total",
+                "Pool maps that fanned out across workers.",
+                e.parallel_runs,
+            ),
+            (
+                "ringrt_exec_serial_runs_total",
+                "Pool maps that ran inline on the caller.",
+                e.serial_runs,
+            ),
+            (
+                "ringrt_exec_items_total",
+                "Items mapped through the pool.",
+                e.items,
+            ),
+            (
+                "ringrt_exec_chunks_total",
+                "Chunks claimed by pool workers.",
+                e.chunks,
+            ),
+            (
+                "ringrt_exec_steal_attempts_total",
+                "Victim searches by idle pool workers.",
+                e.steal_attempts,
+            ),
+            (
+                "ringrt_exec_steals_ok_total",
+                "Victim searches that transferred work.",
+                e.steals_ok,
+            ),
+            (
+                "ringrt_exec_nested_splits_total",
+                "Nested maps that split across idle workers.",
+                e.nested_splits,
+            ),
+        ] {
+            w.counter(name, help, &[], value as f64);
+        }
         for (name, help, value) in [
             (
                 "ringrt_cache_hits_total",
@@ -908,16 +963,20 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
             return;
         }
         let stop = matches!(response, Response::Close);
+        let hit = matches!(response, Response::Hit(_));
         let text = response.into_text();
         shared.metrics.count_response(&text);
-        let respond_span = shared.recorder.span("request", "respond");
+        // Cache hits skip the respond span: one sampled `hit` span per
+        // HIT_SPAN_SAMPLE already covers parse→reply, and a span per hit
+        // would dominate the ~µs fast path.
+        let respond_span = (!hit).then(|| shared.recorder.span("request", "respond"));
         let write_ok = writer
             .write_all(format!("{text}\n").as_bytes())
             .and_then(|()| writer.flush())
             .is_ok();
-        shared
-            .metrics
-            .record_stage(Stage::Respond, respond_span.finish());
+        if let Some(span) = respond_span {
+            shared.metrics.record_stage(Stage::Respond, span.finish());
+        }
         if let (Some(limit_ms), Some(request)) = (shared.config.slow_ms, slow_line) {
             let elapsed = request_started.elapsed();
             if elapsed >= Duration::from_millis(limit_ms) {
@@ -1055,7 +1114,7 @@ fn run_batch(
                 keep_open = false;
                 Slot::Ready(Response::Close.into_text())
             }
-            Handled::Ready(Response::Line(text)) => Slot::Ready(text),
+            Handled::Ready(Response::Line(text) | Response::Hit(text)) => Slot::Ready(text),
             Handled::Pending(pending) => Slot::Pending(pending),
             Handled::Queued { .. } => {
                 unreachable!("SubmitMode::Defer never yields Handled::Queued")
@@ -1092,6 +1151,11 @@ fn run_batch(
 /// journal subscription turning the connection into a ship stream.
 pub(crate) enum Response {
     Line(String),
+    /// A cache-hit line on the zero-span fast path: same wire format as
+    /// [`Response::Line`], but write paths skip the per-response
+    /// `respond` span (the sampled `hit` span in [`run_cached`] already
+    /// covers the whole parse→reply interval).
+    Hit(String),
     Close,
     Batch(usize),
     Ship(Box<ShipSubscription>),
@@ -1100,7 +1164,7 @@ pub(crate) enum Response {
 impl Response {
     pub(crate) fn into_text(self) -> String {
         match self {
-            Response::Line(s) => s,
+            Response::Line(s) | Response::Hit(s) => s,
             Response::Close => "OK cmd=shutdown".to_owned(),
             Response::Batch(_) => unreachable!("batch headers are framed, not rendered"),
             Response::Ship(_) => unreachable!("ship streams are served, not rendered"),
@@ -1159,15 +1223,28 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> Response {
 pub(crate) fn handle_request(line: &str, shared: &Arc<Shared>, mode: SubmitMode) -> Handled {
     let ready = |response: Response| Handled::Ready(response);
     shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
-    let parse_span = shared.recorder.span("request", "parse");
+    // Parse is timed with plain clock reads, not an eager span: the
+    // cacheable commands defer parse-stage recording into `run_cached`,
+    // which skips it entirely on a cache hit (the zero-span fast path)
+    // and records it together with the cache stage on a miss.
+    let t0 = Instant::now();
     let parsed = parse_request(line);
-    shared
-        .metrics
-        .record_stage(Stage::Parse, parse_span.finish());
+    let parse_dur = t0.elapsed();
     let request = match parsed {
         Ok(r) => r,
-        Err(msg) => return ready(Response::Line(format!("ERR {msg}"))),
+        Err(msg) => {
+            record_parse(shared, t0, parse_dur);
+            return ready(Response::Line(format!("ERR {msg}")));
+        }
     };
+    let defers_parse = matches!(request, Request::Abu(_) | Request::Analysis(_))
+        || matches!(
+            request,
+            Request::RingAnalysis { command, .. } if command != CommandKind::Check
+        );
+    if !defers_parse {
+        record_parse(shared, t0, parse_dur);
+    }
     // A warm standby redirects mutations instead of erroring: the client
     // learns where the primary is and under which epoch it serves. Inside
     // a BATCH this runs per frame, so only the mutating positions are
@@ -1338,9 +1415,13 @@ pub(crate) fn handle_request(line: &str, shared: &Arc<Shared>, mode: SubmitMode)
             // without an EVICT protocol.
             let (state, generation) = match shared.registry.ring_snapshot(&ring) {
                 Ok(s) => s,
-                Err(e) => return ready(Response::Line(format!("ERR {e}"))),
+                Err(e) => {
+                    record_parse(shared, t0, parse_dur);
+                    return ready(Response::Line(format!("ERR {e}")));
+                }
             };
             let Some(set) = state.message_set() else {
+                record_parse(shared, t0, parse_dur);
                 return ready(Response::Line(format!("ERR ring `{ring}` has no streams")));
             };
             let req = AnalysisRequest {
@@ -1363,6 +1444,7 @@ pub(crate) fn handle_request(line: &str, shared: &Arc<Shared>, mode: SubmitMode)
                 command,
                 deadline_ms,
                 mode,
+                (t0, parse_dur),
             )
         }
         Request::Sleep { ms, deadline_ms } => submit(
@@ -1383,6 +1465,7 @@ pub(crate) fn handle_request(line: &str, shared: &Arc<Shared>, mode: SubmitMode)
                 CommandKind::Abu,
                 deadline_ms,
                 mode,
+                (t0, parse_dur),
             )
         }
         Request::Analysis(req) => {
@@ -1396,12 +1479,30 @@ pub(crate) fn handle_request(line: &str, shared: &Arc<Shared>, mode: SubmitMode)
                 command,
                 deadline_ms,
                 mode,
+                (t0, parse_dur),
             )
         }
     }
 }
 
+/// Records the parse stage from an already-measured interval (span plus
+/// stage histogram) — the non-fast-path equivalent of the eager span the
+/// parse stage used to open.
+fn record_parse(shared: &Shared, t0: Instant, dur: Duration) {
+    shared.recorder.record("request", "parse", t0, dur);
+    shared.metrics.record_stage(Stage::Parse, dur);
+}
+
 /// Cache-checks one queueable request, then submits it.
+///
+/// `parse` carries the request's arrival instant and measured parse
+/// duration. On a cache **hit** this is the zero-span fast path: no
+/// per-stage spans, no stage-histogram locks — two sharded-counter adds
+/// ([`Metrics::note_hit`]), the per-command latency record, and (one hit
+/// in [`crate::metrics::HIT_SPAN_SAMPLE`]) a single sampled
+/// `request`/`hit` span covering the whole parse→reply interval. On a
+/// **miss** the deferred parse stage and the cache probe are recorded
+/// together in one recorder round trip before the job is submitted.
 fn run_cached(
     shared: &Arc<Shared>,
     request: Request,
@@ -1409,18 +1510,41 @@ fn run_cached(
     command: CommandKind,
     deadline_ms: Option<u64>,
     mode: SubmitMode,
+    parse: (Instant, Duration),
 ) -> Handled {
+    let (t0, parse_dur) = parse;
     if let Some(k) = &key {
-        let started = Instant::now();
-        let cache_span = shared.recorder.span("request", "cache");
+        let cache_start = Instant::now();
         let found = shared.cache.get(k);
-        shared
-            .metrics
-            .record_stage(Stage::Cache, cache_span.finish());
         if let Some(body) = found {
-            shared.metrics.record_latency(command, started.elapsed());
-            return Handled::Ready(Response::Line(format!("{body} cached=true")));
+            let elapsed = t0.elapsed();
+            shared.metrics.record_latency(command, elapsed);
+            if shared.metrics.note_hit(elapsed) {
+                shared.recorder.record("request", "hit", t0, elapsed);
+            }
+            return Handled::Ready(Response::Hit(format!("{body} cached=true")));
         }
+        let cache_dur = cache_start.elapsed();
+        shared.recorder.record_many(&[
+            Measured {
+                cat: "request",
+                name: "parse",
+                start: t0,
+                dur: parse_dur,
+            },
+            Measured {
+                cat: "request",
+                name: "cache",
+                start: cache_start,
+                dur: cache_dur,
+            },
+        ]);
+        shared.metrics.record_stage(Stage::Parse, parse_dur);
+        shared.metrics.record_stage(Stage::Cache, cache_dur);
+    } else {
+        // Uncacheable (e.g. explicitly seeded) analyses skip the probe;
+        // only the deferred parse stage is owed.
+        record_parse(shared, t0, parse_dur);
     }
     submit(shared, request, key, command, deadline_ms, mode)
 }
